@@ -1,0 +1,67 @@
+"""Ablation: synchronization stall power (DESIGN.md §5).
+
+The ML model charges barrier stalls a fraction of dynamic power
+(gradient all-reduce and busy polling are not free).  This is the knob
+that makes over-scaling carbon-expensive: at stall power 0, W&S(3x)
+would emit barely more than W&S(2x); at 1.0 it would pay the full
+50%-more-workers energy bill.  The paper's reported +14.94% sits between.
+"""
+
+from repro.carbon.traces import make_region_trace
+from repro.policies import WaitAndScalePolicy
+from repro.sim.experiment import (
+    arrival_offsets,
+    carbon_threshold,
+    run_batch_policy,
+)
+from repro.sim.results import summarize_batch
+from repro.workloads.mltrain import MLTrainingJob
+
+STALL_FRACTIONS = (0.0, 0.5, 1.0)
+
+
+def run_sweep():
+    trace = make_region_trace("caiso", days=4)
+    offsets = arrival_offsets(6, trace.duration_s)
+    threshold = carbon_threshold(trace, 30.0, 48 * 3600.0)
+    rows = []
+    for stall in STALL_FRACTIONS:
+        pair = {}
+        for factor in (2.0, 3.0):
+            summary = summarize_batch(run_batch_policy(
+                make_app=lambda s=stall: MLTrainingJob(
+                    total_work_units=29000.0, stall_power_fraction=s
+                ),
+                make_policy=lambda t, thr=threshold, f=factor: (
+                    WaitAndScalePolicy(thr, 4, f)
+                ),
+                policy_label=f"ws{factor:.0f}",
+                base_trace=trace,
+                offsets=offsets,
+                max_ticks=4 * 24 * 60,
+            ))
+            pair[factor] = summary
+        rows.append((stall, pair))
+    return rows
+
+
+def test_ablation_stall_power(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print("\n=== Ablation: barrier-stall power fraction ===")
+    print(f"{'stall':>6s} {'W&S2 carbon':>12s} {'W&S3 carbon':>12s} "
+          f"{'3x vs 2x':>9s}")
+    penalties = []
+    for stall, pair in rows:
+        penalty = pair[3.0].mean_carbon_g / pair[2.0].mean_carbon_g - 1.0
+        penalties.append(penalty)
+        print(
+            f"{stall:6.1f} {pair[2.0].mean_carbon_g:10.3f} g "
+            f"{pair[3.0].mean_carbon_g:10.3f} g {penalty * 100:+8.1f}%"
+        )
+    print("paper: +14.94% carbon at 3x vs 2x; the stall-power fraction")
+    print("interpolates between free stalls (0) and full-power stalls (1).")
+
+    # The over-scaling carbon penalty grows with stall power.
+    assert penalties == sorted(penalties)
+    benchmark.extra_info["penalty_at_default_0.5"] = penalties[1]

@@ -1,0 +1,43 @@
+"""Figure 4b: BLAST under five carbon policies (10 arrivals).
+
+Paper targets: suspend/resume cuts carbon ~25% at a 5.1x runtime
+penalty; Wait&Scale scales well to 3x (runtime -83.4% vs the system
+policy); at 4x the central queue server saturates, so carbon rises with
+no runtime gain.
+"""
+
+from repro.analysis.figures_batch import fig04b_blast
+
+
+def test_fig04b_blast(benchmark):
+    summaries = benchmark.pedantic(
+        fig04b_blast, kwargs={"reps": 10}, rounds=1, iterations=1
+    )
+    by_label = {s.policy_label: s for s in summaries}
+    base = by_label["CO2-agnostic"]
+    suspend = by_label["System Policy"]
+
+    print("\n=== Figure 4b: BLAST (10 random arrivals) ===")
+    print(f"{'policy':14s} {'runtime':>11s} {'x agn':>7s} {'rt vs SR':>9s} "
+          f"{'carbon':>9s} {'vs agn':>8s}")
+    for s in summaries:
+        rt_vs_sr = (s.mean_runtime_s / suspend.mean_runtime_s - 1) * 100
+        print(
+            f"{s.policy_label:14s} {s.mean_runtime_s / 60:8.1f} min "
+            f"{s.runtime_ratio_vs(base):6.2f}x {rt_vs_sr:+8.1f}% "
+            f"{s.mean_carbon_g:7.3f} g {s.carbon_change_vs(base) * 100:+7.1f}%"
+        )
+    print("paper: SR -25% @ 5.1x | W&S(2x) rt -78% vs SR | "
+          "W&S(3x) rt -83% vs SR | W&S(4x) carbon rises, rt flat")
+
+    ws2, ws3, ws4 = (
+        by_label["W&S (2X)"], by_label["W&S (3X)"], by_label["W&S (4X)"]
+    )
+    assert suspend.carbon_change_vs(base) < -0.15
+    assert ws3.mean_runtime_s < ws2.mean_runtime_s < suspend.mean_runtime_s
+    assert abs(ws4.mean_runtime_s - ws3.mean_runtime_s) < 0.02 * ws3.mean_runtime_s
+    assert ws4.mean_carbon_g > ws3.mean_carbon_g * 1.1
+    benchmark.extra_info["ws3_runtime_vs_suspend"] = (
+        ws3.mean_runtime_s / suspend.mean_runtime_s
+    )
+    benchmark.extra_info["suspend_carbon_change"] = suspend.carbon_change_vs(base)

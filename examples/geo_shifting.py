@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Geo-distributed carbon shifting across two ecovisor sites (paper §7).
+
+The paper's conclusion names coordination between distributed ecovisor
+clusters as future work; this example runs it: two sites whose grids are
+12 hours out of phase share one delay-tolerant batch work pool, and a
+coordinator migrates the workers to whichever grid is currently cleaner
+(paying a checkpoint-transfer pause per move).
+
+Run:  python examples/geo_shifting.py
+"""
+
+from repro.carbon.traces import make_region_trace
+from repro.geo import GeoCoordinator
+from repro.sim.experiment import grid_environment
+
+
+def build(pinned: bool) -> GeoCoordinator:
+    east_trace = make_region_trace("caiso", days=3, seed=2023)
+    west_trace = east_trace.rolled(12 * 3600.0)
+    coordinator = GeoCoordinator(
+        {
+            "east": grid_environment(trace=east_trace),
+            "west": grid_environment(trace=west_trace),
+        },
+        workers=8,
+        migration_delay_ticks=5,
+        switch_threshold_g_per_kwh=1e9 if pinned else 20.0,
+    )
+    coordinator.submit(8 * 60.0 * 600)  # ~10 h of work for 8 workers
+    return coordinator
+
+
+def main() -> None:
+    shifting = build(pinned=False).run(3 * 24 * 60)
+    pinned = build(pinned=True).run(3 * 24 * 60)
+
+    print("Two sites, grids 12 h out of phase, one shared batch pool\n")
+    print(f"{'placement':12s} {'runtime':>9s} {'carbon':>9s} {'migrations':>11s}")
+    for name, result in (("geo-shifting", shifting), ("single-site", pinned)):
+        print(
+            f"{name:12s} {result.runtime_s / 3600:7.2f} h "
+            f"{result.total_carbon_g:7.3f} g {result.migrations:11d}"
+        )
+    reduction = (
+        (pinned.total_carbon_g - shifting.total_carbon_g)
+        / pinned.total_carbon_g * 100
+    )
+    print(f"\nwork split (shifting): {shifting.work_by_site}")
+    print(f"carbon reduction from shifting: {reduction:.1f}%")
+    print(
+        "\nTakeaway: following the cleaner grid cuts carbon at a small\n"
+        "runtime cost from migration pauses — the geo-distributed library\n"
+        "policy the paper's Section 3.2 sketches."
+    )
+
+
+if __name__ == "__main__":
+    main()

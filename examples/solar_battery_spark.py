@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Zero-carbon Spark on solar + virtual batteries (paper §5.3).
+
+A delay-tolerant Spark job and a solar-monitoring web app share a solar
+array and battery 50/50 with a *zero* grid share — their virtual energy
+systems cannot emit.  Compares the conservative system-level battery
+smoothing policy against application-specific dynamic policies.
+
+Run:  python examples/solar_battery_spark.py
+"""
+
+from repro.analysis.figures_battery import fig08_09_battery_policies
+
+
+def main() -> None:
+    out = fig08_09_battery_policies()
+    print("Solar + battery, zero-carbon multi-tenancy\n")
+    print(
+        f"Spark runtime: static {out['spark_runtime_static_s'] / 3600:.1f} h, "
+        f"dynamic {out['spark_runtime_dynamic_s'] / 3600:.1f} h "
+        f"({out['spark_runtime_reduction_pct']:.1f}% faster; paper: 39%)"
+    )
+    print(
+        f"Work lost to unclean surge kills (dynamic): "
+        f"{out['spark_lost_units_dynamic']:.0f} units"
+    )
+    print("\nWeb monitor (SLO 100 ms):")
+    for r in out["web_results"]:
+        print(
+            f"  {r.policy_label:14s} violations {r.violation_fraction * 100:5.1f}% "
+            f"mean p95 {r.mean_p95_ms:7.1f} ms"
+        )
+    print("\nCarbon emitted (must all be zero):", out["zero_carbon"])
+    print(
+        "\nTakeaway: the Spark-specific policy converts excess midday solar\n"
+        "into opportunistic workers (accepting bounded checkpoint loss);\n"
+        "the web-specific policy spends battery on bursts to hold its SLO\n"
+        "(paper §5.3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Carbon budgeting for SLO-bound web services (paper §5.2).
+
+Two Wikipedia-style web applications run for 48 simulated hours under a
+static carbon rate limit (system policy) and under dynamic carbon
+budgeting (application policy).  The dynamic policy banks carbon credits
+during quiet periods and spends them to hold its latency SLO through
+simultaneous high-carbon/high-load evenings.
+
+Run:  python examples/web_carbon_budgeting.py
+"""
+
+from repro.analysis.figures_web import fig06_07_web_budgeting
+
+
+def main() -> None:
+    out = fig06_07_web_budgeting()
+    print("48 h of two web apps under carbon policies\n")
+    print(f"{'policy':16s} {'app':10s} {'SLO':>6s} {'violations':>11s} "
+          f"{'worst p95':>10s} {'carbon':>9s}")
+    for r in out["results"]:
+        print(
+            f"{r.policy_label:16s} {r.app_name:10s} {r.slo_ms:4.0f}ms "
+            f"{r.violation_fraction * 100:9.2f} % "
+            f"{r.worst_p95_ms:8.0f}ms {r.carbon_g:7.2f} g"
+        )
+    st1, st2, dy1, dy2 = out["results"]
+    print(
+        f"\ncarbon reduction (dynamic vs static): "
+        f"{(st1.carbon_g - dy1.carbon_g) / st1.carbon_g * 100:.1f}% (app1), "
+        f"{(st2.carbon_g - dy2.carbon_g) / st2.carbon_g * 100:.1f}% (app2)"
+    )
+    print(
+        "\nTakeaway: the static rate limit cannot add capacity when carbon\n"
+        "is high, violating the SLO exactly when load peaks; the dynamic\n"
+        "budget holds the SLO and still emits less overall (paper §5.2.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

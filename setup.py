@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` via pyproject.toml alone) fail
+with "invalid command 'bdist_wheel'".  This shim enables the legacy
+editable path: ``pip install -e . --no-build-isolation --no-use-pep517``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

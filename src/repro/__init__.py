@@ -1,0 +1,79 @@
+"""repro — a reproduction of "Ecovisor: A Virtual Energy System for
+Carbon-Efficient Applications" (ASPLOS 2023).
+
+The public API re-exports the pieces a downstream user needs to assemble
+an ecovisor deployment:
+
+- **substrates**: :mod:`repro.energy` (grid/battery/solar),
+  :mod:`repro.carbon` (carbon information services), :mod:`repro.cluster`
+  (container orchestration), :mod:`repro.telemetry`.
+- **core**: :mod:`repro.core` — the ecovisor, virtual energy systems,
+  the narrow Table 1 API, and the Table 2 library layer.
+- **applications & policies**: :mod:`repro.workloads`,
+  :mod:`repro.policies`.
+- **harness**: :mod:`repro.sim` (engine, environments),
+  :mod:`repro.analysis` (per-figure experiments).
+
+Quickstart::
+
+    from repro.sim import grid_environment, UNLIMITED_GRID_SHARE
+    from repro.workloads import MLTrainingJob
+    from repro.policies import WaitAndScalePolicy
+
+    env = grid_environment(region="caiso", days=2)
+    job = MLTrainingJob(total_work_units=10000)
+    threshold = env.carbon_service.trace.percentile(30)
+    env.engine.add_application(
+        job, UNLIMITED_GRID_SHARE, WaitAndScalePolicy(threshold, 4, 2.0)
+    )
+    env.engine.run(2 * 24 * 60, stop_when_batch_complete=True)
+    print(job.completion_time_s, env.ecovisor.ledger.app_carbon_g(job.name))
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__version__ = "1.0.0"
+
+_EXPORTS = {
+    # core
+    "Ecovisor": "repro.core.ecovisor",
+    "EcovisorAPI": "repro.core.api",
+    "connect": "repro.core.api",
+    "AppEnergyLibrary": "repro.core.library",
+    "VirtualEnergySystem": "repro.core.virtual_energy_system",
+    "VirtualBattery": "repro.core.virtual_battery",
+    "ShareConfig": "repro.core.config",
+    "EcovisorConfig": "repro.core.config",
+    "SimulationClock": "repro.core.clock",
+    # substrates
+    "Battery": "repro.energy.battery",
+    "GridConnection": "repro.energy.grid",
+    "SolarArrayEmulator": "repro.energy.solar",
+    "PhysicalEnergySystem": "repro.energy.system",
+    "CarbonIntensityService": "repro.carbon.service",
+    "ContainerOrchestrationPlatform": "repro.cluster.cop",
+    "TimeSeriesDatabase": "repro.telemetry.timeseries",
+    # harness
+    "SimulationEngine": "repro.sim.engine",
+    "EcovisorRestServer": "repro.rest.server",
+    # extensions
+    "GeoCoordinator": "repro.geo.coordinator",
+    "SharedWorkPool": "repro.geo.coordinator",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    module_path = _EXPORTS.get(name)
+    if module_path is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module = importlib.import_module(module_path)
+    return getattr(module, name)
+
+
+def __dir__() -> list:
+    return __all__

@@ -1,0 +1,43 @@
+"""Per-figure experiment builders and metric helpers.
+
+One function per paper figure; the benchmarks in ``benchmarks/`` wrap
+these and print the same rows/series the paper reports.
+"""
+
+from repro.analysis.figures_batch import (
+    fig01_carbon_traces,
+    fig04a_ml_training,
+    fig04b_blast,
+    fig05_multitenancy,
+)
+from repro.analysis.figures_battery import fig08_09_battery_policies
+from repro.analysis.figures_solar import (
+    fig10_day_series,
+    fig10_solar_caps,
+    fig11_straggler_mitigation,
+)
+from repro.analysis.figures_web import fig06_07_web_budgeting
+from repro.analysis.metrics import (
+    carbon_reduction_pct,
+    energy_efficiency_per_joule,
+    percentile,
+    runtime_improvement_pct,
+    slo_violation_fraction,
+)
+
+__all__ = [
+    "carbon_reduction_pct",
+    "energy_efficiency_per_joule",
+    "fig01_carbon_traces",
+    "fig04a_ml_training",
+    "fig04b_blast",
+    "fig05_multitenancy",
+    "fig06_07_web_budgeting",
+    "fig08_09_battery_policies",
+    "fig10_day_series",
+    "fig10_solar_caps",
+    "fig11_straggler_mitigation",
+    "percentile",
+    "runtime_improvement_pct",
+    "slo_violation_fraction",
+]

@@ -1,0 +1,172 @@
+"""Experiments for Figures 1, 4, and 5 (carbon traces and batch policies).
+
+Each function regenerates one figure's rows/series with the calibrated
+defaults frozen here, so the benchmarks, examples, and tests all observe
+the same configuration.  Scale parameters (``reps``, ``days``) can be
+reduced for quick runs; the benches use paper-scale defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.carbon.traces import CarbonTrace, make_region_trace
+from repro.core.config import ShareConfig
+from repro.policies import (
+    CarbonAgnosticPolicy,
+    SuspendResumePolicy,
+    WaitAndScalePolicy,
+)
+from repro.sim.experiment import (
+    arrival_offsets,
+    carbon_threshold,
+    grid_environment,
+    run_batch_policy,
+)
+from repro.sim.results import BatchSummary, SeriesBundle, summarize_batch
+from repro.workloads.blast import BlastJob
+from repro.workloads.mltrain import MLTrainingJob
+
+# Frozen calibration (see DESIGN.md, experiment index).
+ML_TOTAL_WORK = 29000.0
+ML_BASE_WORKERS = 4
+ML_THRESHOLD_PERCENTILE = 30.0
+ML_THRESHOLD_WINDOW_S = 48 * 3600.0
+BLAST_TOTAL_WORK = 12000.0
+BLAST_BASE_WORKERS = 8
+BLAST_THRESHOLD_PERCENTILE = 33.0
+TRACE_DAYS = 4
+TRACE_SEED = 2023
+MAX_TICKS = TRACE_DAYS * 24 * 60
+
+
+def fig01_carbon_traces(days: int = TRACE_DAYS, seed: int = TRACE_SEED) -> SeriesBundle:
+    """Figure 1: carbon-intensity over time for the three regions."""
+    bundle = SeriesBundle(title="Fig 1: grid carbon intensity by region")
+    for region in ("ontario", "caiso", "uruguay"):
+        trace = make_region_trace(region, days=days, seed=seed)
+        times = [i * 300.0 for i in range(len(trace.samples))]
+        bundle.add(region, times, list(trace.samples))
+    return bundle
+
+
+def fig04a_ml_training(
+    reps: int = 10,
+    days: int = TRACE_DAYS,
+    seed: int = TRACE_SEED,
+    trace: Optional[CarbonTrace] = None,
+) -> List[BatchSummary]:
+    """Figure 4a: ML training carbon/runtime under four policies."""
+    if trace is None:
+        trace = make_region_trace("caiso", days=days, seed=seed)
+    threshold = carbon_threshold(
+        trace, ML_THRESHOLD_PERCENTILE, ML_THRESHOLD_WINDOW_S
+    )
+    offsets = arrival_offsets(reps, trace.duration_s)
+    max_ticks = days * 24 * 60
+
+    def make_app() -> MLTrainingJob:
+        return MLTrainingJob(total_work_units=ML_TOTAL_WORK)
+
+    policies = [
+        ("CO2-agnostic", lambda tr: CarbonAgnosticPolicy(ML_BASE_WORKERS)),
+        ("System Policy", lambda tr: SuspendResumePolicy(threshold, ML_BASE_WORKERS)),
+        ("W&S (2X)", lambda tr: WaitAndScalePolicy(threshold, ML_BASE_WORKERS, 2.0)),
+        ("W&S (3X)", lambda tr: WaitAndScalePolicy(threshold, ML_BASE_WORKERS, 3.0)),
+    ]
+    return [
+        summarize_batch(
+            run_batch_policy(make_app, factory, label, trace, offsets, max_ticks)
+        )
+        for label, factory in policies
+    ]
+
+
+def fig04b_blast(
+    reps: int = 10,
+    days: int = TRACE_DAYS,
+    seed: int = TRACE_SEED,
+    trace: Optional[CarbonTrace] = None,
+) -> List[BatchSummary]:
+    """Figure 4b: BLAST carbon/runtime under five policies."""
+    if trace is None:
+        trace = make_region_trace("caiso", days=days, seed=seed)
+    threshold = carbon_threshold(trace, BLAST_THRESHOLD_PERCENTILE)
+    offsets = arrival_offsets(reps, trace.duration_s)
+    max_ticks = days * 24 * 60
+
+    def make_app() -> BlastJob:
+        return BlastJob(total_work_units=BLAST_TOTAL_WORK)
+
+    policies = [
+        ("CO2-agnostic", lambda tr: CarbonAgnosticPolicy(BLAST_BASE_WORKERS)),
+        (
+            "System Policy",
+            lambda tr: SuspendResumePolicy(threshold, BLAST_BASE_WORKERS),
+        ),
+        ("W&S (2X)", lambda tr: WaitAndScalePolicy(threshold, BLAST_BASE_WORKERS, 2.0)),
+        ("W&S (3X)", lambda tr: WaitAndScalePolicy(threshold, BLAST_BASE_WORKERS, 3.0)),
+        ("W&S (4X)", lambda tr: WaitAndScalePolicy(threshold, BLAST_BASE_WORKERS, 4.0)),
+    ]
+    return [
+        summarize_batch(
+            run_batch_policy(make_app, factory, label, trace, offsets, max_ticks)
+        )
+        for label, factory in policies
+    ]
+
+
+def fig05_multitenancy(
+    days: int = 2,
+    seed: int = TRACE_SEED,
+    horizon_ticks: Optional[int] = None,
+) -> Dict[str, object]:
+    """Figure 5: ML (W&S 2x) and BLAST (W&S 3x) sharing one ecovisor.
+
+    Returns the carbon trace with both thresholds and the per-app and
+    cluster-wide container-count time series.
+    """
+    trace = make_region_trace("caiso", days=days, seed=seed)
+    ml_threshold = carbon_threshold(
+        trace, ML_THRESHOLD_PERCENTILE, ML_THRESHOLD_WINDOW_S
+    )
+    blast_threshold = carbon_threshold(trace, BLAST_THRESHOLD_PERCENTILE)
+    env = grid_environment(trace=trace)
+
+    ml_job = MLTrainingJob(name="ml-training", total_work_units=ML_TOTAL_WORK)
+    blast_job = BlastJob(name="blast", total_work_units=BLAST_TOTAL_WORK)
+    env.engine.add_application(
+        ml_job,
+        ShareConfig(grid_power_w=float("inf")),
+        WaitAndScalePolicy(ml_threshold, ML_BASE_WORKERS, 2.0),
+    )
+    env.engine.add_application(
+        blast_job,
+        ShareConfig(grid_power_w=float("inf")),
+        WaitAndScalePolicy(blast_threshold, BLAST_BASE_WORKERS, 3.0),
+    )
+    ticks = horizon_ticks if horizon_ticks is not None else days * 24 * 60
+    env.engine.run(ticks)
+
+    db = env.ecovisor.database
+    bundle = SeriesBundle(title="Fig 5: multi-tenant container counts")
+    carbon = db.series("grid.carbon_g_per_kwh")
+    bundle.add("carbon_intensity", list(carbon.times()), list(carbon.values()))
+    for name in ("ml-training", "blast"):
+        series = db.series(f"app.{name}.containers")
+        bundle.add(f"{name}_containers", list(series.times()), list(series.values()))
+    ml_counts = db.series("app.ml-training.containers").values()
+    blast_counts = db.series("app.blast.containers").values()
+    times = list(db.series("app.ml-training.containers").times())
+    cluster = [float(a + b) for a, b in zip(ml_counts, blast_counts)]
+    bundle.add("cluster_containers", times, cluster)
+
+    return {
+        "bundle": bundle,
+        "ml_threshold": ml_threshold,
+        "blast_threshold": blast_threshold,
+        "ml_completed": ml_job.is_complete,
+        "blast_completed": blast_job.is_complete,
+        "ml_carbon_g": env.ecovisor.ledger.app_carbon_g("ml-training"),
+        "blast_carbon_g": env.ecovisor.ledger.app_carbon_g("blast"),
+    }

@@ -1,0 +1,185 @@
+"""Experiments for Figures 8 and 9 (virtual battery policies).
+
+Two zero-carbon applications share a solar array and physical battery
+50/50 (paper Section 5.3): a delay-tolerant Spark job with HDFS
+checkpointing, and a solar-monitoring web application whose workload
+follows daylight.  Both receive a *zero grid share*, so their virtual
+energy systems cannot emit carbon — any shortfall simply limits capacity.
+
+Two runs are compared:
+
+- **static** — the system-level battery-smoothing policy: a fixed worker
+  pool whose power the battery can always guarantee; clean checkpointed
+  shutdown at dusk.
+- **dynamic** — application-specific policies: Spark opportunistically
+  surges onto excess solar once its battery is nearly full (accepting
+  un-checkpointed loss at kill time); the web app sizes its pool to the
+  latency SLO and spends battery on workload bursts.
+
+Plant sizing follows the prototype's proportions scaled to the workload:
+solar peak funds roughly twice the static pools, and each app's battery
+share stores a few hours of its guaranteed power.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import ClusterConfig, ServerConfig, ShareConfig
+from repro.policies import (
+    DynamicSparkBatteryPolicy,
+    DynamicWebBatteryPolicy,
+    StaticBatterySmoothingPolicy,
+)
+from repro.policies.base import worker_power_w
+from repro.sim.experiment import solar_battery_environment
+from repro.sim.results import SeriesBundle, ServiceRunResult
+from repro.workloads.spark import SparkJob
+from repro.workloads.traces import daytime_request_trace
+from repro.workloads.webapp import WebApplication
+from repro.energy.solar import SolarTrace
+
+SOLAR_PEAK_W = 36.0
+BATTERY_CAPACITY_WH = 40.0
+SPARK_TOTAL_WORK = 400000.0
+SOLAR_CLOUDINESS = 0.25
+SPARK_STATIC_WORKERS = 4
+WEB_STATIC_WORKERS = 4
+WEB_SLO_MS = 100.0
+WEB_SERVICE_RATE_RPS = 50.0
+WEB_PEAK_RPS = 280.0
+DAYS = 4
+CLUSTER = ClusterConfig(num_servers=12, server=ServerConfig())
+ZERO_CARBON_SHARE = ShareConfig(
+    solar_fraction=0.5, battery_fraction=0.5, grid_power_w=0.0
+)
+
+
+def _run(policy_kind: str, seed: int) -> Dict[str, object]:
+    env = solar_battery_environment(
+        solar_peak_w=SOLAR_PEAK_W,
+        battery_capacity_wh=BATTERY_CAPACITY_WH,
+        days=DAYS,
+        seed=seed,
+        cluster=CLUSTER,
+        cloudiness=SOLAR_CLOUDINESS,
+    )
+    per_worker_w = worker_power_w(CLUSTER, cores=1.0)
+
+    spark = SparkJob(name="spark", total_work_units=SPARK_TOTAL_WORK)
+    solar_trace = SolarTrace(days=DAYS, seed=seed, cloudiness=SOLAR_CLOUDINESS)
+    web_trace = daytime_request_trace(
+        solar_trace.samples, peak_rps=WEB_PEAK_RPS, seed=seed + 5
+    )
+    web = WebApplication(
+        "web-monitor",
+        web_trace,
+        slo_ms=WEB_SLO_MS,
+        service_rate_rps=WEB_SERVICE_RATE_RPS,
+    )
+
+    if policy_kind == "static":
+        spark_policy = StaticBatterySmoothingPolicy(
+            SPARK_STATIC_WORKERS, per_worker_w
+        )
+        web_policy = StaticBatterySmoothingPolicy(WEB_STATIC_WORKERS, per_worker_w)
+    else:
+        spark_policy = DynamicSparkBatteryPolicy(
+            SPARK_STATIC_WORKERS,
+            per_worker_w,
+            battery_full_fraction=0.55,
+            max_workers=16,
+        )
+        web_policy = DynamicWebBatteryPolicy(per_worker_w, max_workers=10)
+
+    env.engine.add_application(spark, ZERO_CARBON_SHARE, spark_policy)
+    env.engine.add_application(web, ZERO_CARBON_SHARE, web_policy)
+    env.engine.run(DAYS * 24 * 60, stop_when_batch_complete=False)
+    return {"env": env, "spark": spark, "web": web}
+
+
+def fig08_09_battery_policies(seed: int = 2023) -> Dict[str, object]:
+    """Figures 8-9: static vs dynamic virtual-battery policies.
+
+    Returns Spark runtimes (and the dynamic runtime reduction), web SLO
+    results for both policies, and the Figure 8/9 time series (solar,
+    workload, workers, latency, battery SoC, and signed battery power).
+    """
+    static = _run("static", seed)
+    dynamic = _run("dynamic", seed)
+
+    spark_static: SparkJob = static["spark"]
+    spark_dynamic: SparkJob = dynamic["spark"]
+    runtime_static = spark_static.completion_time_s or float("inf")
+    runtime_dynamic = spark_dynamic.completion_time_s or float("inf")
+    runtime_reduction_pct = (
+        (runtime_static - runtime_dynamic) / runtime_static * 100.0
+        if runtime_static not in (0.0, float("inf"))
+        else float("nan")
+    )
+
+    web_results = []
+    for label, run in (("System Policy", static), ("Dynamic", dynamic)):
+        web: WebApplication = run["web"]
+        account = run["env"].ecovisor.ledger.account(web.name)
+        web_results.append(
+            ServiceRunResult(
+                policy_label=label,
+                app_name=web.name,
+                slo_ms=web.slo_ms,
+                ticks=web.tick_count,
+                violation_ticks=web.violation_ticks,
+                mean_p95_ms=web.mean_latency_ms,
+                worst_p95_ms=web.worst_latency_ms,
+                carbon_g=account.carbon_g,
+                energy_wh=account.energy_wh,
+            )
+        )
+
+    bundle = SeriesBundle(title="Figs 8-9: battery policies")
+    for run, prefix in ((static, "static"), (dynamic, "dynamic")):
+        db = run["env"].ecovisor.database
+        for app_name in ("spark", "web-monitor"):
+            workers = db.series(f"app.{app_name}.containers")
+            bundle.add(
+                f"{prefix}.{app_name}.workers",
+                list(workers.times()),
+                list(workers.values()),
+            )
+        latency = db.series("app.web-monitor.p95_ms")
+        bundle.add(
+            f"{prefix}.web-monitor.p95_ms",
+            list(latency.times()),
+            list(latency.values()),
+        )
+    dynamic_db = dynamic["env"].ecovisor.database
+    solar = dynamic_db.series("plant.solar_w")
+    bundle.add("solar_w", list(solar.times()), list(solar.values()))
+    workload = dynamic_db.series("app.web-monitor.request_rate_rps")
+    bundle.add("web_workload_rps", list(workload.times()), list(workload.values()))
+    for app_name in ("spark", "web-monitor"):
+        soc = dynamic_db.series(f"app.{app_name}.battery_soc")
+        bundle.add(f"dynamic.{app_name}.soc", list(soc.times()), list(soc.values()))
+        power = dynamic_db.series(f"app.{app_name}.battery_power_w")
+        bundle.add(
+            f"dynamic.{app_name}.battery_power_w",
+            list(power.times()),
+            list(power.values()),
+        )
+
+    return {
+        "bundle": bundle,
+        "spark_runtime_static_s": runtime_static,
+        "spark_runtime_dynamic_s": runtime_dynamic,
+        "spark_runtime_reduction_pct": runtime_reduction_pct,
+        "spark_lost_units_dynamic": spark_dynamic.lost_units_total,
+        "web_results": web_results,
+        "zero_carbon": {
+            "static_spark_g": static["env"].ecovisor.ledger.app_carbon_g("spark"),
+            "dynamic_spark_g": dynamic["env"].ecovisor.ledger.app_carbon_g("spark"),
+            "static_web_g": static["env"].ecovisor.ledger.app_carbon_g("web-monitor"),
+            "dynamic_web_g": dynamic["env"].ecovisor.ledger.app_carbon_g(
+                "web-monitor"
+            ),
+        },
+    }

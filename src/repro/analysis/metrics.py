@@ -1,0 +1,46 @@
+"""Metric helpers shared by the per-figure analysis modules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.units import JOULES_PER_WH
+
+
+def runtime_improvement_pct(baseline_s: float, improved_s: float) -> float:
+    """Percent runtime reduction of ``improved_s`` vs ``baseline_s``."""
+    if baseline_s <= 0:
+        return 0.0
+    return (baseline_s - improved_s) / baseline_s * 100.0
+
+
+def energy_efficiency_per_joule(work_units: float, energy_wh: float) -> float:
+    """Work per joule — the paper's 'Energy Efficiency (1/joules)' axis."""
+    if energy_wh <= 0:
+        return 0.0
+    return work_units / (energy_wh * JOULES_PER_WH)
+
+
+def carbon_reduction_pct(baseline_g: float, policy_g: float) -> float:
+    """Percent carbon reduction vs a baseline (positive = cleaner)."""
+    if baseline_g <= 0:
+        return 0.0
+    return (baseline_g - policy_g) / baseline_g * 100.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile of a sample; NaN for empty input."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return float("nan")
+    return float(np.percentile(arr, q))
+
+
+def slo_violation_fraction(latencies_ms: Sequence[float], slo_ms: float) -> float:
+    """Fraction of samples exceeding the SLO."""
+    arr = np.asarray(list(latencies_ms), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float((arr > slo_ms).mean())

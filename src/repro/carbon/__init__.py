@@ -1,0 +1,35 @@
+"""Carbon information services, synthetic region traces, and forecasting."""
+
+from repro.carbon.forecast import (
+    CarbonForecaster,
+    DiurnalProfileForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+    forecast_error_mae,
+)
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import (
+    REGION_PROFILES,
+    CarbonTrace,
+    RegionProfile,
+    SAMPLE_INTERVAL_S,
+    constant_trace,
+    make_region_trace,
+    synthesize_trace,
+)
+
+__all__ = [
+    "CarbonForecaster",
+    "CarbonIntensityService",
+    "CarbonTrace",
+    "DiurnalProfileForecaster",
+    "OracleForecaster",
+    "PersistenceForecaster",
+    "REGION_PROFILES",
+    "RegionProfile",
+    "SAMPLE_INTERVAL_S",
+    "constant_trace",
+    "forecast_error_mae",
+    "make_region_trace",
+    "synthesize_trace",
+]

@@ -1,0 +1,138 @@
+"""Carbon-intensity forecasting.
+
+The paper's policies pick thresholds from a percentile of carbon
+intensity over a lookahead window (Section 5.1) — implicitly assuming a
+forecast.  Real deployments cannot read the future trace; carbon
+information services instead publish short-term forecasts built from
+history.  This module provides the forecasters a deployed policy would
+use, so experiments can quantify the cost of imperfect foresight:
+
+- :class:`PersistenceForecaster` — tomorrow looks like right now; the
+  standard naive baseline.
+- :class:`DiurnalProfileForecaster` — tomorrow looks like the average of
+  the last few days at the same time of day; captures the duck curve.
+- :class:`OracleForecaster` — reads the trace directly; the paper's
+  (and our benchmarks') methodology, an upper bound.
+
+All forecasters share one interface: ``predict(now_s, horizon_s)``
+returns the predicted intensity sequence at the service's 5-minute
+resolution, and ``percentile(now_s, window_s, q)`` the threshold a
+policy would derive from it.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections import defaultdict
+from typing import Dict, List
+
+import numpy as np
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import SAMPLE_INTERVAL_S
+from repro.core.errors import TraceError
+from repro.core.units import SECONDS_PER_DAY
+
+
+class CarbonForecaster(abc.ABC):
+    """Predicts future carbon intensity from observed history."""
+
+    def __init__(self, service: CarbonIntensityService):
+        self._service = service
+
+    @property
+    def service(self) -> CarbonIntensityService:
+        return self._service
+
+    def observe(self, time_s: float) -> float:
+        """Feed the forecaster one observation (delegates to the service)."""
+        return self._service.observe(time_s)
+
+    @abc.abstractmethod
+    def predict(self, now_s: float, horizon_s: float) -> np.ndarray:
+        """Predicted intensities for (now, now + horizon], 5-min steps."""
+
+    def percentile(self, now_s: float, window_s: float, q: float) -> float:
+        """The q-th percentile of the predicted window.
+
+        This is the threshold a deployed suspend/resume or Wait&Scale
+        policy would compute (the paper derives it from the trace, which
+        equals :class:`OracleForecaster`).
+        """
+        prediction = self.predict(now_s, window_s)
+        if len(prediction) == 0:
+            raise TraceError("empty forecast window")
+        return float(np.percentile(prediction, q))
+
+    @staticmethod
+    def _steps(horizon_s: float) -> int:
+        if horizon_s <= 0:
+            raise TraceError(f"horizon must be positive, got {horizon_s}")
+        return max(1, int(math.ceil(horizon_s / SAMPLE_INTERVAL_S)))
+
+
+class PersistenceForecaster(CarbonForecaster):
+    """Naive baseline: the current intensity persists over the horizon."""
+
+    def predict(self, now_s: float, horizon_s: float) -> np.ndarray:
+        current = self._service.intensity_at(now_s)
+        return np.full(self._steps(horizon_s), current)
+
+
+class DiurnalProfileForecaster(CarbonForecaster):
+    """Average of the last ``history_days`` days at the same time of day.
+
+    Maintains per-slot (5-minute-of-day) running means over the
+    observations fed via :meth:`observe`; slots with no history fall
+    back to persistence.
+    """
+
+    def __init__(self, service: CarbonIntensityService, history_days: int = 3):
+        super().__init__(service)
+        if history_days <= 0:
+            raise TraceError("history must cover at least one day")
+        self._history_days = history_days
+        self._slots: Dict[int, List[float]] = defaultdict(list)
+
+    @staticmethod
+    def _slot(time_s: float) -> int:
+        return int((time_s % SECONDS_PER_DAY) // SAMPLE_INTERVAL_S)
+
+    def observe(self, time_s: float) -> float:
+        value = super().observe(time_s)
+        bucket = self._slots[self._slot(time_s)]
+        bucket.append(value)
+        if len(bucket) > self._history_days:
+            bucket.pop(0)
+        return value
+
+    def predict(self, now_s: float, horizon_s: float) -> np.ndarray:
+        steps = self._steps(horizon_s)
+        fallback = self._service.intensity_at(now_s)
+        prediction = np.empty(steps)
+        for i in range(steps):
+            t = now_s + (i + 1) * SAMPLE_INTERVAL_S
+            bucket = self._slots.get(self._slot(t))
+            prediction[i] = float(np.mean(bucket)) if bucket else fallback
+        return prediction
+
+
+class OracleForecaster(CarbonForecaster):
+    """Perfect foresight: reads the underlying trace (the paper's setup)."""
+
+    def predict(self, now_s: float, horizon_s: float) -> np.ndarray:
+        steps = self._steps(horizon_s)
+        return np.asarray([
+            self._service.intensity_at(now_s + (i + 1) * SAMPLE_INTERVAL_S)
+            for i in range(steps)
+        ])
+
+
+def forecast_error_mae(
+    forecaster: CarbonForecaster, now_s: float, horizon_s: float
+) -> float:
+    """Mean absolute error of a forecast against the trace's truth."""
+    predicted = forecaster.predict(now_s, horizon_s)
+    truth = OracleForecaster(forecaster.service).predict(now_s, horizon_s)
+    return float(np.abs(predicted - truth).mean())

@@ -1,0 +1,221 @@
+"""Container orchestration platform (COP).
+
+An LXD-like platform (paper Section 4): it creates and destroys
+containers, places them with the fewest-instances scheduler, vertically
+scales core allocations via cgroups, and enforces per-container power caps
+by translating a watt cap into a utilization clamp through the server's
+power model — the approach of Thunderbolt [48] that the prototype adopts.
+
+The ecovisor wraps this platform (it has privileged access to these
+functions); applications reach it only through the ecovisor API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.container import Container
+from repro.cluster.scheduler import FewestInstancesScheduler, Scheduler
+from repro.cluster.server import Server
+from repro.core.config import ClusterConfig
+from repro.core.errors import (
+    InsufficientResourcesError,
+    SchedulingError,
+    UnknownContainerError,
+)
+
+
+class ContainerOrchestrationPlatform:
+    """Cluster-wide container lifecycle, placement, and capping."""
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        scheduler: Scheduler | None = None,
+    ):
+        self._config = config or ClusterConfig()
+        self._config.validate()
+        self._scheduler = scheduler or FewestInstancesScheduler()
+        self._servers = [
+            Server(f"server-{i}", self._config.server)
+            for i in range(self._config.num_servers)
+        ]
+        self._containers: Dict[str, Container] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ClusterConfig:
+        return self._config
+
+    @property
+    def servers(self) -> List[Server]:
+        return list(self._servers)
+
+    @property
+    def total_cores(self) -> int:
+        return self._config.total_cores
+
+    @property
+    def free_cores(self) -> float:
+        return sum(s.free_cores for s in self._servers)
+
+    def get_container(self, container_id: str) -> Container:
+        try:
+            return self._containers[container_id]
+        except KeyError:
+            raise UnknownContainerError(container_id) from None
+
+    def has_container(self, container_id: str) -> bool:
+        return container_id in self._containers
+
+    def containers(self) -> List[Container]:
+        return list(self._containers.values())
+
+    def running_containers(self) -> List[Container]:
+        return [c for c in self._containers.values() if c.is_running]
+
+    def containers_for(self, app_name: str) -> List[Container]:
+        return [c for c in self._containers.values() if c.app_name == app_name]
+
+    def running_containers_for(self, app_name: str) -> List[Container]:
+        return [c for c in self.containers_for(app_name) if c.is_running]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def launch_container(
+        self,
+        app_name: str,
+        cores: float,
+        gpu: bool = False,
+        role: str = Container.DEFAULT_ROLE,
+    ) -> Container:
+        """Create, place, and start a container for ``app_name``."""
+        if cores <= 0:
+            raise SchedulingError(f"cores must be positive, got {cores}")
+        container = Container(app_name, cores, gpu=gpu, role=role)
+        server = self._scheduler.select(self._servers, cores)
+        server.place(container)
+        self._containers[container.id] = container
+        return container
+
+    def stop_container(self, container_id: str) -> None:
+        """Stop and remove a container, releasing its resources."""
+        container = self.get_container(container_id)
+        if container.server_name is not None:
+            server = self._server_by_name(container.server_name)
+            server.evict(container_id)
+        container.stop()
+        del self._containers[container_id]
+
+    def stop_app(self, app_name: str) -> List[str]:
+        """Stop every container of an application; returns their ids."""
+        ids = [c.id for c in self.containers_for(app_name)]
+        for container_id in ids:
+            self.stop_container(container_id)
+        return ids
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+    def set_container_cores(self, container_id: str, cores: float) -> None:
+        """Vertically scale a container, migrating if its host is full."""
+        if cores <= 0:
+            raise SchedulingError(f"cores must be positive, got {cores}")
+        container = self.get_container(container_id)
+        server = self._server_by_name(container.server_name)
+        if server.can_grow(container, cores):
+            container.set_cores(cores)
+            return
+        # Migrate: evict, resize, re-place (stateful LXD migration).
+        server.evict(container_id)
+        old_cores = container.cores
+        container.set_cores(cores)
+        try:
+            target = self._scheduler.select(self._servers, cores)
+        except InsufficientResourcesError:
+            container.set_cores(old_cores)
+            server.place(container)
+            raise
+        target.place(container)
+
+    def scale_app_to(
+        self,
+        app_name: str,
+        count: int,
+        cores: float,
+        gpu: bool = False,
+        role: str = Container.DEFAULT_ROLE,
+    ) -> List[Container]:
+        """Horizontally scale an app's ``role`` pool to exactly ``count``.
+
+        Only containers of the given role are counted and affected, so a
+        policy scaling workers leaves auxiliary containers (e.g. a queue
+        server) untouched.  Extra containers are stopped (newest first);
+        missing ones are launched.  Returns the role's running containers
+        after scaling.
+        """
+        if count < 0:
+            raise SchedulingError(f"count must be >= 0, got {count}")
+        running = [
+            c for c in self.running_containers_for(app_name) if c.role == role
+        ]
+        while len(running) > count:
+            victim = running.pop()
+            self.stop_container(victim.id)
+        while len(running) < count:
+            running.append(
+                self.launch_container(app_name, cores, gpu=gpu, role=role)
+            )
+        return running
+
+    # ------------------------------------------------------------------
+    # Power capping
+    # ------------------------------------------------------------------
+    def set_power_cap(self, container_id: str, cap_w: Optional[float]) -> None:
+        """Install (or clear, with None) a per-container power cap."""
+        container = self.get_container(container_id)
+        server = self._server_by_name(container.server_name)
+        if cap_w is None:
+            container.set_power_cap(None, 1.0)
+            return
+        utilization = server.power_model.utilization_for_cap(cap_w, container.cores)
+        container.set_power_cap(cap_w, utilization)
+
+    # ------------------------------------------------------------------
+    # Power measurement
+    # ------------------------------------------------------------------
+    def container_power_w(self, container_id: str) -> float:
+        """Attributed power of one container at its current utilization."""
+        container = self.get_container(container_id)
+        if not container.is_running or container.server_name is None:
+            return 0.0
+        server = self._server_by_name(container.server_name)
+        gpu_util = container.effective_utilization if container.has_gpu else 0.0
+        return server.power_model.container_power_w(
+            container.effective_utilization, container.cores, gpu_util
+        )
+
+    def app_power_w(self, app_name: str) -> float:
+        """Summed attributed power of an application's running containers."""
+        return sum(
+            self.container_power_w(c.id) for c in self.running_containers_for(app_name)
+        )
+
+    def cluster_power_w(self) -> float:
+        """Attributed power of all containers plus unallocated idle power."""
+        attributed = sum(self.container_power_w(c.id) for c in self.running_containers())
+        baseline = sum(s.baseline_idle_power_w() for s in self._servers)
+        return attributed + baseline
+
+    def baseline_power_w(self) -> float:
+        """Idle power of unallocated cores (the platform's own footprint)."""
+        return sum(s.baseline_idle_power_w() for s in self._servers)
+
+    def _server_by_name(self, name: Optional[str]) -> Server:
+        for server in self._servers:
+            if server.name == name:
+                return server
+        raise SchedulingError(f"container not placed on any known server: {name!r}")

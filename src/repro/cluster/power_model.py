@@ -1,0 +1,135 @@
+"""Server and container power models.
+
+The paper's microservers draw 1.35 W at idle, 5 W at 100% CPU, and 10 W at
+100% CPU+GPU (Section 4).  Between idle and full load, power scales
+linearly with utilization — the standard model for power capping by
+utilization throttling (Thunderbolt [48], which the prototype follows).
+
+A container running on a server is attributed:
+
+- a share of the server's idle power proportional to its core allocation
+  (servers are not energy-proportional; this idle share is what makes
+  low-power operation inefficient in Figures 10-11), plus
+- dynamic power proportional to its utilization of those cores.
+
+Power caps are enforced the way cgroups-based capping works: the cap is
+translated into a maximum utilization, and the container's effective
+utilization is clamped to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ServerConfig
+from repro.core.units import clamp
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Decomposition of a container's attributed power draw."""
+
+    idle_w: float
+    cpu_dynamic_w: float
+    gpu_dynamic_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.idle_w + self.cpu_dynamic_w + self.gpu_dynamic_w
+
+
+class ServerPowerModel:
+    """Linear utilization-to-power model for one server type."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self._config = config or ServerConfig()
+        self._config.validate()
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def idle_power_w(self) -> float:
+        return self._config.idle_power_w
+
+    @property
+    def cpu_dynamic_range_w(self) -> float:
+        """Extra power from idle to 100% CPU across all cores."""
+        return self._config.max_cpu_power_w - self._config.idle_power_w
+
+    @property
+    def gpu_dynamic_range_w(self) -> float:
+        """Extra power from 100% CPU to 100% CPU+GPU (zero without GPU)."""
+        if not self._config.has_gpu:
+            return 0.0
+        return self._config.max_gpu_power_w - self._config.max_cpu_power_w
+
+    def server_power_w(self, cpu_utilization: float, gpu_utilization: float = 0.0) -> float:
+        """Whole-server power at the given utilizations in [0, 1]."""
+        cpu_utilization = clamp(cpu_utilization, 0.0, 1.0)
+        gpu_utilization = clamp(gpu_utilization, 0.0, 1.0)
+        return (
+            self._config.idle_power_w
+            + cpu_utilization * self.cpu_dynamic_range_w
+            + gpu_utilization * self.gpu_dynamic_range_w
+        )
+
+    def container_power(
+        self,
+        utilization: float,
+        cores: float,
+        gpu_utilization: float = 0.0,
+    ) -> PowerBreakdown:
+        """Power attributed to a container.
+
+        ``utilization`` is the container's CPU utilization of its own
+        allocation in [0, 1]; ``cores`` its core allocation.  The idle
+        share scales with the core fraction; dynamic power scales with the
+        core fraction times utilization.
+        """
+        if cores < 0:
+            raise ValueError(f"cores must be >= 0, got {cores}")
+        utilization = clamp(utilization, 0.0, 1.0)
+        gpu_utilization = clamp(gpu_utilization, 0.0, 1.0)
+        core_fraction = cores / self._config.cores
+        idle_w = core_fraction * self._config.idle_power_w
+        cpu_w = core_fraction * utilization * self.cpu_dynamic_range_w
+        gpu_w = core_fraction * gpu_utilization * self.gpu_dynamic_range_w
+        return PowerBreakdown(idle_w=idle_w, cpu_dynamic_w=cpu_w, gpu_dynamic_w=gpu_w)
+
+    def container_power_w(
+        self, utilization: float, cores: float, gpu_utilization: float = 0.0
+    ) -> float:
+        """Scalar convenience wrapper over :meth:`container_power`."""
+        return self.container_power(utilization, cores, gpu_utilization).total_w
+
+    def utilization_for_cap(self, power_cap_w: float, cores: float) -> float:
+        """Maximum utilization that keeps a container under ``power_cap_w``.
+
+        This is the cgroups translation used by the ecovisor to enforce
+        ``set_container_powercap`` (paper Table 1): the cap becomes a
+        per-core utilization clamp.  A cap below the container's idle
+        share yields zero utilization — idle power cannot be capped away
+        without stopping the container.
+        """
+        if cores <= 0:
+            return 0.0
+        core_fraction = cores / self._config.cores
+        idle_w = core_fraction * self._config.idle_power_w
+        dynamic_range = core_fraction * self.cpu_dynamic_range_w
+        if dynamic_range <= 0.0:
+            return 0.0
+        return clamp((power_cap_w - idle_w) / dynamic_range, 0.0, 1.0)
+
+    def min_container_power_w(self, cores: float) -> float:
+        """Idle floor of a running container with ``cores`` allocated."""
+        return (cores / self._config.cores) * self._config.idle_power_w
+
+    def max_container_power_w(self, cores: float, gpu: bool = False) -> float:
+        """Power of a container at 100% utilization of its allocation."""
+        core_fraction = cores / self._config.cores
+        dynamic = self.cpu_dynamic_range_w
+        if gpu:
+            dynamic += self.gpu_dynamic_range_w
+        return core_fraction * (self._config.idle_power_w + dynamic)

@@ -1,0 +1,66 @@
+"""Container placement schedulers.
+
+The paper's prototype uses LXD's default scheduler, which "simply
+allocates a container to the server with the fewest container instances"
+(Section 4).  That policy is the default here; a best-fit variant is
+provided for the scheduling ablation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.cluster.server import Server
+from repro.core.errors import InsufficientResourcesError
+
+
+class Scheduler(abc.ABC):
+    """Chooses a host server for a new container."""
+
+    @abc.abstractmethod
+    def select(self, servers: Sequence[Server], cores: float) -> Server:
+        """Return the server that should host a ``cores``-wide container.
+
+        Raises :class:`InsufficientResourcesError` when no server fits.
+        """
+
+
+class FewestInstancesScheduler(Scheduler):
+    """LXD's default policy: fewest running instances first."""
+
+    def select(self, servers: Sequence[Server], cores: float) -> Server:
+        candidates = [s for s in servers if s.can_host(cores)]
+        if not candidates:
+            raise InsufficientResourcesError(
+                f"no server can host a {cores:g}-core container"
+            )
+        return min(candidates, key=lambda s: (s.instance_count, s.name))
+
+
+class BestFitScheduler(Scheduler):
+    """Packs containers onto the fullest server that still fits.
+
+    Denser packing frees whole servers, which matters when a policy wants
+    to power servers off; used by the scheduling ablation bench.
+    """
+
+    def select(self, servers: Sequence[Server], cores: float) -> Server:
+        candidates = [s for s in servers if s.can_host(cores)]
+        if not candidates:
+            raise InsufficientResourcesError(
+                f"no server can host a {cores:g}-core container"
+            )
+        return min(candidates, key=lambda s: (s.free_cores, s.name))
+
+
+class WorstFitScheduler(Scheduler):
+    """Spreads load: picks the emptiest server (most free cores)."""
+
+    def select(self, servers: Sequence[Server], cores: float) -> Server:
+        candidates = [s for s in servers if s.can_host(cores)]
+        if not candidates:
+            raise InsufficientResourcesError(
+                f"no server can host a {cores:g}-core container"
+            )
+        return max(candidates, key=lambda s: (s.free_cores, s.name))

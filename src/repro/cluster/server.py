@@ -1,0 +1,106 @@
+"""Server model.
+
+A server hosts containers up to its core capacity and exposes the
+measured-power surface the prototype gets from IPMI/internal meters
+(paper Section 2, 'Monitoring Power').
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster.container import Container
+from repro.cluster.power_model import ServerPowerModel
+from repro.core.config import ServerConfig
+from repro.core.errors import InsufficientResourcesError
+
+
+class Server:
+    """One microserver hosting containers."""
+
+    def __init__(self, name: str, config: ServerConfig | None = None):
+        self._name = name
+        self._config = config or ServerConfig()
+        self._config.validate()
+        self._power_model = ServerPowerModel(self._config)
+        self._containers: Dict[str, Container] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def power_model(self) -> ServerPowerModel:
+        return self._power_model
+
+    @property
+    def total_cores(self) -> int:
+        return self._config.cores
+
+    @property
+    def allocated_cores(self) -> float:
+        return sum(c.cores for c in self._containers.values() if c.is_running)
+
+    @property
+    def free_cores(self) -> float:
+        return self.total_cores - self.allocated_cores
+
+    @property
+    def containers(self) -> List[Container]:
+        return list(self._containers.values())
+
+    @property
+    def instance_count(self) -> int:
+        """Running containers hosted here (the LXD scheduler's sort key)."""
+        return sum(1 for c in self._containers.values() if c.is_running)
+
+    def can_host(self, cores: float) -> bool:
+        return self.free_cores + 1e-9 >= cores
+
+    def place(self, container: Container) -> None:
+        """Host ``container``; raises if the server lacks free cores."""
+        if not self.can_host(container.cores):
+            raise InsufficientResourcesError(
+                f"server {self._name!r} has {self.free_cores:g} free cores, "
+                f"container {container.id!r} needs {container.cores:g}"
+            )
+        self._containers[container.id] = container
+        container.server_name = self._name
+
+    def evict(self, container_id: str) -> Container:
+        """Remove a container from this server and return it."""
+        container = self._containers.pop(container_id)
+        container.server_name = None
+        return container
+
+    def hosts(self, container_id: str) -> bool:
+        return container_id in self._containers
+
+    def can_grow(self, container: Container, new_cores: float) -> bool:
+        """Whether vertically scaling ``container`` to ``new_cores`` fits."""
+        others = self.allocated_cores - (container.cores if container.is_running else 0.0)
+        return others + new_cores <= self.total_cores + 1e-9
+
+    def measured_power_w(self) -> float:
+        """Attributed power of all running containers on this server.
+
+        Matches the software-defined meter's view: per-container attributed
+        power, excluding idle power of unallocated cores (which belongs to
+        the platform baseline, visible in Figure 5d's cluster series).
+        """
+        return sum(c.last_power_w for c in self._containers.values())
+
+    def baseline_idle_power_w(self) -> float:
+        """Idle power of cores not allocated to any container."""
+        free_fraction = self.free_cores / self.total_cores
+        return free_fraction * self._config.idle_power_w
+
+    def __repr__(self) -> str:
+        return (
+            f"Server({self._name!r}, containers={self.instance_count}, "
+            f"free_cores={self.free_cores:g}/{self.total_cores})"
+        )

@@ -1,0 +1,195 @@
+"""Energy and carbon accounting.
+
+The ecovisor discretizes power over each tick interval and accounts for
+energy and carbon per application (paper Section 3.1).  A
+:class:`TickSettlement` is the outcome of settling one application's tick:
+how much energy came from virtual solar, battery, and grid; where excess
+solar went; and the carbon attributed for grid usage.  Settlements are
+energy-conserving by construction and re-checked at runtime.
+
+The :class:`CarbonLedger` accumulates settlements per application and,
+proportionally to energy, per container — the basis for the Table 2
+library queries (``get_app_carbon``, ``get_container_carbon``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.errors import EnergyConservationError
+
+_CONSERVATION_TOLERANCE_WH = 1e-6
+
+
+@dataclass(frozen=True)
+class TickSettlement:
+    """The settled energy flows of one application over one tick.
+
+    All energies in Wh at the application's terminals.  Conservation laws
+    (checked by :meth:`validate`):
+
+    - served demand:  ``served_wh == solar_used_wh + battery_discharge_wh
+      + grid_load_wh``
+    - solar:          ``solar_available_wh == solar_used_wh +
+      solar_to_battery_wh + curtailed_wh``
+    - demand:         ``demand_wh == served_wh + unmet_wh``
+    """
+
+    app_name: str
+    time_s: float
+    duration_s: float
+    carbon_intensity_g_per_kwh: float
+    demand_wh: float
+    served_wh: float
+    unmet_wh: float
+    solar_available_wh: float
+    solar_used_wh: float
+    solar_to_battery_wh: float
+    curtailed_wh: float
+    battery_discharge_wh: float
+    grid_load_wh: float
+    grid_to_battery_wh: float
+    carbon_g: float
+
+    @property
+    def grid_total_wh(self) -> float:
+        """All grid energy attributed this tick (load + battery charging)."""
+        return self.grid_load_wh + self.grid_to_battery_wh
+
+    @property
+    def average_power_w(self) -> float:
+        """Average served power over the tick."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.served_wh * 3600.0 / self.duration_s
+
+    @property
+    def carbon_rate_mg_per_s(self) -> float:
+        """Average carbon emission rate over the tick (mg/s)."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.carbon_g * 1000.0 / self.duration_s
+
+    def validate(self) -> None:
+        """Raise :class:`EnergyConservationError` if any flow is inconsistent."""
+        checks = [
+            (
+                "served = solar_used + battery + grid_load",
+                self.served_wh,
+                self.solar_used_wh + self.battery_discharge_wh + self.grid_load_wh,
+            ),
+            (
+                "solar_available = used + to_battery + curtailed",
+                self.solar_available_wh,
+                self.solar_used_wh + self.solar_to_battery_wh + self.curtailed_wh,
+            ),
+            ("demand = served + unmet", self.demand_wh, self.served_wh + self.unmet_wh),
+        ]
+        for label, lhs, rhs in checks:
+            if abs(lhs - rhs) > _CONSERVATION_TOLERANCE_WH:
+                raise EnergyConservationError(
+                    f"{self.app_name} @ {self.time_s:.0f}s: {label} violated "
+                    f"({lhs:.9f} != {rhs:.9f})"
+                )
+        negatives = [
+            name
+            for name, value in [
+                ("demand_wh", self.demand_wh),
+                ("served_wh", self.served_wh),
+                ("unmet_wh", self.unmet_wh),
+                ("solar_available_wh", self.solar_available_wh),
+                ("solar_used_wh", self.solar_used_wh),
+                ("solar_to_battery_wh", self.solar_to_battery_wh),
+                ("curtailed_wh", self.curtailed_wh),
+                ("battery_discharge_wh", self.battery_discharge_wh),
+                ("grid_load_wh", self.grid_load_wh),
+                ("grid_to_battery_wh", self.grid_to_battery_wh),
+                ("carbon_g", self.carbon_g),
+            ]
+            if value < -_CONSERVATION_TOLERANCE_WH
+        ]
+        if negatives:
+            raise EnergyConservationError(
+                f"{self.app_name} @ {self.time_s:.0f}s: negative flows {negatives}"
+            )
+
+
+@dataclass
+class AppAccount:
+    """Cumulative totals for one application."""
+
+    app_name: str
+    energy_wh: float = 0.0
+    solar_wh: float = 0.0
+    battery_wh: float = 0.0
+    grid_wh: float = 0.0
+    carbon_g: float = 0.0
+    curtailed_wh: float = 0.0
+    unmet_wh: float = 0.0
+    settlements: List[TickSettlement] = field(default_factory=list)
+
+    def add(self, settlement: TickSettlement) -> None:
+        self.energy_wh += settlement.served_wh
+        self.solar_wh += settlement.solar_used_wh
+        self.battery_wh += settlement.battery_discharge_wh
+        self.grid_wh += settlement.grid_total_wh
+        self.carbon_g += settlement.carbon_g
+        self.curtailed_wh += settlement.curtailed_wh
+        self.unmet_wh += settlement.unmet_wh
+        self.settlements.append(settlement)
+
+
+class CarbonLedger:
+    """Per-application (and per-container) energy and carbon accounts."""
+
+    def __init__(self):
+        self._accounts: Dict[str, AppAccount] = {}
+
+    def account(self, app_name: str) -> AppAccount:
+        """The (auto-created) account for ``app_name``."""
+        if app_name not in self._accounts:
+            self._accounts[app_name] = AppAccount(app_name)
+        return self._accounts[app_name]
+
+    def record(self, settlement: TickSettlement) -> None:
+        """Validate and accumulate one tick settlement."""
+        settlement.validate()
+        self.account(settlement.app_name).add(settlement)
+
+    def app_names(self) -> List[str]:
+        return sorted(self._accounts)
+
+    def app_carbon_g(self, app_name: str) -> float:
+        return self.account(app_name).carbon_g
+
+    def app_energy_wh(self, app_name: str) -> float:
+        return self.account(app_name).energy_wh
+
+    def total_carbon_g(self) -> float:
+        return sum(a.carbon_g for a in self._accounts.values())
+
+    def total_energy_wh(self) -> float:
+        return sum(a.energy_wh for a in self._accounts.values())
+
+    def settlements_between(
+        self, app_name: str, start_s: float, end_s: float
+    ) -> List[TickSettlement]:
+        """Settlements whose interval starts within [start_s, end_s)."""
+        return [
+            s
+            for s in self.account(app_name).settlements
+            if start_s <= s.time_s < end_s
+        ]
+
+    def carbon_between(self, app_name: str, start_s: float, end_s: float) -> float:
+        """Carbon (g) attributed to an app over an interval."""
+        return sum(
+            s.carbon_g for s in self.settlements_between(app_name, start_s, end_s)
+        )
+
+    def energy_between(self, app_name: str, start_s: float, end_s: float) -> float:
+        """Energy (Wh) served to an app over an interval."""
+        return sum(
+            s.served_wh for s in self.settlements_between(app_name, start_s, end_s)
+        )

@@ -1,0 +1,175 @@
+"""The ecovisor's narrow application API (paper Table 1).
+
+Each application receives an :class:`EcovisorAPI` bound to its name; every
+call is authorization-checked so an application can only observe and
+control its *own* virtual energy system and containers.  Method names
+follow Table 1 exactly.
+
+Units: the paper's table lists kW because it targets datacenter scale; the
+prototype cluster (like ours) operates at watt scale, so this API speaks
+watts and watt-hours throughout.  Conversions live in
+:mod:`repro.core.units`.
+
+Beyond Table 1, the API exposes the container/resource management calls
+the paper says applications may also use ("applications may horizontally
+scale their number of containers, or the resources allocated to each
+container", Section 3.1): ``launch_container``, ``stop_container``,
+``scale_to`` and ``set_container_cores``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.container import Container
+from repro.core.clock import TickInfo
+from repro.core.ecovisor import Ecovisor
+
+
+class EcovisorAPI:
+    """Per-application handle onto the ecovisor (Table 1)."""
+
+    def __init__(self, ecovisor: Ecovisor, app_name: str):
+        self._ecovisor = ecovisor
+        self._app_name = app_name
+        self._ves = ecovisor.ves_for(app_name)
+
+    @property
+    def app_name(self) -> str:
+        return self._app_name
+
+    @property
+    def ecovisor(self) -> Ecovisor:
+        """Escape hatch for library layers; applications use the API."""
+        return self._ecovisor
+
+    # ------------------------------------------------------------------
+    # Setters (Table 1)
+    # ------------------------------------------------------------------
+    def set_container_powercap(
+        self, container_id: str, watts: Optional[float]
+    ) -> None:
+        """Set a container's power cap (None removes the cap)."""
+        self._ecovisor.set_container_powercap(self._app_name, container_id, watts)
+
+    def set_battery_charge_rate(self, watts: float) -> None:
+        """Set the virtual battery's grid-supplemented charge rate until full."""
+        self._require_battery().set_charge_rate(watts)
+
+    def set_battery_max_discharge(self, watts: float) -> None:
+        """Set the maximum rate at which the virtual battery may discharge."""
+        self._require_battery().set_max_discharge(watts)
+
+    # ------------------------------------------------------------------
+    # Getters (Table 1)
+    # ------------------------------------------------------------------
+    def get_solar_power(self) -> float:
+        """Current virtual solar power output (W)."""
+        return self._ves.solar_power_w
+
+    def get_grid_power(self) -> float:
+        """Virtual grid power usage over the last settled tick (W)."""
+        return self._ves.grid_power_w
+
+    def get_grid_carbon(self) -> float:
+        """Current grid carbon-intensity (g CO2 / kWh)."""
+        return self._ecovisor.current_carbon_g_per_kwh
+
+    def get_battery_discharge_rate(self) -> float:
+        """Battery discharge power over the last settled tick (W)."""
+        if self._ves.battery is None:
+            return 0.0
+        return self._ves.battery.last_discharge_w
+
+    def get_battery_charge_level(self) -> float:
+        """Usable energy stored in the virtual battery (Wh)."""
+        if self._ves.battery is None:
+            return 0.0
+        return self._ves.battery.usable_wh
+
+    def get_battery_capacity(self) -> float:
+        """Usable capacity of the virtual battery (Wh)."""
+        if self._ves.battery is None:
+            return 0.0
+        return self._ves.battery.usable_capacity_wh
+
+    def get_container_powercap(self, container_id: str) -> Optional[float]:
+        """A container's current power cap (W); None when uncapped."""
+        container = self._owned(container_id)
+        return container.power_cap_w
+
+    def get_container_power(self, container_id: str) -> float:
+        """A container's most recent measured power draw (W)."""
+        self._owned(container_id)
+        return self._ecovisor.platform.container_power_w(container_id)
+
+    # ------------------------------------------------------------------
+    # Asynchronous notification (Table 1)
+    # ------------------------------------------------------------------
+    def register_tick(self, callback: Callable[[TickInfo], None]) -> None:
+        """Register the application's ``tick()`` upcall.
+
+        The ecovisor invokes the callback once per tick interval, before
+        the interval's energy is settled, so adjustments made inside the
+        callback govern the upcoming interval.
+        """
+        self._ecovisor.register_tick_callback(self._app_name, callback)
+
+    # ------------------------------------------------------------------
+    # Container and resource management (Section 3.1)
+    # ------------------------------------------------------------------
+    def launch_container(
+        self, cores: float, gpu: bool = False, role: str = Container.DEFAULT_ROLE
+    ) -> Container:
+        """Horizontally scale up by one container."""
+        return self._ecovisor.launch_container(
+            self._app_name, cores, gpu=gpu, role=role
+        )
+
+    def stop_container(self, container_id: str) -> None:
+        """Horizontally scale down by stopping one owned container."""
+        self._ecovisor.stop_container(self._app_name, container_id)
+
+    def scale_to(
+        self,
+        count: int,
+        cores: float,
+        gpu: bool = False,
+        role: str = Container.DEFAULT_ROLE,
+    ) -> List[Container]:
+        """Horizontally scale the ``role`` pool to exactly ``count``."""
+        return self._ecovisor.scale_app_to(
+            self._app_name, count, cores, gpu=gpu, role=role
+        )
+
+    def set_container_cores(self, container_id: str, cores: float) -> None:
+        """Vertically scale an owned container's core allocation."""
+        self._ecovisor.set_container_cores(self._app_name, container_id, cores)
+
+    def list_containers(self) -> List[Container]:
+        """The application's running containers."""
+        return self._ecovisor.containers_for(self._app_name)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _owned(self, container_id: str) -> Container:
+        return self._ecovisor._owned_container(self._app_name, container_id)
+
+    def _require_battery(self):
+        battery = self._ves.battery
+        if battery is None:
+            from repro.core.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"application {self._app_name!r} has no virtual battery share"
+            )
+        return battery
+
+    def __repr__(self) -> str:
+        return f"EcovisorAPI(app={self._app_name!r})"
+
+
+def connect(ecovisor: Ecovisor, app_name: str) -> EcovisorAPI:
+    """Obtain the API handle for a registered application."""
+    return EcovisorAPI(ecovisor, app_name)

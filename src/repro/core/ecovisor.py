@@ -1,0 +1,450 @@
+"""The ecovisor.
+
+The ecovisor is akin to a hypervisor, but virtualizes the energy system of
+computing infrastructure rather than the computing resources of a single
+server (paper Section 1).  It has privileged access to:
+
+- the physical energy system's component APIs (battery charge controller,
+  solar inverter, grid meter),
+- the container orchestration platform's management functions (to enforce
+  per-container power caps via utilization limits), and
+- energy/carbon monitoring services,
+
+and multiplexes them across per-application
+:class:`~repro.core.virtual_energy_system.VirtualEnergySystem` instances
+(Section 3.3).  Because each virtual battery's rate limits are the
+application's fraction of the physical limits, aggregate physical limits
+hold by construction.
+
+Tick protocol (driven by :class:`~repro.sim.engine.SimulationEngine`):
+
+1. :meth:`begin_tick` — sample solar and carbon, refresh each app's
+   virtual solar (with the one-tick solar buffer of Section 3.1), publish
+   change events.
+2. :meth:`invoke_app_ticks` — deliver the ``tick()`` upcall to every
+   registered application callback.
+3. (the engine steps workloads, which set container utilization demands)
+4. :meth:`settle` — measure per-app power, settle each virtual energy
+   system, attribute carbon to apps and containers, persist telemetry,
+   publish battery full/empty events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.carbon.service import CarbonIntensityService
+from repro.cluster.container import Container
+from repro.cluster.cop import ContainerOrchestrationPlatform
+from repro.core.accounting import CarbonLedger, TickSettlement
+from repro.core.clock import TickInfo
+from repro.core.config import EcovisorConfig, ShareConfig
+from repro.core.errors import (
+    AuthorizationError,
+    ConfigurationError,
+    UnknownApplicationError,
+)
+from repro.core.events import (
+    BatteryEmptyEvent,
+    BatteryFullEvent,
+    CarbonChangeEvent,
+    EventBus,
+    SolarChangeEvent,
+    TickEvent,
+)
+from repro.core.units import energy_wh
+from repro.core.virtual_battery import VirtualBattery
+from repro.core.virtual_energy_system import VirtualEnergySystem
+from repro.energy.system import PhysicalEnergySystem
+from repro.telemetry.monitor import PowerMonitor
+from repro.telemetry.timeseries import TimeSeriesDatabase
+
+TickCallback = Callable[[TickInfo], None]
+
+
+@dataclass
+class _RegisteredApp:
+    """Internal bookkeeping for one registered application."""
+
+    name: str
+    ves: VirtualEnergySystem
+    tick_callbacks: List[TickCallback] = field(default_factory=list)
+    previous_solar_w: float = 0.0
+    battery_was_full: bool = False
+    battery_was_empty: bool = False
+
+
+class Ecovisor:
+    """Multiplexes one physical energy system across applications."""
+
+    def __init__(
+        self,
+        plant: PhysicalEnergySystem,
+        platform: ContainerOrchestrationPlatform,
+        carbon_service: CarbonIntensityService,
+        config: EcovisorConfig | None = None,
+        database: TimeSeriesDatabase | None = None,
+    ):
+        self._plant = plant
+        self._platform = platform
+        self._carbon_service = carbon_service
+        self._config = config or EcovisorConfig()
+        self._config.validate()
+        self._db = database or TimeSeriesDatabase()
+        self._monitor = PowerMonitor(platform, self._db)
+        self._ledger = CarbonLedger()
+        self._bus = EventBus()
+        self._apps: Dict[str, _RegisteredApp] = {}
+        self._allocated_solar = 0.0
+        self._allocated_battery = 0.0
+        self._current_carbon = 0.0
+        self._previous_carbon: Optional[float] = None
+        self._physical_solar_now_w = 0.0
+        self._buffered_solar_w: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Wiring and registration
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> EcovisorConfig:
+        return self._config
+
+    @property
+    def platform(self) -> ContainerOrchestrationPlatform:
+        return self._platform
+
+    @property
+    def plant(self) -> PhysicalEnergySystem:
+        return self._plant
+
+    @property
+    def carbon_service(self) -> CarbonIntensityService:
+        return self._carbon_service
+
+    @property
+    def database(self) -> TimeSeriesDatabase:
+        return self._db
+
+    @property
+    def ledger(self) -> CarbonLedger:
+        return self._ledger
+
+    @property
+    def events(self) -> EventBus:
+        return self._bus
+
+    def app_names(self) -> List[str]:
+        return sorted(self._apps)
+
+    def register_app(self, name: str, share: ShareConfig) -> VirtualEnergySystem:
+        """Create an application's virtual energy system from its share.
+
+        An exogenous policy determines shares (Section 3.3); the ecovisor
+        only enforces that allocations do not oversubscribe the plant.
+        """
+        if name in self._apps:
+            raise ConfigurationError(f"application {name!r} already registered")
+        share.validate()
+        if self._allocated_solar + share.solar_fraction > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"solar oversubscribed: {self._allocated_solar:.2f} allocated, "
+                f"{share.solar_fraction:.2f} requested"
+            )
+        if self._allocated_battery + share.battery_fraction > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"battery oversubscribed: {self._allocated_battery:.2f} allocated, "
+                f"{share.battery_fraction:.2f} requested"
+            )
+        battery: Optional[VirtualBattery] = None
+        if share.battery_fraction > 0.0:
+            if not self._plant.has_battery:
+                raise ConfigurationError(
+                    "battery share requested but the plant has no battery"
+                )
+            battery = VirtualBattery(
+                self._plant.battery.config, share.battery_fraction
+            )
+        if share.solar_fraction > 0.0 and not self._plant.has_solar:
+            raise ConfigurationError(
+                "solar share requested but the plant has no solar array"
+            )
+        ves = VirtualEnergySystem(name, share, battery)
+        self._apps[name] = _RegisteredApp(name=name, ves=ves)
+        self._allocated_solar += share.solar_fraction
+        self._allocated_battery += share.battery_fraction
+        return ves
+
+    def _app(self, name: str) -> _RegisteredApp:
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise UnknownApplicationError(name) from None
+
+    def ves_for(self, name: str) -> VirtualEnergySystem:
+        return self._app(name).ves
+
+    def register_tick_callback(self, name: str, callback: TickCallback) -> None:
+        """Register an application's ``tick()`` upcall (Table 1)."""
+        self._app(name).tick_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Privileged container operations (ownership-checked)
+    # ------------------------------------------------------------------
+    def _owned_container(self, app_name: str, container_id: str) -> Container:
+        container = self._platform.get_container(container_id)
+        if container.app_name != app_name:
+            raise AuthorizationError(
+                f"application {app_name!r} does not own container {container_id!r}"
+            )
+        return container
+
+    def launch_container(
+        self,
+        app_name: str,
+        cores: float,
+        gpu: bool = False,
+        role: str = Container.DEFAULT_ROLE,
+    ) -> Container:
+        self._app(app_name)  # must be registered
+        return self._platform.launch_container(app_name, cores, gpu=gpu, role=role)
+
+    def stop_container(self, app_name: str, container_id: str) -> None:
+        self._owned_container(app_name, container_id)
+        self._platform.stop_container(container_id)
+
+    def scale_app_to(
+        self,
+        app_name: str,
+        count: int,
+        cores: float,
+        gpu: bool = False,
+        role: str = Container.DEFAULT_ROLE,
+    ) -> List[Container]:
+        self._app(app_name)
+        return self._platform.scale_app_to(app_name, count, cores, gpu=gpu, role=role)
+
+    def set_container_cores(
+        self, app_name: str, container_id: str, cores: float
+    ) -> None:
+        self._owned_container(app_name, container_id)
+        self._platform.set_container_cores(container_id, cores)
+
+    def set_container_powercap(
+        self, app_name: str, container_id: str, cap_w: Optional[float]
+    ) -> None:
+        self._owned_container(app_name, container_id)
+        self._platform.set_power_cap(container_id, cap_w)
+
+    def containers_for(self, app_name: str) -> List[Container]:
+        return self._platform.running_containers_for(app_name)
+
+    # ------------------------------------------------------------------
+    # Tick phases
+    # ------------------------------------------------------------------
+    def begin_tick(self, tick: TickInfo) -> None:
+        """Sample the environment, refresh virtual views, publish events."""
+        time_s = tick.start_s
+        physical_solar = self._plant.solar_power_w(time_s)
+        if not self._config.solar_buffer_enabled or self._buffered_solar_w is None:
+            # Buffer disabled (ablation), or first tick where no buffered
+            # interval exists yet: expose the current sample directly.
+            visible_solar = physical_solar
+        else:
+            # One-tick buffer (Section 3.1): applications are shown the
+            # solar output measured over the previous interval, which the
+            # ecovisor banked in reserved battery capacity.
+            visible_solar = self._buffered_solar_w
+        self._buffered_solar_w = physical_solar
+        self._physical_solar_now_w = visible_solar
+
+        self._previous_carbon = self._current_carbon or None
+        self._current_carbon = self._carbon_service.observe(time_s)
+        self._monitor.record_carbon_intensity(time_s, self._current_carbon)
+
+        if (
+            self._previous_carbon is not None
+            and abs(self._current_carbon - self._previous_carbon)
+            >= self._config.carbon_change_threshold_g_per_kwh
+        ):
+            self._bus.publish(
+                CarbonChangeEvent(
+                    time_s=time_s,
+                    previous_g_per_kwh=self._previous_carbon,
+                    current_g_per_kwh=self._current_carbon,
+                )
+            )
+
+        for app in self._apps.values():
+            new_solar = app.ves.update_solar(visible_solar)
+            if (
+                abs(new_solar - app.previous_solar_w)
+                >= self._config.solar_change_threshold_w * app.ves.share.solar_fraction
+                and app.ves.share.solar_fraction > 0.0
+            ):
+                self._bus.publish(
+                    SolarChangeEvent(
+                        time_s=time_s,
+                        app_name=app.name,
+                        previous_w=app.previous_solar_w,
+                        current_w=new_solar,
+                    )
+                )
+            app.previous_solar_w = new_solar
+
+        self._bus.publish(TickEvent(time_s=time_s, tick_index=tick.index))
+
+    def invoke_app_ticks(self, tick: TickInfo) -> None:
+        """Deliver the ``tick()`` upcall to every registered callback."""
+        for app in self._apps.values():
+            for callback in list(app.tick_callbacks):
+                callback(tick)
+
+    def settle(self, tick: TickInfo) -> Dict[str, float]:
+        """Settle every application's tick; returns served-energy fractions.
+
+        The fraction is 1.0 when the virtual energy system fully met the
+        application's demand, lower when the grid share was insufficient —
+        power shortages that applications experience as degraded capacity.
+        """
+        time_s = tick.start_s
+        duration_s = tick.duration_s
+        fractions: Dict[str, float] = {}
+        total_grid_w = 0.0
+        total_solar_used_w = 0.0
+
+        container_readings = self._monitor.sample_containers(time_s)
+        self._monitor.sample_apps(time_s, self._apps.keys())
+        self._monitor.sample_cluster(time_s)
+
+        for app in self._apps.values():
+            demand_w = self._platform.app_power_w(app.name)
+            settlement = app.ves.settle(
+                demand_w, self._current_carbon, time_s, duration_s
+            )
+            self._ledger.record(settlement)
+            self._record_app_telemetry(app, settlement, time_s)
+            self._attribute_to_containers(
+                app.name, settlement, container_readings, duration_s
+            )
+            self._publish_battery_events(app, time_s)
+            fractions[app.name] = (
+                settlement.served_wh / settlement.demand_wh
+                if settlement.demand_wh > 1e-12
+                else 1.0
+            )
+            if duration_s > 0:
+                total_grid_w += settlement.grid_total_wh * 3600.0 / duration_s
+                total_solar_used_w += (
+                    (settlement.solar_used_wh + settlement.solar_to_battery_wh)
+                    * 3600.0
+                    / duration_s
+                )
+
+        if self._plant.has_grid and total_grid_w > 0:
+            self._plant.grid.draw(total_grid_w, duration_s)
+        if self._plant.has_solar and total_solar_used_w > 0:
+            self._plant.solar.deliver(total_solar_used_w, duration_s)
+
+        aggregate_battery_wh = sum(
+            app.ves.battery.battery.level_wh
+            for app in self._apps.values()
+            if app.ves.has_battery
+        )
+        self._monitor.record_plant(
+            time_s,
+            solar_w=self._physical_solar_now_w,
+            battery_level_wh=aggregate_battery_wh,
+            grid_power_w=total_grid_w,
+        )
+        return fractions
+
+    # ------------------------------------------------------------------
+    # Settlement helpers
+    # ------------------------------------------------------------------
+    def _record_app_telemetry(
+        self, app: _RegisteredApp, settlement: TickSettlement, time_s: float
+    ) -> None:
+        name = app.name
+        self._db.record(f"app.{name}.carbon_g", time_s, settlement.carbon_g)
+        self._db.record(
+            f"app.{name}.grid_power_w",
+            time_s,
+            settlement.grid_total_wh * 3600.0 / settlement.duration_s
+            if settlement.duration_s > 0
+            else 0.0,
+        )
+        self._db.record(f"app.{name}.solar_used_wh", time_s, settlement.solar_used_wh)
+        self._db.record(f"app.{name}.unmet_wh", time_s, settlement.unmet_wh)
+        self._monitor.record_app_carbon_rate(
+            time_s, name, settlement.carbon_rate_mg_per_s
+        )
+        if app.ves.has_battery:
+            battery = app.ves.battery
+            self._db.record(
+                f"app.{name}.battery_soc", time_s, battery.soc_fraction
+            )
+            self._db.record(
+                f"app.{name}.battery_level_wh", time_s, battery.usable_wh
+            )
+            # Signed battery power: positive while charging, negative
+            # while discharging (the convention of Figure 9b).
+            self._db.record(
+                f"app.{name}.battery_power_w",
+                time_s,
+                battery.last_charge_w - battery.last_discharge_w,
+            )
+
+    def _attribute_to_containers(
+        self,
+        app_name: str,
+        settlement: TickSettlement,
+        container_readings: Dict[str, float],
+        duration_s: float,
+    ) -> None:
+        """Split an app's settled energy and carbon across its containers.
+
+        Attribution is proportional to each container's share of the
+        application's measured power, the same resource-usage-based
+        attribution as the prototype [48, 60].
+        """
+        containers = self._platform.running_containers_for(app_name)
+        total_power = sum(container_readings.get(c.id, 0.0) for c in containers)
+        for container in containers:
+            power = container_readings.get(container.id, 0.0)
+            fraction = power / total_power if total_power > 1e-12 else 0.0
+            energy = settlement.served_wh * fraction
+            carbon = settlement.carbon_g * fraction
+            container.record_tick(power, energy, carbon)
+            self._db.record(
+                f"container.{container.id}.carbon_g", settlement.time_s, carbon
+            )
+
+    def _publish_battery_events(self, app: _RegisteredApp, time_s: float) -> None:
+        if not app.ves.has_battery:
+            return
+        battery = app.ves.battery
+        if battery.is_full and not app.battery_was_full:
+            self._bus.publish(
+                BatteryFullEvent(
+                    time_s=time_s,
+                    app_name=app.name,
+                    charge_level_wh=battery.usable_wh,
+                )
+            )
+        app.battery_was_full = battery.is_full
+        if battery.is_empty and not app.battery_was_empty:
+            self._bus.publish(BatteryEmptyEvent(time_s=time_s, app_name=app.name))
+        app.battery_was_empty = battery.is_empty
+
+    # ------------------------------------------------------------------
+    # Current environment readings (back the Table 1 getters)
+    # ------------------------------------------------------------------
+    @property
+    def current_carbon_g_per_kwh(self) -> float:
+        return self._current_carbon
+
+    @property
+    def physical_solar_w(self) -> float:
+        """Solar power visible to applications this tick (post-buffer)."""
+        return self._physical_solar_now_w

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the ecovisor reproduction.
+
+Every error raised by the library derives from :class:`EcovisorError` so
+applications can catch library failures with a single handler, mirroring
+how the paper's REST prototype maps failures onto HTTP error classes.
+"""
+
+from __future__ import annotations
+
+
+class EcovisorError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(EcovisorError):
+    """A subsystem was configured with invalid or inconsistent parameters."""
+
+
+class UnknownContainerError(EcovisorError, KeyError):
+    """An operation referenced a container id that does not exist."""
+
+    def __init__(self, container_id: str):
+        super().__init__(f"unknown container: {container_id!r}")
+        self.container_id = container_id
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s the message; show it plainly instead.
+        return self.args[0]
+
+
+class UnknownApplicationError(EcovisorError, KeyError):
+    """An operation referenced an application that is not registered."""
+
+    def __init__(self, app_name: str):
+        super().__init__(f"unknown application: {app_name!r}")
+        self.app_name = app_name
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class AuthorizationError(EcovisorError):
+    """An application attempted to operate on a resource it does not own.
+
+    The ecovisor multiplexes one physical energy system across many virtual
+    ones (paper Section 3.3); each application may only touch its own
+    containers and virtual battery.
+    """
+
+
+class SchedulingError(EcovisorError):
+    """The orchestration platform could not place or scale a container."""
+
+
+class InsufficientResourcesError(SchedulingError):
+    """No server has enough free cores to satisfy an allocation request."""
+
+
+class EnergyConservationError(EcovisorError):
+    """An energy settlement violated conservation; indicates a library bug.
+
+    Physics dictates the virtualized energy system is energy-conserving
+    (paper Section 3.1).  This error is the runtime assertion of that
+    invariant and should never surface during normal operation.
+    """
+
+
+class BudgetExhaustedError(EcovisorError):
+    """A carbon budget was exhausted and the policy disallows overdraft."""
+
+
+class TraceError(EcovisorError):
+    """A trace (carbon, solar, or workload) was malformed or out of range."""
+
+
+class SimulationError(EcovisorError):
+    """The simulation engine reached an inconsistent state."""

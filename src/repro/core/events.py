@@ -1,0 +1,139 @@
+"""Event bus for asynchronous upcall notifications.
+
+The paper's ecovisor exposes one periodic upcall, ``tick()``, plus a set of
+library-level notifications layered on top of it (Table 2):
+``notify_solar_change``, ``notify_carbon_change``, ``notify_battery_full``
+and ``notify_battery_empty``.  This module provides the dispatch substrate:
+typed events and a small synchronous publish/subscribe bus.
+
+Events are delivered synchronously within the tick in which they occur,
+matching the paper's observation that minute-scale ticks are fine-grained
+enough for applications to react to external changes (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, DefaultDict, Dict, List, Type
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all events. ``time_s`` is the simulation timestamp."""
+
+    time_s: float
+
+
+@dataclass(frozen=True)
+class TickEvent(Event):
+    """Published once per tick interval, before application upcalls run."""
+
+    tick_index: int = 0
+
+
+@dataclass(frozen=True)
+class SolarChangeEvent(Event):
+    """Virtual solar output changed significantly since the previous tick."""
+
+    app_name: str = ""
+    previous_w: float = 0.0
+    current_w: float = 0.0
+
+    @property
+    def delta_w(self) -> float:
+        return self.current_w - self.previous_w
+
+
+@dataclass(frozen=True)
+class CarbonChangeEvent(Event):
+    """Grid carbon-intensity changed significantly since the previous tick."""
+
+    previous_g_per_kwh: float = 0.0
+    current_g_per_kwh: float = 0.0
+
+    @property
+    def delta_g_per_kwh(self) -> float:
+        return self.current_g_per_kwh - self.previous_g_per_kwh
+
+
+@dataclass(frozen=True)
+class BatteryFullEvent(Event):
+    """An application's virtual battery reached full charge."""
+
+    app_name: str = ""
+    charge_level_wh: float = 0.0
+
+
+@dataclass(frozen=True)
+class BatteryEmptyEvent(Event):
+    """An application's virtual battery reached its empty floor.
+
+    "Empty" follows the paper's convention: the physical battery treats a
+    30% state-of-charge as empty to protect cycle life, so a virtual
+    battery is empty when its *usable* energy reaches zero.
+    """
+
+    app_name: str = ""
+
+
+@dataclass(frozen=True)
+class ResourceRevocationEvent(Event):
+    """The platform revoked containers from an application.
+
+    Distributed applications on container orchestration platforms are
+    already designed to tolerate revocations (paper Section 3); power
+    shortages under clean-energy volatility manifest the same way.
+    """
+
+    app_name: str = ""
+    container_ids: tuple = ()
+
+
+EventCallback = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe dispatcher keyed by event type.
+
+    Subscribers for a type receive every published event of exactly that
+    type.  Dispatch order is subscription order.  Exceptions raised by a
+    subscriber propagate to the publisher: during simulation this converts
+    a buggy policy callback into a visible test failure rather than a
+    silently swallowed error.
+    """
+
+    def __init__(self):
+        self._subscribers: DefaultDict[Type[Event], List[EventCallback]] = (
+            defaultdict(list)
+        )
+        self._published_counts: Dict[Type[Event], int] = {}
+
+    def subscribe(self, event_type: Type[Event], callback: EventCallback) -> None:
+        """Register ``callback`` for events of exactly ``event_type``."""
+        self._subscribers[event_type].append(callback)
+
+    def unsubscribe(self, event_type: Type[Event], callback: EventCallback) -> None:
+        """Remove a previously registered callback; no-op if absent."""
+        callbacks = self._subscribers.get(event_type, [])
+        if callback in callbacks:
+            callbacks.remove(callback)
+
+    def publish(self, event: Event) -> int:
+        """Deliver ``event`` to its subscribers; returns delivery count."""
+        event_type = type(event)
+        self._published_counts[event_type] = (
+            self._published_counts.get(event_type, 0) + 1
+        )
+        callbacks = list(self._subscribers.get(event_type, []))
+        for callback in callbacks:
+            callback(event)
+        return len(callbacks)
+
+    def published_count(self, event_type: Type[Event]) -> int:
+        """How many events of ``event_type`` have been published."""
+        return self._published_counts.get(event_type, 0)
+
+    def subscriber_count(self, event_type: Type[Event]) -> int:
+        """How many callbacks are currently registered for a type."""
+        return len(self._subscribers.get(event_type, []))

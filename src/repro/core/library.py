@@ -1,0 +1,182 @@
+"""Library interfaces layered on the narrow API (paper Table 2).
+
+The ecovisor API is deliberately minimal; richer abstractions live in
+library code so "the additional complexity of using a virtual energy
+system need not be borne by most applications" (Section 3.2) — the same
+argument as exokernel library operating systems.  This module implements
+the example library of Table 2:
+
+- interval energy/carbon queries per container and per application,
+- carbon *rate* limits (a threshold rate of emissions per unit time) and
+  carbon *budgets* (a total limit), and
+- ``notify_*`` upcalls for solar changes, carbon changes, and the virtual
+  battery filling or emptying.
+
+Rate limits are enforced cooperatively each tick: the library translates
+the configured mg/s rate into per-container power caps at the current
+carbon-intensity, using the Table 1 setters only — demonstrating that the
+narrow API suffices to build these abstractions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.api import EcovisorAPI
+from repro.core.clock import TickInfo
+from repro.core.events import (
+    BatteryEmptyEvent,
+    BatteryFullEvent,
+    CarbonChangeEvent,
+    SolarChangeEvent,
+)
+from repro.core.units import power_for_carbon_rate
+
+
+class AppEnergyLibrary:
+    """Table 2 convenience layer for one application."""
+
+    def __init__(self, api: EcovisorAPI):
+        self._api = api
+        self._app_name = api.app_name
+        self._ecovisor = api.ecovisor
+        self._db = self._ecovisor.database
+        self._ledger = self._ecovisor.ledger
+        self._container_rates_mg_s: Dict[str, float] = {}
+        self._app_rate_mg_s: Optional[float] = None
+        self._carbon_budget_g: Optional[float] = None
+        self._api.register_tick(self._enforce_rates)
+
+    @property
+    def api(self) -> EcovisorAPI:
+        return self._api
+
+    # ------------------------------------------------------------------
+    # Monitoring queries (Table 2)
+    # ------------------------------------------------------------------
+    def get_container_energy(self, container_id: str, t1: float, t2: float) -> float:
+        """Energy (Wh) a container used over [t1, t2)."""
+        return self._db.integrate_power_wh(
+            f"container.{container_id}.power_w", t1, t2
+        )
+
+    def get_container_carbon(self, container_id: str, t1: float, t2: float) -> float:
+        """Carbon (g) attributed to a container over [t1, t2)."""
+        return self._db.total(f"container.{container_id}.carbon_g", t1, t2)
+
+    def get_app_power(self) -> float:
+        """The application's current power usage (W)."""
+        return self._db.latest(f"app.{self._app_name}.power_w", default=0.0)
+
+    def get_app_energy(self, t1: float, t2: float) -> float:
+        """Energy (Wh) the application used over [t1, t2)."""
+        return self._ledger.energy_between(self._app_name, t1, t2)
+
+    def get_app_carbon(
+        self, t1: float = 0.0, t2: Optional[float] = None
+    ) -> float:
+        """Carbon (g) attributed to the application; cumulative by default."""
+        if t2 is None:
+            return self._ledger.app_carbon_g(self._app_name)
+        return self._ledger.carbon_between(self._app_name, t1, t2)
+
+    # ------------------------------------------------------------------
+    # Carbon rate and budget (Table 2)
+    # ------------------------------------------------------------------
+    def set_carbon_rate(
+        self, container_id: str, rate_mg_per_s: Optional[float]
+    ) -> None:
+        """Cap a container's carbon emission rate (None removes the cap).
+
+        Enforced each tick by converting the rate into a power cap at the
+        current grid carbon-intensity.
+        """
+        if rate_mg_per_s is None:
+            self._container_rates_mg_s.pop(container_id, None)
+            self._api.set_container_powercap(container_id, None)
+            return
+        if rate_mg_per_s < 0:
+            raise ValueError(f"carbon rate must be >= 0, got {rate_mg_per_s}")
+        self._container_rates_mg_s[container_id] = rate_mg_per_s
+
+    def set_app_carbon_rate(self, rate_mg_per_s: Optional[float]) -> None:
+        """Cap the application's total carbon rate across its containers."""
+        if rate_mg_per_s is not None and rate_mg_per_s < 0:
+            raise ValueError(f"carbon rate must be >= 0, got {rate_mg_per_s}")
+        self._app_rate_mg_s = rate_mg_per_s
+
+    def set_carbon_budget(self, total_g: Optional[float]) -> None:
+        """Set a total carbon budget for the application (None clears it)."""
+        if total_g is not None and total_g < 0:
+            raise ValueError(f"carbon budget must be >= 0, got {total_g}")
+        self._carbon_budget_g = total_g
+
+    @property
+    def carbon_budget_g(self) -> Optional[float]:
+        return self._carbon_budget_g
+
+    def remaining_budget_g(self) -> Optional[float]:
+        """Budget minus cumulative emissions; None when no budget is set."""
+        if self._carbon_budget_g is None:
+            return None
+        return self._carbon_budget_g - self.get_app_carbon()
+
+    def budget_exceeded(self) -> bool:
+        remaining = self.remaining_budget_g()
+        return remaining is not None and remaining < 0
+
+    # ------------------------------------------------------------------
+    # Notifications (Table 2)
+    # ------------------------------------------------------------------
+    def notify_solar_change(self, callback: Callable[[SolarChangeEvent], None]) -> None:
+        """Invoke ``callback`` when this app's virtual solar output changes."""
+
+        def filtered(event):
+            if event.app_name == self._app_name:
+                callback(event)
+
+        self._ecovisor.events.subscribe(SolarChangeEvent, filtered)
+
+    def notify_carbon_change(
+        self, callback: Callable[[CarbonChangeEvent], None]
+    ) -> None:
+        """Invoke ``callback`` when grid carbon-intensity changes."""
+        self._ecovisor.events.subscribe(CarbonChangeEvent, callback)
+
+    def notify_battery_full(self, callback: Callable[[BatteryFullEvent], None]) -> None:
+        """Invoke ``callback`` when this app's virtual battery fills."""
+
+        def filtered(event):
+            if event.app_name == self._app_name:
+                callback(event)
+
+        self._ecovisor.events.subscribe(BatteryFullEvent, filtered)
+
+    def notify_battery_empty(
+        self, callback: Callable[[BatteryEmptyEvent], None]
+    ) -> None:
+        """Invoke ``callback`` when this app's virtual battery empties."""
+
+        def filtered(event):
+            if event.app_name == self._app_name:
+                callback(event)
+
+        self._ecovisor.events.subscribe(BatteryEmptyEvent, filtered)
+
+    # ------------------------------------------------------------------
+    # Per-tick rate enforcement (cooperative, built on Table 1 setters)
+    # ------------------------------------------------------------------
+    def _enforce_rates(self, tick: TickInfo) -> None:
+        intensity = self._api.get_grid_carbon()
+        for container_id, rate in self._container_rates_mg_s.items():
+            if not self._ecovisor.platform.has_container(container_id):
+                continue
+            cap_w = power_for_carbon_rate(rate, intensity)
+            self._api.set_container_powercap(container_id, cap_w)
+        if self._app_rate_mg_s is not None:
+            containers = self._api.list_containers()
+            if containers:
+                per_container_rate = self._app_rate_mg_s / len(containers)
+                cap_w = power_for_carbon_rate(per_container_rate, intensity)
+                for container in containers:
+                    self._api.set_container_powercap(container.id, cap_w)

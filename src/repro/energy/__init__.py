@@ -1,0 +1,24 @@
+"""Physical energy system substrate: grid, battery, and solar models."""
+
+from repro.energy.battery import Battery
+from repro.energy.grid import GridConnection
+from repro.energy.solar import (
+    ConstantSolarTrace,
+    SolarArrayEmulator,
+    SolarTrace,
+    TabularSolarTrace,
+)
+from repro.energy.source import PowerSource
+from repro.energy.system import EnergySystemSnapshot, PhysicalEnergySystem
+
+__all__ = [
+    "Battery",
+    "ConstantSolarTrace",
+    "EnergySystemSnapshot",
+    "GridConnection",
+    "PhysicalEnergySystem",
+    "PowerSource",
+    "SolarArrayEmulator",
+    "SolarTrace",
+    "TabularSolarTrace",
+]

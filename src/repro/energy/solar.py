@@ -1,0 +1,177 @@
+"""Solar array emulator.
+
+The paper's prototype uses a Chroma 62020H-150S solar array emulator that
+replays solar radiation traces through a PV module's IV-curve response so
+experiments are repeatable (Section 4, 'Solar Power').  This module is the
+software equivalent: a deterministic, seeded irradiance synthesizer plus a
+conversion model sized by the array's peak power.
+
+The synthesized trace has the two features the evaluation depends on:
+a clear-sky diurnal bell (zero at night) and stochastic cloud attenuation
+that makes output volatile within a day (Figure 8a, Figure 10a).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import SolarConfig
+from repro.core.errors import TraceError
+from repro.core.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+from repro.energy.source import PowerSource
+
+_SAMPLES_PER_HOUR = 60  # one-minute native resolution
+
+
+class SolarTrace:
+    """A deterministic irradiance trace in [0, 1] sampled once per minute.
+
+    The clear-sky envelope is a sine bell between sunrise and sunset,
+    raised to an exponent that narrows the shoulders.  Cloud cover is a
+    bounded random walk smoothed over ~30 minutes, reproducing the partly
+    cloudy days visible in the paper's solar plots.
+    """
+
+    def __init__(
+        self,
+        days: int,
+        seed: int = 2023,
+        sunrise_hour: float = 6.0,
+        sunset_hour: float = 19.0,
+        cloudiness: float = 0.35,
+    ):
+        if days <= 0:
+            raise TraceError(f"trace must cover at least one day, got {days}")
+        if not 5.0 <= sunrise_hour < sunset_hour <= 22.0:
+            raise TraceError(
+                f"implausible sunrise/sunset: {sunrise_hour}/{sunset_hour}"
+            )
+        if not 0.0 <= cloudiness <= 1.0:
+            raise TraceError(f"cloudiness must be in [0, 1], got {cloudiness}")
+        self._days = days
+        self._sunrise_hour = sunrise_hour
+        self._sunset_hour = sunset_hour
+        self._samples = self._synthesize(days, seed, cloudiness)
+
+    def _synthesize(self, days: int, seed: int, cloudiness: float) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        n = days * 24 * _SAMPLES_PER_HOUR
+        hours = np.arange(n) / _SAMPLES_PER_HOUR
+        hour_of_day = hours % 24.0
+        day_length = self._sunset_hour - self._sunrise_hour
+        phase = (hour_of_day - self._sunrise_hour) / day_length
+        clear_sky = np.where(
+            (phase > 0.0) & (phase < 1.0),
+            np.sin(np.clip(phase, 0.0, 1.0) * math.pi) ** 1.2,
+            0.0,
+        )
+        # Cloud attenuation: bounded random walk, smoothed, per-day weather.
+        walk = rng.normal(0.0, 0.08, size=n).cumsum()
+        walk -= np.linspace(walk[0], walk[-1], n)  # detrend, keeps it bounded
+        kernel = np.ones(30) / 30.0
+        smooth = np.convolve(walk, kernel, mode="same")
+        if smooth.std() > 0:
+            smooth = smooth / smooth.std()
+        attenuation = 1.0 - cloudiness * (0.5 + 0.5 * np.tanh(smooth))
+        daily_weather = rng.uniform(1.0 - cloudiness * 0.5, 1.0, size=days)
+        weather = np.repeat(daily_weather, 24 * _SAMPLES_PER_HOUR)
+        return np.clip(clear_sky * attenuation * weather, 0.0, 1.0)
+
+    @property
+    def duration_s(self) -> float:
+        return self._days * SECONDS_PER_DAY
+
+    @property
+    def samples(self) -> np.ndarray:
+        """Read-only view of the per-minute irradiance samples."""
+        view = self._samples.view()
+        view.flags.writeable = False
+        return view
+
+    def irradiance_at(self, time_s: float) -> float:
+        """Irradiance fraction in [0, 1] at ``time_s`` (clamped to range)."""
+        if time_s < 0:
+            raise TraceError(f"time must be >= 0, got {time_s}")
+        index = int(time_s / SECONDS_PER_HOUR * _SAMPLES_PER_HOUR)
+        index = min(index, len(self._samples) - 1)
+        return float(self._samples[index])
+
+
+class ConstantSolarTrace:
+    """A flat irradiance trace, convenient for tests and calibration."""
+
+    def __init__(self, irradiance: float = 1.0):
+        if not 0.0 <= irradiance <= 1.0:
+            raise TraceError(f"irradiance must be in [0, 1], got {irradiance}")
+        self._irradiance = irradiance
+
+    def irradiance_at(self, time_s: float) -> float:
+        return self._irradiance
+
+
+class TabularSolarTrace:
+    """An irradiance trace backed by explicit per-minute samples."""
+
+    def __init__(self, samples: Sequence[float]):
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 1 or len(arr) == 0:
+            raise TraceError("samples must be a non-empty 1-D sequence")
+        if arr.min() < 0.0 or arr.max() > 1.0:
+            raise TraceError("irradiance samples must lie in [0, 1]")
+        self._samples = arr
+
+    def irradiance_at(self, time_s: float) -> float:
+        if time_s < 0:
+            raise TraceError(f"time must be >= 0, got {time_s}")
+        index = int(time_s / SECONDS_PER_HOUR * _SAMPLES_PER_HOUR)
+        index = min(index, len(self._samples) - 1)
+        return float(self._samples[index])
+
+
+class SolarArrayEmulator(PowerSource):
+    """Converts an irradiance trace into array output power.
+
+    Like the Chroma emulator, output can be scaled (``config.scale``)
+    without touching the trace, which is how the Figure 10(c)/11 sweeps
+    vary 'available renewable power' from 10% to 200%.
+    """
+
+    def __init__(self, config: SolarConfig | None = None, trace=None):
+        super().__init__("solar")
+        self._config = config or SolarConfig()
+        self._config.validate()
+        self._trace = trace if trace is not None else SolarTrace(days=4)
+
+    @property
+    def config(self) -> SolarConfig:
+        return self._config
+
+    @property
+    def scale(self) -> float:
+        return self._config.scale
+
+    def with_scale(self, scale: float) -> "SolarArrayEmulator":
+        """A new emulator sharing this trace but scaled by ``scale``."""
+        scaled = SolarConfig(
+            peak_power_w=self._config.peak_power_w,
+            scale=scale,
+            panel_efficiency_derating=self._config.panel_efficiency_derating,
+        )
+        return SolarArrayEmulator(scaled, self._trace)
+
+    def available_power_w(self, time_s: float) -> float:
+        """Array output (W) at ``time_s``: trace x peak x derating x scale."""
+        irradiance = self._trace.irradiance_at(time_s)
+        return (
+            irradiance
+            * self._config.peak_power_w
+            * self._config.panel_efficiency_derating
+            * self._config.scale
+        )
+
+    def deliver(self, power_w_value: float, duration_s: float) -> None:
+        """Meter ``power_w_value`` watts of solar production for a tick."""
+        self._meter(power_w_value * duration_s / SECONDS_PER_HOUR)

@@ -1,0 +1,41 @@
+"""Abstract base for physical power sources.
+
+A datacenter's physical energy system connects to up to three power
+sources — the electric grid, local batteries, and local renewable
+generation (paper Section 2, 'Background').  Each source exposes the small
+monitoring surface the ecovisor needs: instantaneous power and cumulative
+metered energy.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class PowerSource(abc.ABC):
+    """A source the energy system can draw from (or, for solar, must take)."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._total_energy_wh = 0.0
+
+    @property
+    def name(self) -> str:
+        """Human-readable identifier for telemetry streams."""
+        return self._name
+
+    @property
+    def total_energy_wh(self) -> float:
+        """Cumulative energy delivered by this source since construction."""
+        return self._total_energy_wh
+
+    def _meter(self, energy_wh: float) -> None:
+        """Record delivered energy on the source's cumulative meter."""
+        self._total_energy_wh += energy_wh
+
+    @abc.abstractmethod
+    def available_power_w(self, time_s: float) -> float:
+        """Power (W) this source can supply at simulation time ``time_s``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self._name!r})"

@@ -1,0 +1,98 @@
+"""The combined physical energy system.
+
+Bundles the three power sources of the paper's Background section — grid,
+battery, and solar — behind one object with the monitoring surface the
+ecovisor multiplexes (Section 3.3).  Sites need not have all three: a
+simple datacenter may be grid-only, an edge site may be grid-less; the
+optional constructor arguments model both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.energy.battery import Battery
+from repro.energy.grid import GridConnection
+from repro.energy.solar import SolarArrayEmulator
+
+
+@dataclass(frozen=True)
+class EnergySystemSnapshot:
+    """Point-in-time view of the plant used by telemetry and tests."""
+
+    time_s: float
+    solar_power_w: float
+    battery_level_wh: float
+    battery_soc_fraction: float
+    grid_energy_wh: float
+
+
+class PhysicalEnergySystem:
+    """Grid + battery + solar behind the controller APIs the ecovisor uses."""
+
+    def __init__(
+        self,
+        grid: GridConnection | None = None,
+        battery: Battery | None = None,
+        solar: SolarArrayEmulator | None = None,
+    ):
+        if grid is None and battery is None and solar is None:
+            raise ConfigurationError(
+                "an energy system needs at least one power source"
+            )
+        self._grid = grid
+        self._battery = battery
+        self._solar = solar
+
+    @property
+    def grid(self) -> GridConnection | None:
+        return self._grid
+
+    @property
+    def battery(self) -> Battery | None:
+        return self._battery
+
+    @property
+    def solar(self) -> SolarArrayEmulator | None:
+        return self._solar
+
+    @property
+    def has_grid(self) -> bool:
+        return self._grid is not None
+
+    @property
+    def has_battery(self) -> bool:
+        return self._battery is not None
+
+    @property
+    def has_solar(self) -> bool:
+        return self._solar is not None
+
+    def solar_power_w(self, time_s: float) -> float:
+        """Physical solar array output at ``time_s`` (zero without an array)."""
+        if self._solar is None:
+            return 0.0
+        return self._solar.available_power_w(time_s)
+
+    def snapshot(self, time_s: float) -> EnergySystemSnapshot:
+        """Capture the plant state for telemetry."""
+        return EnergySystemSnapshot(
+            time_s=time_s,
+            solar_power_w=self.solar_power_w(time_s),
+            battery_level_wh=self._battery.level_wh if self._battery else 0.0,
+            battery_soc_fraction=(
+                self._battery.soc_fraction if self._battery else 0.0
+            ),
+            grid_energy_wh=self._grid.total_energy_wh if self._grid else 0.0,
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        if self._grid is not None:
+            parts.append("grid")
+        if self._battery is not None:
+            parts.append("battery")
+        if self._solar is not None:
+            parts.append("solar")
+        return f"PhysicalEnergySystem({'+'.join(parts)})"

@@ -1,0 +1,10 @@
+"""Geo-distributed ecovisor coordination (the paper's stated future work)."""
+
+from repro.geo.coordinator import (
+    GeoCoordinator,
+    GeoRunResult,
+    GeoWorkerJob,
+    SharedWorkPool,
+)
+
+__all__ = ["GeoCoordinator", "GeoRunResult", "GeoWorkerJob", "SharedWorkPool"]

@@ -1,0 +1,37 @@
+"""Carbon- and energy-management policies (the paper's Section 5 space)."""
+
+from repro.policies.base import Policy, worker_idle_power_w, worker_power_w
+from repro.policies.battery import (
+    DynamicSparkBatteryPolicy,
+    DynamicWebBatteryPolicy,
+    StaticBatterySmoothingPolicy,
+)
+from repro.policies.carbon_agnostic import CarbonAgnosticPolicy
+from repro.policies.carbon_budget import DynamicCarbonBudgetPolicy
+from repro.policies.forecast_threshold import ForecastWaitAndScalePolicy
+from repro.policies.rate_limit import CarbonRateLimitPolicy
+from repro.policies.solar_matching import (
+    DynamicSolarCapPolicy,
+    StaticSolarCapPolicy,
+)
+from repro.policies.straggler import StragglerReplicaPolicy
+from repro.policies.suspend_resume import SuspendResumePolicy
+from repro.policies.wait_and_scale import WaitAndScalePolicy
+
+__all__ = [
+    "CarbonAgnosticPolicy",
+    "CarbonRateLimitPolicy",
+    "DynamicCarbonBudgetPolicy",
+    "DynamicSolarCapPolicy",
+    "DynamicSparkBatteryPolicy",
+    "ForecastWaitAndScalePolicy",
+    "DynamicWebBatteryPolicy",
+    "Policy",
+    "StaticBatterySmoothingPolicy",
+    "StaticSolarCapPolicy",
+    "StragglerReplicaPolicy",
+    "SuspendResumePolicy",
+    "WaitAndScalePolicy",
+    "worker_idle_power_w",
+    "worker_power_w",
+]

@@ -1,0 +1,239 @@
+"""Virtual battery usage policies (paper Section 5.3, Figures 8-9).
+
+These policies implement the zero-carbon case studies: applications that
+run exclusively on their virtual solar share and virtual battery — grid
+power is available at night but deliberately unused ("to maintain a zero
+carbon footprint").  The experiment grants these apps a zero grid share,
+so the virtual energy system physically cannot emit.
+
+- :class:`StaticBatterySmoothingPolicy` — the system-level policy: the
+  battery smooths solar volatility to provide a minimum guaranteed power,
+  funding a *fixed* number of always-available workers during the day.
+- :class:`DynamicSparkBatteryPolicy` — Spark-specific: keeps the
+  guaranteed base, and opportunistically scales up onto excess solar once
+  the battery is (nearly) full, accepting that un-checkpointed work on
+  the extra workers may be lost (Figure 8c; runtime -39%).
+- :class:`DynamicWebBatteryPolicy` — web-specific: sizes the pool to the
+  latency SLO and spends battery to ride workload bursts (Figure 8d/e).
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import TickInfo
+from repro.policies.base import Policy
+from repro.workloads.spark import SparkJob
+from repro.workloads.webapp import WebApplication
+
+DEFAULT_DAY_THRESHOLD_W = 1.0
+
+
+class _ZeroCarbonPolicy(Policy):
+    """Shared day/night machinery for the solar+battery policies."""
+
+    def __init__(
+        self,
+        worker_power_w: float,
+        cores_per_worker: float = 1.0,
+        day_threshold_w: float = DEFAULT_DAY_THRESHOLD_W,
+    ):
+        super().__init__()
+        if worker_power_w <= 0:
+            raise ValueError("worker power must be positive")
+        if day_threshold_w < 0:
+            raise ValueError("day threshold must be >= 0")
+        self._worker_power_w = worker_power_w
+        self._cores = cores_per_worker
+        self._day_threshold_w = day_threshold_w
+        self._was_day = False
+
+    def is_day(self) -> bool:
+        """Daytime means the app's virtual solar output is meaningful."""
+        return self.api.get_solar_power() > self._day_threshold_w
+
+    @property
+    def worker_power_w(self) -> float:
+        return self._worker_power_w
+
+
+class StaticBatterySmoothingPolicy(_ZeroCarbonPolicy):
+    """System-level: fixed daytime workers under battery smoothing.
+
+    Conservative by design: the worker count is chosen so the battery can
+    guarantee their power through solar dips, so no computation is ever
+    lost — at the cost of leaving excess solar unused (it charges the
+    battery and is then curtailed once full).
+    """
+
+    def __init__(
+        self,
+        fixed_workers: int,
+        worker_power_w: float,
+        cores_per_worker: float = 1.0,
+        day_threshold_w: float = DEFAULT_DAY_THRESHOLD_W,
+    ):
+        super().__init__(worker_power_w, cores_per_worker, day_threshold_w)
+        if fixed_workers <= 0:
+            raise ValueError("fixed workers must be positive")
+        self._fixed_workers = fixed_workers
+
+    @property
+    def fixed_workers(self) -> int:
+        return self._fixed_workers
+
+    def on_attach(self) -> None:
+        # Guarantee exactly the fixed pool's power from the battery.
+        self.api.set_battery_max_discharge(
+            self._fixed_workers * self._worker_power_w
+        )
+
+    def on_tick(self, tick: TickInfo) -> None:
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        day = self.is_day()
+        if day and not self._was_day:
+            self.scale_workers(self._fixed_workers, self._cores)
+        elif not day and self._was_day:
+            # Planned dusk shutdown: checkpoint cleanly, then suspend.
+            if isinstance(self.app, SparkJob):
+                self.app.suspend_with_checkpoint(tick.start_s)
+            self.scale_workers(0, self._cores)
+        self._was_day = day
+
+
+class DynamicSparkBatteryPolicy(_ZeroCarbonPolicy):
+    """Spark-specific: guaranteed base + opportunistic excess-solar surge."""
+
+    def __init__(
+        self,
+        base_workers: int,
+        worker_power_w: float,
+        cores_per_worker: float = 1.0,
+        day_threshold_w: float = DEFAULT_DAY_THRESHOLD_W,
+        battery_full_fraction: float = 0.75,
+        max_workers: int = 16,
+    ):
+        super().__init__(worker_power_w, cores_per_worker, day_threshold_w)
+        if base_workers <= 0:
+            raise ValueError("base workers must be positive")
+        if not 0.0 < battery_full_fraction <= 1.0:
+            raise ValueError("battery-full fraction must be in (0, 1]")
+        self._base_workers = base_workers
+        self._battery_full_fraction = battery_full_fraction
+        self._max_workers = max_workers
+        self._surge_workers = 0
+
+    @property
+    def base_workers(self) -> int:
+        return self._base_workers
+
+    @property
+    def surge_workers(self) -> int:
+        """Opportunistic workers currently running beyond the base."""
+        return self._surge_workers
+
+    def on_attach(self) -> None:
+        self.api.set_battery_max_discharge(
+            self._base_workers * self._worker_power_w
+        )
+
+    def on_tick(self, tick: TickInfo) -> None:
+        app = self.app
+        if app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        if not self.is_day():
+            if self._was_day and isinstance(app, SparkJob):
+                # Evening termination without checkpointing: in-memory
+                # results since the last checkpoint are lost.
+                total = self.current_worker_count()
+                if total > 0:
+                    app.kill_workers(total, total, tick.start_s)
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            self._surge_workers = 0
+            self._was_day = False
+            return
+        self._was_day = True
+
+        solar_w = self.api.get_solar_power()
+        level = self.api.get_battery_charge_level()
+        capacity = self.api.get_battery_capacity()
+        battery_nearly_full = (
+            capacity > 0 and level / capacity >= self._battery_full_fraction
+        )
+        base_demand_w = self._base_workers * self._worker_power_w
+        target = self._base_workers
+        if battery_nearly_full and solar_w > base_demand_w + self._worker_power_w:
+            extra = int((solar_w - base_demand_w) // self._worker_power_w)
+            target = min(self._max_workers, self._base_workers + extra)
+        current = self.current_worker_count()
+        if target < current and isinstance(app, SparkJob):
+            # Scale-in kills surge workers without checkpointing.
+            app.kill_workers(current - target, current, tick.start_s)
+        if target != current:
+            self.scale_workers(target, self._cores)
+        self._surge_workers = max(0, target - self._base_workers)
+
+
+class DynamicWebBatteryPolicy(_ZeroCarbonPolicy):
+    """Web-specific: SLO-sized pool funded by solar plus battery bursts."""
+
+    def __init__(
+        self,
+        worker_power_w: float,
+        cores_per_worker: float = 1.0,
+        day_threshold_w: float = DEFAULT_DAY_THRESHOLD_W,
+        min_battery_fraction: float = 0.10,
+        max_workers: int = 16,
+        headroom_factor: float = 1.3,
+    ):
+        super().__init__(worker_power_w, cores_per_worker, day_threshold_w)
+        if not 0.0 <= min_battery_fraction < 1.0:
+            raise ValueError("min battery fraction must be in [0, 1)")
+        if headroom_factor < 1.0:
+            raise ValueError("headroom factor must be >= 1")
+        self._min_battery_fraction = min_battery_fraction
+        self._max_workers = max_workers
+        self._headroom_factor = headroom_factor
+
+    def _sized_for_slo(self, app: WebApplication) -> int:
+        """SLO pool size with headroom against the one-tick actuation lag
+        and the morning workload ramp."""
+        from repro.workloads.latency import min_servers_for_slo
+
+        return min_servers_for_slo(
+            app.current_rate_rps * self._headroom_factor,
+            app.service_rate_rps,
+            app.slo_ms,
+            app.latency_percentile,
+            self._max_workers,
+        )
+
+    def on_tick(self, tick: TickInfo) -> None:
+        app = self.app
+        if not isinstance(app, WebApplication):
+            raise TypeError("DynamicWebBatteryPolicy drives web applications")
+        if not self.is_day() and app.current_rate_rps <= 0:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        needed = self._sized_for_slo(app)
+        solar_w = self.api.get_solar_power()
+        level = self.api.get_battery_charge_level()
+        capacity = self.api.get_battery_capacity()
+        battery_ok = capacity > 0 and level / capacity > self._min_battery_fraction
+        solar_funded = int(solar_w // self._worker_power_w)
+        if battery_ok:
+            # Let the battery cover the gap between solar and the SLO pool.
+            target = needed
+            gap_w = max(0.0, needed * self._worker_power_w - solar_w)
+            self.api.set_battery_max_discharge(gap_w + self._worker_power_w)
+        else:
+            target = max(1, min(needed, solar_funded))
+            self.api.set_battery_max_discharge(0.0)
+        target = max(1, min(self._max_workers, target))
+        if self.current_worker_count() != target:
+            self.scale_workers(target, self._cores)

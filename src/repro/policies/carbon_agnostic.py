@@ -1,0 +1,38 @@
+"""Carbon-agnostic policy.
+
+The paper's baseline: run the job at its configured scale from arrival to
+completion, ignoring carbon entirely.  It achieves the lowest completion
+time at the cost of the highest emissions (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import TickInfo
+from repro.policies.base import Policy
+
+
+class CarbonAgnosticPolicy(Policy):
+    """Run ``workers`` containers continuously until the job completes."""
+
+    def __init__(self, workers: int, cores_per_worker: float = 1.0, gpu: bool = False):
+        super().__init__()
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self._workers = workers
+        self._cores = cores_per_worker
+        self._gpu = gpu
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def on_attach(self) -> None:
+        self.scale_workers(self._workers, self._cores, self._gpu)
+
+    def on_tick(self, tick: TickInfo) -> None:
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        if self.current_worker_count() != self._workers:
+            self.scale_workers(self._workers, self._cores, self._gpu)

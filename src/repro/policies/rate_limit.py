@@ -1,0 +1,92 @@
+"""Static carbon rate-limiting: the system-level budgeting policy.
+
+Enforces "a static carbon budget for each application by rate-limiting
+(or carbon-capping) it at all times" (paper Section 5.2).  Each tick the
+policy converts the target carbon rate into a power allowance at the
+current grid carbon-intensity and provisions as many workers as that
+allowance funds — so when carbon-intensity is low the policy
+over-provisions (latency dips below the SLO), and when carbon-intensity
+is high it cannot add capacity regardless of load, which is how it
+violates the SLO during simultaneous high-carbon/high-load periods
+(Figure 6 b/c).
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import TickInfo
+from repro.core.units import power_for_carbon_rate
+from repro.policies.base import Policy
+
+
+class CarbonRateLimitPolicy(Policy):
+    """Provision as many workers as the carbon rate funds.
+
+    Sizing uses power feedback: the policy measures the current average
+    per-worker draw and fills the rate's power allowance with workers at
+    that draw.  When workers idle (light load, low per-worker power) the
+    policy provisions *more* of them — "the system-level policy uses as
+    many resources and energy to satisfy its target carbon rate" (paper
+    Section 5.2.3) — which is exactly why it over-provisions when carbon
+    is low and cannot add capacity when carbon is high.
+    """
+
+    def __init__(
+        self,
+        target_rate_mg_per_s: float,
+        worker_power_w: float,
+        cores_per_worker: float = 1.0,
+        min_workers: int = 1,
+        max_workers: int = 32,
+    ):
+        super().__init__()
+        if target_rate_mg_per_s < 0:
+            raise ValueError("target rate must be >= 0")
+        if worker_power_w <= 0:
+            raise ValueError("worker power must be positive")
+        if not 0 <= min_workers <= max_workers:
+            raise ValueError(
+                f"need 0 <= min_workers <= max_workers, got "
+                f"{min_workers}/{max_workers}"
+            )
+        self._rate = target_rate_mg_per_s
+        self._worker_power_w = worker_power_w
+        self._cores = cores_per_worker
+        self._min_workers = min_workers
+        self._max_workers = max_workers
+
+    @property
+    def target_rate_mg_per_s(self) -> float:
+        return self._rate
+
+    def allowed_workers(self, carbon_intensity_g_per_kwh: float) -> int:
+        """Workers fundable at the target rate assuming full-power draw.
+
+        The conservative bound used before any power measurements exist.
+        """
+        allowance_w = power_for_carbon_rate(self._rate, carbon_intensity_g_per_kwh)
+        workers = int(allowance_w // self._worker_power_w)
+        return max(self._min_workers, min(self._max_workers, workers))
+
+    def _measured_worker_power_w(self) -> float:
+        """Average measured draw per worker; the full-power estimate when
+        there are no workers yet."""
+        workers = [c for c in self.api.list_containers() if c.role == "worker"]
+        if not workers:
+            return self._worker_power_w
+        total = sum(self.api.get_container_power(c.id) for c in workers)
+        per_worker = total / len(workers)
+        # Guard the feedback loop: never divide by less than the idle
+        # floor, or a fully idle pool would request unbounded workers.
+        floor = 0.1 * self._worker_power_w
+        return max(per_worker, floor)
+
+    def on_tick(self, tick: TickInfo) -> None:
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        allowance_w = power_for_carbon_rate(self._rate, self.api.get_grid_carbon())
+        target = int(allowance_w // self._measured_worker_power_w())
+        target = max(self._min_workers, min(self._max_workers, target))
+        if self.current_worker_count() != target:
+            self.scale_workers(target, self._cores)

@@ -1,0 +1,108 @@
+"""Per-container power-cap policies for direct solar use (Figure 10).
+
+These policies drive a barrier-synchronized parallel job running purely
+on solar power (no battery): the application must allocate its limited
+solar supply across containers so the sum of caps never exceeds supply
+(paper Section 5.4).
+
+- :class:`StaticSolarCapPolicy` — the system-level policy: split solar
+  equally across the 10 nodes.  Nodes with light tasks finish their round
+  early and idle at the barrier, wasting their allocation while the
+  heaviest task gates the round.
+- :class:`DynamicSolarCapPolicy` — the application-specific policy: set
+  caps proportional to each task's *remaining work* so all nodes use
+  nearly all of their allocated energy and reach the barrier together.
+  Because servers are not energy-proportional (idle power is a fixed
+  floor), rebalancing matters most when total solar is scarce — the trend
+  of Figure 10(c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clock import TickInfo
+from repro.policies.base import Policy
+from repro.workloads.parallel import ParallelJob
+
+
+class _SolarCapPolicy(Policy):
+    """Shared setup: launch one container per task and pin assignments."""
+
+    def __init__(self, cores_per_worker: float = 1.0):
+        super().__init__()
+        self._cores = cores_per_worker
+
+    def on_attach(self) -> None:
+        app = self.app
+        if not isinstance(app, ParallelJob):
+            raise TypeError("solar-cap policies drive ParallelJob applications")
+        containers = self.api.scale_to(app.num_tasks, self._cores)
+        for task_index, container in enumerate(containers):
+            app.assign_task_container(task_index, container.id)
+
+    def _stop_if_complete(self) -> bool:
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return True
+        return False
+
+
+class StaticSolarCapPolicy(_SolarCapPolicy):
+    """System-level equal split of solar across all nodes."""
+
+    def on_tick(self, tick: TickInfo) -> None:
+        if self._stop_if_complete():
+            return
+        containers = self.api.list_containers()
+        if not containers:
+            return
+        cap_w = self.api.get_solar_power() / len(containers)
+        for container in containers:
+            self.api.set_container_powercap(container.id, cap_w)
+
+
+class DynamicSolarCapPolicy(_SolarCapPolicy):
+    """Application-specific caps proportional to remaining task work."""
+
+    def __init__(self, cores_per_worker: float = 1.0, min_cap_fraction: float = 0.02):
+        super().__init__(cores_per_worker)
+        if not 0.0 <= min_cap_fraction < 1.0:
+            raise ValueError("min cap fraction must be in [0, 1)")
+        self._min_cap_fraction = min_cap_fraction
+
+    def on_tick(self, tick: TickInfo) -> None:
+        if self._stop_if_complete():
+            return
+        app = self.app
+        assert isinstance(app, ParallelJob)
+        containers = {c.id: c for c in self.api.list_containers()}
+        if not containers:
+            return
+        solar_w = self.api.get_solar_power()
+        remaining = app.task_remaining()
+        total_remaining = float(np.sum(remaining))
+        n = len(containers)
+        if total_remaining <= 0:
+            for container_id in containers:
+                self.api.set_container_powercap(container_id, solar_w / n)
+            return
+        # Reserve a sliver for barrier-idle nodes, then split the rest in
+        # proportion to remaining work.
+        floor_w = self._min_cap_fraction * solar_w / n
+        distributable = max(0.0, solar_w - floor_w * n)
+        task_by_container = {
+            cid: task
+            for task, cid in (
+                (t, app._task_containers.get(t)) for t in range(app.num_tasks)
+            )
+            if cid is not None
+        }
+        for container_id in containers:
+            task = task_by_container.get(container_id)
+            if task is None or remaining[task] <= 0:
+                cap = floor_w
+            else:
+                cap = floor_w + distributable * float(remaining[task]) / total_remaining
+            self.api.set_container_powercap(container_id, cap)

@@ -1,0 +1,115 @@
+"""Straggler mitigation with replica tasks (Figure 11).
+
+When solar supply exceeds what the primary nodes can consume and the
+application has no battery capacity to store it, the excess is wasted
+unless used immediately (paper Section 5.4).  This policy converts excess
+solar into *replica tasks*: it tracks per-task progress, flags tasks
+whose remaining work lags the median (progress-based straggler
+detection), and launches a replica on a fresh container — "at most one
+replica task will finish", so energy-efficiency drops, but runtime
+improves because the round no longer waits on the slow node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.clock import TickInfo
+from repro.policies.base import Policy
+from repro.workloads.parallel import ParallelJob
+
+
+class StragglerReplicaPolicy(Policy):
+    """Spawn replicas for detected stragglers using excess solar power."""
+
+    def __init__(
+        self,
+        worker_power_w: float,
+        cores_per_worker: float = 1.0,
+        detection_threshold: float = 1.5,
+        max_replicas: int = 10,
+        enable_replicas: bool = True,
+    ):
+        super().__init__()
+        if worker_power_w <= 0:
+            raise ValueError("worker power must be positive")
+        if detection_threshold < 1.0:
+            raise ValueError("detection threshold must be >= 1")
+        self._worker_power_w = worker_power_w
+        self._cores = cores_per_worker
+        self._detection_threshold = detection_threshold
+        self._max_replicas = max_replicas
+        self._enable_replicas = enable_replicas
+        self._replica_ids: Dict[int, str] = {}
+        self._last_round = -1
+        self._replicas_launched_total = 0
+
+    @property
+    def replicas_launched_total(self) -> int:
+        return self._replicas_launched_total
+
+    def on_attach(self) -> None:
+        app = self.app
+        if not isinstance(app, ParallelJob):
+            raise TypeError("StragglerReplicaPolicy drives ParallelJob applications")
+        containers = self.api.scale_to(app.num_tasks, self._cores)
+        for task_index, container in enumerate(containers):
+            app.assign_task_container(task_index, container.id)
+        self._last_round = app.current_round
+
+    def on_tick(self, tick: TickInfo) -> None:
+        app = self.app
+        assert isinstance(app, ParallelJob)
+        if app.is_complete:
+            self._teardown()
+            return
+
+        if app.current_round != self._last_round:
+            # Barrier crossed: retire every replica from the finished round.
+            self._retire_replicas(app)
+            self._last_round = app.current_round
+
+        solar_w = self.api.get_solar_power()
+        primaries = app.num_tasks
+        committed_w = (primaries + len(self._replica_ids)) * self._worker_power_w
+        self._set_caps()
+
+        if not self._enable_replicas:
+            return
+        stragglers = app.straggler_tasks(self._detection_threshold)
+        for task in stragglers:
+            if task in self._replica_ids:
+                continue
+            if len(self._replica_ids) >= self._max_replicas:
+                break
+            if committed_w + self._worker_power_w > solar_w:
+                break  # no excess solar left to fund another replica
+            container = self.api.launch_container(self._cores)
+            self.api.set_container_powercap(container.id, self._worker_power_w)
+            app.add_replica(task, container.id)
+            self._replica_ids[task] = container.id
+            committed_w += self._worker_power_w
+            self._replicas_launched_total += 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _set_caps(self) -> None:
+        """Cap every container at one worker's power (solar is plentiful
+        in this experiment; caps keep demand within the funded envelope)."""
+        for container in self.api.list_containers():
+            self.api.set_container_powercap(container.id, self._worker_power_w)
+
+    def _retire_replicas(self, app: ParallelJob) -> None:
+        for container_id in app.clear_replicas():
+            if self.api.ecovisor.platform.has_container(container_id):
+                self.api.stop_container(container_id)
+        self._replica_ids.clear()
+
+    def _teardown(self) -> None:
+        app = self.app
+        assert isinstance(app, ParallelJob)
+        app.clear_replicas()
+        if self.current_worker_count() > 0:
+            self.scale_workers(0, self._cores)
+        self._replica_ids.clear()

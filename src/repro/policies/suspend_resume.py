@@ -1,0 +1,63 @@
+"""Suspend/resume: the WaitAWhile-style system-level policy.
+
+Suspends execution whenever grid carbon-intensity exceeds a threshold and
+resumes when it falls back below (paper Section 5.1, following
+WaitAWhile [70]).  This is a *general system policy*: it can be applied
+to any application without knowing its scaling behaviour — which is
+precisely why it leaves performance on the table relative to Wait&Scale.
+
+The threshold is a percentile of carbon-intensity over a lookahead window
+(30th percentile over 48 h for the ML job, 33rd over the trace for
+BLAST), computed by the experiment harness from the carbon service.
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import TickInfo
+from repro.policies.base import Policy
+
+
+class SuspendResumePolicy(Policy):
+    """Suspend above a carbon threshold, run at base scale below it."""
+
+    def __init__(
+        self,
+        carbon_threshold_g_per_kwh: float,
+        workers: int,
+        cores_per_worker: float = 1.0,
+        gpu: bool = False,
+    ):
+        super().__init__()
+        if carbon_threshold_g_per_kwh < 0:
+            raise ValueError("carbon threshold must be >= 0")
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self._threshold = carbon_threshold_g_per_kwh
+        self._workers = workers
+        self._cores = cores_per_worker
+        self._gpu = gpu
+        self._suspension_count = 0
+        self._suspended = False
+
+    @property
+    def carbon_threshold_g_per_kwh(self) -> float:
+        return self._threshold
+
+    @property
+    def suspension_count(self) -> int:
+        """How many distinct suspensions occurred (for runtime analysis)."""
+        return self._suspension_count
+
+    def on_tick(self, tick: TickInfo) -> None:
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        intensity = self.api.get_grid_carbon()
+        should_suspend = intensity > self._threshold
+        if should_suspend and not self._suspended:
+            self._suspension_count += 1
+        self._suspended = should_suspend
+        target = 0 if should_suspend else self._workers
+        if self.current_worker_count() != target:
+            self.scale_workers(target, self._cores, self._gpu)

@@ -1,0 +1,6 @@
+"""REST-shaped in-process API surface mirroring the prototype's server."""
+
+from repro.rest.router import Request, Response, Route, Router
+from repro.rest.server import EcovisorRestServer
+
+__all__ = ["EcovisorRestServer", "Request", "Response", "Route", "Router"]

@@ -1,0 +1,104 @@
+"""REST-shaped request router.
+
+The prototype "runs on an external server and exposes a REST API to
+applications" (paper Section 4).  This module reproduces the API's shape
+in-process: JSON-dict requests dispatched by (method, path) to handlers,
+with path parameters, JSON bodies, and HTTP-like status codes — without
+a network dependency, so the full surface is unit-testable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import (
+    AuthorizationError,
+    ConfigurationError,
+    EcovisorError,
+    UnknownApplicationError,
+    UnknownContainerError,
+)
+
+Handler = Callable[["Request"], Any]
+
+_PARAM_PATTERN = re.compile(r"\{(\w+)\}")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One API request."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    body: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One API response with an HTTP-like status code."""
+
+    status: int
+    body: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class Route:
+    """A compiled route pattern like ``/apps/{app}/containers/{cid}``."""
+
+    def __init__(self, method: str, pattern: str, handler: Handler):
+        self.method = method.upper()
+        self.pattern = pattern
+        self.handler = handler
+        regex = _PARAM_PATTERN.sub(r"(?P<\1>[^/]+)", pattern)
+        self._regex = re.compile(f"^{regex}$")
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        if method.upper() != self.method:
+            return None
+        found = self._regex.match(path)
+        if found is None:
+            return None
+        return found.groupdict()
+
+
+class Router:
+    """Dispatches requests to the first matching route."""
+
+    def __init__(self):
+        self._routes: List[Route] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(Route(method, pattern, handler))
+
+    def routes(self) -> List[Tuple[str, str]]:
+        return [(r.method, r.pattern) for r in self._routes]
+
+    def dispatch(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Response:
+        """Route a request; maps library errors onto HTTP status codes."""
+        for route in self._routes:
+            params = route.match(method, path)
+            if params is None:
+                continue
+            request = Request(
+                method=method.upper(), path=path, params=params, body=body or {}
+            )
+            try:
+                result = route.handler(request)
+            except (UnknownContainerError, UnknownApplicationError) as exc:
+                return Response(404, {"error": str(exc)})
+            except AuthorizationError as exc:
+                return Response(403, {"error": str(exc)})
+            except (ConfigurationError, ValueError) as exc:
+                return Response(400, {"error": str(exc)})
+            except EcovisorError as exc:
+                return Response(500, {"error": str(exc)})
+            return Response(200, result)
+        return Response(404, {"error": f"no route for {method} {path}"})

@@ -1,0 +1,162 @@
+"""The ecovisor's REST surface.
+
+Maps the Table 1 API (plus container management) onto routes, mirroring
+the prototype's REST server.  Applications are identified by the ``app``
+path segment; every route goes through the same per-application
+authorization as the in-process API.
+
+Routes:
+
+==========  =============================================  ===============
+Method      Path                                            Table 1 call
+==========  =============================================  ===============
+GET         /apps/{app}/solar                               get_solar_power
+GET         /apps/{app}/grid                                get_grid_power
+GET         /apps/{app}/carbon                              get_grid_carbon
+GET         /apps/{app}/battery                             charge level + discharge rate
+POST        /apps/{app}/battery/charge_rate                 set_battery_charge_rate
+POST        /apps/{app}/battery/max_discharge               set_battery_max_discharge
+GET         /apps/{app}/containers                          list containers
+POST        /apps/{app}/containers                          launch container
+DELETE      /apps/{app}/containers/{cid}                    stop container
+GET         /apps/{app}/containers/{cid}/power              get_container_power
+GET         /apps/{app}/containers/{cid}/powercap           get_container_powercap
+POST        /apps/{app}/containers/{cid}/powercap           set_container_powercap
+POST        /apps/{app}/scale                               horizontal scale
+==========  =============================================  ===============
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.api import EcovisorAPI, connect
+from repro.core.ecovisor import Ecovisor
+from repro.rest.router import Request, Response, Router
+
+
+class EcovisorRestServer:
+    """In-process REST facade over an :class:`Ecovisor`."""
+
+    def __init__(self, ecovisor: Ecovisor):
+        self._ecovisor = ecovisor
+        self._apis: Dict[str, EcovisorAPI] = {}
+        self._router = Router()
+        self._install_routes()
+
+    @property
+    def router(self) -> Router:
+        return self._router
+
+    def request(self, method: str, path: str, body: dict | None = None) -> Response:
+        """Issue one request against the API surface."""
+        return self._router.dispatch(method, path, body)
+
+    # ------------------------------------------------------------------
+    # Route handlers
+    # ------------------------------------------------------------------
+    def _api(self, app_name: str) -> EcovisorAPI:
+        if app_name not in self._apis:
+            # connect() raises UnknownApplicationError for unregistered apps.
+            self._ecovisor.ves_for(app_name)
+            self._apis[app_name] = connect(self._ecovisor, app_name)
+        return self._apis[app_name]
+
+    def _install_routes(self) -> None:
+        r = self._router
+        r.add("GET", "/apps/{app}/solar", self._get_solar)
+        r.add("GET", "/apps/{app}/grid", self._get_grid)
+        r.add("GET", "/apps/{app}/carbon", self._get_carbon)
+        r.add("GET", "/apps/{app}/battery", self._get_battery)
+        r.add("POST", "/apps/{app}/battery/charge_rate", self._set_charge_rate)
+        r.add("POST", "/apps/{app}/battery/max_discharge", self._set_max_discharge)
+        r.add("GET", "/apps/{app}/containers", self._list_containers)
+        r.add("POST", "/apps/{app}/containers", self._launch_container)
+        r.add("DELETE", "/apps/{app}/containers/{cid}", self._stop_container)
+        r.add("GET", "/apps/{app}/containers/{cid}/power", self._container_power)
+        r.add("GET", "/apps/{app}/containers/{cid}/powercap", self._get_powercap)
+        r.add("POST", "/apps/{app}/containers/{cid}/powercap", self._set_powercap)
+        r.add("POST", "/apps/{app}/scale", self._scale)
+
+    def _get_solar(self, request: Request):
+        return {"solar_w": self._api(request.params["app"]).get_solar_power()}
+
+    def _get_grid(self, request: Request):
+        return {"grid_w": self._api(request.params["app"]).get_grid_power()}
+
+    def _get_carbon(self, request: Request):
+        return {
+            "carbon_g_per_kwh": self._api(request.params["app"]).get_grid_carbon()
+        }
+
+    def _get_battery(self, request: Request):
+        api = self._api(request.params["app"])
+        return {
+            "charge_level_wh": api.get_battery_charge_level(),
+            "capacity_wh": api.get_battery_capacity(),
+            "discharge_rate_w": api.get_battery_discharge_rate(),
+        }
+
+    def _set_charge_rate(self, request: Request):
+        api = self._api(request.params["app"])
+        api.set_battery_charge_rate(float(request.body["watts"]))
+        return {"ok": True}
+
+    def _set_max_discharge(self, request: Request):
+        api = self._api(request.params["app"])
+        api.set_battery_max_discharge(float(request.body["watts"]))
+        return {"ok": True}
+
+    def _list_containers(self, request: Request):
+        api = self._api(request.params["app"])
+        return {
+            "containers": [
+                {
+                    "id": c.id,
+                    "cores": c.cores,
+                    "role": c.role,
+                    "power_cap_w": c.power_cap_w,
+                }
+                for c in api.list_containers()
+            ]
+        }
+
+    def _launch_container(self, request: Request):
+        api = self._api(request.params["app"])
+        container = api.launch_container(
+            float(request.body.get("cores", 1.0)),
+            gpu=bool(request.body.get("gpu", False)),
+            role=str(request.body.get("role", "worker")),
+        )
+        return {"id": container.id, "cores": container.cores, "role": container.role}
+
+    def _stop_container(self, request: Request):
+        api = self._api(request.params["app"])
+        api.stop_container(request.params["cid"])
+        return {"ok": True}
+
+    def _container_power(self, request: Request):
+        api = self._api(request.params["app"])
+        return {"power_w": api.get_container_power(request.params["cid"])}
+
+    def _get_powercap(self, request: Request):
+        api = self._api(request.params["app"])
+        return {"powercap_w": api.get_container_powercap(request.params["cid"])}
+
+    def _set_powercap(self, request: Request):
+        api = self._api(request.params["app"])
+        watts = request.body.get("watts")
+        api.set_container_powercap(
+            request.params["cid"], None if watts is None else float(watts)
+        )
+        return {"ok": True}
+
+    def _scale(self, request: Request):
+        api = self._api(request.params["app"])
+        containers = api.scale_to(
+            int(request.body["count"]),
+            float(request.body.get("cores", 1.0)),
+            gpu=bool(request.body.get("gpu", False)),
+            role=str(request.body.get("role", "worker")),
+        )
+        return {"containers": [c.id for c in containers]}

@@ -1,0 +1,37 @@
+"""Simulation harness: engine, environments, and result records."""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.experiment import (
+    DEFAULT_CLUSTER,
+    Environment,
+    UNLIMITED_GRID_SHARE,
+    arrival_offsets,
+    carbon_threshold,
+    grid_environment,
+    run_batch_policy,
+    solar_battery_environment,
+)
+from repro.sim.results import (
+    BatchRunResult,
+    BatchSummary,
+    SeriesBundle,
+    ServiceRunResult,
+    summarize_batch,
+)
+
+__all__ = [
+    "BatchRunResult",
+    "BatchSummary",
+    "DEFAULT_CLUSTER",
+    "Environment",
+    "SeriesBundle",
+    "ServiceRunResult",
+    "SimulationEngine",
+    "UNLIMITED_GRID_SHARE",
+    "arrival_offsets",
+    "carbon_threshold",
+    "grid_environment",
+    "run_batch_policy",
+    "solar_battery_environment",
+    "summarize_batch",
+]

@@ -1,0 +1,122 @@
+"""The tick-driven simulation engine.
+
+Drives the ecovisor, applications, and policies through the paper's tick
+protocol (Section 3.1).  One engine tick performs, in order:
+
+1. ``ecovisor.begin_tick``   — sample solar/carbon, refresh virtual
+   views, publish asynchronous events.
+2. ``ecovisor.invoke_app_ticks`` — deliver ``tick()`` upcalls (policies
+   scale containers, set power caps, steer batteries).
+3. ``app.step``              — workloads set container demand
+   utilizations for the interval.
+4. ``ecovisor.settle``       — measure power, settle each virtual energy
+   system, attribute energy and carbon.
+5. ``app.finish_tick``       — workloads commit progress and metrics
+   using the settled served-energy fraction.
+6. ``clock.advance``.
+
+The engine stops at ``max_ticks`` or, optionally, as soon as every
+tracked batch job has completed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.api import EcovisorAPI, connect
+from repro.core.clock import SimulationClock, TickInfo
+from repro.core.config import ShareConfig
+from repro.core.ecovisor import Ecovisor
+from repro.core.errors import SimulationError
+from repro.policies.base import Policy
+from repro.workloads.base import Application
+
+TickObserver = Callable[[TickInfo], None]
+
+
+class SimulationEngine:
+    """Couples an ecovisor, a clock, and a set of (app, policy) pairs."""
+
+    def __init__(self, ecovisor: Ecovisor, clock: Optional[SimulationClock] = None):
+        self._ecovisor = ecovisor
+        self._clock = clock or SimulationClock(
+            tick_interval_s=ecovisor.config.tick_interval_s
+        )
+        self._apps: List[Application] = []
+        self._observers: List[TickObserver] = []
+
+    @property
+    def ecovisor(self) -> Ecovisor:
+        return self._ecovisor
+
+    @property
+    def clock(self) -> SimulationClock:
+        return self._clock
+
+    @property
+    def applications(self) -> List[Application]:
+        return list(self._apps)
+
+    def add_application(
+        self,
+        app: Application,
+        share: ShareConfig,
+        policy: Optional[Policy] = None,
+    ) -> EcovisorAPI:
+        """Register an application (and optionally its policy) for the run."""
+        self._ecovisor.register_app(app.name, share)
+        api = connect(self._ecovisor, app.name)
+        app.bind(api)
+        if policy is not None:
+            policy.attach(app, api)
+        self._apps.append(app)
+        return api
+
+    def add_observer(self, observer: TickObserver) -> None:
+        """Call ``observer`` at the end of every tick (for custom probes)."""
+        self._observers.append(observer)
+
+    def run(
+        self,
+        max_ticks: int,
+        stop_when_batch_complete: bool = False,
+    ) -> int:
+        """Run up to ``max_ticks`` ticks; returns the number executed.
+
+        With ``stop_when_batch_complete``, the run ends one settled tick
+        after every application reporting completion semantics finishes
+        (service applications never complete and are ignored for the
+        stopping rule unless they are the only applications).
+        """
+        if max_ticks <= 0:
+            raise SimulationError(f"max_ticks must be positive, got {max_ticks}")
+        executed = 0
+        for _ in range(max_ticks):
+            tick = self._clock.current_tick()
+            self._ecovisor.begin_tick(tick)
+            self._ecovisor.invoke_app_ticks(tick)
+            for app in self._apps:
+                app.step(tick, tick.duration_s)
+            fractions = self._ecovisor.settle(tick)
+            for app in self._apps:
+                app.finish_tick(tick, tick.duration_s, fractions.get(app.name, 1.0))
+            for observer in self._observers:
+                observer(tick)
+            self._clock.advance()
+            executed += 1
+            if stop_when_batch_complete and self._all_batch_complete():
+                break
+        return executed
+
+    def _all_batch_complete(self) -> bool:
+        batch_like = [app for app in self._apps if _has_completion(app)]
+        if not batch_like:
+            return False
+        return all(app.is_complete for app in batch_like)
+
+
+def _has_completion(app: Application) -> bool:
+    """True for applications whose ``is_complete`` can become True."""
+    # Services inherit the always-False default; batch jobs override the
+    # property.  Checking the class attribute avoids running model code.
+    return type(app).is_complete is not Application.is_complete

@@ -1,0 +1,141 @@
+"""Result records and summaries for experiment runs.
+
+The paper reports batch results as (carbon emissions, completion time)
+pairs with standard deviations over ten runs (Figure 4), and service
+results as latency/SLO time series plus total emissions (Figures 6-8).
+These dataclasses are the printable/testable form of those outputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.units import SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class BatchRunResult:
+    """One batch-job run under one policy."""
+
+    policy_label: str
+    arrival_offset_s: float
+    runtime_s: float
+    carbon_g: float
+    energy_wh: float
+    completed: bool
+
+    @property
+    def runtime_hours(self) -> float:
+        return self.runtime_s / SECONDS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Mean/std across repeated runs of one policy (a Figure 4 bar)."""
+
+    policy_label: str
+    runs: int
+    mean_runtime_s: float
+    std_runtime_s: float
+    mean_carbon_g: float
+    std_carbon_g: float
+    mean_energy_wh: float
+    completion_rate: float
+
+    @property
+    def mean_runtime_hours(self) -> float:
+        return self.mean_runtime_s / SECONDS_PER_HOUR
+
+    def runtime_ratio_vs(self, other: "BatchSummary") -> float:
+        """This policy's runtime as a multiple of ``other``'s."""
+        if other.mean_runtime_s <= 0:
+            return math.inf
+        return self.mean_runtime_s / other.mean_runtime_s
+
+    def carbon_change_vs(self, other: "BatchSummary") -> float:
+        """Relative carbon change vs ``other`` (negative = reduction)."""
+        if other.mean_carbon_g <= 0:
+            return math.inf
+        return (self.mean_carbon_g - other.mean_carbon_g) / other.mean_carbon_g
+
+
+def summarize_batch(results: Sequence[BatchRunResult]) -> BatchSummary:
+    """Aggregate repeated runs of one policy into a summary row."""
+    if not results:
+        raise ValueError("cannot summarize an empty result list")
+    labels = {r.policy_label for r in results}
+    if len(labels) != 1:
+        raise ValueError(f"mixed policy labels in one summary: {sorted(labels)}")
+    runtimes = [r.runtime_s for r in results]
+    carbons = [r.carbon_g for r in results]
+    energies = [r.energy_wh for r in results]
+    n = len(results)
+    return BatchSummary(
+        policy_label=results[0].policy_label,
+        runs=n,
+        mean_runtime_s=_mean(runtimes),
+        std_runtime_s=_std(runtimes),
+        mean_carbon_g=_mean(carbons),
+        std_carbon_g=_std(carbons),
+        mean_energy_wh=_mean(energies),
+        completion_rate=sum(1.0 for r in results if r.completed) / n,
+    )
+
+
+@dataclass(frozen=True)
+class ServiceRunResult:
+    """One web-service run under one policy (a Figure 6 line)."""
+
+    policy_label: str
+    app_name: str
+    slo_ms: float
+    ticks: int
+    violation_ticks: int
+    mean_p95_ms: float
+    worst_p95_ms: float
+    carbon_g: float
+    energy_wh: float
+
+    @property
+    def violation_fraction(self) -> float:
+        if self.ticks == 0:
+            return 0.0
+        return self.violation_ticks / self.ticks
+
+    @property
+    def met_slo_always(self) -> bool:
+        return self.violation_ticks == 0
+
+
+@dataclass
+class SeriesBundle:
+    """Named (times, values) series extracted from the telemetry DB.
+
+    The per-figure builders in :mod:`repro.analysis.figures` return these
+    so benches can print the same rows/series the paper plots.
+    """
+
+    title: str
+    series: Dict[str, List[tuple]] = field(default_factory=dict)
+
+    def add(self, name: str, times: Sequence[float], values: Sequence[float]) -> None:
+        self.series[name] = list(zip(times, values))
+
+    def names(self) -> List[str]:
+        return sorted(self.series)
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _std(values: Sequence[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mu = _mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))

@@ -1,0 +1,6 @@
+"""Telemetry: software-defined power monitoring and time-series storage."""
+
+from repro.telemetry.monitor import PowerMonitor
+from repro.telemetry.timeseries import Series, TimeSeriesDatabase
+
+__all__ = ["PowerMonitor", "Series", "TimeSeriesDatabase"]

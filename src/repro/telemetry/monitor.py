@@ -1,0 +1,90 @@
+"""Software-defined power monitoring.
+
+The prototype uses PowerAPI, a middleware toolkit for building
+software-defined power meters, to monitor per-container power, battery
+power, solar generation, grid usage, and carbon intensity, persisting all
+of it to a time-series database (paper Section 4).  This class is that
+meter: each tick it computes per-container attributed power from the
+orchestration platform's power model and writes every signal into the
+:class:`~repro.telemetry.timeseries.TimeSeriesDatabase`.
+
+Series naming scheme (stable, used by benches and analysis):
+
+- ``container.<id>.power_w``
+- ``app.<name>.power_w``        — summed container power
+- ``app.<name>.carbon_rate_mg_s``
+- ``app.<name>.containers``     — running container count
+- ``grid.carbon_g_per_kwh``
+- ``plant.solar_w``, ``plant.battery_level_wh``, ``plant.grid_power_w``
+- ``cluster.power_w``           — all containers + platform baseline
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.cluster.cop import ContainerOrchestrationPlatform
+from repro.telemetry.timeseries import TimeSeriesDatabase
+
+
+class PowerMonitor:
+    """Samples the platform each tick and persists telemetry."""
+
+    def __init__(
+        self,
+        platform: ContainerOrchestrationPlatform,
+        database: TimeSeriesDatabase | None = None,
+    ):
+        self._platform = platform
+        self._db = database or TimeSeriesDatabase()
+
+    @property
+    def database(self) -> TimeSeriesDatabase:
+        return self._db
+
+    def sample_containers(self, time_s: float) -> Dict[str, float]:
+        """Measure per-container power; returns {container_id: watts}."""
+        readings: Dict[str, float] = {}
+        for container in self._platform.containers():
+            power = self._platform.container_power_w(container.id)
+            readings[container.id] = power
+            self._db.record(f"container.{container.id}.power_w", time_s, power)
+        return readings
+
+    def sample_apps(
+        self, time_s: float, app_names: Iterable[str]
+    ) -> Dict[str, float]:
+        """Measure per-application power; returns {app_name: watts}."""
+        readings: Dict[str, float] = {}
+        for app_name in app_names:
+            power = self._platform.app_power_w(app_name)
+            count = len(self._platform.running_containers_for(app_name))
+            readings[app_name] = power
+            self._db.record(f"app.{app_name}.power_w", time_s, power)
+            self._db.record(f"app.{app_name}.containers", time_s, float(count))
+        return readings
+
+    def sample_cluster(self, time_s: float) -> float:
+        """Measure whole-cluster power including the platform baseline."""
+        power = self._platform.cluster_power_w()
+        self._db.record("cluster.power_w", time_s, power)
+        return power
+
+    def record_carbon_intensity(self, time_s: float, intensity: float) -> None:
+        self._db.record("grid.carbon_g_per_kwh", time_s, intensity)
+
+    def record_plant(
+        self,
+        time_s: float,
+        solar_w: float,
+        battery_level_wh: float,
+        grid_power_w: float,
+    ) -> None:
+        self._db.record("plant.solar_w", time_s, solar_w)
+        self._db.record("plant.battery_level_wh", time_s, battery_level_wh)
+        self._db.record("plant.grid_power_w", time_s, grid_power_w)
+
+    def record_app_carbon_rate(
+        self, time_s: float, app_name: str, rate_mg_per_s: float
+    ) -> None:
+        self._db.record(f"app.{app_name}.carbon_rate_mg_s", time_s, rate_mg_per_s)

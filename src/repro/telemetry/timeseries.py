@@ -1,0 +1,157 @@
+"""In-memory time-series database.
+
+The prototype stores historical power and carbon data in InfluxDB so the
+ecovisor can answer "sophisticated queries over historical data" (paper
+Section 3.1).  This class provides that capability in-process: named
+series of (time, value) points with interval queries, aggregation, and
+trapezoidal power-to-energy integration.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import TraceError
+from repro.core.units import SECONDS_PER_HOUR
+
+
+class Series:
+    """One append-only time series with monotonically increasing times."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, time_s: float, value: float) -> None:
+        if self._times and time_s < self._times[-1]:
+            raise TraceError(
+                f"series {self._name!r}: non-monotonic append "
+                f"({time_s} after {self._times[-1]})"
+            )
+        self._times.append(float(time_s))
+        self._values.append(float(value))
+
+    def latest(self) -> Tuple[float, float]:
+        if not self._times:
+            raise TraceError(f"series {self._name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+    def window(self, start_s: float, end_s: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Points with start_s <= time < end_s as (times, values) arrays."""
+        lo = bisect.bisect_left(self._times, start_s)
+        hi = bisect.bisect_left(self._times, end_s)
+        return (
+            np.asarray(self._times[lo:hi]),
+            np.asarray(self._values[lo:hi]),
+        )
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+
+class TimeSeriesDatabase:
+    """Named series with interval queries and aggregation."""
+
+    def __init__(self):
+        self._series: Dict[str, Series] = {}
+
+    def record(self, name: str, time_s: float, value: float) -> None:
+        """Append one point to series ``name`` (created on first write)."""
+        series = self._series.get(name)
+        if series is None:
+            series = Series(name)
+            self._series[name] = series
+        series.append(time_s, value)
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series
+
+    def series_names(self) -> List[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> Series:
+        try:
+            return self._series[name]
+        except KeyError:
+            raise TraceError(f"no such series: {name!r}") from None
+
+    def latest(self, name: str, default: float | None = None) -> float:
+        """Most recent value of a series, or ``default`` if empty/missing."""
+        series = self._series.get(name)
+        if series is None or len(series) == 0:
+            if default is None:
+                raise TraceError(f"series {name!r} has no data")
+            return default
+        return series.latest()[1]
+
+    def window(
+        self, name: str, start_s: float, end_s: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return self.series(name).window(start_s, end_s)
+
+    def mean(self, name: str, start_s: float, end_s: float) -> float:
+        """Mean of values in the window; zero when the window is empty."""
+        _, values = self.window(name, start_s, end_s)
+        if len(values) == 0:
+            return 0.0
+        return float(values.mean())
+
+    def total(self, name: str, start_s: float, end_s: float) -> float:
+        """Sum of values in the window (for per-tick increment series)."""
+        _, values = self.window(name, start_s, end_s)
+        return float(values.sum())
+
+    def percentile(self, name: str, q: float, start_s: float, end_s: float) -> float:
+        """Percentile of values in the window; NaN when empty."""
+        _, values = self.window(name, start_s, end_s)
+        if len(values) == 0:
+            return float("nan")
+        return float(np.percentile(values, q))
+
+    def integrate_power_wh(self, name: str, start_s: float, end_s: float) -> float:
+        """Integrate a power series (W) over the window into energy (Wh).
+
+        Uses left-rectangle integration matching the simulator's
+        discretization: each sample holds for one tick interval.
+        """
+        times, values = self.window(name, start_s, end_s)
+        if len(times) == 0:
+            return 0.0
+        if len(times) == 1:
+            return float(values[0] * (end_s - times[0]) / SECONDS_PER_HOUR)
+        widths = np.diff(times)
+        last_width = end_s - times[-1]
+        energy = float(np.dot(values[:-1], widths) + values[-1] * last_width)
+        return energy / SECONDS_PER_HOUR
+
+    def to_rows(self, names: Sequence[str]) -> List[Tuple[float, ...]]:
+        """Align several series on the first one's timestamps (for export)."""
+        if not names:
+            return []
+        base = self.series(names[0])
+        rows = []
+        for i, t in enumerate(base.times()):
+            row = [t, base.values()[i]]
+            for other_name in names[1:]:
+                other = self.series(other_name)
+                times = other.times()
+                idx = min(
+                    bisect.bisect_right(list(times), t) - 1, len(times) - 1
+                )
+                row.append(float(other.values()[idx]) if idx >= 0 else float("nan"))
+            rows.append(tuple(row))
+        return rows

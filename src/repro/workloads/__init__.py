@@ -1,0 +1,39 @@
+"""Workload models: the applications of the paper's Section 5 case studies."""
+
+from repro.workloads.base import Application, BatchJob
+from repro.workloads.blast import BlastJob
+from repro.workloads.latency import (
+    erlang_c,
+    min_servers_for_slo,
+    percentile_latency_ms,
+    percentile_wait_s,
+)
+from repro.workloads.mltrain import MLTrainingJob, sync_efficiency
+from repro.workloads.parallel import ParallelJob
+from repro.workloads.spark import SparkJob
+from repro.workloads.traces import (
+    RequestTrace,
+    constant_request_trace,
+    daytime_request_trace,
+    diurnal_request_trace,
+)
+from repro.workloads.webapp import WebApplication
+
+__all__ = [
+    "Application",
+    "BatchJob",
+    "BlastJob",
+    "MLTrainingJob",
+    "ParallelJob",
+    "RequestTrace",
+    "SparkJob",
+    "WebApplication",
+    "constant_request_trace",
+    "daytime_request_trace",
+    "diurnal_request_trace",
+    "erlang_c",
+    "min_servers_for_slo",
+    "percentile_latency_ms",
+    "percentile_wait_s",
+    "sync_efficiency",
+]

@@ -1,0 +1,206 @@
+"""Application base classes.
+
+Applications in this reproduction mirror the paper's containerized
+applications: they run in containers managed through the ecovisor API and
+receive the ``tick()`` upcall (via their *policy*, which encapsulates the
+carbon-management logic; see :mod:`repro.policies`).
+
+The engine drives each application twice per tick:
+
+1. :meth:`Application.step` — before settlement: the application sets
+   each container's *demand utilization* (how busy it wants to be).
+   Container power caps then clamp what actually runs.
+2. :meth:`Application.finish_tick` — after settlement: the application
+   commits progress and records metrics using the containers' *effective*
+   utilization and the settlement's served-energy fraction (power
+   shortages degrade capacity, as Section 3 describes for resource
+   revocations).
+
+:class:`BatchJob` adds completion semantics and the throughput hook that
+the ML-training, BLAST, Spark, and synthetic-parallel models implement.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.core.api import EcovisorAPI
+from repro.core.clock import TickInfo
+
+
+class Application(abc.ABC):
+    """A containerized application managed through the ecovisor API."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._api: Optional[EcovisorAPI] = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def api(self) -> EcovisorAPI:
+        if self._api is None:
+            raise RuntimeError(f"application {self._name!r} is not bound to an API")
+        return self._api
+
+    @property
+    def is_bound(self) -> bool:
+        return self._api is not None
+
+    def bind(self, api: EcovisorAPI) -> None:
+        """Attach the application to its ecovisor API handle."""
+        self._api = api
+        self.on_bind()
+
+    def on_bind(self) -> None:
+        """Hook for subclasses; runs once after :meth:`bind`."""
+
+    @abc.abstractmethod
+    def step(self, tick: TickInfo, duration_s: float) -> None:
+        """Set per-container demand utilizations for the coming interval."""
+
+    @abc.abstractmethod
+    def finish_tick(
+        self, tick: TickInfo, duration_s: float, served_fraction: float
+    ) -> None:
+        """Commit progress/metrics after the interval's energy settlement."""
+
+    @property
+    def is_complete(self) -> bool:
+        """Batch jobs override; services never complete."""
+        return False
+
+    def running_containers(self):
+        return self.api.list_containers()
+
+    def worker_containers(self):
+        """Running containers with the default ``worker`` role."""
+        return [c for c in self.api.list_containers() if c.role == "worker"]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._name!r})"
+
+
+class BatchJob(Application):
+    """A job with a fixed amount of work and a completion time.
+
+    Subclasses define :meth:`throughput_units_per_s`, mapping the current
+    containers' effective utilizations to aggregate work throughput.  The
+    base class tracks committed progress, suspend/resume transitions
+    (with a configurable warmup penalty on resume, modelling checkpoint
+    reload and pipeline refill), and the completion timestamp.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        total_work_units: float,
+        warmup_ticks_on_resume: int = 0,
+    ):
+        super().__init__(name)
+        if total_work_units <= 0:
+            raise ValueError(f"total work must be positive, got {total_work_units}")
+        if warmup_ticks_on_resume < 0:
+            raise ValueError("warmup ticks must be >= 0")
+        self._total_work = float(total_work_units)
+        self._progress = 0.0
+        self._warmup_ticks_on_resume = warmup_ticks_on_resume
+        self._warmup_remaining = 0
+        self._was_running = False
+        self._completion_time_s: Optional[float] = None
+        self._pending_units = 0.0
+        self._suspended_ticks = 0
+        self._running_ticks = 0
+
+    # ------------------------------------------------------------------
+    # Progress accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_work_units(self) -> float:
+        return self._total_work
+
+    @property
+    def progress_units(self) -> float:
+        return self._progress
+
+    @property
+    def progress_fraction(self) -> float:
+        return min(1.0, self._progress / self._total_work)
+
+    @property
+    def is_complete(self) -> bool:
+        return self._progress >= self._total_work - 1e-9
+
+    @property
+    def completion_time_s(self) -> Optional[float]:
+        """Simulation time at which the job finished (None if unfinished)."""
+        return self._completion_time_s
+
+    @property
+    def suspended_ticks(self) -> int:
+        return self._suspended_ticks
+
+    @property
+    def running_ticks(self) -> int:
+        return self._running_ticks
+
+    # ------------------------------------------------------------------
+    # Throughput model hook
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def throughput_units_per_s(self, effective_utilizations: List[float]) -> float:
+        """Aggregate work rate given each running container's utilization."""
+
+    # ------------------------------------------------------------------
+    # Engine protocol
+    # ------------------------------------------------------------------
+    def step(self, tick: TickInfo, duration_s: float) -> None:
+        if self.is_complete:
+            for container in self.running_containers():
+                container.set_demand_utilization(0.0)
+            self._pending_units = 0.0
+            return
+        containers = self.worker_containers()
+        running_now = len(containers) > 0
+        if running_now and not self._was_running:
+            self._warmup_remaining = self._warmup_ticks_on_resume
+        self._was_running = running_now
+        for container in containers:
+            container.set_demand_utilization(1.0)
+        self._pending_units = 0.0  # computed in finish_tick from effective utils
+
+    def finish_tick(
+        self, tick: TickInfo, duration_s: float, served_fraction: float
+    ) -> None:
+        if self.is_complete:
+            return
+        containers = self.worker_containers()
+        if not containers:
+            self._suspended_ticks += 1
+            return
+        self._running_ticks += 1
+        if self._warmup_remaining > 0:
+            # Resume warmup: containers draw power but make no progress
+            # (checkpoint reload, data pipeline refill, re-sync).
+            self._warmup_remaining -= 1
+            return
+        utils = [c.effective_utilization for c in containers]
+        rate = self.throughput_units_per_s(utils)
+        done = rate * duration_s * max(0.0, min(1.0, served_fraction))
+        self._progress = min(self._total_work, self._progress + done)
+        if self.is_complete and self._completion_time_s is None:
+            self._completion_time_s = tick.end_s
+
+    # ------------------------------------------------------------------
+    # Result summary
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        return {
+            "progress_fraction": self.progress_fraction,
+            "completion_time_s": self._completion_time_s or float("nan"),
+            "suspended_ticks": float(self._suspended_ticks),
+            "running_ticks": float(self._running_ticks),
+        }

@@ -1,0 +1,222 @@
+"""Synthetic barrier-synchronized parallel job with stragglers.
+
+Models the paper's Section 5.4 workload: a parallel job running one task
+per node, synchronizing at a barrier each round ("the job periodically
+synchronizes across tasks and performs I/O").  Task work varies round to
+round, and injected stragglers take several times longer — so under a
+*static* per-container power split, fast tasks finish early and idle at
+the barrier (burning idle power while contributing nothing), while the
+straggler gates the round.
+
+Two mitigation levers (each its own policy in
+:mod:`repro.policies.solar_matching` / :mod:`repro.policies.straggler`):
+
+- **Dynamic power caps** (Figure 10): shift power toward tasks with more
+  remaining work so all tasks hit the barrier together.
+- **Replica tasks** (Figure 11): when excess solar exists, clone the
+  straggler onto a spare container; the round completes when either copy
+  finishes ("at most one replica task will finish").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.clock import TickInfo
+from repro.workloads.base import Application
+
+
+class ParallelJob(Application):
+    """Barrier-synchronized rounds of per-node tasks with stragglers."""
+
+    def __init__(
+        self,
+        name: str = "parallel",
+        num_tasks: int = 10,
+        num_rounds: int = 24,
+        mean_task_work_units: float = 900.0,
+        work_cv: float = 0.20,
+        straggler_probability: float = 0.12,
+        straggler_factor: float = 2.5,
+        worker_rate_units_per_s: float = 1.0,
+        seed: int = 42,
+    ):
+        super().__init__(name)
+        if num_tasks <= 0 or num_rounds <= 0:
+            raise ValueError("tasks and rounds must be positive")
+        if not 0.0 <= straggler_probability <= 1.0:
+            raise ValueError("straggler probability must be in [0, 1]")
+        if straggler_factor < 1.0:
+            raise ValueError("straggler factor must be >= 1")
+        self._num_tasks = num_tasks
+        self._num_rounds = num_rounds
+        self._worker_rate = worker_rate_units_per_s
+        self._straggler_factor = straggler_factor
+        rng = np.random.default_rng(seed)
+        sigma = max(work_cv, 1e-9)
+        self._work_matrix = rng.lognormal(
+            mean=np.log(mean_task_work_units) - 0.5 * sigma**2,
+            sigma=sigma,
+            size=(num_rounds, num_tasks),
+        )
+        # Stragglers are *slow executions*, not larger tasks: the primary
+        # node runs the task at 1/straggler_factor speed (interference,
+        # slow I/O), so a replica on a healthy node can overtake it.
+        self._straggler_matrix = (
+            rng.random((num_rounds, num_tasks)) < straggler_probability
+        )
+        self._current_round = 0
+        self._remaining = self._work_matrix[0].copy()
+        self._task_containers: Dict[int, str] = {}
+        self._replica_containers: Dict[int, str] = {}
+        self._completion_time_s: Optional[float] = None
+        self._work_done_units = 0.0
+
+    # ------------------------------------------------------------------
+    # Structure the policies need
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return self._num_tasks
+
+    @property
+    def num_rounds(self) -> int:
+        return self._num_rounds
+
+    @property
+    def current_round(self) -> int:
+        return self._current_round
+
+    @property
+    def is_complete(self) -> bool:
+        return self._current_round >= self._num_rounds
+
+    @property
+    def completion_time_s(self) -> Optional[float]:
+        return self._completion_time_s
+
+    @property
+    def work_done_units(self) -> float:
+        """Useful work completed (excludes duplicated replica work)."""
+        return self._work_done_units
+
+    @property
+    def total_useful_work_units(self) -> float:
+        return float(self._work_matrix.sum())
+
+    def task_remaining(self) -> np.ndarray:
+        """Remaining work per task in the current round (read-only copy)."""
+        return self._remaining.copy()
+
+    def assign_task_container(self, task_index: int, container_id: str) -> None:
+        """Pin ``task_index``'s primary work to a container."""
+        self._check_task(task_index)
+        self._task_containers[task_index] = container_id
+
+    def add_replica(self, task_index: int, container_id: str) -> None:
+        """Run a replica of a task on a spare container (Figure 11)."""
+        self._check_task(task_index)
+        self._replica_containers[task_index] = container_id
+
+    def clear_replicas(self) -> List[str]:
+        """Drop all replicas (round finished); returns their container ids."""
+        ids = list(self._replica_containers.values())
+        self._replica_containers.clear()
+        return ids
+
+    def replica_count(self) -> int:
+        return len(self._replica_containers)
+
+    def straggler_tasks(self, threshold_factor: float = 1.5) -> List[int]:
+        """Tasks whose remaining work exceeds ``threshold_factor`` x median.
+
+        This is progress-based straggler detection — the application
+        "tracks the progress of each task" (Section 5.4.1).
+        """
+        unfinished = self._remaining[self._remaining > 0]
+        if len(unfinished) == 0:
+            return []
+        median = float(np.median(unfinished))
+        if median <= 0:
+            return []
+        return [
+            i
+            for i in range(self._num_tasks)
+            if self._remaining[i] > threshold_factor * median
+        ]
+
+    def injected_stragglers_this_round(self) -> List[int]:
+        """Ground-truth injected stragglers (for tests and analysis)."""
+        if self.is_complete:
+            return []
+        return list(np.flatnonzero(self._straggler_matrix[self._current_round]))
+
+    # ------------------------------------------------------------------
+    # Engine protocol
+    # ------------------------------------------------------------------
+    def step(self, tick: TickInfo, duration_s: float) -> None:
+        running = {c.id: c for c in self.running_containers()}
+        if self.is_complete:
+            for container in running.values():
+                container.set_demand_utilization(0.0)
+            return
+        busy_ids = set()
+        for task, container_id in self._task_containers.items():
+            if self._remaining[task] > 0 and container_id in running:
+                busy_ids.add(container_id)
+        for task, container_id in self._replica_containers.items():
+            if self._remaining[task] > 0 and container_id in running:
+                busy_ids.add(container_id)
+        for container_id, container in running.items():
+            # Tasks waiting at the barrier idle (draw idle power only).
+            container.set_demand_utilization(1.0 if container_id in busy_ids else 0.0)
+
+    def finish_tick(
+        self, tick: TickInfo, duration_s: float, served_fraction: float
+    ) -> None:
+        if self.is_complete:
+            return
+        running = {c.id: c for c in self.running_containers()}
+        scale = max(0.0, min(1.0, served_fraction))
+        slow_this_round = self._straggler_matrix[self._current_round]
+        for task in range(self._num_tasks):
+            if self._remaining[task] <= 0:
+                continue
+            speed = self._container_speed(self._task_containers.get(task), running)
+            if slow_this_round[task]:
+                speed /= self._straggler_factor
+            # Replicas run on healthy nodes at full speed.
+            replica_speed = self._container_speed(
+                self._replica_containers.get(task), running
+            )
+            # The task completes when the faster copy finishes; per-tick,
+            # that is the max of the two speeds.
+            effective = max(speed, replica_speed) * scale
+            done = min(self._remaining[task], effective * duration_s)
+            self._remaining[task] -= done
+            self._work_done_units += done
+        if np.all(self._remaining <= 1e-9):
+            self._current_round += 1
+            if self._current_round < self._num_rounds:
+                self._remaining = self._work_matrix[self._current_round].copy()
+            elif self._completion_time_s is None:
+                self._completion_time_s = tick.end_s
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _container_speed(
+        self, container_id: Optional[str], running: Dict[str, object]
+    ) -> float:
+        if container_id is None or container_id not in running:
+            return 0.0
+        container = running[container_id]
+        return self._worker_rate * container.effective_utilization
+
+    def _check_task(self, task_index: int) -> None:
+        if not 0 <= task_index < self._num_tasks:
+            raise IndexError(
+                f"task index {task_index} out of range [0, {self._num_tasks})"
+            )

@@ -1,0 +1,117 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import constant_trace
+from repro.cluster.cop import ContainerOrchestrationPlatform
+from repro.core.clock import SimulationClock
+from repro.core.config import (
+    BatteryConfig,
+    CarbonServiceConfig,
+    ClusterConfig,
+    EcovisorConfig,
+    ServerConfig,
+    ShareConfig,
+    SolarConfig,
+)
+from repro.core.ecovisor import Ecovisor
+from repro.energy.battery import Battery
+from repro.energy.grid import GridConnection
+from repro.energy.solar import ConstantSolarTrace, SolarArrayEmulator
+from repro.energy.system import PhysicalEnergySystem
+from repro.sim.engine import SimulationEngine
+
+TICK_S = 60.0
+
+
+@pytest.fixture
+def small_battery_config() -> BatteryConfig:
+    """A 100 Wh battery with simple round numbers for hand computation."""
+    return BatteryConfig(
+        capacity_wh=100.0,
+        empty_soc_fraction=0.30,
+        max_charge_c_rate=0.25,
+        max_discharge_c_rate=1.0,
+        charge_efficiency=1.0,
+        discharge_efficiency=1.0,
+        initial_soc_fraction=0.50,
+    )
+
+
+@pytest.fixture
+def lossy_battery_config() -> BatteryConfig:
+    """Same battery but with 90% one-way efficiencies."""
+    return BatteryConfig(
+        capacity_wh=100.0,
+        empty_soc_fraction=0.30,
+        charge_efficiency=0.90,
+        discharge_efficiency=0.90,
+        initial_soc_fraction=0.50,
+    )
+
+
+def make_ecovisor(
+    solar_w: float = 10.0,
+    carbon_g_per_kwh: float = 200.0,
+    battery_config: BatteryConfig | None = None,
+    num_servers: int = 4,
+    with_battery: bool = True,
+    with_solar: bool = True,
+) -> Ecovisor:
+    """An ecovisor over constant solar/carbon, convenient for unit tests."""
+    solar = (
+        SolarArrayEmulator(
+            SolarConfig(
+                peak_power_w=max(solar_w, 1.0),
+                scale=1.0 if solar_w > 0 else 0.0,
+                panel_efficiency_derating=1.0,
+            ),
+            ConstantSolarTrace(1.0),
+        )
+        if with_solar
+        else None
+    )
+    battery = Battery(battery_config or BatteryConfig()) if with_battery else None
+    plant = PhysicalEnergySystem(
+        grid=GridConnection(), battery=battery, solar=solar
+    )
+    carbon = CarbonIntensityService(
+        CarbonServiceConfig(region="constant"),
+        trace=constant_trace(carbon_g_per_kwh, days=7),
+    )
+    platform = ContainerOrchestrationPlatform(
+        ClusterConfig(num_servers=num_servers, server=ServerConfig())
+    )
+    return Ecovisor(plant, platform, carbon, EcovisorConfig())
+
+
+@pytest.fixture
+def ecovisor() -> Ecovisor:
+    return make_ecovisor()
+
+
+@pytest.fixture
+def engine(ecovisor: Ecovisor) -> SimulationEngine:
+    return SimulationEngine(ecovisor, SimulationClock(TICK_S))
+
+
+def run_ticks(ecovisor: Ecovisor, ticks: int, demand_setter=None) -> SimulationClock:
+    """Drive the bare ecovisor tick loop (no engine, no applications)."""
+    clock = SimulationClock(TICK_S)
+    for _ in range(ticks):
+        tick = clock.current_tick()
+        ecovisor.begin_tick(tick)
+        ecovisor.invoke_app_ticks(tick)
+        if demand_setter is not None:
+            demand_setter(tick)
+        ecovisor.settle(tick)
+        clock.advance()
+    return clock
+
+
+@pytest.fixture
+def default_share() -> ShareConfig:
+    return ShareConfig(solar_fraction=0.5, battery_fraction=0.5)

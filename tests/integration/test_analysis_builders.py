@@ -1,0 +1,50 @@
+"""Integration: remaining analysis-builder surfaces."""
+
+import pytest
+
+from repro.analysis.figures_batch import fig01_carbon_traces
+from repro.analysis.figures_solar import fig10_day_series
+
+
+class TestFig01Bundle:
+    def test_three_regions_present(self):
+        bundle = fig01_carbon_traces(days=1)
+        assert bundle.names() == ["caiso", "ontario", "uruguay"]
+
+    def test_five_minute_sampling(self):
+        bundle = fig01_carbon_traces(days=1)
+        times = [t for t, _ in bundle.series["caiso"]]
+        assert times[1] - times[0] == pytest.approx(300.0)
+        assert len(times) == 288  # one day of 5-minute samples
+
+    def test_deterministic(self):
+        a = fig01_carbon_traces(days=1)
+        b = fig01_carbon_traces(days=1)
+        assert a.series == b.series
+
+
+class TestFig10DaySeries:
+    @pytest.fixture(scope="class")
+    def bundle(self):
+        return fig10_day_series()
+
+    def test_solar_and_app_power_series_present(self, bundle):
+        names = bundle.names()
+        assert "solar_w" in names
+        assert "application_power_w" in names
+
+    def test_per_container_cap_series_present(self, bundle):
+        container_series = [
+            n for n in bundle.names() if n.startswith("container.")
+        ]
+        assert len(container_series) >= 10  # one per node
+
+    def test_application_power_bounded_by_solar_envelope(self, bundle):
+        """The dynamic caps keep demand within the solar supply."""
+        solar = dict(bundle.series["solar_w"])
+        app = dict(bundle.series["application_power_w"])
+        overdraws = [
+            t for t in app
+            if t in solar and app[t] > solar[t] + 0.5  # half-watt tolerance
+        ]
+        assert len(overdraws) <= len(app) * 0.02

@@ -1,0 +1,80 @@
+"""Integration: Figure 6/7 carbon budgeting shapes (reduced horizon)."""
+
+import pytest
+
+from repro.analysis.figures_web import fig06_07_web_budgeting
+from repro.carbon.traces import make_region_trace
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    # One-day carbon trace keeps the integration run fast; the experiment
+    # module's own default is the paper's 48 h.
+    trace = make_region_trace("caiso", days=2, seed=2023)
+    return fig06_07_web_budgeting(carbon_trace=trace)
+
+
+class TestSloBehaviour:
+    def test_static_policy_violates_slo(self, outcome):
+        static = [r for r in outcome["results"] if r.policy_label == "System Policy"]
+        assert any(r.violation_ticks > 0 for r in static)
+
+    def test_dynamic_policy_nearly_always_meets_slo(self, outcome):
+        dynamic = [
+            r for r in outcome["results"] if r.policy_label == "Dynamic Budget"
+        ]
+        for r in dynamic:
+            assert r.violation_fraction < 0.02
+
+    def test_dynamic_strictly_better_attainment(self, outcome):
+        by_app = {}
+        for r in outcome["results"]:
+            by_app.setdefault(r.app_name, {})[r.policy_label] = r
+        for app, rows in by_app.items():
+            assert (
+                rows["Dynamic Budget"].violation_fraction
+                <= rows["System Policy"].violation_fraction
+            )
+
+
+class TestCarbonBehaviour:
+    def test_dynamic_emits_less(self, outcome):
+        by_app = {}
+        for r in outcome["results"]:
+            by_app.setdefault(r.app_name, {})[r.policy_label] = r
+        for app, rows in by_app.items():
+            assert (
+                rows["Dynamic Budget"].carbon_g < rows["System Policy"].carbon_g
+            )
+
+    def test_dynamic_stays_within_budget(self, outcome):
+        """Total emissions must not exceed rate x horizon."""
+        horizon_s = 48 * 3600.0
+        budget_g = outcome["target_rate_mg_per_s"] * horizon_s / 1000.0
+        dynamic = [
+            r for r in outcome["results"] if r.policy_label == "Dynamic Budget"
+        ]
+        for r in dynamic:
+            assert r.carbon_g <= budget_g * 1.02
+
+
+class TestSeries:
+    def test_bundle_contains_expected_series(self, outcome):
+        names = outcome["bundle"].names()
+        assert "carbon_intensity" in names
+        for prefix in ("static", "dynamic"):
+            for app in ("webapp1", "webapp2"):
+                assert f"{prefix}.{app}.p95_ms" in names
+                assert f"{prefix}.{app}.workers" in names
+                assert f"{prefix}.{app}.carbon_rate" in names
+
+    def test_system_policy_workers_track_carbon_inversely(self, outcome):
+        """Fig 7b: the rate-limit policy adds workers when carbon drops."""
+        series = dict(outcome["bundle"].series)
+        carbon = [v for _, v in series["carbon_intensity"]]
+        workers = [v for _, v in series["static.webapp1.workers"]]
+        n = min(len(carbon), len(workers))
+        import numpy as np
+
+        correlation = np.corrcoef(carbon[:n], workers[:n])[0, 1]
+        assert correlation < -0.3

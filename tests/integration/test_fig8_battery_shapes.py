@@ -1,0 +1,71 @@
+"""Integration: Figure 8/9 battery policy shapes."""
+
+import pytest
+
+from repro.analysis.figures_battery import fig08_09_battery_policies
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return fig08_09_battery_policies()
+
+
+class TestZeroCarbon:
+    def test_no_app_ever_emits(self, outcome):
+        for value in outcome["zero_carbon"].values():
+            assert value == 0.0
+
+
+class TestSparkRuntime:
+    def test_both_variants_complete(self, outcome):
+        assert outcome["spark_runtime_static_s"] != float("inf")
+        assert outcome["spark_runtime_dynamic_s"] != float("inf")
+
+    def test_dynamic_substantially_faster(self, outcome):
+        """Paper: the dynamic policy reduces runtime by 39%."""
+        assert outcome["spark_runtime_reduction_pct"] > 20.0
+
+    def test_dynamic_lost_bounded_work(self, outcome):
+        """Opportunistic workers lose some un-checkpointed work, but the
+        auto-checkpoint interval bounds the damage."""
+        assert outcome["spark_lost_units_dynamic"] > 0.0
+        assert outcome["spark_lost_units_dynamic"] < 0.15 * 400000.0
+
+
+class TestWebSlo:
+    def test_static_violates_under_peak_load(self, outcome):
+        static = next(
+            r for r in outcome["web_results"] if r.policy_label == "System Policy"
+        )
+        assert static.violation_fraction > 0.10
+
+    def test_dynamic_nearly_always_meets(self, outcome):
+        dynamic = next(
+            r for r in outcome["web_results"] if r.policy_label == "Dynamic"
+        )
+        assert dynamic.violation_fraction < 0.02
+
+
+class TestBatterySeries:
+    def test_soc_series_stay_in_range(self, outcome):
+        series = dict(outcome["bundle"].series)
+        for app in ("spark", "web-monitor"):
+            soc_values = [v for _, v in series[f"dynamic.{app}.soc"]]
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in soc_values)
+
+    def test_batteries_both_charge_and_discharge(self, outcome):
+        """Fig 9b: signed battery power shows both signs over the run."""
+        series = dict(outcome["bundle"].series)
+        for app in ("spark", "web-monitor"):
+            power = [v for _, v in series[f"dynamic.{app}.battery_power_w"]]
+            assert max(power) > 0.0
+            assert min(power) < 0.0
+
+    def test_apps_use_batteries_differently(self, outcome):
+        """Multi-tenancy: per-app SoC trajectories differ (Fig 9a)."""
+        series = dict(outcome["bundle"].series)
+        spark = [v for _, v in series["dynamic.spark.soc"]]
+        web = [v for _, v in series["dynamic.web-monitor.soc"]]
+        n = min(len(spark), len(web))
+        differences = [abs(a - b) for a, b in zip(spark[:n], web[:n])]
+        assert max(differences) > 0.05

@@ -1,0 +1,54 @@
+"""Integration: the README quickstart flow end to end."""
+
+import pytest
+
+from repro.core import AppEnergyLibrary
+from repro.core.api import connect
+from repro.policies import WaitAndScalePolicy
+from repro.sim import UNLIMITED_GRID_SHARE, grid_environment
+from repro.sim.experiment import carbon_threshold
+from repro.workloads import MLTrainingJob
+
+
+class TestQuickstart:
+    def test_full_flow(self):
+        env = grid_environment(region="caiso", days=2)
+        job = MLTrainingJob(total_work_units=10000.0)
+        threshold = carbon_threshold(env.carbon_service.trace, 30.0)
+        env.engine.add_application(
+            job, UNLIMITED_GRID_SHARE, WaitAndScalePolicy(threshold, 4, 2.0)
+        )
+        env.engine.run(2 * 24 * 60, stop_when_batch_complete=True)
+        assert job.is_complete
+        assert job.completion_time_s is not None
+        assert env.ecovisor.ledger.app_carbon_g(job.name) > 0
+
+    def test_library_over_quickstart(self):
+        env = grid_environment(region="caiso", days=1)
+        job = MLTrainingJob(total_work_units=5000.0)
+        threshold = carbon_threshold(env.carbon_service.trace, 50.0)
+        api = env.engine.add_application(
+            job, UNLIMITED_GRID_SHARE, WaitAndScalePolicy(threshold, 4, 2.0)
+        )
+        library = AppEnergyLibrary(api)
+        env.engine.run(24 * 60, stop_when_batch_complete=True)
+        assert library.get_app_carbon() == pytest.approx(
+            env.ecovisor.ledger.app_carbon_g(job.name)
+        )
+        horizon = env.engine.clock.now_s
+        assert library.get_app_energy(0.0, horizon) > 0
+
+    def test_deterministic_across_runs(self):
+        results = []
+        for _ in range(2):
+            env = grid_environment(region="caiso", days=1, seed=7)
+            job = MLTrainingJob(total_work_units=5000.0)
+            threshold = carbon_threshold(env.carbon_service.trace, 40.0)
+            env.engine.add_application(
+                job, UNLIMITED_GRID_SHARE, WaitAndScalePolicy(threshold, 4, 2.0)
+            )
+            env.engine.run(24 * 60, stop_when_batch_complete=True)
+            results.append(
+                (job.completion_time_s, env.ecovisor.ledger.app_carbon_g(job.name))
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,124 @@
+"""Property-based tests of the battery model's physical invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.config import BatteryConfig
+from repro.energy.battery import Battery
+
+power = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+duration = st.floats(min_value=1.0, max_value=7200.0, allow_nan=False)
+efficiency = st.floats(min_value=0.5, max_value=1.0)
+soc = st.floats(min_value=0.30, max_value=1.0)
+
+
+def make_battery(charge_eff=1.0, discharge_eff=1.0, initial_soc=0.5) -> Battery:
+    return Battery(
+        BatteryConfig(
+            capacity_wh=100.0,
+            empty_soc_fraction=0.30,
+            charge_efficiency=charge_eff,
+            discharge_efficiency=discharge_eff,
+            initial_soc_fraction=initial_soc,
+        )
+    )
+
+
+class TestSocBounds:
+    @given(ops=st.lists(st.tuples(st.booleans(), power, duration), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_level_always_within_capacity(self, ops):
+        battery = make_battery()
+        for is_charge, p, d in ops:
+            if is_charge:
+                battery.charge(p, d)
+            else:
+                battery.discharge(p, d)
+            assert -1e-9 <= battery.level_wh <= battery.capacity_wh + 1e-9
+
+    @given(ops=st.lists(st.tuples(st.booleans(), power, duration), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_discharge_never_breaches_floor(self, ops):
+        battery = make_battery()
+        for is_charge, p, d in ops:
+            if is_charge:
+                battery.charge(p, d)
+            else:
+                battery.discharge(p, d)
+            assert battery.level_wh >= battery.floor_wh - 1e-9
+
+
+class TestRateLimits:
+    @given(p=power, d=duration)
+    @settings(max_examples=60, deadline=None)
+    def test_accepted_power_never_exceeds_charge_limit(self, p, d):
+        battery = make_battery()
+        accepted = battery.charge(p, d)
+        assert accepted <= battery.max_charge_power_w + 1e-9
+        assert accepted <= p + 1e-9
+
+    @given(p=power, d=duration)
+    @settings(max_examples=60, deadline=None)
+    def test_delivered_power_never_exceeds_discharge_limit(self, p, d):
+        battery = make_battery()
+        delivered = battery.discharge(p, d)
+        assert delivered <= battery.max_discharge_power_w + 1e-9
+        assert delivered <= p + 1e-9
+
+
+class TestEnergyConservation:
+    @given(
+        ops=st.lists(st.tuples(st.booleans(), power, duration), max_size=25),
+        ceff=efficiency,
+        deff=efficiency,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_balance_with_losses(self, ops, ceff, deff):
+        """level = initial + in*eff_c - out/eff_d at all times."""
+        battery = make_battery(charge_eff=ceff, discharge_eff=deff)
+        initial = battery.level_wh
+        for is_charge, p, d in ops:
+            if is_charge:
+                battery.charge(p, d)
+            else:
+                battery.discharge(p, d)
+        expected = (
+            initial
+            + battery.total_charged_wh * ceff
+            - battery.total_discharged_wh / deff
+        )
+        assert battery.level_wh == pytest_approx(expected)
+
+    @given(p=st.floats(min_value=1.0, max_value=20.0), d=duration)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_never_gains_energy(self, p, d):
+        battery = make_battery(charge_eff=0.9, discharge_eff=0.9)
+        accepted = battery.charge(p, d)
+        in_wh = accepted * d / 3600.0
+        delivered = battery.discharge(p, d)
+        out_wh = delivered * d / 3600.0
+        assert out_wh <= in_wh + 1e-9
+
+
+class TestMonotonicity:
+    @given(p=power, d=duration, start=soc)
+    @settings(max_examples=60, deadline=None)
+    def test_charging_never_decreases_level(self, p, d, start):
+        battery = make_battery(initial_soc=start)
+        before = battery.level_wh
+        battery.charge(p, d)
+        assert battery.level_wh >= before - 1e-9
+
+    @given(p=power, d=duration, start=soc)
+    @settings(max_examples=60, deadline=None)
+    def test_discharging_never_increases_level(self, p, d, start):
+        battery = make_battery(initial_soc=start)
+        before = battery.level_wh
+        battery.discharge(p, d)
+        assert battery.level_wh <= before + 1e-9
+
+
+def pytest_approx(value, tol=1e-6):
+    import pytest
+
+    return pytest.approx(value, abs=tol)

@@ -1,0 +1,115 @@
+"""Property-based tests of orchestration-platform invariants.
+
+Under any sequence of launches, stops, scalings, and cap changes:
+no server is ever over-committed, every running container is placed on
+exactly one server, and measured power stays within the cluster's
+physical envelope.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cluster.cop import ContainerOrchestrationPlatform
+from repro.core.config import ClusterConfig, ServerConfig
+from repro.core.errors import InsufficientResourcesError, UnknownContainerError
+
+CLUSTER = ClusterConfig(num_servers=4, server=ServerConfig())
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("launch"), st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("stop"), st.integers(min_value=0, max_value=30)),
+        st.tuples(st.just("resize"), st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=1, max_value=4)),
+        st.tuples(st.just("cap"), st.integers(min_value=0, max_value=30),
+                  st.floats(min_value=0.0, max_value=6.0)),
+        st.tuples(st.just("scale"), st.integers(min_value=0, max_value=8)),
+        st.tuples(st.just("demand"), st.integers(min_value=0, max_value=30),
+                  st.floats(min_value=0.0, max_value=1.0)),
+    ),
+    max_size=40,
+)
+
+
+def apply_ops(cop: ContainerOrchestrationPlatform, ops) -> None:
+    for op in ops:
+        kind = op[0]
+        containers = cop.containers()
+        try:
+            if kind == "launch":
+                cop.launch_container("app", op[1])
+            elif kind == "stop" and containers:
+                cop.stop_container(containers[op[1] % len(containers)].id)
+            elif kind == "resize" and containers:
+                cop.set_container_cores(
+                    containers[op[1] % len(containers)].id, op[2]
+                )
+            elif kind == "cap" and containers:
+                cop.set_power_cap(containers[op[1] % len(containers)].id, op[2])
+            elif kind == "scale":
+                cop.scale_app_to("app", op[1], cores=1)
+            elif kind == "demand" and containers:
+                containers[op[1] % len(containers)].set_demand_utilization(op[2])
+        except (InsufficientResourcesError, UnknownContainerError):
+            # Legitimate rejections (full cluster, raced ids) must leave
+            # the platform consistent; the invariants below verify that.
+            pass
+
+
+class TestPlacementInvariants:
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_no_server_overcommitted(self, ops):
+        cop = ContainerOrchestrationPlatform(CLUSTER)
+        apply_ops(cop, ops)
+        for server in cop.servers:
+            assert server.allocated_cores <= server.total_cores + 1e-9
+
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_every_running_container_placed_exactly_once(self, ops):
+        cop = ContainerOrchestrationPlatform(CLUSTER)
+        apply_ops(cop, ops)
+        for container in cop.running_containers():
+            hosts = [s for s in cop.servers if s.hosts(container.id)]
+            assert len(hosts) == 1
+            assert hosts[0].name == container.server_name
+
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_free_cores_accounting(self, ops):
+        cop = ContainerOrchestrationPlatform(CLUSTER)
+        apply_ops(cop, ops)
+        allocated = sum(
+            c.cores for c in cop.running_containers()
+        )
+        assert cop.free_cores == (
+            __import__("pytest").approx(cop.total_cores - allocated)
+        )
+
+
+class TestPowerEnvelope:
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_cluster_power_within_physical_envelope(self, ops):
+        cop = ContainerOrchestrationPlatform(CLUSTER)
+        apply_ops(cop, ops)
+        power = cop.cluster_power_w()
+        assert CLUSTER.num_servers * 0.0 <= power
+        assert power <= CLUSTER.max_power_w + 1e-9
+
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None)
+    def test_capped_containers_respect_caps(self, ops):
+        cop = ContainerOrchestrationPlatform(CLUSTER)
+        apply_ops(cop, ops)
+        for container in cop.running_containers():
+            if container.power_cap_w is None:
+                continue
+            measured = cop.container_power_w(container.id)
+            # Caps cannot squeeze below the idle floor, but above it the
+            # measured draw must honor the cap.
+            idle_floor = (
+                container.cores / CLUSTER.server.cores
+            ) * CLUSTER.server.idle_power_w
+            assert measured <= max(container.power_cap_w, idle_floor) + 1e-9

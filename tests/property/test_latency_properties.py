@@ -1,0 +1,69 @@
+"""Property-based tests of the M/M/c latency model."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.workloads.latency import (
+    MAX_REPORTED_LATENCY_MS,
+    erlang_c,
+    min_servers_for_slo,
+    percentile_latency_ms,
+)
+
+servers = st.integers(min_value=1, max_value=32)
+rate = st.floats(min_value=0.0, max_value=2000.0, allow_nan=False)
+mu = st.floats(min_value=1.0, max_value=500.0, allow_nan=False)
+
+
+class TestErlangCProperties:
+    @given(c=servers, a=st.floats(min_value=0.0, max_value=40.0))
+    @settings(max_examples=100, deadline=None)
+    def test_is_probability(self, c, a):
+        value = erlang_c(c, a)
+        assert 0.0 <= value <= 1.0
+
+    @given(c=servers, a=st.floats(min_value=0.01, max_value=30.0))
+    @settings(max_examples=100, deadline=None)
+    def test_more_servers_less_waiting(self, c, a):
+        assume(a / c < 1.0)
+        assert erlang_c(c + 1, a) <= erlang_c(c, a) + 1e-12
+
+
+class TestLatencyProperties:
+    @given(lam=rate, c=servers, m=mu)
+    @settings(max_examples=100, deadline=None)
+    def test_latency_positive_and_bounded(self, lam, c, m):
+        latency = percentile_latency_ms(lam, c, m)
+        assert 0.0 <= latency <= MAX_REPORTED_LATENCY_MS
+
+    @given(lam=rate, c=servers, m=mu)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_arrival_rate(self, lam, c, m):
+        a = percentile_latency_ms(lam, c, m)
+        b = percentile_latency_ms(lam * 1.5 + 1.0, c, m)
+        assert b >= a - 1e-9
+
+    @given(lam=rate, c=servers, m=mu)
+    @settings(max_examples=100, deadline=None)
+    def test_extra_server_never_hurts(self, lam, c, m):
+        a = percentile_latency_ms(lam, c, m)
+        b = percentile_latency_ms(lam, c + 1, m)
+        assert b <= a + 1e-9
+
+
+class TestSizingProperties:
+    @given(lam=st.floats(min_value=0.1, max_value=1000.0), m=mu,
+           slo=st.floats(min_value=20.0, max_value=500.0))
+    @settings(max_examples=100, deadline=None)
+    def test_sized_pool_meets_slo_or_hits_cap(self, lam, m, slo):
+        n = min_servers_for_slo(lam, m, slo, max_servers=64)
+        latency = percentile_latency_ms(lam, n, m)
+        assert latency <= slo or n == 64
+
+    @given(lam=st.floats(min_value=0.1, max_value=500.0), m=mu)
+    @settings(max_examples=100, deadline=None)
+    def test_tighter_slo_needs_no_fewer_servers(self, lam, m):
+        loose = min_servers_for_slo(lam, m, 200.0, max_servers=64)
+        tight = min_servers_for_slo(lam, m, 50.0, max_servers=64)
+        assert tight >= loose

@@ -1,0 +1,136 @@
+"""Property-based tests of virtual energy system settlements.
+
+Physics dictates the virtualized energy system is energy-conserving
+(paper Section 3.1); these properties pin that down over arbitrary
+demand/solar/intensity sequences and arbitrary knob settings.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.config import BatteryConfig, ShareConfig
+from repro.core.virtual_battery import VirtualBattery
+from repro.core.virtual_energy_system import VirtualEnergySystem
+
+demand = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+solar = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+intensity = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+knob = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+grid_share = st.one_of(
+    st.just(float("inf")), st.floats(min_value=0.0, max_value=50.0)
+)
+
+TICK_S = 60.0
+
+BATTERY = BatteryConfig(
+    capacity_wh=50.0,
+    empty_soc_fraction=0.30,
+    charge_efficiency=0.95,
+    discharge_efficiency=0.95,
+    initial_soc_fraction=0.50,
+)
+
+
+def make_ves(grid_power_w=float("inf"), with_battery=True) -> VirtualEnergySystem:
+    battery = VirtualBattery(BATTERY, 1.0) if with_battery else None
+    share = ShareConfig(
+        solar_fraction=1.0,
+        battery_fraction=1.0 if with_battery else 0.0,
+        grid_power_w=grid_power_w,
+    )
+    return VirtualEnergySystem("app", share, battery)
+
+
+steps = st.lists(
+    st.tuples(demand, solar, intensity, knob, knob), min_size=1, max_size=40
+)
+
+
+class TestConservation:
+    @given(sequence=steps, grid=grid_share)
+    @settings(max_examples=80, deadline=None)
+    def test_every_settlement_validates(self, sequence, grid):
+        """TickSettlement.validate() is called inside settle(); reaching
+        the end means conservation held at every tick."""
+        ves = make_ves(grid_power_w=grid)
+        for i, (d, s, ci, charge_rate, max_discharge) in enumerate(sequence):
+            ves.battery.set_charge_rate(charge_rate)
+            ves.battery.set_max_discharge(max_discharge)
+            ves.update_solar(s)
+            ves.settle(d, ci, i * TICK_S, TICK_S)
+
+    @given(sequence=steps)
+    @settings(max_examples=80, deadline=None)
+    def test_carbon_only_from_grid(self, sequence):
+        """Zero grid share -> zero carbon, regardless of everything else."""
+        ves = make_ves(grid_power_w=0.0)
+        total = 0.0
+        for i, (d, s, ci, charge_rate, max_discharge) in enumerate(sequence):
+            ves.battery.set_charge_rate(charge_rate)
+            ves.battery.set_max_discharge(max_discharge)
+            ves.update_solar(s)
+            settlement = ves.settle(d, ci, i * TICK_S, TICK_S)
+            total += settlement.carbon_g
+        assert total == 0.0
+
+    @given(sequence=steps)
+    @settings(max_examples=80, deadline=None)
+    def test_served_never_exceeds_demand(self, sequence):
+        ves = make_ves()
+        for i, (d, s, ci, charge_rate, max_discharge) in enumerate(sequence):
+            ves.battery.set_charge_rate(charge_rate)
+            ves.battery.set_max_discharge(max_discharge)
+            ves.update_solar(s)
+            settlement = ves.settle(d, ci, i * TICK_S, TICK_S)
+            assert settlement.served_wh <= settlement.demand_wh + 1e-9
+
+    @given(sequence=steps)
+    @settings(max_examples=80, deadline=None)
+    def test_unlimited_grid_always_serves_fully(self, sequence):
+        ves = make_ves(grid_power_w=float("inf"))
+        for i, (d, s, ci, charge_rate, max_discharge) in enumerate(sequence):
+            ves.battery.set_charge_rate(charge_rate)
+            ves.battery.set_max_discharge(max_discharge)
+            ves.update_solar(s)
+            settlement = ves.settle(d, ci, i * TICK_S, TICK_S)
+            assert settlement.unmet_wh == pytest.approx(0.0, abs=1e-9)
+
+    @given(sequence=steps)
+    @settings(max_examples=80, deadline=None)
+    def test_carbon_matches_grid_energy(self, sequence):
+        """carbon == grid energy x intensity at every tick."""
+        ves = make_ves()
+        for i, (d, s, ci, charge_rate, max_discharge) in enumerate(sequence):
+            ves.battery.set_charge_rate(charge_rate)
+            ves.battery.set_max_discharge(max_discharge)
+            ves.update_solar(s)
+            settlement = ves.settle(d, ci, i * TICK_S, TICK_S)
+            expected = settlement.grid_total_wh / 1000.0 * ci
+            assert settlement.carbon_g == pytest.approx(expected, abs=1e-9)
+
+
+class TestBatteryCoupling:
+    @given(sequence=steps)
+    @settings(max_examples=60, deadline=None)
+    def test_battery_level_bounded_through_settlements(self, sequence):
+        ves = make_ves()
+        battery = ves.battery.battery
+        for i, (d, s, ci, charge_rate, max_discharge) in enumerate(sequence):
+            ves.battery.set_charge_rate(charge_rate)
+            ves.battery.set_max_discharge(max_discharge)
+            ves.update_solar(s)
+            ves.settle(d, ci, i * TICK_S, TICK_S)
+            assert battery.floor_wh - 1e-9 <= battery.level_wh
+            assert battery.level_wh <= battery.capacity_wh + 1e-9
+
+    @given(sequence=steps)
+    @settings(max_examples=60, deadline=None)
+    def test_no_battery_means_no_battery_flows(self, sequence):
+        ves = make_ves(with_battery=False)
+        for i, (d, s, ci, _, _) in enumerate(sequence):
+            ves.update_solar(s)
+            settlement = ves.settle(d, ci, i * TICK_S, TICK_S)
+            assert settlement.battery_discharge_wh == 0.0
+            assert settlement.solar_to_battery_wh == 0.0
+            assert settlement.grid_to_battery_wh == 0.0

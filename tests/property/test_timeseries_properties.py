@@ -1,0 +1,78 @@
+"""Property-based tests of the time-series store."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.telemetry.timeseries import TimeSeriesDatabase
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+def fill(db: TimeSeriesDatabase, name: str, vals):
+    for i, v in enumerate(vals):
+        db.record(name, i * 60.0, v)
+
+
+class TestWindows:
+    @given(vals=values)
+    @settings(max_examples=60, deadline=None)
+    def test_full_window_returns_everything(self, vals):
+        db = TimeSeriesDatabase()
+        fill(db, "s", vals)
+        _, got = db.window("s", 0.0, len(vals) * 60.0)
+        assert list(got) == vals
+
+    @given(vals=values, split=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_window_partition_is_lossless(self, vals, split):
+        """Splitting a window at any boundary loses no points."""
+        db = TimeSeriesDatabase()
+        fill(db, "s", vals)
+        end = len(vals) * 60.0
+        mid = min(split * 60.0, end)
+        _, left = db.window("s", 0.0, mid)
+        _, right = db.window("s", mid, end)
+        assert list(left) + list(right) == vals
+
+    @given(vals=values)
+    @settings(max_examples=60, deadline=None)
+    def test_total_equals_sum(self, vals):
+        db = TimeSeriesDatabase()
+        fill(db, "s", vals)
+        assert db.total("s", 0.0, len(vals) * 60.0) == pytest.approx(
+            sum(vals), rel=1e-9, abs=1e-6
+        )
+
+
+class TestIntegration:
+    @given(vals=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0), min_size=2, max_size=60
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_integral_additive_over_subwindows(self, vals):
+        db = TimeSeriesDatabase()
+        fill(db, "p", vals)
+        end = len(vals) * 60.0
+        mid = (len(vals) // 2) * 60.0
+        whole = db.integrate_power_wh("p", 0.0, end)
+        parts = db.integrate_power_wh("p", 0.0, mid) + db.integrate_power_wh(
+            "p", mid, end
+        )
+        assert whole == pytest.approx(parts, rel=1e-9, abs=1e-9)
+
+    @given(v=st.floats(min_value=0.0, max_value=1000.0),
+           n=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_constant_power_integral_exact(self, v, n):
+        db = TimeSeriesDatabase()
+        for i in range(n):
+            db.record("p", i * 60.0, v)
+        expected = v * n * 60.0 / 3600.0
+        assert db.integrate_power_wh("p", 0.0, n * 60.0) == pytest.approx(
+            expected, rel=1e-9, abs=1e-9
+        )

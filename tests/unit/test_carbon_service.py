@@ -1,0 +1,69 @@
+"""Carbon information service (electricityMap-like polling semantics)."""
+
+import pytest
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import CarbonTrace, SAMPLE_INTERVAL_S, constant_trace
+from repro.core.config import CarbonServiceConfig
+from repro.core.errors import TraceError
+
+
+def stepped_service() -> CarbonIntensityService:
+    trace = CarbonTrace([100.0, 200.0, 300.0, 400.0])
+    return CarbonIntensityService(
+        CarbonServiceConfig(region="test"), trace=trace
+    )
+
+
+class TestQuantizedQueries:
+    def test_queries_within_interval_see_same_value(self):
+        service = stepped_service()
+        assert service.intensity_at(0.0) == 100.0
+        assert service.intensity_at(299.0) == 100.0
+        assert service.intensity_at(300.0) == 200.0
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(TraceError):
+            stepped_service().intensity_at(-0.1)
+
+    def test_default_builds_region_trace(self):
+        service = CarbonIntensityService(CarbonServiceConfig(region="ontario"))
+        assert service.region == "ontario"
+        assert service.intensity_at(0.0) > 0
+
+
+class TestHistory:
+    def test_observe_appends(self):
+        service = stepped_service()
+        service.observe(0.0)
+        service.observe(300.0)
+        assert service.history() == [(0.0, 100.0), (300.0, 200.0)]
+
+    def test_observe_deduplicates_same_time(self):
+        service = stepped_service()
+        service.observe(0.0)
+        service.observe(0.0)
+        assert len(service.history()) == 1
+
+    def test_observed_percentile(self):
+        service = stepped_service()
+        for t in (0.0, 300.0, 600.0, 900.0):
+            service.observe(t)
+        assert service.observed_percentile(50) == pytest.approx(250.0)
+
+    def test_observed_percentile_needs_history(self):
+        with pytest.raises(TraceError):
+            stepped_service().observed_percentile(50)
+
+
+class TestThresholds:
+    def test_threshold_percentile_over_window(self):
+        service = stepped_service()
+        threshold = service.threshold_percentile(
+            50, 0.0, 4 * SAMPLE_INTERVAL_S
+        )
+        assert threshold == pytest.approx(250.0)
+
+    def test_mean_intensity(self):
+        service = CarbonIntensityService(trace=constant_trace(150.0))
+        assert service.mean_intensity() == pytest.approx(150.0)

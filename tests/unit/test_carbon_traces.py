@@ -1,0 +1,132 @@
+"""Synthetic carbon-intensity traces (paper Figure 1 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.traces import (
+    REGION_PROFILES,
+    CarbonTrace,
+    SAMPLE_INTERVAL_S,
+    constant_trace,
+    make_region_trace,
+    synthesize_trace,
+)
+from repro.core.errors import TraceError
+
+
+class TestRegionCalibration:
+    """The Figure 1 orderings: Ontario < Uruguay < California."""
+
+    def test_region_mean_ordering(self):
+        ontario = make_region_trace("ontario", days=4)
+        uruguay = make_region_trace("uruguay", days=4)
+        caiso = make_region_trace("caiso", days=4)
+        assert ontario.mean() < uruguay.mean() < caiso.mean()
+
+    def test_caiso_has_highest_variability(self):
+        traces = {r: make_region_trace(r, days=4) for r in REGION_PROFILES}
+        stds = {r: float(np.std(t.samples)) for r, t in traces.items()}
+        assert stds["caiso"] > stds["uruguay"] > stds["ontario"]
+
+    def test_bounds_respected(self):
+        for region, profile in REGION_PROFILES.items():
+            trace = make_region_trace(region, days=4)
+            assert trace.samples.min() >= profile.floor
+            assert trace.samples.max() <= profile.ceiling
+
+    def test_caiso_duck_curve_dips_midday(self):
+        """Midday intensity sits below the evening ramp on average."""
+        trace = make_region_trace("caiso", days=10)
+        hours = (np.arange(len(trace.samples)) * SAMPLE_INTERVAL_S / 3600.0) % 24
+        midday = trace.samples[(hours >= 11) & (hours <= 15)].mean()
+        evening = trace.samples[(hours >= 18) & (hours <= 21)].mean()
+        assert midday < evening
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(TraceError):
+            make_region_trace("atlantis")
+
+    def test_deterministic(self):
+        a = make_region_trace("caiso", days=2, seed=11)
+        b = make_region_trace("caiso", days=2, seed=11)
+        assert np.array_equal(a.samples, b.samples)
+
+
+class TestCarbonTraceQueries:
+    def test_intensity_lookup_is_stepwise(self):
+        trace = CarbonTrace([100.0, 200.0, 300.0])
+        assert trace.intensity_at(0.0) == 100.0
+        assert trace.intensity_at(SAMPLE_INTERVAL_S - 1) == 100.0
+        assert trace.intensity_at(SAMPLE_INTERVAL_S) == 200.0
+
+    def test_clamps_beyond_end(self):
+        trace = CarbonTrace([100.0, 200.0])
+        assert trace.intensity_at(1e9) == 200.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            CarbonTrace([1.0]).intensity_at(-1.0)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(TraceError):
+            CarbonTrace([-5.0])
+
+    def test_percentile(self):
+        trace = CarbonTrace(list(range(101)))
+        assert trace.percentile(30) == pytest.approx(30.0)
+
+    def test_window_bounds(self):
+        trace = CarbonTrace([10.0, 20.0, 30.0, 40.0])
+        window = trace.window(SAMPLE_INTERVAL_S, 3 * SAMPLE_INTERVAL_S)
+        assert list(window) == [20.0, 30.0]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(TraceError):
+            CarbonTrace([1.0, 2.0]).window(100.0, 100.0)
+
+    def test_mean(self):
+        assert CarbonTrace([10.0, 20.0, 30.0]).mean() == pytest.approx(20.0)
+
+    def test_duration(self):
+        assert CarbonTrace([1.0] * 12).duration_s == pytest.approx(3600.0)
+
+
+class TestRolled:
+    def test_roll_shifts_origin(self):
+        trace = CarbonTrace([10.0, 20.0, 30.0, 40.0])
+        rolled = trace.rolled(2 * SAMPLE_INTERVAL_S)
+        assert rolled.intensity_at(0.0) == 30.0
+        assert rolled.intensity_at(2 * SAMPLE_INTERVAL_S) == 10.0
+
+    def test_roll_preserves_distribution(self):
+        trace = make_region_trace("caiso", days=2)
+        rolled = trace.rolled(7 * 3600.0)
+        assert rolled.mean() == pytest.approx(trace.mean())
+        assert sorted(rolled.samples) == pytest.approx(sorted(trace.samples))
+
+    def test_roll_wraps(self):
+        trace = CarbonTrace([10.0, 20.0])
+        rolled = trace.rolled(trace.duration_s)  # full wrap = identity
+        assert list(rolled.samples) == [10.0, 20.0]
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(TraceError):
+            CarbonTrace([1.0]).rolled(-1.0)
+
+
+class TestConstantTrace:
+    def test_flat(self):
+        trace = constant_trace(123.0, days=1)
+        assert trace.intensity_at(0.0) == 123.0
+        assert trace.intensity_at(43200.0) == 123.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceError):
+            constant_trace(-1.0)
+
+
+class TestSynthesize:
+    def test_rejects_zero_days(self):
+        profile = REGION_PROFILES["ontario"]
+        with pytest.raises(TraceError):
+            synthesize_trace(profile, days=0)

@@ -1,0 +1,47 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_accepts_all_figures(self):
+        for name in (
+            "fig01", "fig04a", "fig04b", "fig05", "fig06", "fig07",
+            "fig08", "fig09", "fig10", "fig11", "list",
+        ):
+            args = build_parser().parse_args([name])
+            assert args.experiment == name
+
+    def test_points_option(self):
+        args = build_parser().parse_args(["fig10", "--points", "20,50"])
+        assert args.points == "20,50"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04a" in out
+        assert "fig11" in out
+
+    def test_fig01(self, capsys):
+        assert main(["fig01", "--days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ontario" in out and "caiso" in out
+
+    def test_fig04a_small(self, capsys):
+        assert main(["fig04a", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "W&S (2X)" in out
+        assert "CO2-agnostic" in out
+
+    def test_fig10_small(self, capsys):
+        assert main(["fig10", "--points", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "solar  50%" in out

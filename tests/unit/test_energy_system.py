@@ -1,0 +1,65 @@
+"""The combined physical energy system."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.energy.battery import Battery
+from repro.energy.grid import GridConnection
+from repro.energy.solar import ConstantSolarTrace, SolarArrayEmulator
+from repro.energy.system import PhysicalEnergySystem
+from repro.core.config import SolarConfig
+
+
+def full_plant() -> PhysicalEnergySystem:
+    return PhysicalEnergySystem(
+        grid=GridConnection(),
+        battery=Battery(),
+        solar=SolarArrayEmulator(
+            SolarConfig(peak_power_w=100.0, panel_efficiency_derating=1.0),
+            ConstantSolarTrace(0.5),
+        ),
+    )
+
+
+class TestComposition:
+    def test_full_plant_flags(self):
+        plant = full_plant()
+        assert plant.has_grid and plant.has_battery and plant.has_solar
+
+    def test_grid_only_site(self):
+        plant = PhysicalEnergySystem(grid=GridConnection())
+        assert plant.has_grid
+        assert not plant.has_battery
+        assert not plant.has_solar
+
+    def test_offgrid_site(self):
+        plant = PhysicalEnergySystem(battery=Battery(), solar=SolarArrayEmulator())
+        assert not plant.has_grid
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalEnergySystem()
+
+
+class TestSolarReadings:
+    def test_solar_power(self):
+        assert full_plant().solar_power_w(0.0) == pytest.approx(50.0)
+
+    def test_no_array_means_zero(self):
+        plant = PhysicalEnergySystem(grid=GridConnection())
+        assert plant.solar_power_w(0.0) == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        plant = full_plant()
+        snap = plant.snapshot(10.0)
+        assert snap.time_s == 10.0
+        assert snap.solar_power_w == pytest.approx(50.0)
+        assert snap.battery_soc_fraction == pytest.approx(0.5)
+        assert snap.grid_energy_wh == 0.0
+
+    def test_snapshot_without_battery(self):
+        plant = PhysicalEnergySystem(grid=GridConnection())
+        snap = plant.snapshot(0.0)
+        assert snap.battery_level_wh == 0.0

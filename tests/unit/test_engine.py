@@ -1,0 +1,134 @@
+"""Simulation engine orchestration."""
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.config import ShareConfig
+from repro.core.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+from repro.workloads.base import Application, BatchJob
+from tests.conftest import make_ecovisor
+
+
+class CountingService(Application):
+    """Records the engine's call ordering."""
+
+    def __init__(self, name="svc"):
+        super().__init__(name)
+        self.calls = []
+
+    def step(self, tick, duration_s):
+        self.calls.append(("step", tick.index))
+
+    def finish_tick(self, tick, duration_s, served_fraction):
+        self.calls.append(("finish", tick.index, served_fraction))
+
+
+class TinyJob(BatchJob):
+    def __init__(self, name="job", work=120.0):
+        super().__init__(name, work)
+
+    def throughput_units_per_s(self, utils):
+        return float(sum(utils))
+
+
+class TestRun:
+    def test_runs_requested_ticks(self):
+        eco = make_ecovisor()
+        engine = SimulationEngine(eco, SimulationClock(60.0))
+        app = CountingService()
+        engine.add_application(app, ShareConfig())
+        executed = engine.run(5)
+        assert executed == 5
+        assert engine.clock.tick_index == 5
+
+    def test_step_before_finish_each_tick(self):
+        eco = make_ecovisor()
+        engine = SimulationEngine(eco, SimulationClock(60.0))
+        app = CountingService()
+        engine.add_application(app, ShareConfig())
+        engine.run(2)
+        kinds = [c[0] for c in app.calls]
+        assert kinds == ["step", "finish", "step", "finish"]
+
+    def test_rejects_nonpositive_ticks(self):
+        eco = make_ecovisor()
+        engine = SimulationEngine(eco)
+        with pytest.raises(SimulationError):
+            engine.run(0)
+
+    def test_default_clock_uses_ecovisor_interval(self):
+        eco = make_ecovisor()
+        engine = SimulationEngine(eco)
+        assert engine.clock.tick_interval_s == eco.config.tick_interval_s
+
+
+class TestEarlyStop:
+    def test_stops_when_batch_completes(self):
+        eco = make_ecovisor(solar_w=0.0)
+        engine = SimulationEngine(eco, SimulationClock(60.0))
+        job = TinyJob(work=120.0)
+        api = engine.add_application(job, ShareConfig())
+        api.scale_to(2, cores=1)
+        executed = engine.run(100, stop_when_batch_complete=True)
+        assert job.is_complete
+        assert executed < 100
+
+    def test_services_do_not_trigger_early_stop(self):
+        eco = make_ecovisor()
+        engine = SimulationEngine(eco, SimulationClock(60.0))
+        engine.add_application(CountingService(), ShareConfig())
+        executed = engine.run(5, stop_when_batch_complete=True)
+        assert executed == 5
+
+    def test_mixed_apps_wait_for_batch(self):
+        eco = make_ecovisor(solar_w=0.0, num_servers=6)
+        engine = SimulationEngine(eco, SimulationClock(60.0))
+        job = TinyJob(work=240.0)
+        svc = CountingService()
+        api = engine.add_application(job, ShareConfig())
+        engine.add_application(svc, ShareConfig())
+        api.scale_to(2, cores=1)
+        executed = engine.run(100, stop_when_batch_complete=True)
+        assert job.is_complete
+        assert executed < 100
+
+
+class TestObservers:
+    def test_observers_called_each_tick(self):
+        eco = make_ecovisor()
+        engine = SimulationEngine(eco, SimulationClock(60.0))
+        seen = []
+        engine.add_observer(lambda tick: seen.append(tick.index))
+        engine.run(3)
+        assert seen == [0, 1, 2]
+
+
+class TestServedFractions:
+    def test_shortage_passed_to_finish_tick(self):
+        eco = make_ecovisor(solar_w=0.0)
+        engine = SimulationEngine(eco, SimulationClock(60.0))
+        app = CountingService()
+        api = engine.add_application(
+            app, ShareConfig(grid_power_w=0.5)
+        )
+        container = api.launch_container(1)
+
+        class Pusher:
+            def __call__(self, tick):
+                container.set_demand_utilization(1.0)
+
+        # Set demand inside step by subclassing instead:
+        class Hungry(CountingService):
+            def step(self, tick, duration_s):
+                super().step(tick, duration_s)
+                container.set_demand_utilization(1.0)
+
+        eco2 = make_ecovisor(solar_w=0.0)
+        engine2 = SimulationEngine(eco2, SimulationClock(60.0))
+        hungry = Hungry("hungry")
+        api2 = engine2.add_application(hungry, ShareConfig(grid_power_w=0.5))
+        container = api2.launch_container(1)
+        engine2.run(2)
+        fractions = [c[2] for c in hungry.calls if c[0] == "finish"]
+        assert all(f == pytest.approx(0.4) for f in fractions)

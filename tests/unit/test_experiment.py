@@ -1,0 +1,104 @@
+"""Experiment builders and the batch policy runner."""
+
+import pytest
+
+from repro.carbon.traces import constant_trace, make_region_trace
+from repro.core.config import ClusterConfig
+from repro.policies import CarbonAgnosticPolicy
+from repro.sim.experiment import (
+    arrival_offsets,
+    carbon_threshold,
+    grid_environment,
+    run_batch_policy,
+    solar_battery_environment,
+)
+from repro.workloads.mltrain import MLTrainingJob
+
+
+class TestEnvironments:
+    def test_grid_environment_wiring(self):
+        env = grid_environment(days=1)
+        assert env.plant.has_grid
+        assert not env.plant.has_solar
+        assert env.ecovisor.platform is env.platform
+        assert env.engine.ecovisor is env.ecovisor
+
+    def test_grid_environment_with_explicit_trace(self):
+        trace = constant_trace(123.0)
+        env = grid_environment(trace=trace)
+        assert env.carbon_service.intensity_at(0.0) == 123.0
+
+    def test_solar_battery_environment_wiring(self):
+        env = solar_battery_environment(
+            solar_peak_w=20.0, battery_capacity_wh=40.0, days=1
+        )
+        assert env.plant.has_solar
+        assert env.plant.has_battery
+        assert env.plant.battery.capacity_wh == 40.0
+
+    def test_solar_battery_environment_gridless(self):
+        env = solar_battery_environment(
+            solar_peak_w=20.0, battery_capacity_wh=40.0, days=1, with_grid=False
+        )
+        assert not env.plant.has_grid
+
+
+class TestThresholds:
+    def test_carbon_threshold_percentile(self):
+        trace = make_region_trace("caiso", days=2)
+        threshold = carbon_threshold(trace, 30.0, 24 * 3600.0)
+        window = trace.window(0.0, 24 * 3600.0)
+        below = (window <= threshold).mean()
+        assert below == pytest.approx(0.30, abs=0.05)
+
+    def test_window_defaults_to_trace(self):
+        trace = constant_trace(100.0)
+        assert carbon_threshold(trace, 50.0) == pytest.approx(100.0)
+
+
+class TestArrivalOffsets:
+    def test_deterministic(self):
+        a = arrival_offsets(5, 1000.0, seed=1)
+        b = arrival_offsets(5, 1000.0, seed=1)
+        assert a == b
+
+    def test_within_first_half(self):
+        offsets = arrival_offsets(20, 1000.0)
+        assert all(0.0 <= o <= 500.0 for o in offsets)
+
+    def test_count(self):
+        assert len(arrival_offsets(7, 1000.0)) == 7
+
+
+class TestRunBatchPolicy:
+    def test_produces_one_result_per_offset(self):
+        trace = constant_trace(150.0, days=1)
+        results = run_batch_policy(
+            make_app=lambda: MLTrainingJob(
+                total_work_units=1000.0, warmup_ticks_on_resume=0
+            ),
+            make_policy=lambda tr: CarbonAgnosticPolicy(4),
+            policy_label="agnostic",
+            base_trace=trace,
+            offsets=[0.0, 3600.0],
+            max_ticks=600,
+        )
+        assert len(results) == 2
+        assert all(r.completed for r in results)
+        assert all(r.policy_label == "agnostic" for r in results)
+        # 1000 units at ~4 u/s ~ 250 s -> 5 ticks.
+        assert results[0].runtime_s == pytest.approx(300.0, abs=120.0)
+        assert results[0].carbon_g > 0
+
+    def test_incomplete_run_marked(self):
+        trace = constant_trace(150.0, days=1)
+        results = run_batch_policy(
+            make_app=lambda: MLTrainingJob(total_work_units=1e9),
+            make_policy=lambda tr: CarbonAgnosticPolicy(1),
+            policy_label="agnostic",
+            base_trace=trace,
+            offsets=[0.0],
+            max_ticks=5,
+        )
+        assert not results[0].completed
+        assert results[0].runtime_s == float("inf")

@@ -1,0 +1,109 @@
+"""Carbon forecasting."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import (
+    DiurnalProfileForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+    forecast_error_mae,
+)
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import (
+    CarbonTrace,
+    SAMPLE_INTERVAL_S,
+    constant_trace,
+    make_region_trace,
+)
+from repro.core.config import CarbonServiceConfig
+from repro.core.errors import TraceError
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+def service_for(trace) -> CarbonIntensityService:
+    return CarbonIntensityService(CarbonServiceConfig(region="t"), trace=trace)
+
+
+class TestPersistence:
+    def test_predicts_current_value(self):
+        svc = service_for(CarbonTrace([100.0, 300.0] * 100))
+        forecaster = PersistenceForecaster(svc)
+        prediction = forecaster.predict(0.0, HOUR)
+        assert np.all(prediction == 100.0)
+        assert len(prediction) == 12
+
+    def test_perfect_on_constant_trace(self):
+        svc = service_for(constant_trace(222.0, days=2))
+        forecaster = PersistenceForecaster(svc)
+        assert forecast_error_mae(forecaster, 0.0, DAY) == 0.0
+
+    def test_rejects_bad_horizon(self):
+        svc = service_for(constant_trace(100.0))
+        with pytest.raises(TraceError):
+            PersistenceForecaster(svc).predict(0.0, 0.0)
+
+
+class TestDiurnalProfile:
+    def test_learns_daily_pattern(self):
+        # A trace that repeats exactly every day.
+        day = [100.0] * 144 + [300.0] * 144  # low nights, high days
+        svc = service_for(CarbonTrace(day * 4))
+        forecaster = DiurnalProfileForecaster(svc, history_days=2)
+        for i in range(2 * 288):  # observe two full days
+            forecaster.observe(i * SAMPLE_INTERVAL_S)
+        # Predict the third day: should reproduce the pattern exactly.
+        prediction = forecaster.predict(2 * DAY, DAY)
+        truth = OracleForecaster(svc).predict(2 * DAY, DAY)
+        assert np.abs(prediction - truth).max() == pytest.approx(0.0)
+
+    def test_falls_back_to_persistence_without_history(self):
+        svc = service_for(CarbonTrace([100.0, 300.0] * 200))
+        forecaster = DiurnalProfileForecaster(svc)
+        prediction = forecaster.predict(0.0, HOUR)
+        assert np.all(prediction == 100.0)
+
+    def test_beats_persistence_on_structured_trace(self):
+        # A grid dominated by diurnal structure (strong duck curve, mild
+        # noise): exactly the regime where profile forecasting pays off.
+        from repro.carbon.traces import RegionProfile, synthesize_trace
+
+        profile = RegionProfile(
+            name="structured", base_g_per_kwh=220.0, diurnal_amplitude=40.0,
+            duck_amplitude=120.0, noise_sigma=4.0, noise_persistence=0.9,
+            floor=60.0, ceiling=380.0, fast_noise_sigma=3.0,
+        )
+        trace = synthesize_trace(profile, days=6)
+        svc = service_for(trace)
+        diurnal = DiurnalProfileForecaster(svc, history_days=3)
+        persistence = PersistenceForecaster(svc)
+        for i in range(3 * 288):
+            diurnal.observe(i * SAMPLE_INTERVAL_S)
+        # At mid-morning of day 4, predict the next 12 hours.
+        now = 3 * DAY + 9 * HOUR
+        assert forecast_error_mae(diurnal, now, 12 * HOUR) < forecast_error_mae(
+            persistence, now, 12 * HOUR
+        )
+
+    def test_rejects_bad_history(self):
+        svc = service_for(constant_trace(100.0))
+        with pytest.raises(TraceError):
+            DiurnalProfileForecaster(svc, history_days=0)
+
+
+class TestOracle:
+    def test_reads_trace_exactly(self):
+        trace = make_region_trace("ontario", days=2)
+        svc = service_for(trace)
+        forecaster = OracleForecaster(svc)
+        assert forecast_error_mae(forecaster, 0.0, DAY) == 0.0
+
+    def test_percentile_matches_trace_percentile(self):
+        trace = make_region_trace("caiso", days=2)
+        svc = service_for(trace)
+        forecaster = OracleForecaster(svc)
+        predicted = forecaster.percentile(0.0, DAY, 30.0)
+        actual = trace.percentile(30.0, SAMPLE_INTERVAL_S, DAY + SAMPLE_INTERVAL_S)
+        assert predicted == pytest.approx(actual, rel=0.02)

@@ -1,0 +1,132 @@
+"""Geo-distributed coordination."""
+
+import pytest
+
+from repro.carbon.traces import CarbonTrace, constant_trace
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.geo import GeoCoordinator, SharedWorkPool
+from repro.sim.experiment import grid_environment
+
+
+def two_sites(trace_a, trace_b):
+    return {
+        "east": grid_environment(trace=trace_a),
+        "west": grid_environment(trace=trace_b),
+    }
+
+
+class TestSharedWorkPool:
+    def test_draw_consumes(self):
+        pool = SharedWorkPool(100.0)
+        assert pool.draw(30.0) == 30.0
+        assert pool.remaining_units == 70.0
+
+    def test_draw_clamps_at_total(self):
+        pool = SharedWorkPool(100.0)
+        assert pool.draw(150.0) == 100.0
+        assert pool.is_complete
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SharedWorkPool(100.0).draw(-1.0)
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError):
+            SharedWorkPool(0.0)
+
+
+class TestCoordinator:
+    def test_requires_two_sites(self):
+        with pytest.raises(ConfigurationError):
+            GeoCoordinator({"only": grid_environment(trace=constant_trace(100.0))})
+
+    def test_run_requires_submit(self):
+        sites = two_sites(constant_trace(100.0), constant_trace(200.0))
+        coordinator = GeoCoordinator(sites)
+        with pytest.raises(SimulationError):
+            coordinator.run(10)
+
+    def test_double_submit_rejected(self):
+        sites = two_sites(constant_trace(100.0), constant_trace(200.0))
+        coordinator = GeoCoordinator(sites)
+        coordinator.submit(1000.0)
+        with pytest.raises(SimulationError):
+            coordinator.submit(1000.0)
+
+    def test_runs_at_cleanest_site(self):
+        sites = two_sites(constant_trace(100.0), constant_trace(300.0))
+        coordinator = GeoCoordinator(sites, workers=4)
+        coordinator.submit(4 * 60.0 * 10)  # ten ticks of work
+        result = coordinator.run(100)
+        assert result.completed
+        assert result.work_by_site["east"] > 0
+        assert result.work_by_site["west"] == 0.0
+        assert result.carbon_by_site["west"] == 0.0
+        assert result.migrations == 0
+
+    def test_migrates_when_other_site_becomes_cleaner(self):
+        # East clean for 1 h then dirty; west the mirror image.
+        east = CarbonTrace([100.0] * 12 + [400.0] * 200)
+        west = CarbonTrace([400.0] * 12 + [100.0] * 200)
+        sites = two_sites(east, west)
+        coordinator = GeoCoordinator(
+            sites, workers=4, migration_delay_ticks=3
+        )
+        coordinator.submit(4 * 60.0 * 120)  # needs ~2 h of work
+        result = coordinator.run(400)
+        assert result.completed
+        assert result.migrations >= 1
+        assert result.work_by_site["east"] > 0
+        assert result.work_by_site["west"] > 0
+
+    def test_migration_pause_costs_time(self):
+        east = CarbonTrace([100.0] * 12 + [400.0] * 500)
+        west = CarbonTrace([400.0] * 12 + [100.0] * 500)
+        work = 4 * 60.0 * 150  # 2.5 h of work: outlasts east's clean hour
+        slow = GeoCoordinator(
+            two_sites(east, west), workers=4, migration_delay_ticks=30
+        )
+        fast = GeoCoordinator(
+            two_sites(east, west), workers=4, migration_delay_ticks=0
+        )
+        slow.submit(work)
+        fast.submit(work)
+        slow_result = slow.run(600)
+        fast_result = fast.run(600)
+        assert fast_result.completed and slow_result.completed
+        assert fast_result.runtime_s < slow_result.runtime_s
+
+    def test_hysteresis_prevents_flapping(self):
+        # Sites within the switch threshold of one another: stay home.
+        east = constant_trace(100.0, days=1)
+        west = constant_trace(110.0, days=1)
+        coordinator = GeoCoordinator(
+            two_sites(east, west), workers=4, switch_threshold_g_per_kwh=20.0
+        )
+        coordinator.submit(4 * 60.0 * 30)
+        result = coordinator.run(200)
+        assert result.completed
+        assert result.migrations == 0
+
+    def test_shifting_cuts_carbon_vs_single_site(self):
+        """The headline claim of geo-distribution (paper Section 3.2)."""
+        east = CarbonTrace(([100.0] * 36 + [400.0] * 36) * 10)
+        west = CarbonTrace(([400.0] * 36 + [100.0] * 36) * 10)
+        work = 4 * 60.0 * 240
+
+        geo = GeoCoordinator(
+            two_sites(east, west), workers=4, migration_delay_ticks=2
+        )
+        geo.submit(work)
+        geo_result = geo.run(2000)
+
+        single = GeoCoordinator(
+            two_sites(east, constant_trace(10000.0, days=2)),
+            workers=4,
+            switch_threshold_g_per_kwh=1e9,  # pinned to east
+        )
+        single.submit(work)
+        single_result = single.run(2000)
+
+        assert geo_result.completed and single_result.completed
+        assert geo_result.total_carbon_g < single_result.total_carbon_g

@@ -1,0 +1,53 @@
+"""Grid connection model."""
+
+import pytest
+
+from repro.core.config import GridConfig
+from repro.energy.grid import GridConnection
+
+
+class TestDraw:
+    def test_unlimited_grid_grants_everything(self):
+        grid = GridConnection()
+        assert grid.draw(1234.5, 60.0) == pytest.approx(1234.5)
+
+    def test_limited_grid_clamps(self):
+        grid = GridConnection(GridConfig(max_power_w=100.0))
+        assert grid.draw(250.0, 60.0) == pytest.approx(100.0)
+
+    def test_metering_accumulates(self):
+        grid = GridConnection()
+        grid.draw(60.0, 60.0)   # 1 Wh
+        grid.draw(120.0, 60.0)  # 2 Wh
+        assert grid.total_energy_wh == pytest.approx(3.0)
+
+    def test_rejects_negative_draw(self):
+        with pytest.raises(ValueError):
+            GridConnection().draw(-1.0, 60.0)
+
+    def test_available_power_is_limit(self):
+        grid = GridConnection(GridConfig(max_power_w=42.0))
+        assert grid.available_power_w(0.0) == 42.0
+
+
+class TestExport:
+    def test_export_disabled_by_default(self):
+        grid = GridConnection()
+        assert grid.export(50.0, 3600.0) == 0.0
+        assert grid.exported_wh == 0.0
+
+    def test_export_with_net_metering(self):
+        grid = GridConnection(GridConfig(net_metering=True))
+        assert grid.export(50.0, 3600.0) == pytest.approx(50.0)
+        assert grid.exported_wh == pytest.approx(50.0)
+
+    def test_export_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GridConnection().export(-5.0, 60.0)
+
+
+class TestAverages:
+    def test_average_draw(self):
+        grid = GridConnection()
+        grid.draw(100.0, 1800.0)  # 50 Wh over half an hour
+        assert grid.average_draw_w(3600.0) == pytest.approx(50.0)

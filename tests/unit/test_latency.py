@@ -1,0 +1,96 @@
+"""M/M/c latency model."""
+
+import math
+
+import pytest
+
+from repro.workloads.latency import (
+    MAX_REPORTED_LATENCY_MS,
+    erlang_c,
+    min_servers_for_slo,
+    percentile_latency_ms,
+    percentile_wait_s,
+)
+
+
+class TestErlangC:
+    def test_no_load_no_wait(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_unstable_always_waits(self):
+        assert erlang_c(2, 2.5) == 1.0
+
+    def test_single_server_equals_rho(self):
+        # For M/M/1, P(wait) = rho.
+        assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_known_value(self):
+        # Classic table value: c=3, a=2 -> ~0.4444.
+        assert erlang_c(3, 2.0) == pytest.approx(0.4444, abs=1e-3)
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(4, a) for a in (1.0, 2.0, 3.0, 3.9)]
+        assert values == sorted(values)
+
+    def test_zero_servers(self):
+        assert erlang_c(0, 1.0) == 1.0
+
+
+class TestPercentileWait:
+    def test_no_arrivals_no_wait(self):
+        assert percentile_wait_s(0.0, 4, 10.0) == 0.0
+
+    def test_unstable_is_infinite(self):
+        assert math.isinf(percentile_wait_s(100.0, 2, 10.0))
+
+    def test_light_load_zero_wait(self):
+        # At tiny load the no-wait probability exceeds 95%.
+        assert percentile_wait_s(0.1, 8, 10.0, 95.0) == 0.0
+
+    def test_wait_grows_with_load(self):
+        low = percentile_wait_s(20.0, 4, 10.0)
+        high = percentile_wait_s(35.0, 4, 10.0)
+        assert high > low
+
+
+class TestPercentileLatency:
+    def test_includes_service_time(self):
+        # Light load: latency ~ service p95 = 3/mu.
+        latency = percentile_latency_ms(0.1, 8, 100.0, 95.0)
+        assert latency == pytest.approx(-math.log(0.05) / 100.0 * 1000.0, rel=0.05)
+
+    def test_monotone_in_load(self):
+        latencies = [
+            percentile_latency_ms(rate, 4, 100.0) for rate in (50, 200, 350, 390)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_monotone_in_servers(self):
+        latencies = [
+            percentile_latency_ms(350.0, n, 100.0) for n in (4, 5, 6, 8)
+        ]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_overload_capped(self):
+        latency = percentile_latency_ms(1e6, 1, 1.0)
+        assert latency == MAX_REPORTED_LATENCY_MS
+
+    def test_zero_servers_is_outage(self):
+        assert percentile_latency_ms(10.0, 0, 100.0) == MAX_REPORTED_LATENCY_MS
+
+
+class TestSizing:
+    def test_sized_pool_meets_slo(self):
+        n = min_servers_for_slo(200.0, 100.0, 60.0)
+        assert percentile_latency_ms(200.0, n, 100.0) <= 60.0
+
+    def test_sizing_is_minimal(self):
+        n = min_servers_for_slo(200.0, 100.0, 60.0)
+        assert n > 1
+        assert percentile_latency_ms(200.0, n - 1, 100.0) > 60.0
+
+    def test_zero_load_needs_one(self):
+        assert min_servers_for_slo(0.0, 100.0, 60.0) == 1
+
+    def test_cap_respected(self):
+        assert min_servers_for_slo(1e9, 100.0, 60.0, max_servers=16) == 16

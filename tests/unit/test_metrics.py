@@ -1,0 +1,57 @@
+"""Analysis metric helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    carbon_reduction_pct,
+    energy_efficiency_per_joule,
+    percentile,
+    runtime_improvement_pct,
+    slo_violation_fraction,
+)
+
+
+class TestRuntimeImprovement:
+    def test_basic(self):
+        assert runtime_improvement_pct(100.0, 60.0) == pytest.approx(40.0)
+
+    def test_regression_is_negative(self):
+        assert runtime_improvement_pct(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert runtime_improvement_pct(0.0, 10.0) == 0.0
+
+
+class TestEnergyEfficiency:
+    def test_work_per_joule(self):
+        # 3600 units on 1 Wh (3600 J) = 1 unit/J.
+        assert energy_efficiency_per_joule(3600.0, 1.0) == pytest.approx(1.0)
+
+    def test_zero_energy(self):
+        assert energy_efficiency_per_joule(10.0, 0.0) == 0.0
+
+
+class TestCarbonReduction:
+    def test_basic(self):
+        assert carbon_reduction_pct(4.0, 3.0) == pytest.approx(25.0)
+
+    def test_zero_baseline(self):
+        assert carbon_reduction_pct(0.0, 1.0) == 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+
+class TestSloViolations:
+    def test_fraction(self):
+        assert slo_violation_fraction([10, 20, 70, 80], 60.0) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert slo_violation_fraction([], 60.0) == 0.0

@@ -1,0 +1,106 @@
+"""ML training workload: scaling curve and stall power."""
+
+import pytest
+
+from repro.workloads.mltrain import (
+    DEFAULT_SCALING_ANCHORS,
+    MLTrainingJob,
+    effective_parallelism,
+    sync_efficiency,
+)
+
+
+class TestScalingCurve:
+    def test_linear_region(self):
+        assert effective_parallelism(4) == pytest.approx(4.0)
+        assert effective_parallelism(2) == pytest.approx(2.0)
+
+    def test_knee_at_eight(self):
+        assert effective_parallelism(8) == pytest.approx(7.8)
+
+    def test_saturation(self):
+        assert effective_parallelism(12) == pytest.approx(8.8)
+        assert effective_parallelism(100) == pytest.approx(9.2)  # flat beyond
+
+    def test_zero_workers(self):
+        assert effective_parallelism(0) == 0.0
+
+    def test_efficiency_declines(self):
+        assert sync_efficiency(4) > sync_efficiency(8) > sync_efficiency(12)
+
+    def test_paper_ratios(self):
+        """The calibration targets from Figure 4a's reported numbers."""
+        job = MLTrainingJob()
+        # Near-linear to 2x: speedup(8)/speedup(4) ~ 1.95.
+        assert job.speedup(8) == pytest.approx(1.95, abs=0.05)
+        # 3x is only ~13% faster than 2x.
+        assert job.speedup(12) / job.speedup(8) == pytest.approx(1.13, abs=0.03)
+
+
+class TestThroughput:
+    def test_full_utilization(self):
+        job = MLTrainingJob()
+        assert job.throughput_units_per_s([1.0] * 4) == pytest.approx(4.0)
+
+    def test_caps_scale_throughput(self):
+        job = MLTrainingJob()
+        full = job.throughput_units_per_s([1.0] * 4)
+        capped = job.throughput_units_per_s([0.5] * 4)
+        assert capped == pytest.approx(full / 2)
+
+    def test_no_workers(self):
+        assert MLTrainingJob().throughput_units_per_s([]) == 0.0
+
+    def test_ideal_runtime(self):
+        job = MLTrainingJob(total_work_units=400.0)
+        assert job.ideal_runtime_s(4) == pytest.approx(100.0)
+
+
+class TestStallPower:
+    def test_demand_utilization_below_one_when_stalling(self):
+        job = MLTrainingJob(stall_power_fraction=0.5)
+        # At 12 workers, busy fraction is 8.8/12; stalls draw half power.
+        busy = 8.8 / 12
+        expected = busy + 0.5 * (1 - busy)
+        assert job.demand_utilization(12) == pytest.approx(expected)
+
+    def test_no_stall_at_linear_scale(self):
+        job = MLTrainingJob()
+        assert job.demand_utilization(4) == pytest.approx(1.0)
+
+    def test_stall_fraction_zero_means_busy_only(self):
+        job = MLTrainingJob(stall_power_fraction=0.0)
+        assert job.demand_utilization(12) == pytest.approx(8.8 / 12)
+
+    def test_energy_per_work_increases_beyond_knee(self):
+        """The physical reason Wait&Scale(3x) emits more carbon."""
+        job = MLTrainingJob()
+
+        def energy_per_work(n):
+            power = n * job.demand_utilization(n)
+            rate = job.worker_rate_units_per_s * effective_parallelism(n)
+            return power / rate
+
+        assert energy_per_work(12) > energy_per_work(8) * 1.10
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            MLTrainingJob(worker_rate_units_per_s=0.0)
+
+    def test_rejects_unsorted_anchors(self):
+        with pytest.raises(ValueError):
+            MLTrainingJob(scaling_anchors=((4.0, 4.0), (2.0, 2.0)))
+
+    def test_rejects_single_anchor(self):
+        with pytest.raises(ValueError):
+            MLTrainingJob(scaling_anchors=((0.0, 0.0),))
+
+    def test_rejects_bad_stall_fraction(self):
+        with pytest.raises(ValueError):
+            MLTrainingJob(stall_power_fraction=1.5)
+
+    def test_default_anchors_sorted(self):
+        xs = [a[0] for a in DEFAULT_SCALING_ANCHORS]
+        assert xs == sorted(xs)

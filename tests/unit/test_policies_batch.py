@@ -1,0 +1,127 @@
+"""Batch carbon policies: agnostic, suspend/resume, Wait&Scale."""
+
+import pytest
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import CarbonTrace
+from repro.core.config import CarbonServiceConfig, ShareConfig
+from repro.core.clock import SimulationClock
+from repro.policies import (
+    CarbonAgnosticPolicy,
+    SuspendResumePolicy,
+    WaitAndScalePolicy,
+)
+from repro.sim.engine import SimulationEngine
+from repro.workloads.mltrain import MLTrainingJob
+from tests.conftest import make_ecovisor
+
+
+def alternating_carbon_ecovisor(low=100.0, high=300.0):
+    """Carbon flips low/high every 5 minutes."""
+    eco = make_ecovisor(solar_w=0.0, num_servers=10)
+    eco._carbon_service = CarbonIntensityService(
+        CarbonServiceConfig(region="alt"),
+        trace=CarbonTrace([low, high] * 200),
+    )
+    return eco
+
+
+def run(eco, app, policy, ticks):
+    engine = SimulationEngine(eco, SimulationClock(60.0))
+    engine.add_application(app, ShareConfig(), policy)
+    engine.run(ticks)
+    return engine
+
+
+class TestCarbonAgnostic:
+    def test_holds_worker_count(self):
+        eco = alternating_carbon_ecovisor()
+        job = MLTrainingJob(total_work_units=1e6, warmup_ticks_on_resume=0)
+        policy = CarbonAgnosticPolicy(4)
+        run(eco, job, policy, 10)
+        assert policy.current_worker_count() == 4
+        assert job.suspended_ticks == 0
+
+    def test_scales_down_when_complete(self):
+        eco = alternating_carbon_ecovisor()
+        job = MLTrainingJob(total_work_units=100.0, warmup_ticks_on_resume=0)
+        policy = CarbonAgnosticPolicy(4)
+        run(eco, job, policy, 10)
+        assert job.is_complete
+        assert policy.current_worker_count() == 0
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            CarbonAgnosticPolicy(0)
+
+
+class TestSuspendResume:
+    def test_suspends_above_threshold(self):
+        eco = alternating_carbon_ecovisor(low=100.0, high=300.0)
+        job = MLTrainingJob(total_work_units=1e6, warmup_ticks_on_resume=0)
+        policy = SuspendResumePolicy(200.0, 4)
+        run(eco, job, policy, 10)
+        # Carbon alternates every 5 ticks: roughly half suspended.
+        assert job.suspended_ticks > 0
+        assert job.running_ticks > 0
+        assert policy.suspension_count >= 1
+
+    def test_never_suspends_below_threshold(self):
+        eco = alternating_carbon_ecovisor(low=100.0, high=150.0)
+        job = MLTrainingJob(total_work_units=1e6, warmup_ticks_on_resume=0)
+        policy = SuspendResumePolicy(200.0, 4)
+        run(eco, job, policy, 10)
+        assert job.suspended_ticks == 0
+
+    def test_emissions_only_during_low_carbon(self):
+        eco = alternating_carbon_ecovisor(low=100.0, high=300.0)
+        job = MLTrainingJob(total_work_units=1e6, warmup_ticks_on_resume=0)
+        run(eco, job, SuspendResumePolicy(200.0, 4), 20)
+        for settlement in eco.ledger.account(job.name).settlements:
+            if settlement.grid_total_wh > 1e-9:
+                assert settlement.carbon_intensity_g_per_kwh <= 200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuspendResumePolicy(-1.0, 4)
+        with pytest.raises(ValueError):
+            SuspendResumePolicy(100.0, 0)
+
+
+class TestWaitAndScale:
+    def test_scales_up_below_threshold(self):
+        eco = alternating_carbon_ecovisor()
+        job = MLTrainingJob(total_work_units=1e6, warmup_ticks_on_resume=0)
+        policy = WaitAndScalePolicy(200.0, 4, 2.0)
+        run(eco, job, policy, 4)  # first ticks are low-carbon
+        assert policy.current_worker_count() == 8
+
+    def test_suspends_above_threshold(self):
+        eco = alternating_carbon_ecovisor()
+        job = MLTrainingJob(total_work_units=1e6, warmup_ticks_on_resume=0)
+        policy = WaitAndScalePolicy(200.0, 4, 2.0)
+        run(eco, job, policy, 8)  # ticks 5-7 are high-carbon
+        assert policy.current_worker_count() == 0
+
+    def test_scaled_workers_rounding(self):
+        policy = WaitAndScalePolicy(200.0, 4, 2.5)
+        assert policy.scaled_workers == 10
+
+    def test_outperforms_suspend_resume_runtime(self):
+        """The core Figure 4 claim at miniature scale."""
+        job_sr = MLTrainingJob(total_work_units=4000.0, warmup_ticks_on_resume=0)
+        job_ws = MLTrainingJob(total_work_units=4000.0, warmup_ticks_on_resume=0)
+        eco_sr = alternating_carbon_ecovisor()
+        eco_ws = alternating_carbon_ecovisor()
+        run(eco_sr, job_sr, SuspendResumePolicy(200.0, 4), 60)
+        run(eco_ws, job_ws, WaitAndScalePolicy(200.0, 4, 2.0), 60)
+        assert job_ws.is_complete
+        assert job_sr.completion_time_s is None or (
+            job_ws.completion_time_s < job_sr.completion_time_s
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaitAndScalePolicy(100.0, 4, 0.5)
+        with pytest.raises(ValueError):
+            WaitAndScalePolicy(100.0, 0, 2.0)

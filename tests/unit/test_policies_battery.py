@@ -1,0 +1,152 @@
+"""Zero-carbon battery policies (Fig 8/9 behaviours)."""
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.config import BatteryConfig, ShareConfig, SolarConfig
+from repro.energy.solar import SolarArrayEmulator, TabularSolarTrace
+from repro.policies import (
+    DynamicSparkBatteryPolicy,
+    DynamicWebBatteryPolicy,
+    StaticBatterySmoothingPolicy,
+)
+from repro.sim.engine import SimulationEngine
+from repro.workloads.spark import SparkJob
+from repro.workloads.traces import constant_request_trace
+from repro.workloads.webapp import WebApplication
+from tests.conftest import make_ecovisor
+
+WORKER_W = 1.25
+ZERO_SHARE = ShareConfig(solar_fraction=1.0, battery_fraction=1.0, grid_power_w=0.0)
+
+
+def day_night_ecovisor(day_w=20.0, day_minutes=240, night_minutes=240):
+    """Solar on for day_minutes, off for night_minutes, repeating."""
+    eco = make_ecovisor(solar_w=1.0, battery_config=BatteryConfig(
+        capacity_wh=40.0, initial_soc_fraction=0.6))
+    samples = ([1.0] * day_minutes + [0.0] * night_minutes) * 4
+    eco._plant._solar = SolarArrayEmulator(
+        SolarConfig(peak_power_w=day_w, panel_efficiency_derating=1.0),
+        TabularSolarTrace(samples),
+    )
+    return eco
+
+
+def run(eco, app, policy, ticks):
+    engine = SimulationEngine(eco, SimulationClock(60.0))
+    engine.add_application(app, ZERO_SHARE, policy)
+    engine.run(ticks)
+    return engine
+
+
+class TestStaticSmoothing:
+    def test_runs_fixed_workers_during_day(self):
+        eco = day_night_ecovisor()
+        job = SparkJob(total_work_units=1e9, warmup_ticks_on_resume=0)
+        policy = StaticBatterySmoothingPolicy(4, WORKER_W)
+        run(eco, job, policy, 30)
+        assert policy.current_worker_count() == 4
+
+    def test_suspends_at_night_with_checkpoint(self):
+        eco = day_night_ecovisor(day_minutes=60, night_minutes=120)
+        job = SparkJob(
+            total_work_units=1e9, warmup_ticks_on_resume=0,
+            checkpoint_interval_s=1e9,
+        )
+        policy = StaticBatterySmoothingPolicy(4, WORKER_W)
+        run(eco, job, policy, 90)
+        assert policy.current_worker_count() == 0
+        # Dusk shutdown checkpointed: nothing was lost.
+        assert job.lost_units_total == 0.0
+        assert job.checkpointed_units > 0
+
+    def test_zero_carbon(self):
+        eco = day_night_ecovisor()
+        job = SparkJob(total_work_units=1e9)
+        run(eco, job, StaticBatterySmoothingPolicy(4, WORKER_W), 60)
+        assert eco.ledger.app_carbon_g(job.name) == 0.0
+
+    def test_battery_discharge_capped_to_pool_power(self):
+        eco = day_night_ecovisor()
+        job = SparkJob(total_work_units=1e9)
+        policy = StaticBatterySmoothingPolicy(4, WORKER_W)
+        run(eco, job, policy, 5)
+        ves = eco.ves_for(job.name)
+        assert ves.battery.max_discharge_w == pytest.approx(4 * WORKER_W)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticBatterySmoothingPolicy(0, WORKER_W)
+        with pytest.raises(ValueError):
+            StaticBatterySmoothingPolicy(4, -1.0)
+
+
+class TestDynamicSpark:
+    def test_surges_on_excess_solar_when_battery_full(self):
+        eco = day_night_ecovisor(day_w=20.0)
+        job = SparkJob(total_work_units=1e9, warmup_ticks_on_resume=0)
+        policy = DynamicSparkBatteryPolicy(
+            4, WORKER_W, battery_full_fraction=0.55, max_workers=12
+        )
+        run(eco, job, policy, 120)
+        assert policy.current_worker_count() > 4
+        assert policy.surge_workers > 0
+
+    def test_kills_surge_without_checkpoint_at_dusk(self):
+        eco = day_night_ecovisor(day_w=20.0, day_minutes=100, night_minutes=100)
+        job = SparkJob(
+            total_work_units=1e9, warmup_ticks_on_resume=0,
+            checkpoint_interval_s=1e9,
+        )
+        policy = DynamicSparkBatteryPolicy(
+            4, WORKER_W, battery_full_fraction=0.55, max_workers=12
+        )
+        run(eco, job, policy, 150)
+        assert policy.current_worker_count() == 0
+        assert job.lost_units_total > 0.0
+
+    def test_zero_carbon(self):
+        eco = day_night_ecovisor()
+        job = SparkJob(total_work_units=1e9)
+        policy = DynamicSparkBatteryPolicy(4, WORKER_W)
+        run(eco, job, policy, 120)
+        assert eco.ledger.app_carbon_g(job.name) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicSparkBatteryPolicy(0, WORKER_W)
+        with pytest.raises(ValueError):
+            DynamicSparkBatteryPolicy(4, WORKER_W, battery_full_fraction=0.0)
+
+
+class TestDynamicWeb:
+    def test_sizes_pool_to_slo(self):
+        eco = day_night_ecovisor(day_w=20.0)
+        app = WebApplication(
+            "w", constant_request_trace(250.0), slo_ms=100.0,
+            service_rate_rps=50.0,
+        )
+        policy = DynamicWebBatteryPolicy(WORKER_W, max_workers=10)
+        run(eco, app, policy, 30)
+        assert policy.current_worker_count() >= 6
+        assert app.violation_fraction < 0.2
+
+    def test_requires_web_application(self):
+        eco = day_night_ecovisor()
+        job = SparkJob(total_work_units=1e9)
+        policy = DynamicWebBatteryPolicy(WORKER_W)
+        with pytest.raises(TypeError):
+            run(eco, job, policy, 2)
+
+    def test_scales_to_zero_when_dark_and_idle(self):
+        eco = day_night_ecovisor(day_minutes=10, night_minutes=500)
+        app = WebApplication("w", constant_request_trace(0.0))
+        policy = DynamicWebBatteryPolicy(WORKER_W)
+        run(eco, app, policy, 30)
+        assert policy.current_worker_count() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicWebBatteryPolicy(WORKER_W, min_battery_fraction=1.0)
+        with pytest.raises(ValueError):
+            DynamicWebBatteryPolicy(WORKER_W, headroom_factor=0.9)

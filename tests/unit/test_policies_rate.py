@@ -1,0 +1,133 @@
+"""Carbon rate-limiting and dynamic budgeting policies."""
+
+import pytest
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import CarbonTrace, constant_trace
+from repro.core.clock import SimulationClock
+from repro.core.config import CarbonServiceConfig, ShareConfig
+from repro.policies import CarbonRateLimitPolicy, DynamicCarbonBudgetPolicy
+from repro.sim.engine import SimulationEngine
+from repro.workloads.mltrain import MLTrainingJob
+from repro.workloads.traces import constant_request_trace
+from repro.workloads.webapp import WebApplication
+from tests.conftest import make_ecovisor
+
+WORKER_W = 1.25
+
+
+def run(eco, app, policy, ticks):
+    engine = SimulationEngine(eco, SimulationClock(60.0))
+    engine.add_application(app, ShareConfig(), policy)
+    engine.run(ticks)
+    return engine
+
+
+class TestRateLimit:
+    def test_allowed_workers_shrink_with_intensity(self):
+        policy = CarbonRateLimitPolicy(0.3, WORKER_W, max_workers=32)
+        low = policy.allowed_workers(100.0)
+        high = policy.allowed_workers(350.0)
+        assert low > high
+        assert high >= 1
+
+    def test_realized_rate_tracks_target(self):
+        """With busy workers, the realized carbon rate approaches the
+        target (the system policy fills its allowance)."""
+        eco = make_ecovisor(solar_w=0.0, num_servers=10, carbon_g_per_kwh=200.0)
+        app = WebApplication(
+            "w", constant_request_trace(2000.0), service_rate_rps=100.0
+        )
+        policy = CarbonRateLimitPolicy(0.3, WORKER_W, max_workers=20)
+        run(eco, app, policy, 30)
+        settlements = eco.ledger.account("w").settlements
+        realized = settlements[-1].carbon_rate_mg_per_s
+        assert realized == pytest.approx(0.3, rel=0.25)
+
+    def test_over_provisions_when_idle(self):
+        """Light load -> low per-worker draw -> more workers funded."""
+        eco = make_ecovisor(solar_w=0.0, num_servers=10, carbon_g_per_kwh=200.0)
+        app = WebApplication(
+            "w", constant_request_trace(10.0), service_rate_rps=100.0
+        )
+        policy = CarbonRateLimitPolicy(0.3, WORKER_W, max_workers=20)
+        run(eco, app, policy, 10)
+        busy_equivalent = 0.3  # mg/s at 200 g/kWh funds ~4.3 busy workers
+        assert policy.current_worker_count() > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CarbonRateLimitPolicy(-0.1, WORKER_W)
+        with pytest.raises(ValueError):
+            CarbonRateLimitPolicy(0.1, 0.0)
+        with pytest.raises(ValueError):
+            CarbonRateLimitPolicy(0.1, WORKER_W, min_workers=5, max_workers=2)
+
+
+class TestDynamicBudget:
+    def test_requires_web_application(self):
+        eco = make_ecovisor(solar_w=0.0)
+        job = MLTrainingJob(total_work_units=1e6)
+        policy = DynamicCarbonBudgetPolicy(0.3, WORKER_W)
+        with pytest.raises(TypeError):
+            run(eco, job, policy, 2)
+
+    def test_meets_slo_under_constant_load(self):
+        eco = make_ecovisor(solar_w=0.0, num_servers=10, carbon_g_per_kwh=150.0)
+        app = WebApplication(
+            "w", constant_request_trace(250.0), slo_ms=60.0, service_rate_rps=100.0
+        )
+        policy = DynamicCarbonBudgetPolicy(0.5, WORKER_W, max_workers=16)
+        run(eco, app, policy, 20)
+        assert app.violation_fraction < 0.15  # only warm-up ticks may miss
+
+    def test_budget_accounting(self):
+        eco = make_ecovisor(solar_w=0.0, carbon_g_per_kwh=200.0)
+        app = WebApplication(
+            "w", constant_request_trace(50.0), slo_ms=60.0, service_rate_rps=100.0
+        )
+        policy = DynamicCarbonBudgetPolicy(0.5, WORKER_W, max_workers=8)
+        run(eco, app, policy, 30)
+        elapsed = 30 * 60.0
+        assert policy.budget_so_far_g(elapsed) == pytest.approx(0.5 * elapsed / 1000)
+        # Light load: the app banks credit.
+        assert policy.carbon_credit_g(elapsed) > 0
+
+    def test_spends_credit_during_pinch(self):
+        """High carbon + high load: the policy exceeds the instantaneous
+        rate using banked credit instead of violating the SLO."""
+        eco = make_ecovisor(solar_w=0.0, num_servers=10)
+        # Low carbon for 2 h (banking), then high carbon.
+        trace = CarbonTrace([80.0] * 24 + [340.0] * 24)
+        eco._carbon_service = CarbonIntensityService(
+            CarbonServiceConfig(region="step"), trace=trace
+        )
+        app = WebApplication(
+            "w", constant_request_trace(300.0), slo_ms=60.0, service_rate_rps=100.0
+        )
+        policy = DynamicCarbonBudgetPolicy(0.25, WORKER_W, max_workers=16)
+        run(eco, app, policy, 200)
+        assert policy.over_rate_ticks > 0
+        assert app.violation_fraction < 0.1
+
+    def test_caps_at_rate_when_credit_exhausted(self):
+        eco = make_ecovisor(solar_w=0.0, num_servers=10, carbon_g_per_kwh=340.0)
+        app = WebApplication(
+            "w", constant_request_trace(500.0), slo_ms=60.0, service_rate_rps=100.0
+        )
+        # Tiny rate, no banked credit: pool pinned to the rate-funded size.
+        policy = DynamicCarbonBudgetPolicy(
+            0.05, WORKER_W, max_workers=16, scale_down_patience_ticks=0
+        )
+        run(eco, app, policy, 30)
+        funded = int(
+            __import__("repro.core.units", fromlist=["power_for_carbon_rate"])
+            .power_for_carbon_rate(0.05, 340.0) // WORKER_W
+        )
+        assert policy.current_worker_count() == max(1, funded)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicCarbonBudgetPolicy(-0.1, WORKER_W)
+        with pytest.raises(ValueError):
+            DynamicCarbonBudgetPolicy(0.1, WORKER_W, headroom_factor=0.5)

@@ -1,0 +1,168 @@
+"""Solar-matching cap policies and straggler replica policy."""
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.config import ShareConfig, SolarConfig
+from repro.energy.solar import ConstantSolarTrace, SolarArrayEmulator
+from repro.policies import (
+    DynamicSolarCapPolicy,
+    StaticSolarCapPolicy,
+    StragglerReplicaPolicy,
+)
+from repro.sim.engine import SimulationEngine
+from repro.workloads.mltrain import MLTrainingJob
+from repro.workloads.parallel import ParallelJob
+from tests.conftest import make_ecovisor
+
+WORKER_W = 1.25
+SOLAR_ONLY = ShareConfig(solar_fraction=1.0, battery_fraction=0.0, grid_power_w=0.0)
+
+
+def solar_ecovisor(power_w: float):
+    eco = make_ecovisor(solar_w=1.0, with_battery=False, num_servers=8)
+    eco._plant._solar = SolarArrayEmulator(
+        SolarConfig(peak_power_w=power_w, panel_efficiency_derating=1.0),
+        ConstantSolarTrace(1.0),
+    )
+    return eco
+
+
+def job_with(n_tasks=4, **kwargs):
+    defaults = dict(
+        num_rounds=2, mean_task_work_units=300.0, work_cv=0.3,
+        straggler_probability=0.0, seed=7,
+    )
+    defaults.update(kwargs)
+    return ParallelJob("parallel", num_tasks=n_tasks, **defaults)
+
+
+def run(eco, app, policy, ticks):
+    engine = SimulationEngine(eco, SimulationClock(60.0))
+    engine.add_application(app, SOLAR_ONLY, policy)
+    engine.run(ticks, stop_when_batch_complete=True)
+    return engine
+
+
+class TestStaticCaps:
+    def test_equal_split(self):
+        eco = solar_ecovisor(8.0)
+        job = job_with(4)
+        policy = StaticSolarCapPolicy()
+        run(eco, job, policy, 3)
+        caps = [c.power_cap_w for c in policy.api.list_containers()]
+        assert all(cap == pytest.approx(2.0) for cap in caps)
+
+    def test_launches_one_container_per_task(self):
+        eco = solar_ecovisor(8.0)
+        job = job_with(4)
+        policy = StaticSolarCapPolicy()
+        run(eco, job, policy, 1)
+        assert len(policy.api.list_containers()) == 4
+
+    def test_requires_parallel_job(self):
+        eco = solar_ecovisor(8.0)
+        job = MLTrainingJob(total_work_units=100.0)
+        with pytest.raises(TypeError):
+            run(eco, job, StaticSolarCapPolicy(), 1)
+
+
+class TestDynamicCaps:
+    def test_caps_proportional_to_remaining_work(self):
+        eco = solar_ecovisor(8.0)
+        job = job_with(4, work_cv=0.6)
+        policy = DynamicSolarCapPolicy()
+        run(eco, job, policy, 2)
+        remaining = job.task_remaining()
+        caps = {}
+        for task, cid in job._task_containers.items():
+            container = next(
+                c for c in policy.api.list_containers() if c.id == cid
+            )
+            caps[task] = container.power_cap_w
+        # Strictly more remaining work must never get a smaller cap.
+        tasks = sorted(caps, key=lambda t: remaining[t])
+        cap_values = [caps[t] for t in tasks]
+        assert cap_values == sorted(cap_values)
+
+    def test_caps_sum_to_solar_supply(self):
+        eco = solar_ecovisor(8.0)
+        job = job_with(4)
+        policy = DynamicSolarCapPolicy()
+        run(eco, job, policy, 2)
+        total = sum(c.power_cap_w for c in policy.api.list_containers())
+        assert total == pytest.approx(8.0, rel=1e-6)
+
+    def test_beats_static_on_unbalanced_work(self):
+        """The Figure 10 mechanism at miniature scale."""
+        results = {}
+        for name, policy_cls in (
+            ("static", StaticSolarCapPolicy),
+            ("dynamic", DynamicSolarCapPolicy),
+        ):
+            eco = solar_ecovisor(3.0)  # scarce: ~60% of the 4-task max
+            job = job_with(4, work_cv=0.5, seed=21)
+            run(eco, job, policy_cls(), 300)
+            results[name] = job.completion_time_s or float("inf")
+        assert results["dynamic"] < results["static"]
+
+
+class TestStragglerReplicas:
+    def test_replicas_spawned_for_stragglers_with_excess_solar(self):
+        eco = solar_ecovisor(12.0)  # 4 tasks need 5 W: plenty of excess
+        # A *mix* of slow and normal tasks: only lagging tasks can be
+        # detected relative to the median.
+        job = job_with(4, straggler_probability=0.5, straggler_factor=4.0,
+                       seed=13)
+        policy = StragglerReplicaPolicy(WORKER_W)
+        run(eco, job, policy, 30)
+        assert policy.replicas_launched_total > 0
+
+    def test_no_replicas_without_excess(self):
+        eco = solar_ecovisor(5.0)  # exactly the 4 primaries' draw
+        job = job_with(4, straggler_probability=0.5, straggler_factor=4.0,
+                       seed=13)
+        policy = StragglerReplicaPolicy(WORKER_W)
+        run(eco, job, policy, 30)
+        assert policy.replicas_launched_total == 0
+
+    def test_disabled_replicas_spawn_nothing(self):
+        eco = solar_ecovisor(12.0)
+        job = job_with(4, straggler_probability=0.5, straggler_factor=4.0,
+                       seed=13)
+        policy = StragglerReplicaPolicy(WORKER_W, enable_replicas=False)
+        run(eco, job, policy, 30)
+        assert policy.replicas_launched_total == 0
+
+    def test_replicas_retired_at_round_boundary(self):
+        eco = solar_ecovisor(12.0)
+        job = job_with(
+            4, straggler_probability=0.5, straggler_factor=3.0,
+            mean_task_work_units=150.0,
+        )
+        policy = StragglerReplicaPolicy(WORKER_W)
+        engine = run(eco, job, policy, 400)
+        assert job.is_complete
+        # Teardown happens on the tick after completion.
+        engine.run(2)
+        assert policy.api.list_containers() == []
+        assert job.replica_count() == 0
+
+    def test_replicas_reduce_runtime(self):
+        """The Figure 11 mechanism at miniature scale."""
+        results = {}
+        for name, enabled in (("with", True), ("without", False)):
+            eco = solar_ecovisor(12.0)
+            job = job_with(
+                4, straggler_probability=0.5, straggler_factor=4.0, seed=13
+            )
+            policy = StragglerReplicaPolicy(WORKER_W, enable_replicas=enabled)
+            run(eco, job, policy, 2000)
+            results[name] = job.completion_time_s or float("inf")
+        assert results["with"] < results["without"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StragglerReplicaPolicy(0.0)
+        with pytest.raises(ValueError):
+            StragglerReplicaPolicy(WORKER_W, detection_threshold=0.5)

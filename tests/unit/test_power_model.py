@@ -1,0 +1,93 @@
+"""Server/container power model (paper's microserver constants)."""
+
+import pytest
+
+from repro.cluster.power_model import ServerPowerModel
+from repro.core.config import ServerConfig
+
+
+@pytest.fixture
+def model() -> ServerPowerModel:
+    return ServerPowerModel(ServerConfig())
+
+
+@pytest.fixture
+def gpu_model() -> ServerPowerModel:
+    return ServerPowerModel(ServerConfig(has_gpu=True))
+
+
+class TestServerPower:
+    def test_idle(self, model):
+        assert model.server_power_w(0.0) == pytest.approx(1.35)
+
+    def test_full_cpu(self, model):
+        assert model.server_power_w(1.0) == pytest.approx(5.0)
+
+    def test_linear_midpoint(self, model):
+        assert model.server_power_w(0.5) == pytest.approx((1.35 + 5.0) / 2)
+
+    def test_full_cpu_and_gpu(self, gpu_model):
+        assert gpu_model.server_power_w(1.0, 1.0) == pytest.approx(10.0)
+
+    def test_gpu_ignored_without_gpu(self, model):
+        assert model.server_power_w(1.0, 1.0) == pytest.approx(5.0)
+
+    def test_utilization_clamped(self, model):
+        assert model.server_power_w(2.0) == pytest.approx(5.0)
+
+
+class TestContainerPower:
+    def test_full_container_full_server(self, model):
+        assert model.container_power_w(1.0, 4) == pytest.approx(5.0)
+
+    def test_single_core_share(self, model):
+        breakdown = model.container_power(1.0, 1)
+        assert breakdown.idle_w == pytest.approx(1.35 / 4)
+        assert breakdown.cpu_dynamic_w == pytest.approx((5.0 - 1.35) / 4)
+        assert breakdown.total_w == pytest.approx(1.25)
+
+    def test_idle_container_draws_idle_share(self, model):
+        assert model.container_power_w(0.0, 2) == pytest.approx(1.35 / 2)
+
+    def test_gpu_container(self, gpu_model):
+        power = gpu_model.container_power_w(1.0, 4, gpu_utilization=1.0)
+        assert power == pytest.approx(10.0)
+
+    def test_zero_cores(self, model):
+        assert model.container_power_w(1.0, 0) == 0.0
+
+    def test_negative_cores_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.container_power(1.0, -1)
+
+
+class TestCapTranslation:
+    def test_cap_at_max_is_full_utilization(self, model):
+        assert model.utilization_for_cap(1.25, 1) == pytest.approx(1.0)
+
+    def test_cap_below_idle_is_zero(self, model):
+        assert model.utilization_for_cap(0.1, 1) == 0.0
+
+    def test_cap_midway(self, model):
+        # idle share 0.3375, dynamic range 0.9125 per core.
+        cap = 0.3375 + 0.9125 / 2
+        assert model.utilization_for_cap(cap, 1) == pytest.approx(0.5)
+
+    def test_roundtrip_cap_power(self, model):
+        cap = 0.9
+        util = model.utilization_for_cap(cap, 1)
+        assert model.container_power_w(util, 1) == pytest.approx(cap)
+
+    def test_zero_cores_gives_zero(self, model):
+        assert model.utilization_for_cap(5.0, 0) == 0.0
+
+
+class TestEnvelopes:
+    def test_min_container_power(self, model):
+        assert model.min_container_power_w(2) == pytest.approx(1.35 / 2)
+
+    def test_max_container_power(self, model):
+        assert model.max_container_power_w(1) == pytest.approx(1.25)
+
+    def test_max_with_gpu(self, gpu_model):
+        assert gpu_model.max_container_power_w(4, gpu=True) == pytest.approx(10.0)

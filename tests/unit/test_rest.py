@@ -1,0 +1,125 @@
+"""REST router and the ecovisor's REST surface."""
+
+import pytest
+
+from repro.core.config import ShareConfig
+from repro.rest.router import Router
+from repro.rest.server import EcovisorRestServer
+from tests.conftest import make_ecovisor, run_ticks
+
+
+class TestRouter:
+    def test_dispatch_with_params(self):
+        router = Router()
+        router.add("GET", "/items/{item}", lambda req: {"got": req.params["item"]})
+        response = router.dispatch("GET", "/items/42")
+        assert response.ok
+        assert response.body == {"got": "42"}
+
+    def test_method_mismatch_is_404(self):
+        router = Router()
+        router.add("GET", "/x", lambda req: {})
+        assert router.dispatch("POST", "/x").status == 404
+
+    def test_unknown_path_is_404(self):
+        assert Router().dispatch("GET", "/nope").status == 404
+
+    def test_value_error_maps_to_400(self):
+        router = Router()
+
+        def bad(req):
+            raise ValueError("bad input")
+
+        router.add("GET", "/x", bad)
+        assert router.dispatch("GET", "/x").status == 400
+
+    def test_routes_listing(self):
+        router = Router()
+        router.add("GET", "/a", lambda r: {})
+        router.add("POST", "/b", lambda r: {})
+        assert ("GET", "/a") in router.routes()
+        assert ("POST", "/b") in router.routes()
+
+
+@pytest.fixture
+def server():
+    eco = make_ecovisor(solar_w=10.0, carbon_g_per_kwh=250.0)
+    eco.register_app("a", ShareConfig(solar_fraction=0.5, battery_fraction=0.5))
+    eco.register_app("b", ShareConfig(solar_fraction=0.5, battery_fraction=0.5))
+    run_ticks(eco, 1)
+    return EcovisorRestServer(eco)
+
+
+class TestMonitoringRoutes:
+    def test_carbon(self, server):
+        response = server.request("GET", "/apps/a/carbon")
+        assert response.ok
+        assert response.body["carbon_g_per_kwh"] == pytest.approx(250.0)
+
+    def test_solar(self, server):
+        response = server.request("GET", "/apps/a/solar")
+        assert response.body["solar_w"] == pytest.approx(5.0)
+
+    def test_battery(self, server):
+        response = server.request("GET", "/apps/a/battery")
+        assert response.body["charge_level_wh"] > 0
+        assert response.body["capacity_wh"] > 0
+
+    def test_unknown_app_is_404(self, server):
+        assert server.request("GET", "/apps/ghost/solar").status == 404
+
+
+class TestContainerRoutes:
+    def test_launch_list_stop(self, server):
+        launched = server.request("POST", "/apps/a/containers", {"cores": 2})
+        assert launched.ok
+        cid = launched.body["id"]
+        listing = server.request("GET", "/apps/a/containers")
+        assert [c["id"] for c in listing.body["containers"]] == [cid]
+        assert server.request("DELETE", f"/apps/a/containers/{cid}").ok
+        listing = server.request("GET", "/apps/a/containers")
+        assert listing.body["containers"] == []
+
+    def test_powercap_roundtrip(self, server):
+        cid = server.request("POST", "/apps/a/containers", {"cores": 1}).body["id"]
+        assert server.request(
+            "POST", f"/apps/a/containers/{cid}/powercap", {"watts": 1.1}
+        ).ok
+        got = server.request("GET", f"/apps/a/containers/{cid}/powercap")
+        assert got.body["powercap_w"] == pytest.approx(1.1)
+
+    def test_cross_app_access_is_403(self, server):
+        cid = server.request("POST", "/apps/a/containers", {"cores": 1}).body["id"]
+        response = server.request(
+            "POST", f"/apps/b/containers/{cid}/powercap", {"watts": 1.0}
+        )
+        assert response.status == 403
+
+    def test_scale_route(self, server):
+        response = server.request("POST", "/apps/a/scale", {"count": 3, "cores": 1})
+        assert response.ok
+        assert len(response.body["containers"]) == 3
+
+    def test_container_power_route(self, server):
+        cid = server.request("POST", "/apps/a/containers", {"cores": 1}).body["id"]
+        response = server.request("GET", f"/apps/a/containers/{cid}/power")
+        assert response.ok
+        assert response.body["power_w"] >= 0.0
+
+
+class TestBatteryRoutes:
+    def test_set_charge_rate(self, server):
+        assert server.request(
+            "POST", "/apps/a/battery/charge_rate", {"watts": 5.0}
+        ).ok
+
+    def test_set_max_discharge(self, server):
+        assert server.request(
+            "POST", "/apps/a/battery/max_discharge", {"watts": 8.0}
+        ).ok
+
+    def test_negative_rate_is_400(self, server):
+        response = server.request(
+            "POST", "/apps/a/battery/charge_rate", {"watts": -5.0}
+        )
+        assert response.status == 400

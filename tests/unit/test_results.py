@@ -1,0 +1,90 @@
+"""Result records and summaries."""
+
+import math
+
+import pytest
+
+from repro.sim.results import (
+    BatchRunResult,
+    SeriesBundle,
+    ServiceRunResult,
+    summarize_batch,
+)
+
+
+def result(label="p", runtime=3600.0, carbon=1.0, completed=True):
+    return BatchRunResult(
+        policy_label=label,
+        arrival_offset_s=0.0,
+        runtime_s=runtime,
+        carbon_g=carbon,
+        energy_wh=10.0,
+        completed=completed,
+    )
+
+
+class TestBatchSummary:
+    def test_mean_and_std(self):
+        summary = summarize_batch(
+            [result(runtime=3600.0), result(runtime=7200.0)]
+        )
+        assert summary.mean_runtime_s == pytest.approx(5400.0)
+        assert summary.std_runtime_s == pytest.approx(2545.58, rel=1e-3)
+        assert summary.mean_runtime_hours == pytest.approx(1.5)
+        assert summary.runs == 2
+
+    def test_single_run_std_zero(self):
+        summary = summarize_batch([result()])
+        assert summary.std_runtime_s == 0.0
+        assert summary.std_carbon_g == 0.0
+
+    def test_completion_rate(self):
+        summary = summarize_batch([result(), result(completed=False)])
+        assert summary.completion_rate == pytest.approx(0.5)
+
+    def test_ratio_helpers(self):
+        base = summarize_batch([result(runtime=3600.0, carbon=2.0)])
+        other = summarize_batch([result(runtime=7200.0, carbon=1.0)])
+        assert other.runtime_ratio_vs(base) == pytest.approx(2.0)
+        assert other.carbon_change_vs(base) == pytest.approx(-0.5)
+
+    def test_mixed_labels_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_batch([result("a"), result("b")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_batch([])
+
+    def test_runtime_hours_on_result(self):
+        assert result(runtime=1800.0).runtime_hours == pytest.approx(0.5)
+
+
+class TestServiceResult:
+    def test_violation_fraction(self):
+        r = ServiceRunResult(
+            policy_label="p", app_name="a", slo_ms=60.0, ticks=100,
+            violation_ticks=5, mean_p95_ms=40.0, worst_p95_ms=80.0,
+            carbon_g=1.0, energy_wh=2.0,
+        )
+        assert r.violation_fraction == pytest.approx(0.05)
+        assert not r.met_slo_always
+
+    def test_zero_ticks(self):
+        r = ServiceRunResult(
+            policy_label="p", app_name="a", slo_ms=60.0, ticks=0,
+            violation_ticks=0, mean_p95_ms=0.0, worst_p95_ms=0.0,
+            carbon_g=0.0, energy_wh=0.0,
+        )
+        assert r.violation_fraction == 0.0
+        assert r.met_slo_always
+
+
+class TestSeriesBundle:
+    def test_add_and_names(self):
+        bundle = SeriesBundle(title="t")
+        bundle.add("a", [0.0, 1.0], [10.0, 20.0])
+        bundle.add("b", [0.0], [1.0])
+        assert bundle.names() == ["a", "b"]
+        assert len(bundle) == 2
+        assert bundle.series["a"] == [(0.0, 10.0), (1.0, 20.0)]

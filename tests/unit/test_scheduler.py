@@ -1,0 +1,68 @@
+"""Placement schedulers (LXD's fewest-instances default and variants)."""
+
+import pytest
+
+from repro.cluster.container import Container
+from repro.cluster.scheduler import (
+    BestFitScheduler,
+    FewestInstancesScheduler,
+    WorstFitScheduler,
+)
+from repro.cluster.server import Server
+from repro.core.config import ServerConfig
+from repro.core.errors import InsufficientResourcesError
+
+
+def make_servers(count: int = 3) -> list:
+    return [Server(f"s{i}", ServerConfig()) for i in range(count)]
+
+
+class TestFewestInstances:
+    def test_prefers_emptiest_instance_count(self):
+        servers = make_servers()
+        servers[0].place(Container("a", 1))
+        servers[0].place(Container("a", 1))
+        servers[1].place(Container("a", 1))
+        chosen = FewestInstancesScheduler().select(servers, 1)
+        assert chosen.name == "s2"
+
+    def test_tie_broken_by_name(self):
+        servers = make_servers()
+        chosen = FewestInstancesScheduler().select(servers, 1)
+        assert chosen.name == "s0"
+
+    def test_skips_full_servers(self):
+        servers = make_servers(2)
+        servers[0].place(Container("a", 4))
+        chosen = FewestInstancesScheduler().select(servers, 2)
+        assert chosen.name == "s1"
+
+    def test_raises_when_nothing_fits(self):
+        servers = make_servers(1)
+        servers[0].place(Container("a", 4))
+        with pytest.raises(InsufficientResourcesError):
+            FewestInstancesScheduler().select(servers, 1)
+
+
+class TestBestFit:
+    def test_packs_fullest_server(self):
+        servers = make_servers()
+        servers[0].place(Container("a", 3))
+        servers[1].place(Container("a", 1))
+        chosen = BestFitScheduler().select(servers, 1)
+        assert chosen.name == "s0"
+
+    def test_raises_when_nothing_fits(self):
+        servers = make_servers(1)
+        servers[0].place(Container("a", 4))
+        with pytest.raises(InsufficientResourcesError):
+            BestFitScheduler().select(servers, 1)
+
+
+class TestWorstFit:
+    def test_spreads_to_emptiest(self):
+        servers = make_servers()
+        servers[0].place(Container("a", 3))
+        servers[1].place(Container("a", 1))
+        chosen = WorstFitScheduler().select(servers, 1)
+        assert chosen.name == "s2"

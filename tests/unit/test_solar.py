@@ -1,0 +1,122 @@
+"""Solar traces and the array emulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarConfig
+from repro.core.errors import TraceError
+from repro.energy.solar import (
+    ConstantSolarTrace,
+    SolarArrayEmulator,
+    SolarTrace,
+    TabularSolarTrace,
+)
+
+DAY_S = 86400.0
+
+
+class TestSolarTrace:
+    def test_zero_at_night(self):
+        trace = SolarTrace(days=2, seed=1)
+        assert trace.irradiance_at(0.0) == 0.0  # midnight
+        assert trace.irradiance_at(3 * 3600.0) == 0.0  # 3 am
+
+    def test_positive_at_noon(self):
+        trace = SolarTrace(days=2, seed=1)
+        assert trace.irradiance_at(12 * 3600.0) > 0.2
+
+    def test_bounded(self):
+        trace = SolarTrace(days=3, seed=7)
+        assert trace.samples.min() >= 0.0
+        assert trace.samples.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = SolarTrace(days=2, seed=5)
+        b = SolarTrace(days=2, seed=5)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_different_seeds_differ(self):
+        a = SolarTrace(days=2, seed=5)
+        b = SolarTrace(days=2, seed=6)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_clamps_beyond_end(self):
+        trace = SolarTrace(days=1, seed=1)
+        assert trace.irradiance_at(10 * DAY_S) == trace.irradiance_at(
+            DAY_S - 60.0
+        )
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(TraceError):
+            SolarTrace(days=1).irradiance_at(-1.0)
+
+    def test_rejects_bad_day_count(self):
+        with pytest.raises(TraceError):
+            SolarTrace(days=0)
+
+    def test_rejects_bad_sun_hours(self):
+        with pytest.raises(TraceError):
+            SolarTrace(days=1, sunrise_hour=20.0, sunset_hour=6.0)
+
+    def test_samples_are_read_only(self):
+        trace = SolarTrace(days=1)
+        with pytest.raises(ValueError):
+            trace.samples[0] = 0.5
+
+
+class TestConstantAndTabularTraces:
+    def test_constant(self):
+        trace = ConstantSolarTrace(0.6)
+        assert trace.irradiance_at(0.0) == 0.6
+        assert trace.irradiance_at(1e6) == 0.6
+
+    def test_constant_rejects_out_of_range(self):
+        with pytest.raises(TraceError):
+            ConstantSolarTrace(1.5)
+
+    def test_tabular_lookup(self):
+        trace = TabularSolarTrace([0.0, 0.5, 1.0])
+        assert trace.irradiance_at(0.0) == 0.0
+        assert trace.irradiance_at(60.0) == 0.5
+        assert trace.irradiance_at(120.0) == 1.0
+        assert trace.irradiance_at(999.0) == 1.0  # clamps
+
+    def test_tabular_rejects_out_of_range_samples(self):
+        with pytest.raises(TraceError):
+            TabularSolarTrace([0.0, 2.0])
+
+    def test_tabular_rejects_empty(self):
+        with pytest.raises(TraceError):
+            TabularSolarTrace([])
+
+
+class TestSolarArrayEmulator:
+    def test_output_scales_with_peak_and_derating(self):
+        emulator = SolarArrayEmulator(
+            SolarConfig(peak_power_w=100.0, panel_efficiency_derating=0.9),
+            ConstantSolarTrace(0.5),
+        )
+        assert emulator.available_power_w(0.0) == pytest.approx(45.0)
+
+    def test_scale_multiplies_output(self):
+        emulator = SolarArrayEmulator(
+            SolarConfig(peak_power_w=100.0, scale=0.25,
+                        panel_efficiency_derating=1.0),
+            ConstantSolarTrace(1.0),
+        )
+        assert emulator.available_power_w(0.0) == pytest.approx(25.0)
+
+    def test_with_scale_shares_trace(self):
+        base = SolarArrayEmulator(
+            SolarConfig(peak_power_w=100.0, panel_efficiency_derating=1.0),
+            ConstantSolarTrace(1.0),
+        )
+        scaled = base.with_scale(0.5)
+        assert scaled.available_power_w(0.0) == pytest.approx(
+            base.available_power_w(0.0) * 0.5
+        )
+
+    def test_delivery_metering(self):
+        emulator = SolarArrayEmulator(trace=ConstantSolarTrace(1.0))
+        emulator.deliver(60.0, 60.0)
+        assert emulator.total_energy_wh == pytest.approx(1.0)

@@ -1,0 +1,111 @@
+"""Request traces for the web workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.energy.solar import SolarTrace
+from repro.workloads.traces import (
+    RequestTrace,
+    constant_request_trace,
+    daytime_request_trace,
+    diurnal_request_trace,
+)
+
+
+class TestRequestTrace:
+    def test_lookup(self):
+        trace = RequestTrace([10.0, 20.0, 30.0])
+        assert trace.rate_at(0.0) == 10.0
+        assert trace.rate_at(60.0) == 20.0
+        assert trace.rate_at(1e9) == 30.0  # clamps
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            RequestTrace([1.0]).rate_at(-1.0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(TraceError):
+            RequestTrace([-1.0])
+
+    def test_stats(self):
+        trace = RequestTrace([10.0, 20.0, 30.0])
+        assert trace.peak_rate() == 30.0
+        assert trace.mean_rate() == pytest.approx(20.0)
+
+    def test_duration(self):
+        assert RequestTrace([1.0] * 60).duration_s == pytest.approx(3600.0)
+
+
+class TestDiurnalTrace:
+    def test_peak_near_configured_hour(self):
+        trace = diurnal_request_trace(
+            hours=24, base_rps=10, peak_rps=100, peak_hour=20.0,
+            noise_fraction=0.0, burst_probability=0.0,
+        )
+        hours = np.arange(len(trace.samples)) / 60.0
+        peak_index = int(np.argmax(trace.samples))
+        assert abs(hours[peak_index] - 20.0) < 2.0
+
+    def test_bounds(self):
+        trace = diurnal_request_trace(hours=48)
+        assert trace.samples.min() >= 0.0
+
+    def test_deterministic(self):
+        a = diurnal_request_trace(hours=24, seed=3)
+        b = diurnal_request_trace(hours=24, seed=3)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_bursts_raise_peak(self):
+        calm = diurnal_request_trace(hours=48, burst_probability=0.0, seed=4)
+        bursty = diurnal_request_trace(hours=48, burst_probability=0.05, seed=4)
+        assert bursty.peak_rate() > calm.peak_rate()
+
+    def test_burst_onset_ramps(self):
+        """Bursts must ramp, not jump: adjacent-minute ratio is bounded."""
+        trace = diurnal_request_trace(
+            hours=48, noise_fraction=0.0, burst_probability=0.02,
+            burst_multiplier=1.6, seed=5,
+        )
+        ratios = trace.samples[1:] / np.maximum(trace.samples[:-1], 1e-9)
+        assert ratios.max() < 1.45
+
+    def test_rejects_peak_below_base(self):
+        with pytest.raises(TraceError):
+            diurnal_request_trace(base_rps=100, peak_rps=50)
+
+    def test_rejects_nonpositive_hours(self):
+        with pytest.raises(TraceError):
+            diurnal_request_trace(hours=0)
+
+
+class TestDaytimeTrace:
+    def test_follows_irradiance(self):
+        solar = SolarTrace(days=1, seed=2)
+        trace = daytime_request_trace(solar.samples, peak_rps=100, noise_fraction=0.0)
+        # Zero at midnight, positive at noon.
+        assert trace.rate_at(0.0) == 0.0
+        assert trace.rate_at(12 * 3600.0) > 10.0
+
+    def test_activity_floor(self):
+        solar = SolarTrace(days=1, seed=2)
+        trace = daytime_request_trace(
+            solar.samples, peak_rps=100, activity_floor_rps=5.0,
+            noise_fraction=0.0,
+        )
+        assert trace.rate_at(0.0) == pytest.approx(5.0)
+
+    def test_rejects_empty_irradiance(self):
+        with pytest.raises(TraceError):
+            daytime_request_trace([])
+
+
+class TestConstantTrace:
+    def test_flat(self):
+        trace = constant_request_trace(42.0, hours=1)
+        assert trace.rate_at(0.0) == 42.0
+        assert trace.rate_at(1800.0) == 42.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceError):
+            constant_request_trace(-1.0)
