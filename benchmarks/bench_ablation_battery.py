@@ -3,91 +3,34 @@
 Sweeps the battery's one-way efficiency and the DoD floor to show how
 much solar-shifted energy a zero-carbon application actually recovers —
 the knob the paper's charge-controller configuration (30% floor) fixes.
+
+Runs on the scenario runner: the 3x2 (efficiency, floor) matrix of the
+``ablation_battery`` scenario executes across worker processes.
 """
 
-from repro.core.clock import SimulationClock
-from repro.core.config import (
-    BatteryConfig,
-    CarbonServiceConfig,
-    ClusterConfig,
-    EcovisorConfig,
-    ShareConfig,
-    SolarConfig,
-)
-from repro.carbon.service import CarbonIntensityService
-from repro.carbon.traces import constant_trace
-from repro.cluster.cop import ContainerOrchestrationPlatform
-from repro.core.ecovisor import Ecovisor
-from repro.energy.battery import Battery
-from repro.energy.solar import SolarArrayEmulator, SolarTrace
-from repro.energy.system import PhysicalEnergySystem
-from repro.policies import StaticBatterySmoothingPolicy
-from repro.sim.engine import SimulationEngine
-from repro.workloads.spark import SparkJob
-
-EFFICIENCIES = (1.0, 0.95, 0.85)
-FLOORS = (0.0, 0.30)
+from repro.sim.runner import default_jobs, run_sweep
 
 
-def run_case(efficiency: float, floor: float) -> dict:
-    # Sized so the battery binds: a 6-worker pool (7.5 W) outdraws the
-    # morning/evening solar shoulders, so recovered battery energy (and
-    # therefore efficiency and the DoD floor) directly limits work done.
-    battery = Battery(BatteryConfig(
-        capacity_wh=15.0,
-        empty_soc_fraction=floor,
-        charge_efficiency=efficiency,
-        discharge_efficiency=efficiency,
-        initial_soc_fraction=max(0.5, floor + 0.2),
-    ))
-    solar = SolarArrayEmulator(
-        SolarConfig(peak_power_w=14.0), SolarTrace(days=3, seed=2023)
-    )
-    plant = PhysicalEnergySystem(battery=battery, solar=solar)
-    platform = ContainerOrchestrationPlatform(ClusterConfig(num_servers=8))
-    carbon = CarbonIntensityService(
-        CarbonServiceConfig(region="constant"), trace=constant_trace(200.0, days=3)
-    )
-    ecovisor = Ecovisor(plant, platform, carbon, EcovisorConfig())
-    engine = SimulationEngine(ecovisor, SimulationClock(60.0))
-    job = SparkJob(name="spark", total_work_units=1e9)
-    policy = StaticBatterySmoothingPolicy(6, 1.25)
-    engine.add_application(
-        job,
-        ShareConfig(solar_fraction=1.0, battery_fraction=1.0, grid_power_w=0.0),
-        policy,
-    )
-    engine.run(3 * 24 * 60)
-    account = ecovisor.ledger.account("spark")
-    return {
-        "progress": job.progress_units,
-        "battery_wh": account.battery_wh,
-        "solar_wh": account.solar_wh,
-        "curtailed_wh": account.curtailed_wh,
-    }
-
-
-def run_sweep():
-    rows = []
-    for efficiency in EFFICIENCIES:
-        for floor in FLOORS:
-            rows.append(((efficiency, floor), run_case(efficiency, floor)))
-    return rows
+def run_sweep_rows():
+    sweep = run_sweep("ablation_battery", jobs=default_jobs())
+    assert sweep.ok, [r.error for r in sweep.failures()]
+    return sweep.rows_ok()
 
 
 def test_ablation_battery_parameters(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_sweep_rows, rounds=1, iterations=1)
 
     print("\n=== Ablation: battery efficiency x DoD floor (3 solar days) ===")
     print(f"{'eff':>5s} {'floor':>6s} {'work':>10s} {'from batt':>10s} "
           f"{'from solar':>11s} {'curtailed':>10s}")
     results = {}
-    for (efficiency, floor), out in rows:
-        results[(efficiency, floor)] = out
+    for row in rows:
+        results[(row["efficiency"], row["floor"])] = row
         print(
-            f"{efficiency:5.2f} {floor:5.0%} {out['progress']:9.0f}u "
-            f"{out['battery_wh']:8.2f}Wh {out['solar_wh']:9.2f}Wh "
-            f"{out['curtailed_wh']:8.2f}Wh"
+            f"{row['efficiency']:5.2f} {row['floor']:5.0%} "
+            f"{row['progress_units']:9.0f}u "
+            f"{row['battery_wh']:8.2f}Wh {row['solar_wh']:9.2f}Wh "
+            f"{row['curtailed_wh']:8.2f}Wh"
         )
     print("expected: lower efficiency and higher floors recover less")
     print("battery energy, so the job completes less work.")
@@ -99,9 +42,9 @@ def test_ablation_battery_parameters(benchmark):
     )
     # Same efficiency: the 30% floor strands capacity vs no floor.
     assert (
-        results[(0.95, 0.30)]["progress"]
-        <= results[(0.95, 0.00)]["progress"] + 1e-6
+        results[(0.95, 0.30)]["progress_units"]
+        <= results[(0.95, 0.00)]["progress_units"] + 1e-6
     )
     benchmark.extra_info["work_at_paper_config"] = results[(0.95, 0.30)][
-        "progress"
+        "progress_units"
     ]

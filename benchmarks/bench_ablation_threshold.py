@@ -4,54 +4,36 @@ The paper fixes the suspend/resume threshold at the 30th percentile for
 ML training.  This ablation sweeps the percentile to expose the
 carbon-vs-runtime tradeoff the choice embodies: lower percentiles run
 cleaner but wait longer.
+
+Runs on the scenario runner: one worker process per percentile
+(``ablation_threshold`` scenario), results in matrix order.
 """
 
-from repro.carbon.traces import make_region_trace
-from repro.policies import WaitAndScalePolicy
-from repro.sim.experiment import (
-    arrival_offsets,
-    carbon_threshold,
-    run_batch_policy,
-)
-from repro.sim.results import summarize_batch
-from repro.workloads.mltrain import MLTrainingJob
-
-PERCENTILES = (20.0, 30.0, 40.0, 50.0)
+from repro.sim.runner import default_jobs, run_sweep
 
 
-def run_sweep():
-    trace = make_region_trace("caiso", days=4)
-    offsets = arrival_offsets(6, trace.duration_s)
-    rows = []
-    for pct in PERCENTILES:
-        threshold = carbon_threshold(trace, pct, 48 * 3600.0)
-        summary = summarize_batch(run_batch_policy(
-            make_app=lambda: MLTrainingJob(total_work_units=29000.0),
-            make_policy=lambda t, thr=threshold: WaitAndScalePolicy(thr, 4, 2.0),
-            policy_label=f"p{pct:.0f}",
-            base_trace=trace,
-            offsets=offsets,
-            max_ticks=4 * 24 * 60,
-        ))
-        rows.append((pct, threshold, summary))
-    return rows
+def run_sweep_rows():
+    sweep = run_sweep("ablation_threshold", jobs=default_jobs())
+    assert sweep.ok, [r.error for r in sweep.failures()]
+    return sweep.rows_ok()
 
 
 def test_ablation_threshold_percentile(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_sweep_rows, rounds=1, iterations=1)
 
     print("\n=== Ablation: W&S(2x) carbon threshold percentile ===")
     print(f"{'pctile':>7s} {'threshold':>10s} {'runtime':>9s} {'carbon':>9s}")
-    for pct, threshold, summary in rows:
+    for row in rows:
         print(
-            f"{pct:6.0f}% {threshold:8.1f} g {summary.mean_runtime_hours:7.2f} h "
-            f"{summary.mean_carbon_g:7.3f} g"
+            f"{row['percentile']:6.0f}% {row['threshold_g_per_kwh']:8.1f} g "
+            f"{row['mean_runtime_s'] / 3600:7.2f} h "
+            f"{row['mean_carbon_g']:7.3f} g"
         )
     print("expected: higher percentiles run sooner (lower runtime) on")
     print("dirtier power (higher carbon) — the tradeoff is monotone-ish.")
 
-    runtimes = [s.mean_runtime_s for _, _, s in rows]
-    carbons = [s.mean_carbon_g for _, _, s in rows]
+    runtimes = [row["mean_runtime_s"] for row in rows]
+    carbons = [row["mean_carbon_g"] for row in rows]
     # Loosest threshold must be fastest; strictest must be cleanest.
     assert runtimes[-1] <= runtimes[0]
     assert carbons[0] <= carbons[-1]

@@ -6,72 +6,43 @@ site(s) with the lowest carbon-intensity".  This bench runs a
 delay-tolerant batch pool across two sites with anti-correlated carbon
 (their duck curves are out of phase) and compares carbon against
 pinning the job to either single site.
+
+Runs on the scenario runner: the three placements (``extension_geo``
+scenario) execute as independent worker processes.
 """
 
-from repro.carbon.traces import make_region_trace
-from repro.geo import GeoCoordinator
-from repro.sim.experiment import grid_environment
-
-WORK_UNITS = 8 * 60.0 * 600  # ~10 h of work for 8 workers
-MAX_TICKS = 2 * 24 * 60
+from repro.sim.runner import default_jobs, run_sweep
 
 
-def build_sites():
-    # Same region statistics, phase-shifted 12 h: when one site's grid is
-    # dirty, the other's is clean (a US-EU style pairing).
-    base = make_region_trace("caiso", days=3, seed=2023)
-    shifted = base.rolled(12 * 3600.0)
-    return base, shifted
-
-
-def run_all():
-    base, shifted = build_sites()
-    results = {}
-    geo = GeoCoordinator(
-        {
-            "east": grid_environment(trace=base),
-            "west": grid_environment(trace=shifted),
-        },
-        workers=8,
-        migration_delay_ticks=5,
-    )
-    geo.submit(WORK_UNITS)
-    results["geo-shifting"] = geo.run(MAX_TICKS)
-
-    for name, trace in (("east-only", base), ("west-only", shifted)):
-        pinned = GeoCoordinator(
-            {
-                "east": grid_environment(trace=trace),
-                "west": grid_environment(trace=trace.rolled(1.0)),
-            },
-            workers=8,
-            switch_threshold_g_per_kwh=1e9,  # never migrate
-        )
-        pinned.submit(WORK_UNITS)
-        results[name] = pinned.run(MAX_TICKS)
-    return results
+def run_sweep_rows():
+    sweep = run_sweep("extension_geo", jobs=default_jobs())
+    assert sweep.ok, [r.error for r in sweep.failures()]
+    return {row["placement"]: row for row in sweep.rows_ok()}
 
 
 def test_extension_geo_shifting(benchmark):
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    results = benchmark.pedantic(run_sweep_rows, rounds=1, iterations=1)
 
     print("\n=== Extension: geo-distributed carbon shifting (2 sites) ===")
     print(f"{'placement':14s} {'runtime':>9s} {'carbon':>9s} {'migrations':>11s}")
-    for name, r in results.items():
+    for name, row in results.items():
         print(
-            f"{name:14s} {r.runtime_s / 3600:7.2f} h {r.total_carbon_g:7.3f} g "
-            f"{r.migrations:11d}"
+            f"{name:14s} {row['runtime_s'] / 3600:7.2f} h "
+            f"{row['carbon_g']:7.3f} g {row['migrations']:11.0f}"
         )
     geo = results["geo-shifting"]
-    print(f"work split: {geo.work_by_site}")
+    print(
+        "work split: "
+        f"east {geo['work_east']:.0f}u, west {geo['work_west']:.0f}u"
+    )
     print("expected: shifting to the cleaner site cuts carbon vs either")
     print("single-site placement at a small runtime cost (migration pauses).")
 
     singles = [results["east-only"], results["west-only"]]
-    assert geo.completed and all(r.completed for r in singles)
-    assert geo.total_carbon_g < min(r.total_carbon_g for r in singles)
-    assert geo.migrations >= 1
-    benchmark.extra_info["geo_carbon_g"] = geo.total_carbon_g
+    assert geo["completed"] == 1.0 and all(r["completed"] == 1.0 for r in singles)
+    assert geo["carbon_g"] < min(r["carbon_g"] for r in singles)
+    assert geo["migrations"] >= 1
+    benchmark.extra_info["geo_carbon_g"] = geo["carbon_g"]
     benchmark.extra_info["best_single_site_g"] = min(
-        r.total_carbon_g for r in singles
+        r["carbon_g"] for r in singles
     )

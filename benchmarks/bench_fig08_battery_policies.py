@@ -4,44 +4,54 @@ Paper targets: the Spark-specific dynamic policy reduces runtime by ~39%
 by surging onto excess solar once its battery fills; the web-specific
 dynamic policy always meets its 100 ms SLO while the fixed 4-worker
 system policy does not.  All applications remain zero-carbon.
+
+Runs on the scenario runner: the static and dynamic cases execute as
+independent worker processes (``fig08_battery_policies`` scenario).
 """
 
-from repro.analysis.figures_battery import fig08_09_battery_policies
+from repro.sim.runner import default_jobs, run_sweep
+
+
+def run_via_runner():
+    sweep = run_sweep("fig08_battery_policies", jobs=default_jobs())
+    assert sweep.ok, [r.error for r in sweep.failures()]
+    return {row["policy"]: row for row in sweep.rows_ok()}
 
 
 def test_fig08_battery_policies(benchmark):
-    outcome = benchmark.pedantic(
-        fig08_09_battery_policies, rounds=1, iterations=1
+    rows = benchmark.pedantic(run_via_runner, rounds=1, iterations=1)
+    static, dynamic = rows["static"], rows["dynamic"]
+    reduction_pct = (
+        (static["spark_runtime_s"] - dynamic["spark_runtime_s"])
+        / static["spark_runtime_s"] * 100.0
     )
 
     print("\n=== Figure 8: battery usage policies (4 days, zero-carbon) ===")
     print(
-        f"Spark runtime: static {outcome['spark_runtime_static_s'] / 3600:6.1f} h, "
-        f"dynamic {outcome['spark_runtime_dynamic_s'] / 3600:6.1f} h "
-        f"-> -{outcome['spark_runtime_reduction_pct']:.1f}% (paper: -39%)"
+        f"Spark runtime: static {static['spark_runtime_s'] / 3600:6.1f} h, "
+        f"dynamic {dynamic['spark_runtime_s'] / 3600:6.1f} h "
+        f"-> -{reduction_pct:.1f}% (paper: -39%)"
     )
     print(
         f"Dynamic surge work lost to unclean kills: "
-        f"{outcome['spark_lost_units_dynamic']:.0f} units"
+        f"{dynamic['spark_lost_units']:.0f} units"
     )
-    for r in outcome["web_results"]:
+    for label, row in (("System Policy", static), ("Dynamic", dynamic)):
         print(
-            f"web-monitor {r.policy_label:14s} violations "
-            f"{r.violation_fraction * 100:5.1f}% mean p95 {r.mean_p95_ms:7.1f} ms "
-            f"(SLO {r.slo_ms:.0f} ms)"
+            f"web-monitor {label:14s} violations "
+            f"{row['web_violation_fraction'] * 100:5.1f}% "
+            f"mean p95 {row['web_mean_p95_ms']:7.1f} ms "
+            f"(SLO {row['web_slo_ms']:.0f} ms)"
         )
-    print(f"carbon (all must be 0): {outcome['zero_carbon']}")
+    carbon = {
+        f"{policy}_{app}_g": rows[policy][f"{app}_carbon_g"]
+        for policy in ("static", "dynamic")
+        for app in ("spark", "web")
+    }
+    print(f"carbon (all must be 0): {carbon}")
 
-    assert outcome["spark_runtime_reduction_pct"] > 20.0
-    static_web = next(
-        r for r in outcome["web_results"] if r.policy_label == "System Policy"
-    )
-    dynamic_web = next(
-        r for r in outcome["web_results"] if r.policy_label == "Dynamic"
-    )
-    assert static_web.violation_fraction > 0.10
-    assert dynamic_web.violation_fraction < 0.01
-    assert all(v == 0.0 for v in outcome["zero_carbon"].values())
-    benchmark.extra_info["spark_runtime_reduction_pct"] = outcome[
-        "spark_runtime_reduction_pct"
-    ]
+    assert reduction_pct > 20.0
+    assert static["web_violation_fraction"] > 0.10
+    assert dynamic["web_violation_fraction"] < 0.01
+    assert all(v == 0.0 for v in carbon.values())
+    benchmark.extra_info["spark_runtime_reduction_pct"] = reduction_pct

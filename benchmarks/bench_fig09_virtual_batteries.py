@@ -3,40 +3,43 @@
 Paper targets: the two applications' battery usage patterns differ
 significantly despite sharing one physical battery — each cycles its
 share according to its own policy (Fig 9a SoC, Fig 9b signed power).
+
+Runs on the scenario runner, pinning the ``policy`` axis to the dynamic
+case (the run Figure 9 plots) and reading the virtual-battery statistics
+the scenario reports.
 """
 
-import numpy as np
+from repro.sim.runner import default_jobs, run_sweep
 
-from repro.analysis.figures_battery import fig08_09_battery_policies
+
+def run_dynamic_case():
+    sweep = run_sweep(
+        "fig08_battery_policies", overrides={"policy": "dynamic"},
+        jobs=default_jobs(),
+    )
+    assert sweep.ok, [r.error for r in sweep.failures()]
+    (row,) = sweep.rows_ok()
+    return row
 
 
 def test_fig09_virtual_batteries(benchmark):
-    outcome = benchmark.pedantic(
-        fig08_09_battery_policies, rounds=1, iterations=1
-    )
-    series = outcome["bundle"].series
+    row = benchmark.pedantic(run_dynamic_case, rounds=1, iterations=1)
 
     print("\n=== Figure 9: virtual battery multi-tenancy (dynamic run) ===")
-    stats = {}
-    for app in ("spark", "web-monitor"):
-        soc = np.asarray([v for _, v in series[f"dynamic.{app}.soc"]])
-        power = np.asarray(
-            [v for _, v in series[f"dynamic.{app}.battery_power_w"]]
-        )
-        stats[app] = (soc, power)
+    for app, label in (("spark", "spark"), ("web", "web-monitor")):
         print(
-            f"{app:12s} SoC {soc.min() * 100:5.1f}%..{soc.max() * 100:5.1f}% "
-            f"battery power {power.min():+6.2f}..{power.max():+6.2f} W"
+            f"{label:12s} SoC {row[f'{app}_soc_min'] * 100:5.1f}%.."
+            f"{row[f'{app}_soc_max'] * 100:5.1f}% "
+            f"battery power {row[f'{app}_battery_power_min_w']:+6.2f}.."
+            f"{row[f'{app}_battery_power_max_w']:+6.2f} W"
         )
     print("paper: usage patterns differ significantly per application;")
     print("the 30% SoC floor ('min soc limit') is never crossed.")
 
-    for app, (soc, power) in stats.items():
-        assert soc.min() >= 0.30 - 1e-9  # the DoD floor holds
-        assert power.max() > 0.0  # charges
-        assert power.min() < 0.0  # discharges
-    spark_soc, web_soc = stats["spark"][0], stats["web-monitor"][0]
-    n = min(len(spark_soc), len(web_soc))
-    assert np.abs(spark_soc[:n] - web_soc[:n]).max() > 0.05
-    benchmark.extra_info["spark_soc_min"] = float(spark_soc.min())
-    benchmark.extra_info["web_soc_min"] = float(web_soc.min())
+    for app in ("spark", "web"):
+        assert row[f"{app}_soc_min"] >= 0.30 - 1e-9  # the DoD floor holds
+        assert row[f"{app}_battery_power_max_w"] > 0.0  # charges
+        assert row[f"{app}_battery_power_min_w"] < 0.0  # discharges
+    assert row["soc_divergence_max"] > 0.05
+    benchmark.extra_info["spark_soc_min"] = row["spark_soc_min"]
+    benchmark.extra_info["web_soc_min"] = row["web_soc_min"]

@@ -3,16 +3,21 @@
 Paper targets (Fig 10c): the dynamic policy's runtime improvement grows
 as available solar shrinks; energy-efficiency (work per joule) grows
 with available solar because the idle floor is amortized.
+
+Runs on the scenario runner: the 9x2 (solar %, policy) matrix executes
+across worker processes and is paired back into comparison rows.
 """
 
 from repro.analysis.figures_solar import fig10_solar_caps
+from repro.sim.runner import default_jobs
 
 PERCENTAGES = (10, 20, 30, 40, 50, 60, 70, 80, 90)
 
 
 def test_fig10_solar_caps(benchmark):
     rows = benchmark.pedantic(
-        fig10_solar_caps, kwargs={"percentages": PERCENTAGES},
+        fig10_solar_caps,
+        kwargs={"percentages": PERCENTAGES, "jobs": default_jobs()},
         rounds=1, iterations=1,
     )
 

@@ -56,6 +56,8 @@ ZERO_CARBON_SHARE = ShareConfig(
 
 
 def _run(policy_kind: str, seed: int) -> Dict[str, object]:
+    if policy_kind not in ("static", "dynamic"):
+        raise ValueError(f"unknown policy kind: {policy_kind!r}")
     env = solar_battery_environment(
         solar_peak_w=SOLAR_PEAK_W,
         battery_capacity_wh=BATTERY_CAPACITY_WH,
@@ -96,6 +98,57 @@ def _run(policy_kind: str, seed: int) -> Dict[str, object]:
     env.engine.add_application(web, ZERO_CARBON_SHARE, web_policy)
     env.engine.run(DAYS * 24 * 60, stop_when_batch_complete=False)
     return {"env": env, "spark": spark, "web": web}
+
+
+def run_battery_policy_case(policy: str, seed: int = 2023) -> Dict[str, float]:
+    """One Figure 8/9 run as a flat, picklable metrics dict.
+
+    This is the scenario-registry unit of work (one policy kind per
+    worker process): it builds the whole environment in-process and
+    reduces the run to scalar metrics — Spark runtime and loss, web SLO
+    statistics, per-application carbon, and the Figure 9 virtual-battery
+    statistics (SoC range, signed battery power range, and the maximum
+    SoC divergence between the two tenants).
+    """
+    import numpy as np
+
+    run = _run(policy, seed)
+    env = run["env"]
+    spark: SparkJob = run["spark"]
+    web: WebApplication = run["web"]
+    ledger = env.ecovisor.ledger
+    db = env.ecovisor.database
+    runtime = spark.completion_time_s
+    metrics: Dict[str, float] = {
+        "spark_runtime_s": runtime if runtime is not None else float("inf"),
+        "spark_completed": 1.0 if spark.is_complete else 0.0,
+        "spark_lost_units": float(spark.lost_units_total),
+        "web_ticks": float(web.tick_count),
+        "web_violation_fraction": (
+            web.violation_ticks / web.tick_count if web.tick_count else 0.0
+        ),
+        "web_mean_p95_ms": float(web.mean_latency_ms),
+        "web_worst_p95_ms": float(web.worst_latency_ms),
+        "web_slo_ms": float(web.slo_ms),
+        "spark_carbon_g": float(ledger.app_carbon_g("spark")),
+        "web_carbon_g": float(ledger.app_carbon_g("web-monitor")),
+    }
+    socs = {}
+    for app_name, prefix in (("spark", "spark"), ("web-monitor", "web")):
+        soc = np.asarray(list(db.series(f"app.{app_name}.battery_soc").values()))
+        power = np.asarray(
+            list(db.series(f"app.{app_name}.battery_power_w").values())
+        )
+        socs[app_name] = soc
+        metrics[f"{prefix}_soc_min"] = float(soc.min())
+        metrics[f"{prefix}_soc_max"] = float(soc.max())
+        metrics[f"{prefix}_battery_power_min_w"] = float(power.min())
+        metrics[f"{prefix}_battery_power_max_w"] = float(power.max())
+    n = min(len(socs["spark"]), len(socs["web-monitor"]))
+    metrics["soc_divergence_max"] = float(
+        np.abs(socs["spark"][:n] - socs["web-monitor"][:n]).max()
+    )
+    return metrics
 
 
 def fig08_09_battery_policies(seed: int = 2023) -> Dict[str, object]:

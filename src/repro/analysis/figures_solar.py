@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.analysis.metrics import (
     energy_efficiency_per_joule,
+    pivot_rows,
     runtime_improvement_pct,
 )
 from repro.carbon.service import CarbonIntensityService
@@ -165,28 +166,41 @@ def _run_parallel(
     }
 
 
-def fig10_solar_caps(
-    percentages: Tuple[int, ...] = (10, 20, 30, 40, 50, 60, 70, 80, 90),
-    seed: int = 2023,
-) -> List[Dict[str, float]]:
-    """Figure 10(c): runtime improvement and energy-efficiency vs solar %.
+def run_solar_cap_case(
+    solar_pct: float, policy: str, seed: int = 2023
+) -> Dict[str, float]:
+    """One Figure 10(c) run (one solar % x one cap policy), flat metrics.
 
-    One row per percentage: the dynamic policy's runtime improvement over
-    the static policy, and the dynamic run's energy-efficiency (work per
-    joule).  No stragglers are injected; round-to-round task-size variance
-    supplies the imbalance (the paper's first configuration).
+    The scenario-registry unit of work: builds the solar-only plant at
+    ``solar_pct`` percent of the job's maximum draw, runs the parallel
+    job under ``policy`` ("static" or "dynamic" per-container caps), and
+    returns picklable scalars only (the engine never leaves the worker).
     """
+    out = _run_parallel(
+        _constant_solar(float(solar_pct) / 100.0), policy, int(seed), 0.0,
+        FIG10_ROUNDS, FIG10_MEAN_WORK, FIG10_WORK_CV,
+    )
+    return {
+        "runtime_s": float(out["runtime_s"]),
+        "completed": float(out["completed"]),
+        "energy_wh": float(out["energy_wh"]),
+        "work_units": float(out["work_units"]),
+    }
+
+
+def solar_cap_rows(table: List[Dict[str, float]]) -> List[Dict[str, float]]:
+    """Pair static/dynamic sweep rows into the Figure 10(c) row shape.
+
+    Takes the tidy table of a ``fig10_solar_caps`` sweep (one row per
+    (solar_pct, policy) run) and reduces each solar percentage to one
+    comparison row: runtimes, the dynamic policy's runtime improvement,
+    and the dynamic run's energy-efficiency.
+    """
+    paired = pivot_rows(table, "solar_pct", "policy")
     rows = []
-    for pct in percentages:
-        scale = pct / 100.0
-        static = _run_parallel(
-            _constant_solar(scale), "static", seed, 0.0,
-            FIG10_ROUNDS, FIG10_MEAN_WORK, FIG10_WORK_CV,
-        )
-        dynamic = _run_parallel(
-            _constant_solar(scale), "dynamic", seed, 0.0,
-            FIG10_ROUNDS, FIG10_MEAN_WORK, FIG10_WORK_CV,
-        )
+    for pct in sorted(paired):
+        static = paired[pct]["static"]
+        dynamic = paired[pct]["dynamic"]
         rows.append(
             {
                 "solar_pct": float(pct),
@@ -203,6 +217,43 @@ def fig10_solar_caps(
             }
         )
     return rows
+
+
+def fig10_solar_caps(
+    percentages: Tuple[int, ...] = (10, 20, 30, 40, 50, 60, 70, 80, 90),
+    seed: int = 2023,
+    jobs: int = 1,
+) -> List[Dict[str, float]]:
+    """Figure 10(c): runtime improvement and energy-efficiency vs solar %.
+
+    One row per percentage: the dynamic policy's runtime improvement over
+    the static policy, and the dynamic run's energy-efficiency (work per
+    joule).  No stragglers are injected; round-to-round task-size variance
+    supplies the imbalance (the paper's first configuration).
+
+    Executes on the scenario runner: ``jobs<=1`` is the deterministic
+    serial fallback, ``jobs>=2`` fans the (solar %, policy) matrix out
+    over worker processes.  Both orderings produce identical rows.
+    """
+    from repro.sim.runner import run_sweep
+
+    sweep = run_sweep(
+        "fig10_solar_caps",
+        overrides={
+            # dict.fromkeys dedupes while preserving order: a repeated
+            # point would otherwise collide in the pivot.
+            "solar_pct": list(dict.fromkeys(float(p) for p in percentages)),
+            "seed": int(seed),
+        },
+        jobs=jobs,
+    )
+    failures = sweep.failures()
+    if failures:
+        raise RuntimeError(
+            f"fig10 sweep had {len(failures)} failed runs: "
+            + "; ".join(f"{r.spec.label()}: {r.error}" for r in failures)
+        )
+    return solar_cap_rows(sweep.rows_ok())
 
 
 def fig10_day_series(seed: int = 2023) -> SeriesBundle:

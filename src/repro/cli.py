@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper figure from the shell.
+"""Command-line interface: regenerate figures and run scenario sweeps.
 
 Usage::
 
@@ -6,16 +6,25 @@ Usage::
     python -m repro fig04a               # ML training policy comparison
     python -m repro fig04a --reps 4      # quicker, fewer arrivals
     python -m repro fig10 --points 20,50,80
+    python -m repro scenarios            # the registered scenario catalog
+    python -m repro sweep smoke --jobs 2 # run a scenario matrix in parallel
+    python -m repro sweep fig10_solar_caps --jobs 4 --param solar_pct=10/50/90
 
-Each command runs the same experiment builder the benchmarks use and
-prints the figure's rows.  Everything is deterministic.
+Each figure command runs the same experiment builder the benchmarks use
+and prints the figure's rows.  ``sweep`` expands a registered scenario's
+parameter matrix and executes it across worker processes (``--jobs``),
+printing one tidy row per run plus provenance (config hash, wall time).
+``--param k=v,...`` pins parameters; a ``/``-separated value list (e.g.
+``solar_pct=10/50/90``) redefines a sweep axis.  Everything is
+deterministic: a parallel sweep produces byte-identical metrics to the
+serial fallback (``--jobs 1``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 
 def _print_batch(summaries, title: str) -> None:
@@ -144,6 +153,95 @@ def cmd_fig11(args) -> None:
         )
 
 
+def _parse_param_value(text: str) -> Any:
+    """Parse one ``--param`` value: int, float, bool, or bare string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_param_overrides(entries: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--param k=v[,k=v...]`` flags into runner overrides.
+
+    A scalar value pins a parameter; a ``/``-separated list (e.g.
+    ``solar_pct=10/50/90``) becomes a sweep axis.
+    """
+    overrides: Dict[str, Any] = {}
+    for entry in entries:
+        for pair in entry.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            if "=" not in pair:
+                raise ValueError(f"--param expects k=v, got {pair!r}")
+            key, _, raw = pair.partition("=")
+            key = key.strip()
+            if "/" in raw:
+                overrides[key] = [
+                    _parse_param_value(v) for v in raw.split("/") if v
+                ]
+            else:
+                overrides[key] = _parse_param_value(raw)
+    return overrides
+
+
+def cmd_scenarios(args) -> None:
+    from repro.sim import scenarios
+
+    print("registered scenarios:")
+    for name in scenarios.names():
+        scenario = scenarios.get(name)
+        axes = " x ".join(
+            f"{axis}({len(values)})" for axis, values in scenario.sweep.items()
+        )
+        size = scenarios.matrix_size(name)
+        print(f"  {name:24s} {size:3d} runs  [{axes or 'no axes'}]")
+        if args.verbose:
+            print(f"    {scenario.description}")
+
+
+def cmd_sweep(args) -> int:
+    from repro.sim.runner import run_sweep
+
+    overrides = parse_param_overrides(args.param or [])
+    sweep = run_sweep(args.scenario, overrides=overrides, jobs=args.jobs)
+    mode = f"{sweep.jobs} worker processes" if sweep.jobs > 1 else "serial"
+    print(f"=== sweep {args.scenario}: {len(sweep)} runs ({mode}) ===")
+    for result in sweep:
+        spec = result.spec
+        params = ",".join(f"{k}={spec.params[k]}" for k in sorted(spec.params))
+        status = "ok " if result.ok else "ERR"
+        print(
+            f"[{spec.index:3d}] {status} {spec.config_hash}  "
+            f"{result.wall_time_s:6.2f}s  {params}"
+        )
+        if result.ok:
+            metrics = ", ".join(
+                f"{k}={_fmt_metric(v)}" for k, v in sorted(result.metrics.items())
+            )
+            print(f"      {metrics}")
+        else:
+            print(f"      {result.error}")
+    failed = sweep.failures()
+    print(
+        f"=== {len(sweep) - len(failed)}/{len(sweep)} ok, "
+        f"total run time {sweep.total_wall_time_s():.2f}s ==="
+    )
+    return 1 if failed else 0
+
+
+def _fmt_metric(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig01": cmd_fig01,
     "fig04a": cmd_fig04a,
@@ -165,8 +263,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["list"],
-        help="which figure to regenerate (or 'list')",
+        choices=sorted(COMMANDS) + ["list", "scenarios", "sweep"],
+        help="which figure to regenerate, 'list', 'scenarios', or 'sweep'",
+    )
+    parser.add_argument(
+        "scenario", nargs="?", default=None,
+        help="registered scenario name (required for 'sweep')",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for 'sweep' (1 = serial fallback)",
+    )
+    parser.add_argument(
+        "--param", action="append", default=None, metavar="K=V[,K=V...]",
+        help="pin a scenario parameter; V1/V2/... redefines a sweep axis",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="show scenario descriptions in 'scenarios'",
     )
     parser.add_argument(
         "--reps", type=int, default=10,
@@ -184,12 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment != "sweep" and args.scenario:
+        parser.error(
+            f"unexpected argument {args.scenario!r} "
+            f"(only 'sweep' takes a scenario)"
+        )
     if args.experiment == "list":
         print("available experiments:")
         for name in sorted(COMMANDS):
             print(f"  {name}")
+        print("plus: scenarios (catalog), sweep <scenario> (parallel runner)")
         return 0
+    if args.experiment == "scenarios":
+        cmd_scenarios(args)
+        return 0
+    if args.experiment == "sweep":
+        if not args.scenario:
+            parser.error("sweep requires a scenario name (see 'scenarios')")
+        from repro.core.errors import ScenarioError
+
+        try:
+            return cmd_sweep(args)
+        except (ScenarioError, ValueError) as exc:
+            parser.error(str(exc))
     COMMANDS[args.experiment](args)
     return 0
 

@@ -11,10 +11,47 @@ Defaults reproduce the paper's hardware prototype (Section 4):
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.errors import ConfigurationError
 from repro.core.units import SECONDS_PER_MINUTE
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize a configuration-like value to canonical JSON.
+
+    Dataclasses are expanded to dicts, dict keys are sorted, and floats use
+    ``repr`` round-tripping (via the JSON encoder), so equal configurations
+    always serialize to identical bytes.  Non-finite floats are permitted
+    (``Infinity`` is a legitimate grid-power share).  Raises ``TypeError``
+    for values that have no stable representation (arbitrary objects).
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+
+
+def _jsonify(value: Any) -> Any:
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"not canonically serializable: {type(value).__name__}")
+
+
+def config_digest(value: Any, length: int = 12) -> str:
+    """Stable hex digest of a configuration-like value.
+
+    Used for run provenance: two runs with identical scenario parameters
+    produce identical digests across processes and Python versions (no
+    reliance on ``hash()``, which is salted per process).
+    """
+    digest = hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+    return digest[:length]
 
 
 @dataclass(frozen=True)

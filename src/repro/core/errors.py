@@ -73,5 +73,20 @@ class TraceError(EcovisorError):
     """A trace (carbon, solar, or workload) was malformed or out of range."""
 
 
+class ScenarioError(EcovisorError):
+    """A scenario definition or parameter override was invalid."""
+
+
+class UnknownScenarioError(ScenarioError, KeyError):
+    """An operation referenced a scenario that is not registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown scenario: {name!r}")
+        self.scenario_name = name
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
 class SimulationError(EcovisorError):
     """The simulation engine reached an inconsistent state."""

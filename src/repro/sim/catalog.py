@@ -1,0 +1,287 @@
+"""Built-in scenario catalog: the paper's sweeps as registered scenarios.
+
+Importing this module populates the scenario registry
+(:mod:`repro.sim.scenarios`) with the experiment families the figure
+benchmarks sweep.  Each run function follows the registry contract:
+
+- module-level (importable by worker processes, picklable by reference);
+- takes one parameter dict, builds every simulation object itself;
+- returns a flat dict of JSON-serializable scalar metrics;
+- deterministic given its parameters (all randomness flows from ``seed``).
+
+Heavyweight imports happen inside the run functions so that importing
+the catalog (and therefore ``repro.sim``) stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.sim.scenarios import register
+
+# Figure 8/9 constants (mirrors repro.analysis.figures_battery).
+GEO_WORK_UNITS = 8 * 60.0 * 600  # ~10 h of work for 8 geo workers
+GEO_MAX_TICKS = 2 * 24 * 60
+THRESHOLD_WINDOW_S = 48 * 3600.0  # Section 5.1 lookahead window
+
+
+@register(
+    "smoke",
+    description=(
+        "Tiny grid-only run (one day trace, a small ML job, a carbon-"
+        "agnostic policy) used by CI and the runner self-tests. "
+        "fail=1 raises inside the run to exercise failure isolation."
+    ),
+    defaults={"seed": 2023, "ticks": 40, "fail": 0},
+    sweep={"workers": (2, 4)},
+    tags=("ci", "fast"),
+)
+def run_smoke(params: Dict[str, Any]) -> Dict[str, Any]:
+    """A seconds-scale end-to-end run returning energy/carbon totals."""
+    if params["fail"]:
+        raise RuntimeError("injected smoke-scenario failure (fail=1)")
+    from repro.carbon.traces import make_region_trace
+    from repro.core.config import ShareConfig
+    from repro.policies import CarbonAgnosticPolicy
+    from repro.sim.experiment import grid_environment
+    from repro.workloads.mltrain import MLTrainingJob
+
+    trace = make_region_trace("caiso", days=1, seed=int(params["seed"]))
+    env = grid_environment(trace=trace)
+    job = MLTrainingJob(total_work_units=1200.0)
+    env.engine.add_application(
+        job,
+        ShareConfig(grid_power_w=float("inf")),
+        CarbonAgnosticPolicy(workers=int(params["workers"])),
+    )
+    executed = env.engine.run(int(params["ticks"]), stop_when_batch_complete=True)
+    account = env.ecovisor.ledger.account(job.name)
+    return {
+        "ticks_executed": float(executed),
+        "progress_units": float(job.progress_units),
+        "energy_wh": float(account.energy_wh),
+        "carbon_g": float(account.carbon_g),
+        "completed": 1.0 if job.is_complete else 0.0,
+    }
+
+
+@register(
+    "fig08_battery_policies",
+    description=(
+        "Figures 8-9: static system policy vs application-specific "
+        "dynamic policies for two zero-carbon tenants sharing a solar "
+        "array and physical battery 50/50 (paper Section 5.3)."
+    ),
+    defaults={"seed": 2023},
+    sweep={"policy": ("static", "dynamic")},
+    tags=("figure",),
+)
+def run_fig08_battery_policies(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One battery-policy run; see ``run_battery_policy_case``."""
+    from repro.analysis.figures_battery import run_battery_policy_case
+
+    return run_battery_policy_case(str(params["policy"]), int(params["seed"]))
+
+
+@register(
+    "fig10_solar_caps",
+    description=(
+        "Figure 10(c): static vs dynamic per-container power caps for a "
+        "barrier-synchronized job on solar only, swept over available "
+        "solar power (paper Section 5.4)."
+    ),
+    defaults={"seed": 2023},
+    sweep={
+        "solar_pct": (10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0),
+        "policy": ("static", "dynamic"),
+    },
+    tags=("figure",),
+)
+def run_fig10_solar_caps(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One (solar %, cap policy) run; see ``run_solar_cap_case``."""
+    from repro.analysis.figures_solar import run_solar_cap_case
+
+    return run_solar_cap_case(
+        float(params["solar_pct"]), str(params["policy"]), int(params["seed"])
+    )
+
+
+@register(
+    "ablation_threshold",
+    description=(
+        "Ablation: sensitivity of the suspend/resume carbon threshold "
+        "to its percentile (the paper fixes the 30th percentile for ML "
+        "training; this sweeps the carbon-vs-runtime tradeoff)."
+    ),
+    defaults={"seed": 2023, "reps": 6, "days": 4},
+    sweep={"percentile": (20.0, 30.0, 40.0, 50.0)},
+    tags=("ablation",),
+)
+def run_ablation_threshold(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Repeated W&S(2x) ML-training runs at one threshold percentile."""
+    from repro.carbon.traces import make_region_trace
+    from repro.policies import WaitAndScalePolicy
+    from repro.sim.experiment import (
+        arrival_offsets,
+        carbon_threshold,
+        run_batch_policy,
+    )
+    from repro.sim.results import summarize_batch
+    from repro.workloads.mltrain import MLTrainingJob
+
+    percentile = float(params["percentile"])
+    days = int(params["days"])
+    trace = make_region_trace("caiso", days=days, seed=int(params["seed"]))
+    offsets = arrival_offsets(int(params["reps"]), trace.duration_s)
+    threshold = carbon_threshold(trace, percentile, THRESHOLD_WINDOW_S)
+    summary = summarize_batch(
+        run_batch_policy(
+            make_app=lambda: MLTrainingJob(total_work_units=29000.0),
+            make_policy=lambda t, thr=threshold: WaitAndScalePolicy(thr, 4, 2.0),
+            policy_label=f"p{percentile:.0f}",
+            base_trace=trace,
+            offsets=offsets,
+            max_ticks=days * 24 * 60,
+        )
+    )
+    return {
+        "threshold_g_per_kwh": float(threshold),
+        "mean_runtime_s": summary.mean_runtime_s,
+        "std_runtime_s": summary.std_runtime_s,
+        "mean_carbon_g": summary.mean_carbon_g,
+        "std_carbon_g": summary.std_carbon_g,
+        "mean_energy_wh": summary.mean_energy_wh,
+        "completion_rate": summary.completion_rate,
+    }
+
+
+@register(
+    "ablation_battery",
+    description=(
+        "Ablation: battery one-way efficiency x depth-of-discharge "
+        "floor — how much solar-shifted energy a zero-carbon "
+        "application actually recovers (DESIGN.md Section 5)."
+    ),
+    defaults={"seed": 2023, "days": 3},
+    sweep={"efficiency": (1.0, 0.95, 0.85), "floor": (0.0, 0.30)},
+    tags=("ablation",),
+)
+def run_ablation_battery(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One solar+battery-only Spark run at one (efficiency, floor) point.
+
+    Sized so the battery binds: a 6-worker pool outdraws the morning and
+    evening solar shoulders, so recovered battery energy (and therefore
+    efficiency and the DoD floor) directly limits work done.
+    """
+    from repro.carbon.service import CarbonIntensityService
+    from repro.carbon.traces import constant_trace
+    from repro.cluster.cop import ContainerOrchestrationPlatform
+    from repro.core.clock import SimulationClock
+    from repro.core.config import (
+        BatteryConfig,
+        CarbonServiceConfig,
+        ClusterConfig,
+        EcovisorConfig,
+        ShareConfig,
+        SolarConfig,
+    )
+    from repro.core.ecovisor import Ecovisor
+    from repro.energy.battery import Battery
+    from repro.energy.solar import SolarArrayEmulator, SolarTrace
+    from repro.energy.system import PhysicalEnergySystem
+    from repro.policies import StaticBatterySmoothingPolicy
+    from repro.sim.engine import SimulationEngine
+    from repro.workloads.spark import SparkJob
+
+    efficiency = float(params["efficiency"])
+    floor = float(params["floor"])
+    days = int(params["days"])
+    battery = Battery(
+        BatteryConfig(
+            capacity_wh=15.0,
+            empty_soc_fraction=floor,
+            charge_efficiency=efficiency,
+            discharge_efficiency=efficiency,
+            initial_soc_fraction=max(0.5, floor + 0.2),
+        )
+    )
+    solar = SolarArrayEmulator(
+        SolarConfig(peak_power_w=14.0),
+        SolarTrace(days=days, seed=int(params["seed"])),
+    )
+    plant = PhysicalEnergySystem(battery=battery, solar=solar)
+    platform = ContainerOrchestrationPlatform(ClusterConfig(num_servers=8))
+    carbon = CarbonIntensityService(
+        CarbonServiceConfig(region="constant"),
+        trace=constant_trace(200.0, days=days),
+    )
+    ecovisor = Ecovisor(plant, platform, carbon, EcovisorConfig())
+    engine = SimulationEngine(ecovisor, SimulationClock(60.0))
+    job = SparkJob(name="spark", total_work_units=1e9)
+    policy = StaticBatterySmoothingPolicy(6, 1.25)
+    engine.add_application(
+        job,
+        ShareConfig(solar_fraction=1.0, battery_fraction=1.0, grid_power_w=0.0),
+        policy,
+    )
+    engine.run(days * 24 * 60)
+    account = ecovisor.ledger.account("spark")
+    return {
+        "progress_units": float(job.progress_units),
+        "battery_wh": float(account.battery_wh),
+        "solar_wh": float(account.solar_wh),
+        "curtailed_wh": float(account.curtailed_wh),
+    }
+
+
+@register(
+    "extension_geo",
+    description=(
+        "Extension (paper Section 7): geo-distributed coordination of "
+        "two ecovisor sites with anti-correlated carbon, vs pinning the "
+        "worker pool to either single site."
+    ),
+    defaults={"seed": 2023, "work_units": GEO_WORK_UNITS, "max_ticks": GEO_MAX_TICKS},
+    sweep={"placement": ("geo-shifting", "east-only", "west-only")},
+    tags=("extension",),
+)
+def run_extension_geo(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One placement strategy for the shared geo work pool."""
+    from repro.carbon.traces import make_region_trace
+    from repro.geo import GeoCoordinator
+    from repro.sim.experiment import grid_environment
+
+    base = make_region_trace("caiso", days=3, seed=int(params["seed"]))
+    shifted = base.rolled(12 * 3600.0)  # out-of-phase duck curves
+    placement = str(params["placement"])
+    if placement == "geo-shifting":
+        geo = GeoCoordinator(
+            {
+                "east": grid_environment(trace=base),
+                "west": grid_environment(trace=shifted),
+            },
+            workers=8,
+            migration_delay_ticks=5,
+        )
+    elif placement in ("east-only", "west-only"):
+        trace = base if placement == "east-only" else shifted
+        geo = GeoCoordinator(
+            {
+                "east": grid_environment(trace=trace),
+                "west": grid_environment(trace=trace.rolled(1.0)),
+            },
+            workers=8,
+            switch_threshold_g_per_kwh=1e9,  # never migrate
+        )
+    else:
+        raise ValueError(f"unknown placement: {placement!r}")
+    geo.submit(float(params["work_units"]))
+    result = geo.run(int(params["max_ticks"]))
+    return {
+        "runtime_s": float(result.runtime_s),
+        "carbon_g": float(result.total_carbon_g),
+        "migrations": float(result.migrations),
+        "completed": 1.0 if result.completed else 0.0,
+        "work_east": float(result.work_by_site.get("east", 0.0)),
+        "work_west": float(result.work_by_site.get("west", 0.0)),
+    }

@@ -10,6 +10,11 @@ The paper's two hardware setups map onto two environment builders:
   only, carbon simulated from a CAISO-like trace.
 - :func:`solar_battery_environment` — the Section 5.3/5.4 experiments:
   co-located solar (emulated array) and a battery bank; grid optional.
+
+These builders are the factory layer the scenario registry
+(:mod:`repro.sim.scenarios`) relies on: a run is described by plain
+parameters and environments are constructed fresh inside each (possibly
+remote) worker process, never pickled.
 """
 
 from __future__ import annotations

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, parse_param_overrides
 
 
 class TestParser:
@@ -21,6 +21,33 @@ class TestParser:
     def test_points_option(self):
         args = build_parser().parse_args(["fig10", "--points", "20,50"])
         assert args.points == "20,50"
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "smoke", "--jobs", "2", "--param", "ticks=15"]
+        )
+        assert args.experiment == "sweep"
+        assert args.scenario == "smoke"
+        assert args.jobs == 2
+        assert args.param == ["ticks=15"]
+
+
+class TestParamOverrides:
+    def test_scalar_types(self):
+        overrides = parse_param_overrides(
+            ["ticks=15,scale=0.5", "policy=dynamic", "flag=true"]
+        )
+        assert overrides == {
+            "ticks": 15, "scale": 0.5, "policy": "dynamic", "flag": True
+        }
+
+    def test_slash_list_becomes_axis(self):
+        overrides = parse_param_overrides(["solar_pct=10/50/90"])
+        assert overrides == {"solar_pct": [10, 50, 90]}
+
+    def test_malformed_pair_raises(self):
+        with pytest.raises(ValueError):
+            parse_param_overrides(["oops"])
 
 
 class TestCommands:
@@ -45,3 +72,61 @@ class TestCommands:
         assert main(["fig10", "--points", "50"]) == 0
         out = capsys.readouterr().out
         assert "solar  50%" in out
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "fig10_solar_caps" in out
+
+    def test_sweep_smoke_serial(self, capsys):
+        assert main(["sweep", "smoke", "--param", "ticks=15"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep smoke: 2 runs (serial)" in out
+        assert "2/2 ok" in out
+
+    def test_sweep_smoke_parallel(self, capsys):
+        assert main(["sweep", "smoke", "--jobs", "2", "--param", "ticks=15"]) == 0
+        out = capsys.readouterr().out
+        assert "2 worker processes" in out
+        assert "2/2 ok" in out
+
+    def test_sweep_reports_failures_nonzero(self, capsys):
+        assert main(["sweep", "smoke", "--param", "ticks=15,fail=1"]) == 1
+        out = capsys.readouterr().out
+        assert "ERR" in out
+        assert "0/2 ok" in out
+
+    def test_sweep_without_scenario_errors(self):
+        with pytest.raises(SystemExit):
+            main(["sweep"])
+
+    def test_figure_command_rejects_stray_positional(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig10", "oops", "--points", "50"])
+        assert "unexpected argument 'oops'" in capsys.readouterr().err
+
+    def test_single_run_sweep_reports_serial(self, capsys):
+        assert main(
+            ["sweep", "smoke", "--jobs", "4",
+             "--param", "ticks=15,workers=2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 runs (serial)" in out
+
+    def test_fig10_duplicate_points_deduped(self, capsys):
+        assert main(["fig10", "--points", "50,50"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("solar  50%") == 1
+
+    def test_sweep_unknown_scenario_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "no-such-scenario"])
+        err = capsys.readouterr().err
+        assert "unknown scenario: 'no-such-scenario'" in err
+
+    def test_sweep_bad_param_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "smoke", "--param", "typo=5"])
+        err = capsys.readouterr().err
+        assert "has no parameter 'typo'" in err

@@ -4,6 +4,8 @@ import pytest
 
 from repro.core.config import (
     BatteryConfig,
+    canonical_json,
+    config_digest,
     CarbonServiceConfig,
     ClusterConfig,
     EcovisorConfig,
@@ -139,3 +141,29 @@ class TestShareConfig:
     def test_rejects_negative_grid_share(self):
         with pytest.raises(ConfigurationError):
             ShareConfig(grid_power_w=-1.0).validate()
+
+
+class TestConfigDigest:
+    def test_stable_across_key_order(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_distinct_values_distinct_digests(self):
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_dataclasses_are_canonical(self):
+        assert config_digest(ShareConfig()) == config_digest(ShareConfig())
+        assert config_digest(ShareConfig()) != config_digest(
+            ShareConfig(solar_fraction=0.5)
+        )
+
+    def test_non_finite_floats_allowed(self):
+        text = canonical_json({"grid_power_w": float("inf")})
+        assert "Infinity" in text
+
+    def test_unserializable_value_raises(self):
+        with pytest.raises(TypeError):
+            canonical_json(object())
+
+    def test_digest_length(self):
+        assert len(config_digest({"a": 1})) == 12
+        assert len(config_digest({"a": 1}, length=16)) == 16

@@ -1,0 +1,105 @@
+"""Parallel experiment runner: determinism, failure isolation, provenance."""
+
+import json
+
+import pytest
+
+from repro.core.errors import UnknownScenarioError
+from repro.sim import scenarios
+from repro.sim.runner import (
+    execute_spec,
+    run_specs,
+    run_sweep,
+)
+
+FAST_SMOKE = {"ticks": 15}
+
+
+class TestSerialExecution:
+    def test_smoke_sweep_succeeds(self):
+        sweep = run_sweep("smoke", overrides=FAST_SMOKE, jobs=1)
+        assert sweep.ok
+        assert len(sweep) == 2  # workers axis
+        for row in sweep.table():
+            assert row["status"] == "ok"
+            assert row["progress_units"] > 0
+            assert row["energy_wh"] > 0
+
+    def test_rows_in_matrix_order(self):
+        sweep = run_sweep("smoke", overrides=FAST_SMOKE, jobs=1)
+        assert [r.spec.index for r in sweep.results] == [0, 1]
+        workers = [row["workers"] for row in sweep.table()]
+        assert workers == sorted(workers)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(UnknownScenarioError):
+            run_sweep("no-such-scenario")
+
+    def test_execute_spec_provenance(self):
+        spec = scenarios.expand("smoke", FAST_SMOKE)[0]
+        result = execute_spec(spec)
+        assert result.ok
+        assert result.wall_time_s >= 0.0
+        assert result.worker_pid > 0
+        assert result.spec.config_hash == spec.config_hash
+
+    def test_table_excludes_volatile_provenance(self):
+        sweep = run_sweep("smoke", overrides=FAST_SMOKE, jobs=1)
+        for row in sweep.table():
+            assert "wall_time_s" not in row
+            assert "worker_pid" not in row
+            assert len(row["config_hash"]) == 12
+
+    def test_locally_registered_scenario_runs(self):
+        name = "_test_runner_local"
+        scenarios.unregister(name)
+
+        @scenarios.register(name, defaults={"x": 2}, sweep={"y": (1, 2, 3)})
+        def _run(params):
+            return {"product": params["x"] * params["y"]}
+
+        try:
+            sweep = run_specs(scenarios.expand(name), jobs=1)
+            assert [row["product"] for row in sweep.table()] == [2, 4, 6]
+        finally:
+            scenarios.unregister(name)
+
+
+class TestParallelDeterminism:
+    def test_parallel_matches_serial_byte_for_byte(self):
+        serial = run_sweep("smoke", overrides=FAST_SMOKE, jobs=1)
+        parallel = run_sweep("smoke", overrides=FAST_SMOKE, jobs=2)
+        assert parallel.jobs == 2
+        assert serial.metrics_json() == parallel.metrics_json()
+
+    def test_metrics_json_is_canonical(self):
+        sweep = run_sweep("smoke", overrides=FAST_SMOKE, jobs=1)
+        assert json.loads(sweep.metrics_json()) == json.loads(
+            json.dumps(sweep.table())
+        )
+
+
+class TestFailureIsolation:
+    def test_crashing_scenario_does_not_kill_the_sweep(self):
+        sweep = run_sweep(
+            "smoke", overrides={**FAST_SMOKE, "fail": [0, 1]}, jobs=2
+        )
+        assert len(sweep) == 4  # fail(2) x workers(2)
+        assert not sweep.ok
+        failed = sweep.failures()
+        assert len(failed) == 2
+        for result in failed:
+            assert result.spec.params["fail"] == 1
+            assert "injected smoke-scenario failure" in result.error
+            assert result.metrics == {}
+        assert len(sweep.rows_ok()) == 2
+        for row in sweep.rows_ok():
+            assert row["progress_units"] > 0
+
+    def test_failed_rows_keep_matrix_position(self):
+        sweep = run_sweep(
+            "smoke", overrides={**FAST_SMOKE, "fail": [1, 0]}, jobs=2
+        )
+        # Axis order: workers (registered) varies slowest, fail fastest.
+        statuses = [row["status"] for row in sweep.table()]
+        assert statuses == ["error", "ok", "error", "ok"]

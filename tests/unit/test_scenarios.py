@@ -1,0 +1,122 @@
+"""Scenario registry: registration, expansion, and provenance."""
+
+import pytest
+
+from repro.core.errors import ScenarioError, UnknownScenarioError
+from repro.sim import scenarios
+
+NAME = "_test_dummy"
+
+
+def _dummy_run(params):
+    return {"value": params["a"] * 10 + params["b"]}
+
+
+@pytest.fixture
+def dummy():
+    scenarios.unregister(NAME)
+    scenarios.register(
+        NAME,
+        description="test scenario",
+        defaults={"seed": 7, "label": "x"},
+        sweep={"a": (1, 2), "b": (3, 4, 5)},
+    )(_dummy_run)
+    yield NAME
+    scenarios.unregister(NAME)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        present = scenarios.names()
+        for name in (
+            "smoke",
+            "fig08_battery_policies",
+            "fig10_solar_caps",
+            "ablation_threshold",
+            "ablation_battery",
+            "extension_geo",
+        ):
+            assert name in present
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownScenarioError):
+            scenarios.get("no-such-scenario")
+
+    def test_duplicate_registration_raises(self, dummy):
+        with pytest.raises(ScenarioError):
+            scenarios.register(NAME)(_dummy_run)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioError):
+            scenarios.register("_test_empty_axis", sweep={"a": ()})(_dummy_run)
+        scenarios.unregister("_test_empty_axis")
+
+    def test_axis_shadowing_default_rejected(self):
+        with pytest.raises(ScenarioError):
+            scenarios.register(
+                "_test_shadow", defaults={"a": 1}, sweep={"a": (1, 2)}
+            )(_dummy_run)
+        scenarios.unregister("_test_shadow")
+
+    def test_describe_and_matrix_size(self, dummy):
+        assert scenarios.matrix_size(dummy) == 6
+        text = scenarios.describe(dummy)
+        assert NAME in text and "axis a" in text and "matrix size: 6" in text
+
+
+class TestExpansion:
+    def test_full_matrix_in_product_order(self, dummy):
+        specs = scenarios.expand(dummy)
+        assert len(specs) == 6
+        assert [s.index for s in specs] == list(range(6))
+        combos = [(s.params["a"], s.params["b"]) for s in specs]
+        assert combos == [(1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)]
+        assert all(s.params["seed"] == 7 for s in specs)
+        assert all(s.params["label"] == "x" for s in specs)
+
+    def test_scalar_override_pins_axis(self, dummy):
+        specs = scenarios.expand(dummy, {"a": 2})
+        assert len(specs) == 3
+        assert all(s.params["a"] == 2 for s in specs)
+
+    def test_scalar_override_replaces_default(self, dummy):
+        specs = scenarios.expand(dummy, {"seed": 99})
+        assert all(s.params["seed"] == 99 for s in specs)
+
+    def test_list_override_redefines_axis(self, dummy):
+        specs = scenarios.expand(dummy, {"b": [9], "seed": [1, 2]})
+        assert len(specs) == 2 * 1 * 2  # a(2) x b(1) x seed(2)
+        assert {s.params["b"] for s in specs} == {9}
+        assert {s.params["seed"] for s in specs} == {1, 2}
+
+    def test_unknown_override_raises(self, dummy):
+        with pytest.raises(ScenarioError):
+            scenarios.expand(dummy, {"typo": 1})
+
+    def test_empty_override_axis_raises(self, dummy):
+        with pytest.raises(ScenarioError):
+            scenarios.expand(dummy, {"a": []})
+
+
+class TestSpecProvenance:
+    def test_config_hash_stable_and_distinct(self, dummy):
+        first, second = scenarios.expand(dummy)[:2]
+        again = scenarios.expand(dummy)[0]
+        assert first.config_hash == again.config_hash
+        assert first.config_hash != second.config_hash
+
+    def test_seed_property(self, dummy):
+        spec = scenarios.expand(dummy)[0]
+        assert spec.seed == 7
+
+    def test_label_is_readable(self, dummy):
+        spec = scenarios.expand(dummy)[0]
+        assert spec.label() == f"{NAME}[a=1,b=3,label=x,seed=7]"
+
+    def test_spec_pickles(self, dummy):
+        import pickle
+
+        spec = scenarios.expand(dummy)[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.config_hash == spec.config_hash
