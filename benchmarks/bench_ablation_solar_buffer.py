@@ -9,7 +9,6 @@ perfect-knowledge upper bound the paper's design trades away for
 predictability).
 """
 
-import numpy as np
 
 from repro.carbon.service import CarbonIntensityService
 from repro.carbon.traces import constant_trace

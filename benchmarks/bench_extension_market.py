@@ -1,0 +1,54 @@
+"""Market extension: the carbon-vs-cost Pareto frontier.
+
+Targets: with the market layer attached, carbon-optimal and cost-optimal
+schedules diverge — the carbon-threshold policy chases the midday solar
+dip (clean, mid-peak price) while the price-threshold policy chases the
+off-peak night (cheap, dirtier); the blended carbon-cost policy's λ knob
+traces the frontier between them.  Every run bills grid energy through
+the per-tick settlement path, and the ledger's cumulative cost must
+equal the settlement sum exactly.
+
+Runs on the scenario runner: the regime x policy x λ matrix executes as
+independent worker processes (``extension_market`` scenario).
+"""
+
+from repro.analysis.figures_market import extension_market_table
+from repro.sim.runner import default_jobs
+
+
+def run_via_runner():
+    return extension_market_table(jobs=default_jobs())
+
+
+def test_extension_market(benchmark):
+    rows = benchmark.pedantic(run_via_runner, rounds=1, iterations=1)
+
+    print("\n=== Market extension: carbon-vs-cost Pareto frontier (2 days) ===")
+    print(f"{'regime':9s} {'policy point':22s} {'carbon':>9s} {'cost':>11s} "
+          f"{'runtime':>8s} {'pareto':>7s}")
+    for row in rows:
+        print(
+            f"{row['regime']:9s} {row['policy_point']:22s} "
+            f"{row['carbon_g']:7.3f} g ${row['cost_usd']:.6f} "
+            f"{row['runtime_s'] / 3600:6.2f} h {'  *' if row['pareto'] else '':>7s}"
+        )
+
+    by_regime = {}
+    for row in rows:
+        by_regime.setdefault(row["regime"], {})[row["policy_point"]] = row
+
+    assert set(by_regime) == {"flat", "tou", "realtime"}
+    for regime, points in by_regime.items():
+        assert all(p["completed"] == 1.0 for p in points.values()), regime
+        carbon_pt = points["carbon-threshold"]
+        price_pt = points["price-threshold"]
+        # The Pareto spread: the carbon policy is strictly cleaner, the
+        # price policy strictly cheaper (they pick different windows).
+        assert carbon_pt["carbon_g"] < price_pt["carbon_g"], regime
+        assert price_pt["cost_usd"] < carbon_pt["cost_usd"], regime
+        # The λ endpoints reproduce the single-signal policies exactly.
+        assert points["carbon-cost(lam=0.00)"]["carbon_g"] == carbon_pt["carbon_g"]
+        assert points["carbon-cost(lam=1.00)"]["cost_usd"] == price_pt["cost_usd"]
+        # At least the two endpoints sit on the frontier.
+        assert sum(p["pareto"] for p in points.values()) >= 2, regime
+    benchmark.extra_info["points_per_regime"] = len(rows) / len(by_regime)

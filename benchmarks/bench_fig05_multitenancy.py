@@ -1,38 +1,50 @@
 """Figure 5: ML (W&S 2x) and BLAST (W&S 3x) sharing one ecovisor.
 
-Regenerates the container-count time series of Figure 5(b)-(d): both
-applications run concurrently, each suspending and scaling against its
-own carbon threshold, on the same physical cluster.
+Regenerates the headline numbers of Figure 5(b)-(d): both applications
+run concurrently, each suspending and scaling against its own carbon
+threshold, on the same physical cluster.
+
+Runs on the scenario runner (``fig05_multitenancy`` scenario), which
+reduces the container-count time series to the peak counts the paper's
+panels report; the time-series view itself remains available via
+``python -m repro fig05``.
 """
 
-from repro.analysis.figures_batch import fig05_multitenancy
+from repro.sim.runner import default_jobs, run_sweep
+
+
+def run_via_runner():
+    sweep = run_sweep("fig05_multitenancy", jobs=default_jobs())
+    assert sweep.ok, [r.error for r in sweep.failures()]
+    (row,) = sweep.rows_ok()
+    return row
 
 
 def test_fig05_multitenancy(benchmark):
-    outcome = benchmark.pedantic(
-        fig05_multitenancy, kwargs={"days": 2}, rounds=1, iterations=1
-    )
-    bundle = outcome["bundle"]
+    row = benchmark.pedantic(run_via_runner, rounds=1, iterations=1)
 
     print("\n=== Figure 5: multi-tenant carbon-aware scaling (2 days) ===")
-    print(f"ML threshold (30th pct/48h):   {outcome['ml_threshold']:.1f} g/kWh")
-    print(f"BLAST threshold (33rd pct):    {outcome['blast_threshold']:.1f} g/kWh")
-    ml = [v for _, v in bundle.series["ml-training_containers"]]
-    blast = [v for _, v in bundle.series["blast_containers"]]
-    cluster = [v for _, v in bundle.series["cluster_containers"]]
-    print(f"ML containers:      0..{max(ml):.0f} (paper Fig 5b: 0..8)")
-    print(f"BLAST containers:   0..{max(blast):.0f} (paper Fig 5c: 0..24 +queue)")
-    print(f"cluster containers: 0..{max(cluster):.0f} (paper Fig 5d: 0..~36)")
+    print(f"ML threshold (30th pct/48h):   {row['ml_threshold_g_per_kwh']:.1f} g/kWh")
+    print(f"BLAST threshold (33rd pct):    {row['blast_threshold_g_per_kwh']:.1f} g/kWh")
+    print(f"ML containers:      0..{row['ml_peak_containers']:.0f} (paper Fig 5b: 0..8)")
     print(
-        f"ML completed: {outcome['ml_completed']}, "
-        f"BLAST completed: {outcome['blast_completed']}"
+        f"BLAST containers:   0..{row['blast_peak_containers']:.0f} "
+        f"(paper Fig 5c: 0..24 +queue)"
     )
     print(
-        f"carbon: ML {outcome['ml_carbon_g']:.3f} g, "
-        f"BLAST {outcome['blast_carbon_g']:.3f} g"
+        f"cluster containers: 0..{row['cluster_peak_containers']:.0f} "
+        f"(paper Fig 5d: 0..~36)"
+    )
+    print(
+        f"ML completed: {bool(row['ml_completed'])}, "
+        f"BLAST completed: {bool(row['blast_completed'])}"
+    )
+    print(
+        f"carbon: ML {row['ml_carbon_g']:.3f} g, "
+        f"BLAST {row['blast_carbon_g']:.3f} g"
     )
 
-    assert outcome["ml_completed"] and outcome["blast_completed"]
-    assert max(ml) == 8.0
-    assert max(blast) == 25.0  # 24 workers + 1 queue server
-    benchmark.extra_info["cluster_peak_containers"] = max(cluster)
+    assert row["ml_completed"] == 1.0 and row["blast_completed"] == 1.0
+    assert row["ml_peak_containers"] == 8.0
+    assert row["blast_peak_containers"] == 25.0  # 24 workers + 1 queue server
+    benchmark.extra_info["cluster_peak_containers"] = row["cluster_peak_containers"]

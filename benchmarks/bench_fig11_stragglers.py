@@ -4,18 +4,26 @@ Paper targets: excess renewable power (100-200% of the job's maximum
 draw) converted into replica tasks reduces runtime with diminishing
 returns, while overall energy-efficiency decreases (replicas duplicate
 work) — acceptable because the excess would otherwise be curtailed.
+
+Runs on the scenario runner: each (solar %, replica policy) point
+executes as an independent worker process (``fig11_stragglers``
+scenario).
 """
 
 from repro.analysis.figures_solar import fig11_straggler_mitigation
+from repro.sim.runner import default_jobs
 
 PERCENTAGES = (100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200)
 
 
-def test_fig11_stragglers(benchmark):
-    rows = benchmark.pedantic(
-        fig11_straggler_mitigation, kwargs={"percentages": PERCENTAGES},
-        rounds=1, iterations=1,
+def run_via_runner():
+    return fig11_straggler_mitigation(
+        percentages=PERCENTAGES, jobs=default_jobs()
     )
+
+
+def test_fig11_stragglers(benchmark):
+    rows = benchmark.pedantic(run_via_runner, rounds=1, iterations=1)
 
     print("\n=== Figure 11: straggler mitigation with excess solar ===")
     print(f"{'solar %':>8s} {'baseline':>9s} {'replicas':>9s} "

@@ -11,6 +11,11 @@ from repro.analysis.figures_batch import (
     fig05_multitenancy,
 )
 from repro.analysis.figures_battery import fig08_09_battery_policies
+from repro.analysis.figures_market import (
+    extension_market_table,
+    market_pareto_rows,
+    run_market_case,
+)
 from repro.analysis.figures_solar import (
     fig10_day_series,
     fig10_solar_caps,
@@ -32,12 +37,15 @@ __all__ = [
     "fig04a_ml_training",
     "fig04b_blast",
     "fig05_multitenancy",
+    "extension_market_table",
     "fig06_07_web_budgeting",
     "fig08_09_battery_policies",
     "fig10_day_series",
     "fig10_solar_caps",
     "fig11_straggler_mitigation",
+    "market_pareto_rows",
     "percentile",
+    "run_market_case",
     "runtime_improvement_pct",
     "slo_violation_fraction",
 ]

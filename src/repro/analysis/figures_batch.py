@@ -170,3 +170,29 @@ def fig05_multitenancy(
         "ml_carbon_g": env.ecovisor.ledger.app_carbon_g("ml-training"),
         "blast_carbon_g": env.ecovisor.ledger.app_carbon_g("blast"),
     }
+
+
+def run_multitenancy_case(days: int = 2, seed: int = TRACE_SEED) -> Dict[str, float]:
+    """One Figure 5 run reduced to flat metrics (scenario-registry shape).
+
+    Runs :func:`fig05_multitenancy` and collapses its time series into
+    picklable scalars: both thresholds, per-app carbon, completion, and
+    the peak container counts the paper's Figure 5(b)-(d) panels report.
+    """
+    out = fig05_multitenancy(days=int(days), seed=int(seed))
+    bundle: SeriesBundle = out["bundle"]
+    peaks = {
+        key: max(v for _, v in bundle.series[f"{key}_containers"])
+        for key in ("ml-training", "blast", "cluster")
+    }
+    return {
+        "ml_threshold_g_per_kwh": float(out["ml_threshold"]),
+        "blast_threshold_g_per_kwh": float(out["blast_threshold"]),
+        "ml_completed": 1.0 if out["ml_completed"] else 0.0,
+        "blast_completed": 1.0 if out["blast_completed"] else 0.0,
+        "ml_carbon_g": float(out["ml_carbon_g"]),
+        "blast_carbon_g": float(out["blast_carbon_g"]),
+        "ml_peak_containers": float(peaks["ml-training"]),
+        "blast_peak_containers": float(peaks["blast"]),
+        "cluster_peak_containers": float(peaks["cluster"]),
+    }

@@ -23,7 +23,7 @@ share stores a few hours of its guaranteed power.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.config import ClusterConfig, ServerConfig, ShareConfig
 from repro.policies import (

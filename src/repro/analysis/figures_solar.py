@@ -188,6 +188,54 @@ def run_solar_cap_case(
     }
 
 
+def run_straggler_case(
+    solar_pct: float, policy: str, seed: int = 2023
+) -> Dict[str, float]:
+    """One Figure 11 run (one solar % x replicas on/off), flat metrics.
+
+    The scenario-registry unit of work for ``fig11_stragglers``: solar
+    held at ``solar_pct`` percent of the job's maximum draw (>= 100% —
+    the excess-power operating range), stragglers injected, and the
+    replica policy enabled (``"replicas"``) or disabled
+    (``"no-replicas"``).
+    """
+    out = _run_parallel(
+        _constant_solar(float(solar_pct) / 100.0), policy, int(seed),
+        FIG11_STRAGGLER_PROBABILITY, FIG11_ROUNDS, FIG11_MEAN_WORK,
+    )
+    return {
+        "runtime_s": float(out["runtime_s"]),
+        "completed": float(out["completed"]),
+        "energy_wh": float(out["energy_wh"]),
+        "work_units": float(out["work_units"]),
+    }
+
+
+def straggler_rows(table: List[Dict[str, float]]) -> List[Dict[str, float]]:
+    """Pair replica/no-replica sweep rows into the Figure 11 row shape."""
+    paired = pivot_rows(table, "solar_pct", "policy")
+    rows = []
+    for pct in sorted(paired):
+        baseline = paired[pct]["no-replicas"]
+        replicas = paired[pct]["replicas"]
+        rows.append(
+            {
+                "solar_pct": float(pct),
+                "runtime_baseline_s": baseline["runtime_s"],
+                "runtime_replicas_s": replicas["runtime_s"],
+                "runtime_improvement_pct": runtime_improvement_pct(
+                    baseline["runtime_s"], replicas["runtime_s"]
+                ),
+                "energy_efficiency_per_j": energy_efficiency_per_joule(
+                    replicas["work_units"], replicas["energy_wh"]
+                ),
+                "baseline_completed": baseline["completed"],
+                "replicas_completed": replicas["completed"],
+            }
+        )
+    return rows
+
+
 def solar_cap_rows(table: List[Dict[str, float]]) -> List[Dict[str, float]]:
     """Pair static/dynamic sweep rows into the Figure 10(c) row shape.
 
@@ -284,6 +332,7 @@ def fig10_day_series(seed: int = 2023) -> SeriesBundle:
 def fig11_straggler_mitigation(
     percentages: Tuple[int, ...] = (100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200),
     seed: int = 2023,
+    jobs: int = 1,
 ) -> List[Dict[str, float]]:
     """Figure 11: replica-based straggler mitigation under excess solar.
 
@@ -291,31 +340,26 @@ def fig11_straggler_mitigation(
     job's maximum draw): runtime improvement of the replica policy over
     the identical configuration with replicas disabled, and the replica
     run's energy-efficiency.
+
+    Executes on the scenario runner (``fig11_stragglers``): ``jobs<=1``
+    is the deterministic serial fallback, ``jobs>=2`` fans the
+    (solar %, policy) matrix out over worker processes.  Both orderings
+    produce identical rows.
     """
-    rows = []
-    for pct in percentages:
-        scale = pct / 100.0
-        baseline = _run_parallel(
-            _constant_solar(scale), "no-replicas", seed,
-            FIG11_STRAGGLER_PROBABILITY, FIG11_ROUNDS, FIG11_MEAN_WORK,
+    from repro.sim.runner import run_sweep
+
+    sweep = run_sweep(
+        "fig11_stragglers",
+        overrides={
+            "solar_pct": list(dict.fromkeys(float(p) for p in percentages)),
+            "seed": int(seed),
+        },
+        jobs=jobs,
+    )
+    failures = sweep.failures()
+    if failures:
+        raise RuntimeError(
+            f"fig11 sweep had {len(failures)} failed runs: "
+            + "; ".join(f"{r.spec.label()}: {r.error}" for r in failures)
         )
-        replicas = _run_parallel(
-            _constant_solar(scale), "replicas", seed,
-            FIG11_STRAGGLER_PROBABILITY, FIG11_ROUNDS, FIG11_MEAN_WORK,
-        )
-        rows.append(
-            {
-                "solar_pct": float(pct),
-                "runtime_baseline_s": baseline["runtime_s"],
-                "runtime_replicas_s": replicas["runtime_s"],
-                "runtime_improvement_pct": runtime_improvement_pct(
-                    baseline["runtime_s"], replicas["runtime_s"]
-                ),
-                "energy_efficiency_per_j": energy_efficiency_per_joule(
-                    replicas["work_units"], replicas["energy_wh"]
-                ),
-                "baseline_completed": baseline["completed"],
-                "replicas_completed": replicas["completed"],
-            }
-        )
-    return rows
+    return straggler_rows(sweep.rows_ok())

@@ -167,11 +167,14 @@ class CarbonTrace:
         return CarbonTrace(np.roll(self._samples, -shift), region=self._region)
 
 
-def _duck_curve(hour_of_day: np.ndarray) -> np.ndarray:
+def duck_curve(hour_of_day: np.ndarray) -> np.ndarray:
     """Solar-driven dip centered early afternoon, evening ramp peak.
 
     Returns a signal in roughly [-1, +1]: negative midday (solar floods
     the grid), positive in the evening (gas peakers ramp as solar fades).
+    Shared by the carbon traces here and the real-time electricity-price
+    traces in :mod:`repro.market.prices` — physically, both signals are
+    driven by the same net-load shape.
     """
     midday_dip = -np.exp(-((hour_of_day - 13.0) ** 2) / (2 * 2.5**2))
     evening_peak = np.exp(-((hour_of_day - 19.5) ** 2) / (2 * 1.8**2))
@@ -195,10 +198,10 @@ def synthesize_trace(profile: RegionProfile, days: int, seed: int = 2023) -> Car
     diurnal = profile.diurnal_amplitude * np.sin(
         2 * math.pi * (hours - 9.0) / 24.0
     )
-    duck = profile.duck_amplitude * _duck_curve(hours)
+    duck = profile.duck_amplitude * duck_curve(hours)
 
-    noise = _ar1(rng, n, profile.noise_sigma, profile.noise_persistence)
-    fast_noise = _ar1(
+    noise = ar1(rng, n, profile.noise_sigma, profile.noise_persistence)
+    fast_noise = ar1(
         rng, n, profile.fast_noise_sigma, profile.fast_noise_persistence
     )
 
@@ -214,7 +217,7 @@ def synthesize_trace(profile: RegionProfile, days: int, seed: int = 2023) -> Car
     return CarbonTrace(samples, region=profile.name)
 
 
-def _ar1(rng: np.random.Generator, n: int, sigma: float, persistence: float) -> np.ndarray:
+def ar1(rng: np.random.Generator, n: int, sigma: float, persistence: float) -> np.ndarray:
     """A zero-mean AR(1) sample path of length ``n``."""
     if sigma <= 0.0:
         return np.zeros(n)

@@ -9,15 +9,19 @@ Usage::
     python -m repro scenarios            # the registered scenario catalog
     python -m repro sweep smoke --jobs 2 # run a scenario matrix in parallel
     python -m repro sweep fig10_solar_caps --jobs 4 --param solar_pct=10/50/90
+    python -m repro sweep extension_market --jobs 4 --out market.csv
 
 Each figure command runs the same experiment builder the benchmarks use
 and prints the figure's rows.  ``sweep`` expands a registered scenario's
 parameter matrix and executes it across worker processes (``--jobs``),
 printing one tidy row per run plus provenance (config hash, wall time).
 ``--param k=v,...`` pins parameters; a ``/``-separated value list (e.g.
-``solar_pct=10/50/90``) redefines a sweep axis.  Everything is
-deterministic: a parallel sweep produces byte-identical metrics to the
-serial fallback (``--jobs 1``).
+``solar_pct=10/50/90``) redefines a sweep axis.  ``--out PATH`` persists
+the results table (CSV when PATH ends in ``.csv``, canonical JSON
+otherwise) so CI and benchmarks can consume artifacts instead of
+scraping stdout.  Everything is deterministic: a parallel sweep produces
+byte-identical metrics (and written tables) to the serial fallback
+(``--jobs 1``).
 """
 
 from __future__ import annotations
@@ -213,6 +217,9 @@ def cmd_sweep(args) -> int:
     sweep = run_sweep(args.scenario, overrides=overrides, jobs=args.jobs)
     mode = f"{sweep.jobs} worker processes" if sweep.jobs > 1 else "serial"
     print(f"=== sweep {args.scenario}: {len(sweep)} runs ({mode}) ===")
+    if args.out:
+        written = sweep.write(args.out)
+        print(f"wrote results table to {written}")
     for result in sweep:
         spec = result.spec
         params = ",".join(f"{k}={spec.params[k]}" for k in sorted(spec.params))
@@ -277,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--param", action="append", default=None, metavar="K=V[,K=V...]",
         help="pin a scenario parameter; V1/V2/... redefines a sweep axis",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, metavar="PATH",
+        help="write the sweep results table to PATH "
+             "(.csv by extension, canonical JSON otherwise)",
     )
     parser.add_argument(
         "--verbose", action="store_true",

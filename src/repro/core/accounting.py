@@ -1,15 +1,19 @@
-"""Energy and carbon accounting.
+"""Energy, carbon, and cost accounting.
 
 The ecovisor discretizes power over each tick interval and accounts for
 energy and carbon per application (paper Section 3.1).  A
 :class:`TickSettlement` is the outcome of settling one application's tick:
 how much energy came from virtual solar, battery, and grid; where excess
-solar went; and the carbon attributed for grid usage.  Settlements are
-energy-conserving by construction and re-checked at runtime.
+solar went; the carbon attributed for grid usage; and — when a price
+signal is attached — the grid cost billed at that tick's price.
+Settlements are energy-conserving by construction and re-checked at
+runtime; billed cost is re-checked against grid energy x price the same
+way.
 
 The :class:`CarbonLedger` accumulates settlements per application and,
 proportionally to energy, per container — the basis for the Table 2
-library queries (``get_app_carbon``, ``get_container_carbon``, ...).
+library queries (``get_app_carbon``, ``get_container_carbon``,
+``get_app_cost``, ...).
 """
 
 from __future__ import annotations
@@ -18,8 +22,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.core.errors import EnergyConservationError
+from repro.core.units import energy_cost_usd
 
 _CONSERVATION_TOLERANCE_WH = 1e-6
+_BILLING_TOLERANCE_USD = 1e-9
 
 
 @dataclass(frozen=True)
@@ -34,6 +40,10 @@ class TickSettlement:
     - solar:          ``solar_available_wh == solar_used_wh +
       solar_to_battery_wh + curtailed_wh``
     - demand:         ``demand_wh == served_wh + unmet_wh``
+    - billing:        ``cost_usd == grid_total_wh x price`` ($/kWh)
+
+    ``price_usd_per_kwh`` and ``cost_usd`` default to zero so settlements
+    without an attached price signal remain cost-free.
     """
 
     app_name: str
@@ -51,6 +61,8 @@ class TickSettlement:
     grid_load_wh: float
     grid_to_battery_wh: float
     carbon_g: float
+    price_usd_per_kwh: float = 0.0
+    cost_usd: float = 0.0
 
     @property
     def grid_total_wh(self) -> float:
@@ -92,6 +104,12 @@ class TickSettlement:
                     f"{self.app_name} @ {self.time_s:.0f}s: {label} violated "
                     f"({lhs:.9f} != {rhs:.9f})"
                 )
+        billed = energy_cost_usd(self.grid_total_wh, self.price_usd_per_kwh)
+        if abs(self.cost_usd - billed) > _BILLING_TOLERANCE_USD:
+            raise EnergyConservationError(
+                f"{self.app_name} @ {self.time_s:.0f}s: cost = grid x price "
+                f"violated ({self.cost_usd:.12f} != {billed:.12f})"
+            )
         negatives = [
             name
             for name, value in [
@@ -109,6 +127,14 @@ class TickSettlement:
             ]
             if value < -_CONSERVATION_TOLERANCE_WH
         ]
+        negatives += [
+            name
+            for name, value in [
+                ("price_usd_per_kwh", self.price_usd_per_kwh),
+                ("cost_usd", self.cost_usd),
+            ]
+            if value < -_BILLING_TOLERANCE_USD
+        ]
         if negatives:
             raise EnergyConservationError(
                 f"{self.app_name} @ {self.time_s:.0f}s: negative flows {negatives}"
@@ -125,6 +151,7 @@ class AppAccount:
     battery_wh: float = 0.0
     grid_wh: float = 0.0
     carbon_g: float = 0.0
+    cost_usd: float = 0.0
     curtailed_wh: float = 0.0
     unmet_wh: float = 0.0
     settlements: List[TickSettlement] = field(default_factory=list)
@@ -135,6 +162,7 @@ class AppAccount:
         self.battery_wh += settlement.battery_discharge_wh
         self.grid_wh += settlement.grid_total_wh
         self.carbon_g += settlement.carbon_g
+        self.cost_usd += settlement.cost_usd
         self.curtailed_wh += settlement.curtailed_wh
         self.unmet_wh += settlement.unmet_wh
         self.settlements.append(settlement)
@@ -166,11 +194,17 @@ class CarbonLedger:
     def app_energy_wh(self, app_name: str) -> float:
         return self.account(app_name).energy_wh
 
+    def app_cost_usd(self, app_name: str) -> float:
+        return self.account(app_name).cost_usd
+
     def total_carbon_g(self) -> float:
         return sum(a.carbon_g for a in self._accounts.values())
 
     def total_energy_wh(self) -> float:
         return sum(a.energy_wh for a in self._accounts.values())
+
+    def total_cost_usd(self) -> float:
+        return sum(a.cost_usd for a in self._accounts.values())
 
     def settlements_between(
         self, app_name: str, start_s: float, end_s: float
@@ -192,4 +226,10 @@ class CarbonLedger:
         """Energy (Wh) served to an app over an interval."""
         return sum(
             s.served_wh for s in self.settlements_between(app_name, start_s, end_s)
+        )
+
+    def cost_between(self, app_name: str, start_s: float, end_s: float) -> float:
+        """Grid cost ($) billed to an app over an interval."""
+        return sum(
+            s.cost_usd for s in self.settlements_between(app_name, start_s, end_s)
         )

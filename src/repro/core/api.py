@@ -75,6 +75,14 @@ class EcovisorAPI:
         """Current grid carbon-intensity (g CO2 / kWh)."""
         return self._ecovisor.current_carbon_g_per_kwh
 
+    def get_grid_price(self) -> float:
+        """Current grid electricity price ($/kWh; 0.0 without a market)."""
+        return self._ecovisor.current_price_usd_per_kwh
+
+    def get_energy_cost(self) -> float:
+        """Cumulative grid cost ($) billed to this application."""
+        return self._ecovisor.ledger.app_cost_usd(self._app_name)
+
     def get_battery_discharge_rate(self) -> float:
         """Battery discharge power over the last settled tick (W)."""
         if self._ves.battery is None:

@@ -201,6 +201,25 @@ class CarbonServiceConfig:
 
 
 @dataclass(frozen=True)
+class PriceServiceConfig:
+    """Electricity-price signal service (utility/ISO price feed).
+
+    Mirrors :class:`CarbonServiceConfig`: the ecovisor polls a price feed
+    the same way it polls a carbon information service.  ``regime`` names
+    a registered price regime in :mod:`repro.market.prices` (``flat``,
+    ``tou``, ``realtime``).
+    """
+
+    regime: str = "tou"
+    update_interval_s: float = 5 * SECONDS_PER_MINUTE
+    seed: int = 2023
+
+    def validate(self) -> None:
+        if self.update_interval_s <= 0:
+            raise ConfigurationError("update interval must be positive")
+
+
+@dataclass(frozen=True)
 class EcovisorConfig:
     """Top-level ecovisor knobs (paper Section 3).
 
@@ -215,6 +234,7 @@ class EcovisorConfig:
     solar_buffer_fraction: float = 0.01
     carbon_change_threshold_g_per_kwh: float = 10.0
     solar_change_threshold_w: float = 5.0
+    price_change_threshold_usd_per_kwh: float = 0.05
 
     def validate(self) -> None:
         if self.tick_interval_s <= 0:
@@ -225,6 +245,8 @@ class EcovisorConfig:
             raise ConfigurationError("carbon change threshold must be >= 0")
         if self.solar_change_threshold_w < 0:
             raise ConfigurationError("solar change threshold must be >= 0")
+        if self.price_change_threshold_usd_per_kwh < 0:
+            raise ConfigurationError("price change threshold must be >= 0")
 
 
 @dataclass(frozen=True)

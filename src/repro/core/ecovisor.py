@@ -50,13 +50,14 @@ from repro.core.events import (
     BatteryFullEvent,
     CarbonChangeEvent,
     EventBus,
+    PriceChangeEvent,
     SolarChangeEvent,
     TickEvent,
 )
-from repro.core.units import energy_wh
 from repro.core.virtual_battery import VirtualBattery
 from repro.core.virtual_energy_system import VirtualEnergySystem
 from repro.energy.system import PhysicalEnergySystem
+from repro.market.service import PriceSignal
 from repro.telemetry.monitor import PowerMonitor
 from repro.telemetry.timeseries import TimeSeriesDatabase
 
@@ -85,10 +86,12 @@ class Ecovisor:
         carbon_service: CarbonIntensityService,
         config: EcovisorConfig | None = None,
         database: TimeSeriesDatabase | None = None,
+        price_signal: Optional[PriceSignal] = None,
     ):
         self._plant = plant
         self._platform = platform
         self._carbon_service = carbon_service
+        self._price_signal = price_signal
         self._config = config or EcovisorConfig()
         self._config.validate()
         self._db = database or TimeSeriesDatabase()
@@ -100,6 +103,11 @@ class Ecovisor:
         self._allocated_battery = 0.0
         self._current_carbon = 0.0
         self._previous_carbon: Optional[float] = None
+        self._current_price = 0.0
+        self._previous_price: Optional[float] = None
+        # Tracked explicitly (not via `or None` as for carbon) because a
+        # 0.0 price is legitimate — real-time prices floor at zero.
+        self._price_sampled = False
         self._physical_solar_now_w = 0.0
         self._buffered_solar_w: Optional[float] = None
 
@@ -121,6 +129,15 @@ class Ecovisor:
     @property
     def carbon_service(self) -> CarbonIntensityService:
         return self._carbon_service
+
+    @property
+    def price_signal(self) -> Optional[PriceSignal]:
+        """The attached electricity-price feed; None when cost-free."""
+        return self._price_signal
+
+    @property
+    def has_market(self) -> bool:
+        return self._price_signal is not None
 
     @property
     def database(self) -> TimeSeriesDatabase:
@@ -275,6 +292,26 @@ class Ecovisor:
                 )
             )
 
+        if self._price_signal is not None:
+            self._previous_price = (
+                self._current_price if self._price_sampled else None
+            )
+            self._current_price = self._price_signal.observe(time_s)
+            self._price_sampled = True
+            self._monitor.record_grid_price(time_s, self._current_price)
+            if (
+                self._previous_price is not None
+                and abs(self._current_price - self._previous_price)
+                >= self._config.price_change_threshold_usd_per_kwh
+            ):
+                self._bus.publish(
+                    PriceChangeEvent(
+                        time_s=time_s,
+                        previous_usd_per_kwh=self._previous_price,
+                        current_usd_per_kwh=self._current_price,
+                    )
+                )
+
         for app in self._apps.values():
             new_solar = app.ves.update_solar(visible_solar)
             if (
@@ -320,7 +357,11 @@ class Ecovisor:
         for app in self._apps.values():
             demand_w = self._platform.app_power_w(app.name)
             settlement = app.ves.settle(
-                demand_w, self._current_carbon, time_s, duration_s
+                demand_w,
+                self._current_carbon,
+                time_s,
+                duration_s,
+                price_usd_per_kwh=self._current_price,
             )
             self._ledger.record(settlement)
             self._record_app_telemetry(app, settlement, time_s)
@@ -367,6 +408,8 @@ class Ecovisor:
     ) -> None:
         name = app.name
         self._db.record(f"app.{name}.carbon_g", time_s, settlement.carbon_g)
+        if self._price_signal is not None:
+            self._db.record(f"app.{name}.cost_usd", time_s, settlement.cost_usd)
         self._db.record(
             f"app.{name}.grid_power_w",
             time_s,
@@ -443,6 +486,11 @@ class Ecovisor:
     @property
     def current_carbon_g_per_kwh(self) -> float:
         return self._current_carbon
+
+    @property
+    def current_price_usd_per_kwh(self) -> float:
+        """Grid electricity price this tick (0.0 when no market attached)."""
+        return self._current_price
 
     @property
     def physical_solar_w(self) -> float:

@@ -14,7 +14,7 @@ enough for applications to react to external changes (Section 3.1).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, DefaultDict, Dict, List, Type
 
 
@@ -55,6 +55,23 @@ class CarbonChangeEvent(Event):
     @property
     def delta_g_per_kwh(self) -> float:
         return self.current_g_per_kwh - self.previous_g_per_kwh
+
+
+@dataclass(frozen=True)
+class PriceChangeEvent(Event):
+    """Grid electricity price changed significantly since the previous tick.
+
+    Published only when a price signal is attached to the ecovisor (the
+    market layer); the change threshold is
+    ``EcovisorConfig.price_change_threshold_usd_per_kwh``.
+    """
+
+    previous_usd_per_kwh: float = 0.0
+    current_usd_per_kwh: float = 0.0
+
+    @property
+    def delta_usd_per_kwh(self) -> float:
+        return self.current_usd_per_kwh - self.previous_usd_per_kwh
 
 
 @dataclass(frozen=True)

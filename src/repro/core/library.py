@@ -28,6 +28,7 @@ from repro.core.events import (
     BatteryEmptyEvent,
     BatteryFullEvent,
     CarbonChangeEvent,
+    PriceChangeEvent,
     SolarChangeEvent,
 )
 from repro.core.units import power_for_carbon_rate
@@ -79,6 +80,18 @@ class AppEnergyLibrary:
         if t2 is None:
             return self._ledger.app_carbon_g(self._app_name)
         return self._ledger.carbon_between(self._app_name, t1, t2)
+
+    def get_app_cost(
+        self, t1: float = 0.0, t2: Optional[float] = None
+    ) -> float:
+        """Grid cost ($) billed to the application; cumulative by default.
+
+        The billing mirror of :meth:`get_app_carbon`: both are sums over
+        the same per-tick settlements (market layer).
+        """
+        if t2 is None:
+            return self._ledger.app_cost_usd(self._app_name)
+        return self._ledger.cost_between(self._app_name, t1, t2)
 
     # ------------------------------------------------------------------
     # Carbon rate and budget (Table 2)
@@ -142,6 +155,12 @@ class AppEnergyLibrary:
     ) -> None:
         """Invoke ``callback`` when grid carbon-intensity changes."""
         self._ecovisor.events.subscribe(CarbonChangeEvent, callback)
+
+    def notify_price_change(
+        self, callback: Callable[[PriceChangeEvent], None]
+    ) -> None:
+        """Invoke ``callback`` when the grid electricity price changes."""
+        self._ecovisor.events.subscribe(PriceChangeEvent, callback)
 
     def notify_battery_full(self, callback: Callable[[BatteryFullEvent], None]) -> None:
         """Invoke ``callback`` when this app's virtual battery fills."""

@@ -90,6 +90,16 @@ def carbon_grams(energy_wh_value: float, intensity_g_per_kwh: float) -> float:
     return wh_to_kwh(energy_wh_value) * intensity_g_per_kwh
 
 
+def energy_cost_usd(energy_wh_value: float, price_usd_per_kwh: float) -> float:
+    """Cost ($) of buying ``energy_wh_value`` Wh at the given price.
+
+    Price is expressed in $/kWh, the unit utilities and ISOs quote
+    (time-of-use tariffs, real-time wholesale prices).  This is the
+    billing analogue of :func:`carbon_grams`.
+    """
+    return wh_to_kwh(energy_wh_value) * price_usd_per_kwh
+
+
 def carbon_rate_mg_per_s(power_w_value: float, intensity_g_per_kwh: float) -> float:
     """Instantaneous carbon rate (mg/s) for a power draw at a grid intensity.
 

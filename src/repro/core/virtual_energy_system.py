@@ -28,7 +28,7 @@ from typing import Optional
 
 from repro.core.accounting import TickSettlement
 from repro.core.config import ShareConfig
-from repro.core.units import carbon_grams, energy_wh, power_w
+from repro.core.units import carbon_grams, energy_cost_usd, energy_wh, power_w
 from repro.core.virtual_battery import VirtualBattery
 
 
@@ -96,11 +96,15 @@ class VirtualEnergySystem:
         carbon_intensity_g_per_kwh: float,
         time_s: float,
         duration_s: float,
+        price_usd_per_kwh: float = 0.0,
     ) -> TickSettlement:
         """Settle one tick: route energy to demand, charge/curtail, attribute.
 
         ``demand_w`` is the application's measured power draw (already
-        capped by container power caps).  Returns the validated settlement.
+        capped by container power caps).  ``price_usd_per_kwh`` is the
+        grid price in force this tick (zero when no market is attached);
+        grid energy — load plus grid-supplemented battery charging — is
+        billed at it.  Returns the validated settlement.
         """
         if demand_w < 0:
             raise ValueError(f"demand must be >= 0, got {demand_w}")
@@ -159,6 +163,7 @@ class VirtualEnergySystem:
         served_wh = solar_used_wh + battery_wh + grid_load_wh
         grid_total_wh = grid_load_wh + grid_to_battery_wh
         carbon_g = carbon_grams(grid_total_wh, carbon_intensity_g_per_kwh)
+        cost_usd = energy_cost_usd(grid_total_wh, price_usd_per_kwh)
         self._last_grid_power_w = (
             power_w(grid_total_wh, duration_s) if duration_s > 0 else 0.0
         )
@@ -179,6 +184,8 @@ class VirtualEnergySystem:
             grid_load_wh=grid_load_wh,
             grid_to_battery_wh=grid_to_battery_wh,
             carbon_g=carbon_g,
+            price_usd_per_kwh=price_usd_per_kwh,
+            cost_usd=cost_usd,
         )
         settlement.validate()
         self._last_settlement = settlement

@@ -21,7 +21,7 @@ This module implements that layer for delay-tolerant batch work:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.clock import TickInfo
 from repro.core.config import ShareConfig

@@ -1,0 +1,36 @@
+"""Energy market: electricity-price traces, the price signal service.
+
+The market layer sits beside :mod:`repro.carbon` in the physical
+substrate: synthetic price regimes (flat tariff, time-of-use, CAISO-like
+real-time) sampled every 5 minutes, and a :class:`PriceSignal` service
+with the same polled ``observe(time_s)`` shape as the carbon service.
+Billing itself lives in :mod:`repro.core.accounting` (each settled tick
+carries grid cost = grid energy x price) and is wired through the
+ecovisor, the Table 1 API, REST, and telemetry.
+"""
+
+from repro.market.prices import (
+    DEFAULT_TOU_SCHEDULE,
+    PRICE_REGIMES,
+    PriceTrace,
+    TouSchedule,
+    constant_price_trace,
+    flat_price_trace,
+    make_price_trace,
+    realtime_price_trace,
+    tou_price_trace,
+)
+from repro.market.service import PriceSignal
+
+__all__ = [
+    "DEFAULT_TOU_SCHEDULE",
+    "PRICE_REGIMES",
+    "PriceSignal",
+    "PriceTrace",
+    "TouSchedule",
+    "constant_price_trace",
+    "flat_price_trace",
+    "make_price_trace",
+    "realtime_price_trace",
+    "tou_price_trace",
+]

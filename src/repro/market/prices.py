@@ -1,0 +1,255 @@
+"""Synthetic electricity-price traces.
+
+The paper virtualizes the energy system so applications can manage — and
+pay for — their own energy use; "Enabling Sustainable Clouds" (the vision
+paper behind Ecovisor) argues the virtualized interface should expose
+*price* as well as carbon signals.  No tariff data ships with this repo,
+so this module synthesizes deterministic price traces at the same
+5-minute sample interval as :mod:`repro.carbon.traces`:
+
+- **flat** — a single volumetric tariff, constant around the clock.
+- **tou** — a three-period time-of-use schedule (off-peak nights,
+  mid-peak shoulders, on-peak evenings), the standard retail structure
+  in CAISO territory.
+- **realtime** — a wholesale-style real-time price calibrated to the
+  CAISO duck curve: midday solar depresses prices toward zero, the
+  evening net-load ramp lifts them, and occasional scarcity events spike
+  the ramp hours by an order of magnitude.
+
+Prices are quoted in $/kWh.  All traces are deterministic given their
+seed, mirroring the carbon traces' reproducibility contract.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.carbon.traces import SAMPLE_INTERVAL_S, ar1, duck_curve
+from repro.core.errors import TraceError
+from repro.core.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+_SAMPLES_PER_DAY = int(SECONDS_PER_DAY / SAMPLE_INTERVAL_S)
+
+
+class PriceTrace:
+    """An electricity-price time series ($/kWh) sampled every 5 minutes."""
+
+    def __init__(self, samples: Sequence[float], regime: str = "custom"):
+        arr = np.asarray(samples, dtype=float)
+        if arr.ndim != 1 or len(arr) == 0:
+            raise TraceError("price trace needs a non-empty 1-D sample array")
+        if arr.min() < 0:
+            raise TraceError("price cannot be negative (curtail, don't pay)")
+        self._samples = arr
+        self._regime = regime
+
+    @property
+    def regime(self) -> str:
+        return self._regime
+
+    @property
+    def samples(self) -> np.ndarray:
+        view = self._samples.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def duration_s(self) -> float:
+        return len(self._samples) * SAMPLE_INTERVAL_S
+
+    def price_at(self, time_s: float) -> float:
+        """Price ($/kWh) at ``time_s``; clamps beyond the trace end."""
+        if time_s < 0:
+            raise TraceError(f"time must be >= 0, got {time_s}")
+        index = min(int(time_s / SAMPLE_INTERVAL_S), len(self._samples) - 1)
+        return float(self._samples[index])
+
+    def window(self, start_s: float = 0.0, end_s: float | None = None) -> np.ndarray:
+        """Samples covering [start_s, end_s); clamps to the trace bounds."""
+        if end_s is None:
+            end_s = self.duration_s
+        if end_s <= start_s:
+            raise TraceError(f"empty window [{start_s}, {end_s})")
+        lo = max(0, int(start_s / SAMPLE_INTERVAL_S))
+        hi = min(len(self._samples), max(lo + 1, int(math.ceil(end_s / SAMPLE_INTERVAL_S))))
+        return self._samples[lo:hi]
+
+    def percentile(self, q: float, start_s: float = 0.0, end_s: float | None = None) -> float:
+        """The ``q``-th percentile of price over [start_s, end_s).
+
+        Price-aware policies pick their wait thresholds exactly the way
+        the paper's carbon policies do — as a percentile over a lookahead
+        window (Section 5.1 methodology, applied to the price signal).
+        """
+        return float(np.percentile(self.window(start_s, end_s), q))
+
+    def mean(self, start_s: float = 0.0, end_s: float | None = None) -> float:
+        """Mean price over a window."""
+        return float(self.window(start_s, end_s).mean())
+
+    def rolled(self, offset_s: float) -> "PriceTrace":
+        """A copy rotated so time zero lands at ``offset_s`` (arrival shift)."""
+        if offset_s < 0:
+            raise TraceError(f"offset must be >= 0, got {offset_s}")
+        shift = int(offset_s / SAMPLE_INTERVAL_S) % len(self._samples)
+        return PriceTrace(np.roll(self._samples, -shift), regime=self._regime)
+
+
+@dataclass(frozen=True)
+class TouSchedule:
+    """A three-period time-of-use tariff ($/kWh by hour of day).
+
+    Default periods follow the common CAISO retail structure: on-peak
+    covers the evening net-load ramp (16:00-21:00), off-peak the night
+    (22:00-08:00), and mid-peak the remaining shoulders.
+    """
+
+    off_peak_usd_per_kwh: float = 0.18
+    mid_peak_usd_per_kwh: float = 0.32
+    on_peak_usd_per_kwh: float = 0.55
+    on_peak_start_hour: float = 16.0
+    on_peak_end_hour: float = 21.0
+    off_peak_start_hour: float = 22.0
+    off_peak_end_hour: float = 8.0
+
+    def validate(self) -> None:
+        prices = (
+            self.off_peak_usd_per_kwh,
+            self.mid_peak_usd_per_kwh,
+            self.on_peak_usd_per_kwh,
+        )
+        if any(p < 0 for p in prices):
+            raise TraceError("tariff prices must be >= 0")
+        if not self.off_peak_usd_per_kwh <= self.mid_peak_usd_per_kwh <= self.on_peak_usd_per_kwh:
+            raise TraceError("tariff must order off-peak <= mid-peak <= on-peak")
+        hours = (
+            self.on_peak_start_hour,
+            self.on_peak_end_hour,
+            self.off_peak_start_hour,
+            self.off_peak_end_hour,
+        )
+        if any(not 0.0 <= h <= 24.0 for h in hours):
+            raise TraceError("schedule hours must be within [0, 24]")
+
+    def price_for_hour(self, hour_of_day: float) -> float:
+        """The tariff price in force at ``hour_of_day`` (fractional hours)."""
+        hour = hour_of_day % 24.0
+        if self.on_peak_start_hour <= hour < self.on_peak_end_hour:
+            return self.on_peak_usd_per_kwh
+        # The off-peak window wraps midnight (22:00-08:00 by default).
+        if hour >= self.off_peak_start_hour or hour < self.off_peak_end_hour:
+            return self.off_peak_usd_per_kwh
+        return self.mid_peak_usd_per_kwh
+
+
+DEFAULT_TOU_SCHEDULE = TouSchedule()
+
+#: Calibration constants for the real-time regime (wholesale $/kWh).
+REALTIME_BASE_USD_PER_KWH = 0.07
+REALTIME_DUCK_AMPLITUDE = 0.055
+REALTIME_NOISE_SIGMA = 0.012
+REALTIME_NOISE_PERSISTENCE = 0.90
+REALTIME_FLOOR_USD_PER_KWH = 0.0
+REALTIME_CEILING_USD_PER_KWH = 2.0
+REALTIME_SPIKE_PROBABILITY = 0.4  # per evening ramp
+REALTIME_SPIKE_USD_PER_KWH = 0.9
+REALTIME_SPIKE_HALF_WIDTH_H = 0.5
+
+
+def _n_samples(days: int) -> int:
+    if days <= 0:
+        raise TraceError(f"trace must cover at least one day, got {days}")
+    return days * _SAMPLES_PER_DAY
+
+
+def _hours(n: int) -> np.ndarray:
+    return (np.arange(n) * SAMPLE_INTERVAL_S / SECONDS_PER_HOUR) % 24.0
+
+
+def flat_price_trace(
+    price_usd_per_kwh: float = 0.30, days: int = 4, seed: int = 2023
+) -> PriceTrace:
+    """A flat volumetric tariff (``seed`` accepted for interface parity)."""
+    if price_usd_per_kwh < 0:
+        raise TraceError("price cannot be negative")
+    return PriceTrace(
+        np.full(_n_samples(days), float(price_usd_per_kwh)), regime="flat"
+    )
+
+
+def tou_price_trace(
+    days: int = 4,
+    seed: int = 2023,
+    schedule: TouSchedule = DEFAULT_TOU_SCHEDULE,
+) -> PriceTrace:
+    """A deterministic time-of-use trace from a three-period schedule."""
+    schedule.validate()
+    hours = _hours(_n_samples(days))
+    samples = np.asarray([schedule.price_for_hour(h) for h in hours])
+    return PriceTrace(samples, regime="tou")
+
+
+def realtime_price_trace(days: int = 4, seed: int = 2023) -> PriceTrace:
+    """A CAISO-like real-time price: duck curve, noise, evening spikes.
+
+    The seed is mixed with CRC32 of the regime name (not Python's salted
+    ``hash()``), matching the carbon traces' cross-run reproducibility.
+    """
+    n = _n_samples(days)
+    rng = np.random.default_rng(seed ^ (zlib.crc32(b"realtime") & 0xFFFF))
+    hours = _hours(n)
+    duck = REALTIME_DUCK_AMPLITUDE * duck_curve(hours)
+    noise = ar1(rng, n, REALTIME_NOISE_SIGMA, REALTIME_NOISE_PERSISTENCE)
+
+    # Occasional scarcity spikes riding the evening ramp: each day draws
+    # whether a spike occurs, its center hour, and its magnitude.
+    spikes = np.zeros(n)
+    spike_occurs = rng.uniform(size=days) < REALTIME_SPIKE_PROBABILITY
+    spike_centers = rng.uniform(18.5, 20.5, size=days)
+    spike_scales = rng.uniform(0.5, 1.5, size=days) * REALTIME_SPIKE_USD_PER_KWH
+    for day in range(days):
+        if not spike_occurs[day]:
+            continue
+        lo, hi = day * _SAMPLES_PER_DAY, (day + 1) * _SAMPLES_PER_DAY
+        offset_h = hours[lo:hi] - spike_centers[day]
+        spikes[lo:hi] = spike_scales[day] * np.exp(
+            -(offset_h**2) / (2 * REALTIME_SPIKE_HALF_WIDTH_H**2)
+        )
+
+    samples = np.clip(
+        REALTIME_BASE_USD_PER_KWH + duck + noise + spikes,
+        REALTIME_FLOOR_USD_PER_KWH,
+        REALTIME_CEILING_USD_PER_KWH,
+    )
+    return PriceTrace(samples, regime="realtime")
+
+
+#: Registered price regimes: name -> builder(days, seed) -> PriceTrace.
+PRICE_REGIMES: Dict[str, Callable[[int, int], PriceTrace]] = {
+    "flat": lambda days, seed: flat_price_trace(days=days, seed=seed),
+    "tou": lambda days, seed: tou_price_trace(days=days, seed=seed),
+    "realtime": lambda days, seed: realtime_price_trace(days=days, seed=seed),
+}
+
+
+def make_price_trace(regime: str, days: int = 4, seed: int = 2023) -> PriceTrace:
+    """Build the named regime's trace (``flat``/``tou``/``realtime``)."""
+    key = regime.lower()
+    if key not in PRICE_REGIMES:
+        known = ", ".join(sorted(PRICE_REGIMES))
+        raise TraceError(f"unknown price regime {regime!r}; known regimes: {known}")
+    return PRICE_REGIMES[key](days, seed)
+
+
+def constant_price_trace(price_usd_per_kwh: float, days: int = 1) -> PriceTrace:
+    """A flat trace, convenient for tests and calibration."""
+    if price_usd_per_kwh < 0:
+        raise TraceError("price cannot be negative")
+    return PriceTrace(
+        np.full(_n_samples(days), float(price_usd_per_kwh)), regime="constant"
+    )

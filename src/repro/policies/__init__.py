@@ -8,7 +8,13 @@ from repro.policies.battery import (
 )
 from repro.policies.carbon_agnostic import CarbonAgnosticPolicy
 from repro.policies.carbon_budget import DynamicCarbonBudgetPolicy
+from repro.policies.carbon_cost import (
+    CarbonCostPolicy,
+    blended_index,
+    blended_threshold,
+)
 from repro.policies.forecast_threshold import ForecastWaitAndScalePolicy
+from repro.policies.price_threshold import PriceThresholdPolicy
 from repro.policies.rate_limit import CarbonRateLimitPolicy
 from repro.policies.solar_matching import (
     DynamicSolarCapPolicy,
@@ -20,6 +26,7 @@ from repro.policies.wait_and_scale import WaitAndScalePolicy
 
 __all__ = [
     "CarbonAgnosticPolicy",
+    "CarbonCostPolicy",
     "CarbonRateLimitPolicy",
     "DynamicCarbonBudgetPolicy",
     "DynamicSolarCapPolicy",
@@ -27,11 +34,14 @@ __all__ = [
     "ForecastWaitAndScalePolicy",
     "DynamicWebBatteryPolicy",
     "Policy",
+    "PriceThresholdPolicy",
     "StaticBatterySmoothingPolicy",
     "StaticSolarCapPolicy",
     "StragglerReplicaPolicy",
     "SuspendResumePolicy",
     "WaitAndScalePolicy",
+    "blended_index",
+    "blended_threshold",
     "worker_idle_power_w",
     "worker_power_w",
 ]

@@ -1,0 +1,138 @@
+"""Weighted carbon + cost policy: one knob between clean and cheap.
+
+Carbon-optimal and cost-optimal schedules disagree whenever price and
+carbon decouple — a time-of-use on-peak window can coincide with a clean
+evening grid, and a midday solar glut can be cheap but (in a thermal
+region) still dirty.  This policy exposes the trade-off as a single
+weight λ over a *blended index*
+
+    b(t) = (1 - λ) · carbon(t) / carbon_scale + λ · price(t) / price_scale
+
+where the scales normalize the two signals to comparable magnitudes
+(typically their trace means).  The policy then behaves exactly like
+Wait&Scale on b(t): suspend while the blended index is above a
+threshold, run scaled up while below.  λ=0 reduces to the paper's
+carbon Wait&Scale; λ=1 to a pure price threshold; intermediate values
+trace the carbon-vs-cost Pareto frontier swept by the
+``extension_market`` scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.carbon.traces import CarbonTrace
+from repro.core.clock import TickInfo
+from repro.market.prices import PriceTrace
+from repro.policies.base import Policy
+
+
+def blended_index(
+    carbon_g_per_kwh: float,
+    price_usd_per_kwh: float,
+    lam: float,
+    carbon_scale: float,
+    price_scale: float,
+) -> float:
+    """The dimensionless carbon+cost index b(t) (see module docstring)."""
+    carbon_term = carbon_g_per_kwh / carbon_scale if carbon_scale > 0 else 0.0
+    price_term = price_usd_per_kwh / price_scale if price_scale > 0 else 0.0
+    return (1.0 - lam) * carbon_term + lam * price_term
+
+
+def blended_threshold(
+    carbon_trace: CarbonTrace,
+    price_trace: PriceTrace,
+    lam: float,
+    percentile: float,
+    window_s: Optional[float] = None,
+    carbon_scale: Optional[float] = None,
+    price_scale: Optional[float] = None,
+) -> float:
+    """Percentile of the blended index over a lookahead window.
+
+    The trade-off analogue of ``carbon_threshold`` in
+    :mod:`repro.sim.experiment`: both signals are read from their traces
+    (the paper's perfect-forecast methodology), blended sample-by-sample
+    at the shared 5-minute interval, and reduced to the ``percentile``-th
+    value.  Scales default to the window means, so the two signals enter
+    the blend in comparable units.
+    """
+    carbon = np.asarray(carbon_trace.window(0.0, window_s), dtype=float)
+    price = np.asarray(price_trace.window(0.0, window_s), dtype=float)
+    n = min(len(carbon), len(price))
+    carbon, price = carbon[:n], price[:n]
+    c_scale = carbon_scale if carbon_scale is not None else float(carbon.mean())
+    p_scale = price_scale if price_scale is not None else float(price.mean())
+    carbon_term = carbon / c_scale if c_scale > 0 else np.zeros(n)
+    price_term = price / p_scale if p_scale > 0 else np.zeros(n)
+    blended = (1.0 - lam) * carbon_term + lam * price_term
+    return float(np.percentile(blended, percentile))
+
+
+class CarbonCostPolicy(Policy):
+    """Wait&Scale on the blended carbon+cost index with trade-off knob λ."""
+
+    def __init__(
+        self,
+        lam: float,
+        threshold: float,
+        carbon_scale: float,
+        price_scale: float,
+        base_workers: int,
+        scale_factor: float,
+        cores_per_worker: float = 1.0,
+    ):
+        super().__init__()
+        if not 0.0 <= lam <= 1.0:
+            raise ValueError(f"lambda must be in [0, 1], got {lam}")
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        if carbon_scale < 0 or price_scale < 0:
+            raise ValueError("scales must be >= 0")
+        if base_workers <= 0:
+            raise ValueError("base workers must be positive")
+        if scale_factor < 1.0:
+            raise ValueError("scale factor must be >= 1")
+        self._lam = lam
+        self._threshold = threshold
+        self._carbon_scale = carbon_scale
+        self._price_scale = price_scale
+        self._base_workers = base_workers
+        self._scale_factor = scale_factor
+        self._cores = cores_per_worker
+
+    @property
+    def lam(self) -> float:
+        return self._lam
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def scaled_workers(self) -> int:
+        return int(round(self._base_workers * self._scale_factor))
+
+    def current_index(self) -> float:
+        """The blended index at the current tick's signals."""
+        return blended_index(
+            self.api.get_grid_carbon(),
+            self.api.get_grid_price(),
+            self._lam,
+            self._carbon_scale,
+            self._price_scale,
+        )
+
+    def on_tick(self, tick: TickInfo) -> None:
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        target = (
+            0 if self.current_index() > self._threshold else self.scaled_workers
+        )
+        if self.current_worker_count() != target:
+            self.scale_workers(target, self._cores)

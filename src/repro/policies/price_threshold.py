@@ -1,0 +1,87 @@
+"""Wait&Scale against the electricity *price* signal.
+
+The market analogue of the paper's Wait&Scale carbon policy (Section
+5.1): suspend execution while the grid price is above a percentile
+threshold, and run scaled up while it is below — riding out time-of-use
+on-peak windows and real-time price spikes, then exploiting cheap
+midday-solar hours.
+
+The threshold is re-derived from a forecaster every
+``refresh_interval_s``, reusing the :mod:`repro.carbon.forecast`
+machinery unchanged: those forecasters are signal-agnostic, so passing
+one constructed over a :class:`~repro.market.service.PriceSignal`
+(``OracleForecaster(price_signal)`` matches the paper's perfect-forecast
+methodology) yields price thresholds exactly the way carbon thresholds
+are derived.
+"""
+
+from __future__ import annotations
+
+from repro.carbon.forecast import CarbonForecaster
+from repro.core.clock import TickInfo
+from repro.policies.base import Policy
+
+
+class PriceThresholdPolicy(Policy):
+    """Suspend above a forecast price-percentile; scale up below it."""
+
+    def __init__(
+        self,
+        forecaster: CarbonForecaster,
+        percentile: float,
+        window_s: float,
+        base_workers: int,
+        scale_factor: float,
+        cores_per_worker: float = 1.0,
+        refresh_interval_s: float = 3600.0,
+    ):
+        super().__init__()
+        if not 0.0 < percentile < 100.0:
+            raise ValueError(f"percentile must be in (0, 100), got {percentile}")
+        if window_s <= 0:
+            raise ValueError("forecast window must be positive")
+        if base_workers <= 0:
+            raise ValueError("base workers must be positive")
+        if scale_factor < 1.0:
+            raise ValueError("scale factor must be >= 1")
+        if refresh_interval_s <= 0:
+            raise ValueError("refresh interval must be positive")
+        self._forecaster = forecaster
+        self._percentile = percentile
+        self._window_s = window_s
+        self._base_workers = base_workers
+        self._scale_factor = scale_factor
+        self._cores = cores_per_worker
+        self._refresh_interval_s = refresh_interval_s
+        self._threshold: float | None = None
+        self._last_refresh_s = -float("inf")
+
+    @property
+    def current_threshold(self) -> float | None:
+        """The $/kWh threshold in force (None before the first tick)."""
+        return self._threshold
+
+    @property
+    def scaled_workers(self) -> int:
+        return int(round(self._base_workers * self._scale_factor))
+
+    def _maybe_refresh(self, now_s: float) -> None:
+        if now_s - self._last_refresh_s < self._refresh_interval_s:
+            return
+        self._threshold = self._forecaster.percentile(
+            now_s, self._window_s, self._percentile
+        )
+        self._last_refresh_s = now_s
+
+    def on_tick(self, tick: TickInfo) -> None:
+        self._forecaster.observe(tick.start_s)
+        self._maybe_refresh(tick.start_s)
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        price = self.api.get_grid_price()
+        assert self._threshold is not None  # set by _maybe_refresh
+        target = 0 if price > self._threshold else self.scaled_workers
+        if self.current_worker_count() != target:
+            self.scale_workers(target, self._cores)

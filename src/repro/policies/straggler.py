@@ -12,7 +12,7 @@ improves because the round no longer waits on the slow node.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.clock import TickInfo
 from repro.policies.base import Policy

@@ -13,6 +13,8 @@ Method      Path                                            Table 1 call
 GET         /apps/{app}/solar                               get_solar_power
 GET         /apps/{app}/grid                                get_grid_power
 GET         /apps/{app}/carbon                              get_grid_carbon
+GET         /apps/{app}/price                               get_grid_price
+GET         /apps/{app}/cost                                get_energy_cost
 GET         /apps/{app}/battery                             charge level + discharge rate
 POST        /apps/{app}/battery/charge_rate                 set_battery_charge_rate
 POST        /apps/{app}/battery/max_discharge               set_battery_max_discharge
@@ -28,11 +30,32 @@ POST        /apps/{app}/scale                               horizontal scale
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Callable, Dict
 
 from repro.core.api import EcovisorAPI, connect
 from repro.core.ecovisor import Ecovisor
 from repro.rest.router import Request, Response, Router
+
+_MISSING = object()
+
+
+def _body_field(request: Request, name: str, cast: Callable, default: Any = _MISSING):
+    """Extract and convert one body field; raises ``ValueError`` on bad input.
+
+    Validation happens here, at the handler edge, so a missing or
+    malformed *client* field maps to 400 while genuine server bugs
+    (stray KeyError/TypeError deeper in the stack) still surface as 500.
+    """
+    if name in request.body:
+        raw = request.body[name]
+    elif default is not _MISSING:
+        raw = default
+    else:
+        raise ValueError(f"missing field: {name!r}")
+    try:
+        return cast(raw)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"malformed field {name!r}: {exc}") from None
 
 
 class EcovisorRestServer:
@@ -67,6 +90,8 @@ class EcovisorRestServer:
         r.add("GET", "/apps/{app}/solar", self._get_solar)
         r.add("GET", "/apps/{app}/grid", self._get_grid)
         r.add("GET", "/apps/{app}/carbon", self._get_carbon)
+        r.add("GET", "/apps/{app}/price", self._get_price)
+        r.add("GET", "/apps/{app}/cost", self._get_cost)
         r.add("GET", "/apps/{app}/battery", self._get_battery)
         r.add("POST", "/apps/{app}/battery/charge_rate", self._set_charge_rate)
         r.add("POST", "/apps/{app}/battery/max_discharge", self._set_max_discharge)
@@ -89,6 +114,14 @@ class EcovisorRestServer:
             "carbon_g_per_kwh": self._api(request.params["app"]).get_grid_carbon()
         }
 
+    def _get_price(self, request: Request):
+        return {
+            "price_usd_per_kwh": self._api(request.params["app"]).get_grid_price()
+        }
+
+    def _get_cost(self, request: Request):
+        return {"cost_usd": self._api(request.params["app"]).get_energy_cost()}
+
     def _get_battery(self, request: Request):
         api = self._api(request.params["app"])
         return {
@@ -99,12 +132,12 @@ class EcovisorRestServer:
 
     def _set_charge_rate(self, request: Request):
         api = self._api(request.params["app"])
-        api.set_battery_charge_rate(float(request.body["watts"]))
+        api.set_battery_charge_rate(_body_field(request, "watts", float))
         return {"ok": True}
 
     def _set_max_discharge(self, request: Request):
         api = self._api(request.params["app"])
-        api.set_battery_max_discharge(float(request.body["watts"]))
+        api.set_battery_max_discharge(_body_field(request, "watts", float))
         return {"ok": True}
 
     def _list_containers(self, request: Request):
@@ -124,7 +157,7 @@ class EcovisorRestServer:
     def _launch_container(self, request: Request):
         api = self._api(request.params["app"])
         container = api.launch_container(
-            float(request.body.get("cores", 1.0)),
+            _body_field(request, "cores", float, default=1.0),
             gpu=bool(request.body.get("gpu", False)),
             role=str(request.body.get("role", "worker")),
         )
@@ -147,15 +180,16 @@ class EcovisorRestServer:
         api = self._api(request.params["app"])
         watts = request.body.get("watts")
         api.set_container_powercap(
-            request.params["cid"], None if watts is None else float(watts)
+            request.params["cid"],
+            None if watts is None else _body_field(request, "watts", float),
         )
         return {"ok": True}
 
     def _scale(self, request: Request):
         api = self._api(request.params["app"])
         containers = api.scale_to(
-            int(request.body["count"]),
-            float(request.body.get("cores", 1.0)),
+            _body_field(request, "count", int),
+            _body_field(request, "cores", float, default=1.0),
             gpu=bool(request.body.get("gpu", False)),
             role=str(request.body.get("role", "worker")),
         )

@@ -84,6 +84,23 @@ def run_fig08_battery_policies(params: Dict[str, Any]) -> Dict[str, Any]:
 
 
 @register(
+    "fig05_multitenancy",
+    description=(
+        "Figure 5: ML training (W&S 2x) and BLAST (W&S 3x) sharing one "
+        "ecovisor, each suspending and scaling against its own carbon "
+        "threshold on the same physical cluster (paper Section 5.1.3)."
+    ),
+    defaults={"seed": 2023, "days": 2},
+    tags=("figure",),
+)
+def run_fig05_multitenancy(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One multi-tenant run; see ``run_multitenancy_case``."""
+    from repro.analysis.figures_batch import run_multitenancy_case
+
+    return run_multitenancy_case(int(params["days"]), int(params["seed"]))
+
+
+@register(
     "fig10_solar_caps",
     description=(
         "Figure 10(c): static vs dynamic per-container power caps for a "
@@ -102,6 +119,32 @@ def run_fig10_solar_caps(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro.analysis.figures_solar import run_solar_cap_case
 
     return run_solar_cap_case(
+        float(params["solar_pct"]), str(params["policy"]), int(params["seed"])
+    )
+
+
+@register(
+    "fig11_stragglers",
+    description=(
+        "Figure 11: replica-based straggler mitigation under excess "
+        "solar (100-200% of the job's maximum draw) — replicas enabled "
+        "vs disabled at each solar percentage (paper Section 5.4)."
+    ),
+    defaults={"seed": 2023},
+    sweep={
+        "solar_pct": (
+            100.0, 110.0, 120.0, 130.0, 140.0, 150.0,
+            160.0, 170.0, 180.0, 190.0, 200.0,
+        ),
+        "policy": ("no-replicas", "replicas"),
+    },
+    tags=("figure",),
+)
+def run_fig11_stragglers(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One (solar %, replica policy) run; see ``run_straggler_case``."""
+    from repro.analysis.figures_solar import run_straggler_case
+
+    return run_straggler_case(
         float(params["solar_pct"]), str(params["policy"]), int(params["seed"])
     )
 
@@ -232,6 +275,44 @@ def run_ablation_battery(params: Dict[str, Any]) -> Dict[str, Any]:
         "solar_wh": float(account.solar_wh),
         "curtailed_wh": float(account.curtailed_wh),
     }
+
+
+@register(
+    "extension_market",
+    description=(
+        "Extension (market layer): carbon-vs-cost Pareto frontier. "
+        "Sweeps electricity-price regimes (flat tariff, time-of-use, "
+        "CAISO-like real-time) x wait-and-scale policies (carbon "
+        "threshold, price threshold, blended carbon+cost) x the "
+        "trade-off knob lambda; every run bills grid energy at the "
+        "tick price through the settlement path."
+    ),
+    defaults={
+        "seed": 2023,
+        "days": 2,
+        "work_units": 24000.0,
+        "percentile": 35.0,
+    },
+    sweep={
+        "regime": ("flat", "tou", "realtime"),
+        "policy": ("carbon-threshold", "price-threshold", "carbon-cost"),
+        "lam": (0.0, 0.5, 1.0),
+    },
+    tags=("extension", "market"),
+)
+def run_extension_market(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One (regime, policy, lambda) run; see ``run_market_case``."""
+    from repro.analysis.figures_market import run_market_case
+
+    return run_market_case(
+        str(params["regime"]),
+        str(params["policy"]),
+        float(params["lam"]),
+        seed=int(params["seed"]),
+        days=int(params["days"]),
+        work_units=float(params["work_units"]),
+        percentile=float(params["percentile"]),
+    )
 
 
 @register(

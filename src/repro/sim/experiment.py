@@ -32,6 +32,7 @@ from repro.core.config import (
     ClusterConfig,
     EcovisorConfig,
     GridConfig,
+    PriceServiceConfig,
     ServerConfig,
     ShareConfig,
     SolarConfig,
@@ -41,6 +42,8 @@ from repro.energy.battery import Battery
 from repro.energy.grid import GridConnection
 from repro.energy.solar import SolarArrayEmulator, SolarTrace
 from repro.energy.system import PhysicalEnergySystem
+from repro.market.prices import PriceTrace
+from repro.market.service import PriceSignal
 from repro.policies.base import Policy
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import BatchRunResult
@@ -59,6 +62,7 @@ class Environment:
     carbon_service: CarbonIntensityService
     plant: PhysicalEnergySystem
     platform: ContainerOrchestrationPlatform
+    price_signal: Optional[PriceSignal] = None
 
 
 def grid_environment(
@@ -68,12 +72,18 @@ def grid_environment(
     seed: int = 2023,
     cluster: ClusterConfig = DEFAULT_CLUSTER,
     tick_interval_s: float = 60.0,
+    price_trace: Optional[PriceTrace] = None,
 ) -> Environment:
-    """Grid-only plant with a carbon-intensity trace (Sections 5.1-5.2)."""
+    """Grid-only plant with a carbon-intensity trace (Sections 5.1-5.2).
+
+    Passing ``price_trace`` attaches the market layer: grid energy is
+    billed at the trace's price each tick and the price signal becomes
+    visible through the API/REST surface.
+    """
     if trace is None:
         trace = make_region_trace(region, days=days, seed=seed)
     plant = PhysicalEnergySystem(grid=GridConnection(GridConfig()))
-    return _wire(plant, trace, cluster, tick_interval_s)
+    return _wire(plant, trace, cluster, tick_interval_s, price_trace)
 
 
 def solar_battery_environment(
@@ -89,6 +99,7 @@ def solar_battery_environment(
     tick_interval_s: float = 60.0,
     battery_initial_soc: float = 0.50,
     cloudiness: float = 0.35,
+    price_trace: Optional[PriceTrace] = None,
 ) -> Environment:
     """Solar + battery plant (Sections 5.3-5.4); grid optional."""
     if trace is None:
@@ -105,7 +116,7 @@ def solar_battery_environment(
     )
     grid = GridConnection(GridConfig()) if with_grid else None
     plant = PhysicalEnergySystem(grid=grid, battery=battery, solar=solar)
-    return _wire(plant, trace, cluster, tick_interval_s)
+    return _wire(plant, trace, cluster, tick_interval_s, price_trace)
 
 
 def _wire(
@@ -113,9 +124,15 @@ def _wire(
     trace: CarbonTrace,
     cluster: ClusterConfig,
     tick_interval_s: float,
+    price_trace: Optional[PriceTrace] = None,
 ) -> Environment:
     carbon_service = CarbonIntensityService(
         CarbonServiceConfig(region=trace.region), trace=trace
+    )
+    price_signal = (
+        PriceSignal(PriceServiceConfig(regime=price_trace.regime), trace=price_trace)
+        if price_trace is not None
+        else None
     )
     platform = ContainerOrchestrationPlatform(cluster)
     ecovisor = Ecovisor(
@@ -123,6 +140,7 @@ def _wire(
         platform,
         carbon_service,
         EcovisorConfig(tick_interval_s=tick_interval_s),
+        price_signal=price_signal,
     )
     engine = SimulationEngine(ecovisor, SimulationClock(tick_interval_s))
     return Environment(
@@ -131,6 +149,7 @@ def _wire(
         carbon_service=carbon_service,
         plant=plant,
         platform=platform,
+        price_signal=price_signal,
     )
 
 

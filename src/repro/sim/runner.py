@@ -27,13 +27,18 @@ Guarantees:
 from __future__ import annotations
 
 import concurrent.futures
+import csv
 import json
 import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.sim.scenarios import ScenarioSpec, expand, get
+
+#: Provenance columns leading every written table, in this order.
+_PROVENANCE_COLUMNS = ("scenario", "index", "config_hash", "status", "error")
 
 #: Environment variable consulted by :func:`default_jobs`.
 JOBS_ENV_VAR = "REPRO_SWEEP_JOBS"
@@ -116,6 +121,33 @@ class SweepResult:
     def rows_ok(self) -> List[Dict[str, Any]]:
         """The table restricted to successful rows."""
         return [row for row in self.table() if row["status"] == "ok"]
+
+    def write(self, path: str | Path) -> Path:
+        """Persist :meth:`table` to ``path``; the extension picks the format.
+
+        ``.csv`` writes a CSV whose columns are the provenance columns
+        followed by the sorted union of parameter/metric names across all
+        rows (failed rows leave their metric cells empty); anything else
+        writes the canonical JSON of :meth:`metrics_json`.  Both formats
+        are deterministic — byte-identical between serial and parallel
+        executions of the same specs — so CI can diff or cache artifacts.
+        Returns the written path.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        rows = self.table()
+        if path.suffix.lower() == ".csv":
+            extras = sorted(
+                {key for row in rows for key in row} - set(_PROVENANCE_COLUMNS)
+            )
+            columns = [*_PROVENANCE_COLUMNS, *extras]
+            with path.open("w", newline="") as handle:
+                writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+                writer.writeheader()
+                writer.writerows(rows)
+        else:
+            path.write_text(self.metrics_json() + "\n")
+        return path
 
     def total_wall_time_s(self) -> float:
         """Sum of per-run wall times (CPU cost, not elapsed sweep time)."""

@@ -14,7 +14,9 @@ Series naming scheme (stable, used by benches and analysis):
 - ``app.<name>.power_w``        — summed container power
 - ``app.<name>.carbon_rate_mg_s``
 - ``app.<name>.containers``     — running container count
+- ``app.<name>.cost_usd``       — per-tick grid cost (market layer)
 - ``grid.carbon_g_per_kwh``
+- ``grid.price_usd_per_kwh``    — electricity price (market layer)
 - ``plant.solar_w``, ``plant.battery_level_wh``, ``plant.grid_power_w``
 - ``cluster.power_w``           — all containers + platform baseline
 """
@@ -72,6 +74,9 @@ class PowerMonitor:
 
     def record_carbon_intensity(self, time_s: float, intensity: float) -> None:
         self._db.record("grid.carbon_g_per_kwh", time_s, intensity)
+
+    def record_grid_price(self, time_s: float, price_usd_per_kwh: float) -> None:
+        self._db.record("grid.price_usd_per_kwh", time_s, price_usd_per_kwh)
 
     def record_plant(
         self,

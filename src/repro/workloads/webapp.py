@@ -17,7 +17,6 @@ the ecovisor's time-series database under ``app.<name>.*``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.clock import TickInfo
 from repro.workloads.base import Application

@@ -22,6 +22,8 @@ from repro.energy.battery import Battery
 from repro.energy.grid import GridConnection
 from repro.energy.solar import ConstantSolarTrace, SolarArrayEmulator
 from repro.energy.system import PhysicalEnergySystem
+from repro.market.prices import PriceTrace
+from repro.market.service import PriceSignal
 from repro.sim.engine import SimulationEngine
 
 TICK_S = 60.0
@@ -60,8 +62,14 @@ def make_ecovisor(
     num_servers: int = 4,
     with_battery: bool = True,
     with_solar: bool = True,
+    price_trace: PriceTrace | None = None,
 ) -> Ecovisor:
-    """An ecovisor over constant solar/carbon, convenient for unit tests."""
+    """An ecovisor over constant solar/carbon, convenient for unit tests.
+
+    Passing ``price_trace`` attaches the market layer (a
+    :class:`PriceSignal` over the trace); otherwise the ecovisor runs
+    cost-free, as before the market subsystem existed.
+    """
     solar = (
         SolarArrayEmulator(
             SolarConfig(
@@ -85,7 +93,10 @@ def make_ecovisor(
     platform = ContainerOrchestrationPlatform(
         ClusterConfig(num_servers=num_servers, server=ServerConfig())
     )
-    return Ecovisor(plant, platform, carbon, EcovisorConfig())
+    price_signal = PriceSignal(trace=price_trace) if price_trace is not None else None
+    return Ecovisor(
+        plant, platform, carbon, EcovisorConfig(), price_signal=price_signal
+    )
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import AppEnergyLibrary
-from repro.core.api import connect
 from repro.policies import WaitAndScalePolicy
 from repro.sim import UNLIMITED_GRID_SHARE, grid_environment
 from repro.sim.experiment import carbon_threshold

@@ -1,7 +1,6 @@
 """Property-based tests of the M/M/c latency model."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import assume, given, settings
 
 from repro.workloads.latency import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import BatteryConfig
 from repro.energy.battery import Battery
 
 HOUR = 3600.0

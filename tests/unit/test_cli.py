@@ -119,6 +119,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.count("solar  50%") == 1
 
+    def test_sweep_out_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "table.json"
+        assert main(
+            ["sweep", "smoke", "--param", "ticks=15", "--out", str(out)]
+        ) == 0
+        assert f"wrote results table to {out}" in capsys.readouterr().out
+        import json
+
+        rows = json.loads(out.read_text())
+        assert len(rows) == 2
+        assert rows[0]["scenario"] == "smoke"
+        assert rows[0]["status"] == "ok"
+        assert "config_hash" in rows[0]
+
+    def test_sweep_out_writes_csv_by_extension(self, capsys, tmp_path):
+        out = tmp_path / "table.csv"
+        assert main(
+            ["sweep", "smoke", "--param", "ticks=15", "--out", str(out)]
+        ) == 0
+        import csv
+
+        with out.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["scenario"] == "smoke"
+        assert {"config_hash", "status", "workers"} <= set(rows[0])
+
+    def test_sweep_out_serial_and_parallel_identical(self, tmp_path):
+        serial, parallel = tmp_path / "s.json", tmp_path / "p.json"
+        assert main(["sweep", "smoke", "--param", "ticks=15",
+                     "--out", str(serial)]) == 0
+        assert main(["sweep", "smoke", "--jobs", "2", "--param", "ticks=15",
+                     "--out", str(parallel)]) == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
     def test_sweep_unknown_scenario_exits_cleanly(self, capsys):
         with pytest.raises(SystemExit):
             main(["sweep", "no-such-scenario"])

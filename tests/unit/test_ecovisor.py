@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import BatteryConfig, ShareConfig
+from repro.core.config import ShareConfig
 from repro.core.errors import AuthorizationError, ConfigurationError
 from repro.core.events import (
     BatteryEmptyEvent,

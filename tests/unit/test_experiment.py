@@ -3,7 +3,6 @@
 import pytest
 
 from repro.carbon.traces import constant_trace, make_region_trace
-from repro.core.config import ClusterConfig
 from repro.policies import CarbonAgnosticPolicy
 from repro.sim.experiment import (
     arrival_offsets,

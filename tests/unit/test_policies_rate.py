@@ -3,7 +3,7 @@
 import pytest
 
 from repro.carbon.service import CarbonIntensityService
-from repro.carbon.traces import CarbonTrace, constant_trace
+from repro.carbon.traces import CarbonTrace
 from repro.core.clock import SimulationClock
 from repro.core.config import CarbonServiceConfig, ShareConfig
 from repro.policies import CarbonRateLimitPolicy, DynamicCarbonBudgetPolicy
@@ -52,7 +52,7 @@ class TestRateLimit:
         )
         policy = CarbonRateLimitPolicy(0.3, WORKER_W, max_workers=20)
         run(eco, app, policy, 10)
-        busy_equivalent = 0.3  # mg/s at 200 g/kWh funds ~4.3 busy workers
+        # 0.3 mg/s at 200 g/kWh funds ~4.3 busy-equivalent workers.
         assert policy.current_worker_count() > 5
 
     def test_validation(self):

@@ -1,0 +1,149 @@
+"""Electricity-price traces and the price signal service."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecast import OracleForecaster, PersistenceForecaster
+from repro.core.config import PriceServiceConfig
+from repro.core.errors import TraceError
+from repro.market.prices import (
+    DEFAULT_TOU_SCHEDULE,
+    PriceTrace,
+    TouSchedule,
+    constant_price_trace,
+    flat_price_trace,
+    make_price_trace,
+    realtime_price_trace,
+    tou_price_trace,
+)
+from repro.market.service import PriceSignal
+
+HOUR = 3600.0
+
+
+class TestPriceTrace:
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(TraceError):
+            PriceTrace([])
+        with pytest.raises(TraceError):
+            PriceTrace([0.1, -0.2])
+
+    def test_price_at_clamps_past_end(self):
+        trace = constant_price_trace(0.25, days=1)
+        assert trace.price_at(10 * 86400.0) == pytest.approx(0.25)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            constant_price_trace(0.25).price_at(-1.0)
+
+    def test_percentile_and_mean(self):
+        trace = PriceTrace([0.1, 0.2, 0.3, 0.4])
+        assert trace.mean() == pytest.approx(0.25)
+        assert trace.percentile(0.0) == pytest.approx(0.1)
+        assert trace.percentile(100.0) == pytest.approx(0.4)
+
+    def test_rolled_shifts_origin(self):
+        trace = PriceTrace([0.1, 0.2, 0.3, 0.4])
+        rolled = trace.rolled(600.0)  # two 5-minute samples
+        assert rolled.price_at(0.0) == pytest.approx(0.3)
+        assert rolled.regime == trace.regime
+
+    def test_samples_are_read_only(self):
+        trace = constant_price_trace(0.25)
+        with pytest.raises(ValueError):
+            trace.samples[0] = 1.0
+
+
+class TestRegimes:
+    def test_flat_is_constant(self):
+        trace = flat_price_trace(0.30, days=2)
+        assert float(trace.samples.min()) == float(trace.samples.max()) == 0.30
+        assert trace.regime == "flat"
+
+    def test_tou_orders_periods(self):
+        trace = tou_price_trace(days=1)
+        s = DEFAULT_TOU_SCHEDULE
+        assert trace.price_at(3 * HOUR) == pytest.approx(s.off_peak_usd_per_kwh)
+        assert trace.price_at(12 * HOUR) == pytest.approx(s.mid_peak_usd_per_kwh)
+        assert trace.price_at(18 * HOUR) == pytest.approx(s.on_peak_usd_per_kwh)
+
+    def test_tou_boundary_samples(self):
+        """The 16:00 on-peak edge: 15:55 is mid-peak, 16:00 on-peak."""
+        trace = tou_price_trace(days=1)
+        s = DEFAULT_TOU_SCHEDULE
+        assert trace.price_at(16 * HOUR - 300.0) == pytest.approx(
+            s.mid_peak_usd_per_kwh
+        )
+        assert trace.price_at(16 * HOUR) == pytest.approx(s.on_peak_usd_per_kwh)
+        # 21:00 drops back to mid-peak; 22:00 to off-peak (wraps midnight).
+        assert trace.price_at(21 * HOUR) == pytest.approx(s.mid_peak_usd_per_kwh)
+        assert trace.price_at(22 * HOUR) == pytest.approx(s.off_peak_usd_per_kwh)
+        assert trace.price_at(0.0) == pytest.approx(s.off_peak_usd_per_kwh)
+
+    def test_tou_schedule_validation(self):
+        with pytest.raises(TraceError):
+            TouSchedule(off_peak_usd_per_kwh=0.9).validate()  # order violated
+        with pytest.raises(TraceError):
+            TouSchedule(on_peak_start_hour=30.0).validate()
+
+    def test_realtime_shape(self):
+        """Evening ramp above the midday dip; prices stay non-negative."""
+        trace = realtime_price_trace(days=4, seed=2023)
+        assert float(trace.samples.min()) >= 0.0
+        samples = np.asarray(trace.samples)
+        hours = (np.arange(len(samples)) * 300.0 / HOUR) % 24.0
+        midday = samples[(hours >= 11) & (hours < 15)].mean()
+        evening = samples[(hours >= 18) & (hours < 21)].mean()
+        assert evening > midday
+
+    def test_realtime_deterministic(self):
+        a = realtime_price_trace(days=2, seed=7)
+        b = realtime_price_trace(days=2, seed=7)
+        c = realtime_price_trace(days=2, seed=8)
+        assert np.array_equal(a.samples, b.samples)
+        assert not np.array_equal(a.samples, c.samples)
+
+    def test_make_price_trace_dispatch(self):
+        for regime in ("flat", "tou", "realtime"):
+            assert make_price_trace(regime, days=1).regime == regime
+        with pytest.raises(TraceError):
+            make_price_trace("nope")
+
+
+class TestPriceSignal:
+    def test_quantizes_to_update_interval(self):
+        trace = PriceTrace([0.1, 0.2, 0.3, 0.4])
+        signal = PriceSignal(trace=trace)
+        # Within the first 5-minute interval every query sees sample 0.
+        assert signal.price_at(0.0) == pytest.approx(0.1)
+        assert signal.price_at(299.0) == pytest.approx(0.1)
+        assert signal.price_at(300.0) == pytest.approx(0.2)
+
+    def test_observe_builds_history(self):
+        signal = PriceSignal(trace=constant_price_trace(0.25))
+        signal.observe(0.0)
+        signal.observe(60.0)
+        signal.observe(60.0)  # duplicate timestamp not re-recorded
+        assert signal.history() == [(0.0, 0.25), (60.0, 0.25)]
+        assert signal.observed_percentile(50.0) == pytest.approx(0.25)
+
+    def test_builds_trace_from_config_regime(self):
+        signal = PriceSignal(PriceServiceConfig(regime="flat"), days=1)
+        assert signal.regime == "flat"
+
+    def test_threshold_percentile_reads_trace(self):
+        trace = PriceTrace([0.1, 0.2, 0.3, 0.4])
+        signal = PriceSignal(trace=trace)
+        assert signal.threshold_percentile(
+            100.0, 0.0, trace.duration_s
+        ) == pytest.approx(0.4)
+
+    def test_forecaster_compatibility(self):
+        """The carbon forecasters run unchanged against a price signal."""
+        trace = PriceTrace([0.1, 0.2, 0.3, 0.4])
+        signal = PriceSignal(trace=trace)
+        oracle = OracleForecaster(signal)
+        predicted = oracle.predict(0.0, 600.0)
+        assert list(predicted) == pytest.approx([0.2, 0.3])
+        persistence = PersistenceForecaster(signal)
+        assert list(persistence.predict(0.0, 600.0)) == pytest.approx([0.1, 0.1])

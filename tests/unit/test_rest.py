@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.config import ShareConfig
+from repro.market.prices import constant_price_trace
 from repro.rest.router import Router
 from repro.rest.server import EcovisorRestServer
 from tests.conftest import make_ecovisor, run_ticks
@@ -50,11 +51,45 @@ def server():
     return EcovisorRestServer(eco)
 
 
+@pytest.fixture
+def market_server():
+    """A server over an ecovisor with the market layer attached."""
+    eco = make_ecovisor(
+        solar_w=0.0,
+        carbon_g_per_kwh=250.0,
+        price_trace=constant_price_trace(0.55),
+    )
+    eco.register_app("a", ShareConfig())
+    container = eco.launch_container("a", 1)
+    run_ticks(eco, 3, lambda tick: container.set_demand_utilization(1.0))
+    return EcovisorRestServer(eco)
+
+
 class TestMonitoringRoutes:
     def test_carbon(self, server):
         response = server.request("GET", "/apps/a/carbon")
         assert response.ok
         assert response.body["carbon_g_per_kwh"] == pytest.approx(250.0)
+
+    def test_price(self, market_server):
+        response = market_server.request("GET", "/apps/a/price")
+        assert response.ok
+        assert response.body["price_usd_per_kwh"] == pytest.approx(0.55)
+
+    def test_price_without_market_is_zero(self, server):
+        response = server.request("GET", "/apps/a/price")
+        assert response.ok
+        assert response.body["price_usd_per_kwh"] == 0.0
+
+    def test_cost(self, market_server):
+        response = market_server.request("GET", "/apps/a/cost")
+        assert response.ok
+        assert response.body["cost_usd"] > 0.0
+
+    def test_cost_without_market_is_zero(self, server):
+        response = server.request("GET", "/apps/a/cost")
+        assert response.ok
+        assert response.body["cost_usd"] == 0.0
 
     def test_solar(self, server):
         response = server.request("GET", "/apps/a/solar")
@@ -105,6 +140,60 @@ class TestContainerRoutes:
         response = server.request("GET", f"/apps/a/containers/{cid}/power")
         assert response.ok
         assert response.body["power_w"] >= 0.0
+
+
+class TestErrorPaths:
+    """Failure responses: unknown routes, malformed bodies, bad names."""
+
+    def test_unknown_route_is_404(self, server):
+        response = server.request("GET", "/nope")
+        assert response.status == 404
+        assert "no route" in response.body["error"]
+
+    def test_unknown_method_on_known_path_is_404(self, server):
+        assert server.request("PATCH", "/apps/a/solar").status == 404
+
+    def test_unknown_app_on_every_monitoring_route(self, server):
+        for path in ("solar", "grid", "carbon", "price", "cost", "battery"):
+            response = server.request("GET", f"/apps/ghost/{path}")
+            assert response.status == 404, path
+            assert "ghost" in response.body["error"]
+
+    def test_unknown_container_is_404(self, server):
+        response = server.request("GET", "/apps/a/containers/nope/power")
+        assert response.status == 404
+        assert "nope" in response.body["error"]
+
+    def test_scale_with_missing_count_is_400(self, server):
+        response = server.request("POST", "/apps/a/scale", {})
+        assert response.status == 400
+        assert "count" in response.body["error"]
+
+    def test_scale_with_non_numeric_count_is_400(self, server):
+        response = server.request("POST", "/apps/a/scale", {"count": "lots"})
+        assert response.status == 400
+
+    def test_charge_rate_with_missing_watts_is_400(self, server):
+        response = server.request("POST", "/apps/a/battery/charge_rate", {})
+        assert response.status == 400
+        assert "watts" in response.body["error"]
+
+    def test_charge_rate_with_non_numeric_watts_is_400(self, server):
+        response = server.request(
+            "POST", "/apps/a/battery/charge_rate", {"watts": "fast"}
+        )
+        assert response.status == 400
+
+    def test_launch_with_non_numeric_cores_is_400(self, server):
+        response = server.request("POST", "/apps/a/containers", {"cores": None})
+        assert response.status == 400
+
+    def test_powercap_with_non_numeric_watts_is_400(self, server):
+        cid = server.request("POST", "/apps/a/containers", {"cores": 1}).body["id"]
+        response = server.request(
+            "POST", f"/apps/a/containers/{cid}/powercap", {"watts": "low"}
+        )
+        assert response.status == 400
 
 
 class TestBatteryRoutes:

@@ -1,6 +1,5 @@
 """Result records and summaries."""
 
-import math
 
 import pytest
 

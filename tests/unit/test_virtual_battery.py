@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import BatteryConfig
 from repro.core.virtual_battery import VirtualBattery, scaled_battery_config
 
 HOUR = 3600.0
