@@ -1,0 +1,283 @@
+"""API hot path: getter-storm vs per-tick EnergyState snapshot.
+
+Before API v1, every observer of an application's energy state — its
+policy, the telemetry sampler, a REST poller — re-issued the Table 1
+getters against live ecovisor state each tick: N apps x M observers x K
+getters of redundant traversal on the hottest path in every sweep.  v1
+computes one immutable :class:`~repro.core.state.EnergyState` per app
+per tick and shares it by reference.
+
+This benchmark drives the bare tick protocol over a 10-app scenario
+(grid + solar + battery + market, 3 loaded containers per app) with
+three observers per app, in three configurations:
+
+- ``baseline``  — no observers (the tick protocol itself);
+- ``getters``   — each observer issues the legacy getter storm through
+  APIs forced onto the live-read path (``use_snapshots=False``, the
+  pre-v1 behaviour);
+- ``snapshot``  — each observer reads fields of the shared per-tick
+  snapshot delivered to its ``(tick, state)`` upcall.
+
+The observation cost of a mode is its total time minus the baseline;
+the headline number is the getter/snapshot observation-cost ratio.
+Both non-baseline modes include the snapshot build (it always runs in
+v1), so the comparison is conservative for the snapshot path.
+
+Run standalone (the CI perf-smoke job):
+
+    PYTHONPATH=src python benchmarks/bench_api_hotpath.py \
+        --apps 10 --ticks 300 --out bench-api-hotpath.json
+
+or under pytest-benchmark:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_api_hotpath.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import constant_trace
+from repro.cluster.cop import ContainerOrchestrationPlatform
+from repro.core.api import EcovisorAPI, connect
+from repro.core.clock import SimulationClock
+from repro.core.config import (
+    BatteryConfig,
+    CarbonServiceConfig,
+    ClusterConfig,
+    EcovisorConfig,
+    ServerConfig,
+    ShareConfig,
+    SolarConfig,
+)
+from repro.core.ecovisor import Ecovisor
+from repro.energy.battery import Battery
+from repro.energy.grid import GridConnection
+from repro.energy.solar import ConstantSolarTrace, SolarArrayEmulator
+from repro.energy.system import PhysicalEnergySystem
+from repro.market.prices import constant_price_trace
+from repro.market.service import PriceSignal
+
+TICK_S = 60.0
+OBSERVERS_PER_APP = 3
+CONTAINERS_PER_APP = 3
+
+
+def build_ecovisor(num_apps: int) -> Ecovisor:
+    """A 10-app-class scenario: grid + solar + battery + market."""
+    plant = PhysicalEnergySystem(
+        grid=GridConnection(),
+        battery=Battery(BatteryConfig(capacity_wh=500.0)),
+        solar=SolarArrayEmulator(
+            SolarConfig(peak_power_w=200.0, scale=1.0),
+            ConstantSolarTrace(0.6),
+        ),
+    )
+    carbon = CarbonIntensityService(
+        CarbonServiceConfig(region="constant"),
+        trace=constant_trace(250.0, days=7),
+    )
+    platform = ContainerOrchestrationPlatform(
+        ClusterConfig(num_servers=4 * num_apps, server=ServerConfig())
+    )
+    ecovisor = Ecovisor(
+        plant,
+        platform,
+        carbon,
+        EcovisorConfig(tick_interval_s=TICK_S),
+        price_signal=PriceSignal(trace=constant_price_trace(0.30, days=7)),
+    )
+    fraction = 1.0 / num_apps
+    for index in range(num_apps):
+        name = f"app{index:02d}"
+        ecovisor.register_app(
+            name,
+            ShareConfig(
+                solar_fraction=fraction,
+                battery_fraction=fraction,
+                grid_power_w=float("inf"),
+            ),
+        )
+        for _ in range(CONTAINERS_PER_APP):
+            container = ecovisor.launch_container(name, cores=1)
+            container.set_demand_utilization(0.8)
+    return ecovisor
+
+
+def _getter_storm(api: EcovisorAPI, container_ids: List[str]) -> float:
+    """One observer's legacy polling pass: the full Table 1 read surface."""
+    total = api.get_solar_power()
+    total += api.get_grid_power()
+    total += api.get_grid_carbon()
+    total += api.get_grid_price()
+    total += api.get_energy_cost()
+    total += api.get_battery_charge_level()
+    total += api.get_battery_capacity()
+    total += api.get_battery_discharge_rate()
+    for container_id in container_ids:
+        total += api.get_container_power(container_id)
+    return total
+
+
+def _snapshot_read(state) -> float:
+    """One observer's snapshot pass: the same figures, one shared object."""
+    total = state.solar_power_w
+    total += state.grid_power_w
+    total += state.grid_carbon_g_per_kwh
+    total += state.grid_price_usd_per_kwh
+    total += state.total_cost_usd
+    total += state.battery_charge_level_wh
+    total += state.battery_capacity_wh
+    total += state.battery_discharge_rate_w
+    for power in state.container_power_w.values():
+        total += power
+    return total
+
+
+def run_mode(mode: str, num_apps: int, ticks: int) -> float:
+    """Run ``ticks`` of the tick protocol under one observer mode."""
+    ecovisor = build_ecovisor(num_apps)
+    sink: List[float] = [0.0]
+
+    def make_getter_observer(api: EcovisorAPI, ids: List[str]):
+        def observer(tick):
+            sink[0] += _getter_storm(api, ids)
+
+        return observer
+
+    for name in ecovisor.app_names():
+        container_ids = [c.id for c in ecovisor.containers_for(name)]
+        if mode == "getters":
+            # Live-read APIs: the pre-v1 behaviour under measurement.
+            api = connect(ecovisor, name, use_snapshots=False)
+            for _ in range(OBSERVERS_PER_APP):
+                ecovisor.register_tick_callback(
+                    name, make_getter_observer(api, container_ids)
+                )
+        elif mode == "snapshot":
+            for _ in range(OBSERVERS_PER_APP):
+
+                def observer(tick, state):
+                    sink[0] += _snapshot_read(state)
+
+                ecovisor.register_tick_callback(name, observer)
+        elif mode != "baseline":
+            raise ValueError(f"unknown mode {mode!r}")
+
+    clock = SimulationClock(TICK_S)
+    started = time.perf_counter()
+    for _ in range(ticks):
+        tick = clock.current_tick()
+        ecovisor.begin_tick(tick)
+        ecovisor.invoke_app_ticks(tick)
+        ecovisor.settle(tick)
+        clock.advance()
+    return time.perf_counter() - started
+
+
+def run_micro(num_apps: int, passes: int = 2000) -> Dict[str, float]:
+    """Per-observation cost, isolated: one storm vs one snapshot read."""
+    ecovisor = build_ecovisor(num_apps)
+    clock = SimulationClock(TICK_S)
+    for _ in range(2):  # settle so every field carries real values
+        tick = clock.current_tick()
+        ecovisor.begin_tick(tick)
+        ecovisor.invoke_app_ticks(tick)
+        ecovisor.settle(tick)
+        clock.advance()
+    name = ecovisor.app_names()[0]
+    live_api = connect(ecovisor, name, use_snapshots=False)
+    v1_api = connect(ecovisor, name)
+    container_ids = [c.id for c in ecovisor.containers_for(name)]
+
+    started = time.perf_counter()
+    for _ in range(passes):
+        _getter_storm(live_api, container_ids)
+    getter_us = (time.perf_counter() - started) / passes * 1e6
+
+    started = time.perf_counter()
+    for _ in range(passes):
+        _snapshot_read(v1_api.state())
+    snapshot_us = (time.perf_counter() - started) / passes * 1e6
+    return {
+        "micro_getter_us": getter_us,
+        "micro_snapshot_us": snapshot_us,
+        "observation_speedup": getter_us / snapshot_us,
+    }
+
+
+def run_benchmark(num_apps: int = 10, ticks: int = 300) -> Dict[str, float]:
+    baseline_s = run_mode("baseline", num_apps, ticks)
+    getters_s = run_mode("getters", num_apps, ticks)
+    snapshot_s = run_mode("snapshot", num_apps, ticks)
+    result = {
+        "apps": num_apps,
+        "ticks": ticks,
+        "observers_per_app": OBSERVERS_PER_APP,
+        "containers_per_app": CONTAINERS_PER_APP,
+        "baseline_s": baseline_s,
+        "getters_s": getters_s,
+        "snapshot_s": snapshot_s,
+        "getter_obs_us_per_tick": (getters_s - baseline_s) / ticks * 1e6,
+        "snapshot_obs_us_per_tick": (snapshot_s - baseline_s) / ticks * 1e6,
+        "total_speedup": getters_s / snapshot_s,
+    }
+    result.update(run_micro(num_apps))
+    return result
+
+
+def print_table(result: Dict[str, float]) -> None:
+    print(
+        f"\n=== API hot path: {result['apps']:.0f} apps x "
+        f"{result['observers_per_app']:.0f} observers x "
+        f"{result['ticks']:.0f} ticks ==="
+    )
+    print(f"{'mode':>10s} {'total':>10s} {'observation/tick':>18s}")
+    print(f"{'baseline':>10s} {result['baseline_s']:9.3f}s {'—':>18s}")
+    print(
+        f"{'getters':>10s} {result['getters_s']:9.3f}s "
+        f"{result['getter_obs_us_per_tick']:15.1f} us"
+    )
+    print(
+        f"{'snapshot':>10s} {result['snapshot_s']:9.3f}s "
+        f"{result['snapshot_obs_us_per_tick']:15.1f} us"
+    )
+    print(
+        f"one observation: getter storm {result['micro_getter_us']:.1f} us, "
+        f"snapshot read {result['micro_snapshot_us']:.1f} us "
+        f"({result['observation_speedup']:.1f}x)"
+    )
+    print(f"end-to-end tick loop speedup: {result['total_speedup']:.2f}x")
+
+
+def test_snapshot_beats_getter_storm(benchmark):
+    """The snapshot path must be measurably faster than the getter storm."""
+    result = benchmark.pedantic(
+        lambda: run_benchmark(num_apps=10, ticks=200), rounds=1, iterations=1
+    )
+    print_table(result)
+    benchmark.extra_info.update(result)
+    assert result["observation_speedup"] > 1.0
+    assert result["getters_s"] > result["snapshot_s"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", type=int, default=10)
+    parser.add_argument("--ticks", type=int, default=300)
+    parser.add_argument("--out", type=str, default=None, help="JSON output path")
+    args = parser.parse_args()
+    result = run_benchmark(num_apps=args.apps, ticks=args.ticks)
+    print_table(result)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

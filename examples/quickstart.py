@@ -55,8 +55,10 @@ def main() -> None:
     api.set_battery_charge_rate(0.0)  # never charge from the grid
 
     # 5. Register a tick() upcall that reacts to carbon-intensity.
-    def on_tick(tick):
-        if api.get_grid_carbon() > 250.0:
+    #    Two-parameter callbacks receive the tick's immutable EnergyState
+    #    snapshot (single-parameter callbacks still work).
+    def on_tick(tick, state):
+        if state.grid_carbon_g_per_kwh > 250.0:
             api.set_container_powercap(worker_a.id, 1.5)
         else:
             api.set_container_powercap(worker_a.id, None)
@@ -74,12 +76,13 @@ def main() -> None:
         ecovisor.settle(tick)
         clock.advance()
         if tick.index % 60 == 0:
+            state = api.state()  # one frozen observation per tick
             print(
                 f"t={tick.start_hours:5.1f}h  "
-                f"solar={api.get_solar_power():6.2f} W  "
-                f"grid={api.get_grid_power():6.2f} W  "
-                f"carbon={api.get_grid_carbon():6.1f} g/kWh  "
-                f"battery={api.get_battery_charge_level():6.1f} Wh"
+                f"solar={state.solar_power_w:6.2f} W  "
+                f"grid={state.grid_power_w:6.2f} W  "
+                f"carbon={state.grid_carbon_g_per_kwh:6.1f} g/kWh  "
+                f"battery={state.battery_charge_level_wh:6.1f} Wh"
             )
 
     account = ecovisor.ledger.account("demo")

@@ -46,37 +46,41 @@ def main() -> None:
     ecovisor.begin_tick(tick)
     ecovisor.settle(tick)
 
-    show("GET /apps/shop/carbon", server.request("GET", "/apps/shop/carbon"))
-    show("GET /apps/shop/solar", server.request("GET", "/apps/shop/solar"))
-    show("GET /apps/shop/battery", server.request("GET", "/apps/shop/battery"))
+    # The snapshot route: the whole Table 1 observation in one call.
+    show("GET /v1/apps/shop/state", server.request("GET", "/v1/apps/shop/state"))
+    show("GET /v1/apps/shop/carbon", server.request("GET", "/v1/apps/shop/carbon"))
+    show("GET /v1/apps/shop/solar", server.request("GET", "/v1/apps/shop/solar"))
+    show("GET /v1/apps/shop/battery", server.request("GET", "/v1/apps/shop/battery"))
 
     launched = server.request(
-        "POST", "/apps/shop/containers", {"cores": 2}
+        "POST", "/v1/apps/shop/containers", {"cores": 2}
     )
-    show("POST /apps/shop/containers", launched)
+    show("POST /v1/apps/shop/containers", launched)
     cid = launched.body["id"]
 
     show(
-        f"POST /apps/shop/containers/{cid}/powercap",
+        f"POST /v1/apps/shop/containers/{cid}/powercap",
         server.request(
-            "POST", f"/apps/shop/containers/{cid}/powercap", {"watts": 1.2}
+            "POST", f"/v1/apps/shop/containers/{cid}/powercap", {"watts": 1.2}
         ),
     )
     show(
-        f"GET /apps/shop/containers/{cid}/powercap",
-        server.request("GET", f"/apps/shop/containers/{cid}/powercap"),
+        f"GET /v1/apps/shop/containers/{cid}/powercap",
+        server.request("GET", f"/v1/apps/shop/containers/{cid}/powercap"),
     )
 
     # Authorization: 'batch' cannot touch 'shop' containers.
     show(
-        f"POST /apps/batch/containers/{cid}/powercap (403)",
+        f"POST /v1/apps/batch/containers/{cid}/powercap (403)",
         server.request(
-            "POST", f"/apps/batch/containers/{cid}/powercap", {"watts": 1.0}
+            "POST", f"/v1/apps/batch/containers/{cid}/powercap", {"watts": 1.0}
         ),
     )
     # Unknown application and unknown route map to 404.
-    show("GET /apps/ghost/solar (404)", server.request("GET", "/apps/ghost/solar"))
+    show("GET /v1/apps/ghost/solar (404)", server.request("GET", "/v1/apps/ghost/solar"))
     show("GET /nope (404)", server.request("GET", "/nope"))
+    # Legacy unversioned paths answer 301 with the /v1 Location.
+    show("GET /apps/shop/solar (301)", server.request("GET", "/apps/shop/solar"))
 
 
 if __name__ == "__main__":

@@ -38,6 +38,15 @@ _EXPORTS = {
     "SolarChangeEvent": "repro.core.events",
     "TickEvent": "repro.core.events",
     "AppEnergyLibrary": "repro.core.library",
+    "BatteryState": "repro.core.state",
+    "EnergyState": "repro.core.state",
+    "BatteryEmpty": "repro.core.signals",
+    "BatteryFull": "repro.core.signals",
+    "CarbonChange": "repro.core.signals",
+    "PriceChange": "repro.core.signals",
+    "SignalBus": "repro.core.signals",
+    "SolarChange": "repro.core.signals",
+    "Subscription": "repro.core.signals",
     "VirtualBattery": "repro.core.virtual_battery",
     "scaled_battery_config": "repro.core.virtual_battery",
     "VirtualEnergySystem": "repro.core.virtual_energy_system",

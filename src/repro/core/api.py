@@ -1,9 +1,22 @@
-"""The ecovisor's narrow application API (paper Table 1).
+"""The ecovisor's application API (paper Table 1, snapshot-first v1).
 
 Each application receives an :class:`EcovisorAPI` bound to its name; every
 call is authorization-checked so an application can only observe and
-control its *own* virtual energy system and containers.  Method names
-follow Table 1 exactly.
+control its *own* virtual energy system and containers.
+
+The v1 surface is snapshot-first:
+
+- :meth:`EcovisorAPI.state` returns the application's immutable per-tick
+  :class:`~repro.core.state.EnergyState` — **one** consistent observation
+  (solar, grid, carbon, price, battery, per-container power, cumulative
+  ledger figures) computed once per tick by the ecovisor and shared by
+  reference with every consumer.
+- :attr:`EcovisorAPI.signals` is the typed subscription bus
+  (``api.signals.on(CarbonChange, cb, threshold=..., debounce_s=...)``).
+- The Table 1 *setters* are unchanged.
+- The Table 1 *getters* remain as thin deprecated delegates onto the
+  snapshot so pre-v1 code keeps passing; before the first tick (no
+  snapshot yet) they fall back to the equivalent live reads.
 
 Units: the paper's table lists kW because it targets datacenter scale; the
 prototype cluster (like ours) operates at watt scale, so this API speaks
@@ -22,17 +35,28 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.cluster.container import Container
-from repro.core.clock import TickInfo
 from repro.core.ecovisor import Ecovisor
+from repro.core.signals import SignalBus
+from repro.core.state import EnergyState
 
 
 class EcovisorAPI:
-    """Per-application handle onto the ecovisor (Table 1)."""
+    """Per-application handle onto the ecovisor (Table 1 / API v1).
 
-    def __init__(self, ecovisor: Ecovisor, app_name: str):
+    ``use_snapshots=False`` forces every deprecated getter down the
+    legacy live-read path — the pre-v1 behaviour, kept addressable so
+    ``benchmarks/bench_api_hotpath.py`` can measure the getter-storm
+    cost against the snapshot path.
+    """
+
+    def __init__(
+        self, ecovisor: Ecovisor, app_name: str, use_snapshots: bool = True
+    ):
         self._ecovisor = ecovisor
         self._app_name = app_name
         self._ves = ecovisor.ves_for(app_name)
+        self._use_snapshots = use_snapshots
+        self._signals: Optional[SignalBus] = None
 
     @property
     def app_name(self) -> str:
@@ -42,6 +66,33 @@ class EcovisorAPI:
     def ecovisor(self) -> Ecovisor:
         """Escape hatch for library layers; applications use the API."""
         return self._ecovisor
+
+    # ------------------------------------------------------------------
+    # Snapshot observation (API v1)
+    # ------------------------------------------------------------------
+    def state(self) -> EnergyState:
+        """The application's immutable per-tick energy state snapshot.
+
+        During the tick upcall window the snapshot holds this tick's
+        environment signals and the previous settlement's battery/grid/
+        ledger figures; after settlement it holds the settled figures
+        (``state().settled`` is True).  Repeated calls within a phase
+        return the same instance.
+        """
+        return self._ecovisor.state_for(self._app_name)
+
+    @property
+    def signals(self) -> SignalBus:
+        """Typed signal subscriptions scoped to this application."""
+        if self._signals is None:
+            self._signals = SignalBus(self._ecovisor.events, self._app_name)
+        return self._signals
+
+    def _snapshot(self) -> Optional[EnergyState]:
+        """The stored tick snapshot, or None (pre-tick / live mode)."""
+        if not self._use_snapshots:
+            return None
+        return self._ecovisor.latest_state(self._app_name)
 
     # ------------------------------------------------------------------
     # Setters (Table 1)
@@ -61,65 +112,133 @@ class EcovisorAPI:
         self._require_battery().set_max_discharge(watts)
 
     # ------------------------------------------------------------------
-    # Getters (Table 1)
+    # Getters (Table 1) — deprecated delegates onto the snapshot
     # ------------------------------------------------------------------
     def get_solar_power(self) -> float:
-        """Current virtual solar power output (W)."""
+        """Current virtual solar power output (W).
+
+        .. deprecated:: v1  Use ``state().solar_power_w``.
+        """
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            return snapshot.solar_power_w
         return self._ves.solar_power_w
 
     def get_grid_power(self) -> float:
-        """Virtual grid power usage over the last settled tick (W)."""
+        """Virtual grid power usage over the last settled tick (W).
+
+        .. deprecated:: v1  Use ``state().grid_power_w``.
+        """
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            return snapshot.grid_power_w
         return self._ves.grid_power_w
 
     def get_grid_carbon(self) -> float:
-        """Current grid carbon-intensity (g CO2 / kWh)."""
+        """Current grid carbon-intensity (g CO2 / kWh).
+
+        .. deprecated:: v1  Use ``state().grid_carbon_g_per_kwh``.
+        """
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            return snapshot.grid_carbon_g_per_kwh
         return self._ecovisor.current_carbon_g_per_kwh
 
     def get_grid_price(self) -> float:
-        """Current grid electricity price ($/kWh; 0.0 without a market)."""
+        """Current grid electricity price ($/kWh; 0.0 without a market).
+
+        .. deprecated:: v1  Use ``state().grid_price_usd_per_kwh``.
+        """
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            return snapshot.grid_price_usd_per_kwh
         return self._ecovisor.current_price_usd_per_kwh
 
     def get_energy_cost(self) -> float:
-        """Cumulative grid cost ($) billed to this application."""
+        """Cumulative grid cost ($) billed to this application.
+
+        .. deprecated:: v1  Use ``state().total_cost_usd``.
+        """
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            return snapshot.total_cost_usd
         return self._ecovisor.ledger.app_cost_usd(self._app_name)
 
     def get_battery_discharge_rate(self) -> float:
-        """Battery discharge power over the last settled tick (W)."""
+        """Battery discharge power over the last settled tick (W).
+
+        .. deprecated:: v1  Use ``state().battery`` (None without a
+        battery share) or the zero-default
+        ``state().battery_discharge_rate_w``.
+        """
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            return snapshot.battery_discharge_rate_w
         if self._ves.battery is None:
             return 0.0
         return self._ves.battery.last_discharge_w
 
     def get_battery_charge_level(self) -> float:
-        """Usable energy stored in the virtual battery (Wh)."""
+        """Usable energy stored in the virtual battery (Wh).
+
+        .. deprecated:: v1  Use ``state().battery`` (None without a
+        battery share) or the zero-default
+        ``state().battery_charge_level_wh``.
+        """
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            return snapshot.battery_charge_level_wh
         if self._ves.battery is None:
             return 0.0
         return self._ves.battery.usable_wh
 
     def get_battery_capacity(self) -> float:
-        """Usable capacity of the virtual battery (Wh)."""
+        """Usable capacity of the virtual battery (Wh).
+
+        .. deprecated:: v1  Use ``state().battery`` (None without a
+        battery share) or the zero-default
+        ``state().battery_capacity_wh``.
+        """
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            return snapshot.battery_capacity_wh
         if self._ves.battery is None:
             return 0.0
         return self._ves.battery.usable_capacity_wh
 
     def get_container_powercap(self, container_id: str) -> Optional[float]:
-        """A container's current power cap (W); None when uncapped."""
+        """A container's current power cap (W); None when uncapped.
+
+        A knob read (not a measurement): always served live so caps set
+        moments earlier are immediately visible.
+        """
         container = self._owned(container_id)
         return container.power_cap_w
 
     def get_container_power(self, container_id: str) -> float:
-        """A container's most recent measured power draw (W)."""
+        """A container's most recent measured power draw (W).
+
+        .. deprecated:: v1  Use ``state().container_power_w[cid]``.
+        Containers launched after the tick's snapshot was built fall
+        back to a live measurement.
+        """
         self._owned(container_id)
+        snapshot = self._snapshot()
+        if snapshot is not None and container_id in snapshot.container_power_w:
+            return snapshot.container_power_w[container_id]
         return self._ecovisor.platform.container_power_w(container_id)
 
     # ------------------------------------------------------------------
     # Asynchronous notification (Table 1)
     # ------------------------------------------------------------------
-    def register_tick(self, callback: Callable[[TickInfo], None]) -> None:
+    def register_tick(self, callback: Callable[..., None]) -> None:
         """Register the application's ``tick()`` upcall.
 
         The ecovisor invokes the callback once per tick interval, before
         the interval's energy is settled, so adjustments made inside the
-        callback govern the upcoming interval.
+        callback govern the upcoming interval.  Callbacks accepting two
+        positional parameters receive ``(tick, state)``; single-parameter
+        callbacks keep the legacy ``(tick)`` shape.
         """
         self._ecovisor.register_tick_callback(self._app_name, callback)
 
@@ -162,7 +281,7 @@ class EcovisorAPI:
     # Internals
     # ------------------------------------------------------------------
     def _owned(self, container_id: str) -> Container:
-        return self._ecovisor._owned_container(self._app_name, container_id)
+        return self._ecovisor.owned_container(self._app_name, container_id)
 
     def _require_battery(self):
         battery = self._ves.battery
@@ -178,6 +297,8 @@ class EcovisorAPI:
         return f"EcovisorAPI(app={self._app_name!r})"
 
 
-def connect(ecovisor: Ecovisor, app_name: str) -> EcovisorAPI:
+def connect(
+    ecovisor: Ecovisor, app_name: str, use_snapshots: bool = True
+) -> EcovisorAPI:
     """Obtain the API handle for a registered application."""
-    return EcovisorAPI(ecovisor, app_name)
+    return EcovisorAPI(ecovisor, app_name, use_snapshots=use_snapshots)

@@ -19,20 +19,32 @@ hold by construction.
 Tick protocol (driven by :class:`~repro.sim.engine.SimulationEngine`):
 
 1. :meth:`begin_tick` — sample solar and carbon, refresh each app's
-   virtual solar (with the one-tick solar buffer of Section 3.1), publish
-   change events.
+   virtual solar (with the one-tick solar buffer of Section 3.1), build
+   each app's immutable :class:`~repro.core.state.EnergyState` snapshot,
+   then publish change events (so event subscribers observe the fresh
+   snapshot).
 2. :meth:`invoke_app_ticks` — deliver the ``tick()`` upcall to every
-   registered application callback.
+   registered application callback.  Two-parameter callbacks receive
+   ``(tick, state)`` — the snapshot built in step 1; one-parameter
+   callbacks keep the legacy ``(tick)`` shape (arity is inspected at
+   registration).
 3. (the engine steps workloads, which set container utilization demands)
 4. :meth:`settle` — measure per-app power, settle each virtual energy
-   system, attribute carbon to apps and containers, persist telemetry,
-   publish battery full/empty events.
+   system, attribute carbon to apps and containers, finalize each app's
+   snapshot with the settled figures, persist telemetry from the
+   snapshot, publish battery full/empty events.
+
+Each application's snapshot is *built* exactly once per tick (the
+``state_builds`` counter) and *finalized* in place by settlement — every
+consumer (policies, library, REST, telemetry) shares it by reference
+instead of re-polling live getters.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.carbon.service import CarbonIntensityService
 from repro.cluster.container import Container
@@ -49,11 +61,13 @@ from repro.core.events import (
     BatteryEmptyEvent,
     BatteryFullEvent,
     CarbonChangeEvent,
+    Event,
     EventBus,
     PriceChangeEvent,
     SolarChangeEvent,
     TickEvent,
 )
+from repro.core.state import BatteryState, EnergyState
 from repro.core.virtual_battery import VirtualBattery
 from repro.core.virtual_energy_system import VirtualEnergySystem
 from repro.energy.system import PhysicalEnergySystem
@@ -61,7 +75,31 @@ from repro.market.service import PriceSignal
 from repro.telemetry.monitor import PowerMonitor
 from repro.telemetry.timeseries import TimeSeriesDatabase
 
-TickCallback = Callable[[TickInfo], None]
+TickCallback = Callable[..., None]
+
+
+def _callback_arity(callback: TickCallback) -> int:
+    """1 for legacy ``cb(tick)`` callbacks, 2 for ``cb(tick, state)``.
+
+    The back-compat shim of the v1 API: arity is inspected once at
+    registration, so both shapes coexist on the same bus.  Callables
+    whose signature cannot be inspected (builtins like ``list.append``)
+    default to the legacy single-argument shape.
+    """
+    try:
+        signature = inspect.signature(callback)
+    except (TypeError, ValueError):
+        return 1
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind == parameter.VAR_POSITIONAL:
+            return 2
+        if parameter.kind in (
+            parameter.POSITIONAL_ONLY,
+            parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return 2 if positional >= 2 else 1
 
 
 @dataclass
@@ -70,10 +108,11 @@ class _RegisteredApp:
 
     name: str
     ves: VirtualEnergySystem
-    tick_callbacks: List[TickCallback] = field(default_factory=list)
+    tick_callbacks: List[Tuple[TickCallback, int]] = field(default_factory=list)
     previous_solar_w: float = 0.0
     battery_was_full: bool = False
     battery_was_empty: bool = False
+    state: Optional[EnergyState] = None
 
 
 class Ecovisor:
@@ -110,6 +149,10 @@ class Ecovisor:
         self._price_sampled = False
         self._physical_solar_now_w = 0.0
         self._buffered_solar_w: Optional[float] = None
+        self._current_tick_index = 0
+        self._current_tick_duration_s = self._config.tick_interval_s
+        self._carbon_sample_time_s = 0.0
+        self._state_builds = 0
 
     # ------------------------------------------------------------------
     # Wiring and registration
@@ -150,6 +193,17 @@ class Ecovisor:
     @property
     def events(self) -> EventBus:
         return self._bus
+
+    @property
+    def state_builds(self) -> int:
+        """How many per-tick :class:`EnergyState` snapshots have been built.
+
+        Exactly ``ticks x apps`` over an engine run: settlement
+        finalizes the existing snapshot instead of building a new one,
+        and on-demand bootstrap snapshots (pre-first-tick ``state()``
+        reads) are not counted.
+        """
+        return self._state_builds
 
     def app_names(self) -> List[str]:
         return sorted(self._apps)
@@ -202,19 +256,110 @@ class Ecovisor:
         return self._app(name).ves
 
     def register_tick_callback(self, name: str, callback: TickCallback) -> None:
-        """Register an application's ``tick()`` upcall (Table 1)."""
-        self._app(name).tick_callbacks.append(callback)
+        """Register an application's ``tick()`` upcall (Table 1).
+
+        Callbacks accepting two positional parameters receive
+        ``(tick, state)`` where ``state`` is the tick's
+        :class:`EnergyState` snapshot; single-parameter callbacks keep
+        the legacy ``(tick)`` shape.
+        """
+        self._app(name).tick_callbacks.append((callback, _callback_arity(callback)))
+
+    # ------------------------------------------------------------------
+    # Snapshot access
+    # ------------------------------------------------------------------
+    def state_for(self, name: str) -> EnergyState:
+        """The application's current per-tick snapshot.
+
+        Before the first tick a bootstrap snapshot is built on demand
+        (and not cached, so pre-run container launches and demand
+        changes stay visible to the legacy live-read fallbacks).
+        """
+        app = self._app(name)
+        if app.state is None:
+            return self._build_state(app, bootstrap=True)
+        return app.state
+
+    def latest_state(self, name: str) -> Optional[EnergyState]:
+        """The stored tick snapshot, or None before the first tick.
+
+        The deprecated getters use this to decide between snapshot
+        delegation and the legacy live-read fallback.
+        """
+        return self._app(name).state
+
+    def _battery_state(self, ves: VirtualEnergySystem) -> Optional[BatteryState]:
+        battery = ves.battery
+        if battery is None:
+            return None
+        return BatteryState(
+            charge_level_wh=battery.usable_wh,
+            capacity_wh=battery.usable_capacity_wh,
+            soc_fraction=battery.soc_fraction,
+            discharge_rate_w=battery.last_discharge_w,
+            charge_rate_w=battery.last_charge_w,
+            max_discharge_w=battery.max_discharge_w,
+            charge_target_w=battery.charge_rate_w,
+            is_full=battery.is_full,
+            is_empty=battery.is_empty,
+        )
+
+    def _container_powers(self, name: str) -> Dict[str, float]:
+        return {
+            container.id: self._platform.container_power_w(container.id)
+            for container in self._platform.running_containers_for(name)
+        }
+
+    def _build_state(
+        self, app: _RegisteredApp, bootstrap: bool = False
+    ) -> EnergyState:
+        """Build one app's snapshot (counted: once per app per tick).
+
+        Bootstrap builds (pre-first-tick, uncached) stay out of the
+        counter so the ``ticks x apps`` invariant holds regardless of
+        how often ``state()`` is read before the run starts.
+        """
+        if not bootstrap:
+            self._state_builds += 1
+        account = self._ledger.account(app.name)
+        return EnergyState(
+            app_name=app.name,
+            tick_index=self._current_tick_index,
+            time_s=self._carbon_sample_time_s,
+            duration_s=self._current_tick_duration_s,
+            solar_power_w=app.ves.solar_power_w,
+            grid_carbon_g_per_kwh=self._current_carbon,
+            grid_price_usd_per_kwh=self._current_price,
+            has_market=self._price_signal is not None,
+            grid_power_w=app.ves.grid_power_w,
+            battery=self._battery_state(app.ves),
+            container_power_w=self._container_powers(app.name),
+            total_energy_wh=account.energy_wh,
+            total_carbon_g=account.carbon_g,
+            total_cost_usd=account.cost_usd,
+            settled=False,
+        )
 
     # ------------------------------------------------------------------
     # Privileged container operations (ownership-checked)
     # ------------------------------------------------------------------
-    def _owned_container(self, app_name: str, container_id: str) -> Container:
+    def owned_container(self, app_name: str, container_id: str) -> Container:
+        """The container, after checking ``app_name`` owns it.
+
+        The single ownership gate used by the in-process API, the
+        library layer, and the REST surface; raises
+        :class:`AuthorizationError` on cross-application access.
+        """
         container = self._platform.get_container(container_id)
         if container.app_name != app_name:
             raise AuthorizationError(
                 f"application {app_name!r} does not own container {container_id!r}"
             )
         return container
+
+    def _owned_container(self, app_name: str, container_id: str) -> Container:
+        """Deprecated alias of :meth:`owned_container`."""
+        return self.owned_container(app_name, container_id)
 
     def launch_container(
         self,
@@ -227,7 +372,7 @@ class Ecovisor:
         return self._platform.launch_container(app_name, cores, gpu=gpu, role=role)
 
     def stop_container(self, app_name: str, container_id: str) -> None:
-        self._owned_container(app_name, container_id)
+        self.owned_container(app_name, container_id)
         self._platform.stop_container(container_id)
 
     def scale_app_to(
@@ -244,13 +389,13 @@ class Ecovisor:
     def set_container_cores(
         self, app_name: str, container_id: str, cores: float
     ) -> None:
-        self._owned_container(app_name, container_id)
+        self.owned_container(app_name, container_id)
         self._platform.set_container_cores(container_id, cores)
 
     def set_container_powercap(
         self, app_name: str, container_id: str, cap_w: Optional[float]
     ) -> None:
-        self._owned_container(app_name, container_id)
+        self.owned_container(app_name, container_id)
         self._platform.set_power_cap(container_id, cap_w)
 
     def containers_for(self, app_name: str) -> List[Container]:
@@ -260,8 +405,10 @@ class Ecovisor:
     # Tick phases
     # ------------------------------------------------------------------
     def begin_tick(self, tick: TickInfo) -> None:
-        """Sample the environment, refresh virtual views, publish events."""
+        """Sample the environment, refresh views, build snapshots, publish."""
         time_s = tick.start_s
+        self._current_tick_index = tick.index
+        self._current_tick_duration_s = tick.duration_s
         physical_solar = self._plant.solar_power_w(time_s)
         if not self._config.solar_buffer_enabled or self._buffered_solar_w is None:
             # Buffer disabled (ablation), or first tick where no buffered
@@ -275,6 +422,11 @@ class Ecovisor:
         self._buffered_solar_w = physical_solar
         self._physical_solar_now_w = visible_solar
 
+        # Events are collected while sampling and published only after
+        # every app's snapshot is built, so a subscriber reading
+        # ``state()`` inside its callback observes this tick's view.
+        pending_events: List[Event] = []
+
         self._previous_carbon = self._current_carbon or None
         self._current_carbon = self._carbon_service.observe(time_s)
         self._monitor.record_carbon_intensity(time_s, self._current_carbon)
@@ -284,7 +436,7 @@ class Ecovisor:
             and abs(self._current_carbon - self._previous_carbon)
             >= self._config.carbon_change_threshold_g_per_kwh
         ):
-            self._bus.publish(
+            pending_events.append(
                 CarbonChangeEvent(
                     time_s=time_s,
                     previous_g_per_kwh=self._previous_carbon,
@@ -304,7 +456,7 @@ class Ecovisor:
                 and abs(self._current_price - self._previous_price)
                 >= self._config.price_change_threshold_usd_per_kwh
             ):
-                self._bus.publish(
+                pending_events.append(
                     PriceChangeEvent(
                         time_s=time_s,
                         previous_usd_per_kwh=self._previous_price,
@@ -319,7 +471,7 @@ class Ecovisor:
                 >= self._config.solar_change_threshold_w * app.ves.share.solar_fraction
                 and app.ves.share.solar_fraction > 0.0
             ):
-                self._bus.publish(
+                pending_events.append(
                     SolarChangeEvent(
                         time_s=time_s,
                         app_name=app.name,
@@ -329,13 +481,27 @@ class Ecovisor:
                 )
             app.previous_solar_w = new_solar
 
+        # One snapshot build per app per tick: everything the Table 1
+        # getters would return during the upcall window, captured once.
+        self._carbon_sample_time_s = time_s
+        for app in self._apps.values():
+            app.state = self._build_state(app)
+
+        for event in pending_events:
+            self._bus.publish(event)
         self._bus.publish(TickEvent(time_s=time_s, tick_index=tick.index))
 
     def invoke_app_ticks(self, tick: TickInfo) -> None:
         """Deliver the ``tick()`` upcall to every registered callback."""
         for app in self._apps.values():
-            for callback in list(app.tick_callbacks):
-                callback(tick)
+            state: Optional[EnergyState] = None
+            for callback, arity in list(app.tick_callbacks):
+                if arity >= 2:
+                    if state is None:
+                        state = self.state_for(app.name)
+                    callback(tick, state)
+                else:
+                    callback(tick)
 
     def settle(self, tick: TickInfo) -> Dict[str, float]:
         """Settle every application's tick; returns served-energy fractions.
@@ -343,6 +509,11 @@ class Ecovisor:
         The fraction is 1.0 when the virtual energy system fully met the
         application's demand, lower when the grid share was insufficient —
         power shortages that applications experience as degraded capacity.
+
+        Settlement also *finalizes* each app's per-tick snapshot with the
+        settled battery state, grid power, measured container power, and
+        cumulative ledger totals; telemetry is recorded from that
+        finalized snapshot rather than by re-polling live state.
         """
         time_s = tick.start_s
         duration_s = tick.duration_s
@@ -364,9 +535,11 @@ class Ecovisor:
                 price_usd_per_kwh=self._current_price,
             )
             self._ledger.record(settlement)
+            containers = self._platform.running_containers_for(app.name)
+            app.state = self._finalize_state(app, containers, container_readings)
             self._record_app_telemetry(app, settlement, time_s)
             self._attribute_to_containers(
-                app.name, settlement, container_readings, duration_s
+                containers, settlement, container_readings
             )
             self._publish_battery_events(app, time_s)
             fractions[app.name] = (
@@ -403,47 +576,62 @@ class Ecovisor:
     # ------------------------------------------------------------------
     # Settlement helpers
     # ------------------------------------------------------------------
+    def _finalize_state(
+        self,
+        app: _RegisteredApp,
+        containers: List[Container],
+        container_readings: Dict[str, float],
+    ) -> EnergyState:
+        """Finalize this tick's snapshot with the settled figures."""
+        base = app.state if app.state is not None else self._build_state(app)
+        account = self._ledger.account(app.name)
+        return base.finalized(
+            grid_power_w=app.ves.grid_power_w,
+            battery=self._battery_state(app.ves),
+            container_power_w={
+                c.id: container_readings.get(c.id, 0.0) for c in containers
+            },
+            total_energy_wh=account.energy_wh,
+            total_carbon_g=account.carbon_g,
+            total_cost_usd=account.cost_usd,
+        )
+
     def _record_app_telemetry(
         self, app: _RegisteredApp, settlement: TickSettlement, time_s: float
     ) -> None:
+        """Persist per-app telemetry from the finalized snapshot."""
         name = app.name
+        state = app.state
         self._db.record(f"app.{name}.carbon_g", time_s, settlement.carbon_g)
         if self._price_signal is not None:
             self._db.record(f"app.{name}.cost_usd", time_s, settlement.cost_usd)
-        self._db.record(
-            f"app.{name}.grid_power_w",
-            time_s,
-            settlement.grid_total_wh * 3600.0 / settlement.duration_s
-            if settlement.duration_s > 0
-            else 0.0,
-        )
+        self._db.record(f"app.{name}.grid_power_w", time_s, state.grid_power_w)
         self._db.record(f"app.{name}.solar_used_wh", time_s, settlement.solar_used_wh)
         self._db.record(f"app.{name}.unmet_wh", time_s, settlement.unmet_wh)
         self._monitor.record_app_carbon_rate(
             time_s, name, settlement.carbon_rate_mg_per_s
         )
-        if app.ves.has_battery:
-            battery = app.ves.battery
+        if state.battery is not None:
+            battery = state.battery
             self._db.record(
                 f"app.{name}.battery_soc", time_s, battery.soc_fraction
             )
             self._db.record(
-                f"app.{name}.battery_level_wh", time_s, battery.usable_wh
+                f"app.{name}.battery_level_wh", time_s, battery.charge_level_wh
             )
             # Signed battery power: positive while charging, negative
             # while discharging (the convention of Figure 9b).
             self._db.record(
                 f"app.{name}.battery_power_w",
                 time_s,
-                battery.last_charge_w - battery.last_discharge_w,
+                battery.charge_rate_w - battery.discharge_rate_w,
             )
 
     def _attribute_to_containers(
         self,
-        app_name: str,
+        containers: List[Container],
         settlement: TickSettlement,
         container_readings: Dict[str, float],
-        duration_s: float,
     ) -> None:
         """Split an app's settled energy and carbon across its containers.
 
@@ -451,7 +639,6 @@ class Ecovisor:
         application's measured power, the same resource-usage-based
         attribution as the prototype [48, 60].
         """
-        containers = self._platform.running_containers_for(app_name)
         total_power = sum(container_readings.get(c.id, 0.0) for c in containers)
         for container in containers:
             power = container_readings.get(container.id, 0.0)

@@ -9,13 +9,17 @@ the example library of Table 2:
 - interval energy/carbon queries per container and per application,
 - carbon *rate* limits (a threshold rate of emissions per unit time) and
   carbon *budgets* (a total limit), and
-- ``notify_*`` upcalls for solar changes, carbon changes, and the virtual
-  battery filling or emptying.
+- change notifications for solar, carbon, price, and the virtual battery
+  filling or emptying.
 
 Rate limits are enforced cooperatively each tick: the library translates
-the configured mg/s rate into per-container power caps at the current
-carbon-intensity, using the Table 1 setters only — demonstrating that the
-narrow API suffices to build these abstractions.
+the configured mg/s rate into per-container power caps at the tick
+snapshot's carbon-intensity, using the Table 1 setters only —
+demonstrating that the narrow API suffices to build these abstractions.
+
+Notifications ride the typed :class:`~repro.core.signals.SignalBus`
+(``api.signals``); the legacy ``notify_*`` methods remain as thin
+deprecated delegates onto it.
 """
 
 from __future__ import annotations
@@ -31,6 +35,8 @@ from repro.core.events import (
     PriceChangeEvent,
     SolarChangeEvent,
 )
+from repro.core.signals import Subscription
+from repro.core.state import EnergyState
 from repro.core.units import power_for_carbon_rate
 
 
@@ -76,9 +82,14 @@ class AppEnergyLibrary:
     def get_app_carbon(
         self, t1: float = 0.0, t2: Optional[float] = None
     ) -> float:
-        """Carbon (g) attributed to the application; cumulative by default."""
+        """Carbon (g) attributed to the application; cumulative by default.
+
+        The cumulative figure is read from the per-tick snapshot
+        (``state().total_carbon_g``); interval queries still consult the
+        ledger's settlements.
+        """
         if t2 is None:
-            return self._ledger.app_carbon_g(self._app_name)
+            return self._api.state().total_carbon_g
         return self._ledger.carbon_between(self._app_name, t1, t2)
 
     def get_app_cost(
@@ -90,7 +101,7 @@ class AppEnergyLibrary:
         the same per-tick settlements (market layer).
         """
         if t2 is None:
-            return self._ledger.app_cost_usd(self._app_name)
+            return self._api.state().total_cost_usd
         return self._ledger.cost_between(self._app_name, t1, t2)
 
     # ------------------------------------------------------------------
@@ -139,54 +150,58 @@ class AppEnergyLibrary:
         return remaining is not None and remaining < 0
 
     # ------------------------------------------------------------------
-    # Notifications (Table 2)
+    # Notifications (Table 2) — deprecated delegates onto api.signals
     # ------------------------------------------------------------------
-    def notify_solar_change(self, callback: Callable[[SolarChangeEvent], None]) -> None:
-        """Invoke ``callback`` when this app's virtual solar output changes."""
+    def notify_solar_change(
+        self, callback: Callable[[SolarChangeEvent], None]
+    ) -> Subscription:
+        """Invoke ``callback`` when this app's virtual solar output changes.
 
-        def filtered(event):
-            if event.app_name == self._app_name:
-                callback(event)
-
-        self._ecovisor.events.subscribe(SolarChangeEvent, filtered)
+        .. deprecated:: v1  Use ``api.signals.on(SolarChange, callback)``.
+        """
+        return self._api.signals.on(SolarChangeEvent, callback)
 
     def notify_carbon_change(
         self, callback: Callable[[CarbonChangeEvent], None]
-    ) -> None:
-        """Invoke ``callback`` when grid carbon-intensity changes."""
-        self._ecovisor.events.subscribe(CarbonChangeEvent, callback)
+    ) -> Subscription:
+        """Invoke ``callback`` when grid carbon-intensity changes.
+
+        .. deprecated:: v1  Use ``api.signals.on(CarbonChange, callback)``.
+        """
+        return self._api.signals.on(CarbonChangeEvent, callback)
 
     def notify_price_change(
         self, callback: Callable[[PriceChangeEvent], None]
-    ) -> None:
-        """Invoke ``callback`` when the grid electricity price changes."""
-        self._ecovisor.events.subscribe(PriceChangeEvent, callback)
+    ) -> Subscription:
+        """Invoke ``callback`` when the grid electricity price changes.
 
-    def notify_battery_full(self, callback: Callable[[BatteryFullEvent], None]) -> None:
-        """Invoke ``callback`` when this app's virtual battery fills."""
+        .. deprecated:: v1  Use ``api.signals.on(PriceChange, callback)``.
+        """
+        return self._api.signals.on(PriceChangeEvent, callback)
 
-        def filtered(event):
-            if event.app_name == self._app_name:
-                callback(event)
+    def notify_battery_full(
+        self, callback: Callable[[BatteryFullEvent], None]
+    ) -> Subscription:
+        """Invoke ``callback`` when this app's virtual battery fills.
 
-        self._ecovisor.events.subscribe(BatteryFullEvent, filtered)
+        .. deprecated:: v1  Use ``api.signals.on(BatteryFull, callback)``.
+        """
+        return self._api.signals.on(BatteryFullEvent, callback)
 
     def notify_battery_empty(
         self, callback: Callable[[BatteryEmptyEvent], None]
-    ) -> None:
-        """Invoke ``callback`` when this app's virtual battery empties."""
+    ) -> Subscription:
+        """Invoke ``callback`` when this app's virtual battery empties.
 
-        def filtered(event):
-            if event.app_name == self._app_name:
-                callback(event)
-
-        self._ecovisor.events.subscribe(BatteryEmptyEvent, filtered)
+        .. deprecated:: v1  Use ``api.signals.on(BatteryEmpty, callback)``.
+        """
+        return self._api.signals.on(BatteryEmptyEvent, callback)
 
     # ------------------------------------------------------------------
     # Per-tick rate enforcement (cooperative, built on Table 1 setters)
     # ------------------------------------------------------------------
-    def _enforce_rates(self, tick: TickInfo) -> None:
-        intensity = self._api.get_grid_carbon()
+    def _enforce_rates(self, tick: TickInfo, state: EnergyState) -> None:
+        intensity = state.grid_carbon_g_per_kwh
         for container_id, rate in self._container_rates_mg_s.items():
             if not self._ecovisor.platform.has_container(container_id):
                 continue

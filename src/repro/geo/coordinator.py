@@ -234,8 +234,10 @@ class GeoCoordinator:
                     iter(self._sites.values())
                 ).engine.clock.now_s
                 break
+        # Per-site accounting from the apps' finalized per-tick snapshots
+        # (the same cumulative ledger figures every other consumer reads).
         carbon_by_site = {
-            name: env.ecovisor.ledger.app_carbon_g(f"geo-{name}")
+            name: env.ecovisor.state_for(f"geo-{name}").total_carbon_g
             for name, env in self._sites.items()
         }
         return GeoRunResult(

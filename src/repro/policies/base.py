@@ -21,6 +21,7 @@ from typing import Optional
 from repro.core.api import EcovisorAPI
 from repro.core.clock import TickInfo
 from repro.core.config import ClusterConfig
+from repro.core.state import EnergyState
 from repro.cluster.power_model import ServerPowerModel
 from repro.workloads.base import Application
 
@@ -67,7 +68,12 @@ class Policy(abc.ABC):
         return self._api is not None
 
     def attach(self, app: Application, api: EcovisorAPI) -> None:
-        """Bind the policy to its application and register for ticks."""
+        """Bind the policy to its application and register for ticks.
+
+        The ecovisor inspects the registered ``on_tick`` override's
+        arity: v1 policies receive ``(tick, state)``, legacy
+        single-argument overrides keep receiving ``(tick)``.
+        """
         self._app = app
         self._api = api
         api.register_tick(self.on_tick)
@@ -77,8 +83,15 @@ class Policy(abc.ABC):
         """Hook for initial provisioning; runs once after :meth:`attach`."""
 
     @abc.abstractmethod
-    def on_tick(self, tick: TickInfo) -> None:
-        """React to the tick: adjust scaling, caps, and battery settings."""
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
+        """React to the tick: adjust scaling, caps, and battery settings.
+
+        ``state`` is the application's frozen
+        :class:`~repro.core.state.EnergyState` for this tick — the same
+        instance every other consumer of the tick reads.  Legacy
+        subclasses overriding ``on_tick(self, tick)`` keep working; the
+        registration-time arity shim dispatches both shapes.
+        """
 
     # ------------------------------------------------------------------
     # Shared helpers

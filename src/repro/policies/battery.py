@@ -20,6 +20,7 @@ so the virtual energy system physically cannot emit.
 from __future__ import annotations
 
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.policies.base import Policy
 from repro.workloads.spark import SparkJob
 from repro.workloads.webapp import WebApplication
@@ -46,9 +47,10 @@ class _ZeroCarbonPolicy(Policy):
         self._day_threshold_w = day_threshold_w
         self._was_day = False
 
-    def is_day(self) -> bool:
+    def is_day(self, state: EnergyState | None = None) -> bool:
         """Daytime means the app's virtual solar output is meaningful."""
-        return self.api.get_solar_power() > self._day_threshold_w
+        state = state if state is not None else self.api.state()
+        return state.solar_power_w > self._day_threshold_w
 
     @property
     def worker_power_w(self) -> float:
@@ -86,12 +88,12 @@ class StaticBatterySmoothingPolicy(_ZeroCarbonPolicy):
             self._fixed_workers * self._worker_power_w
         )
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         if self.app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
-        day = self.is_day()
+        day = self.is_day(state)
         if day and not self._was_day:
             self.scale_workers(self._fixed_workers, self._cores)
         elif not day and self._was_day:
@@ -138,13 +140,13 @@ class DynamicSparkBatteryPolicy(_ZeroCarbonPolicy):
             self._base_workers * self._worker_power_w
         )
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         app = self.app
         if app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
-        if not self.is_day():
+        if not self.is_day(state):
             if self._was_day and isinstance(app, SparkJob):
                 # Evening termination without checkpointing: in-memory
                 # results since the last checkpoint are lost.
@@ -158,9 +160,9 @@ class DynamicSparkBatteryPolicy(_ZeroCarbonPolicy):
             return
         self._was_day = True
 
-        solar_w = self.api.get_solar_power()
-        level = self.api.get_battery_charge_level()
-        capacity = self.api.get_battery_capacity()
+        solar_w = state.solar_power_w
+        level = state.battery_charge_level_wh
+        capacity = state.battery_capacity_wh
         battery_nearly_full = (
             capacity > 0 and level / capacity >= self._battery_full_fraction
         )
@@ -212,18 +214,18 @@ class DynamicWebBatteryPolicy(_ZeroCarbonPolicy):
             self._max_workers,
         )
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         app = self.app
         if not isinstance(app, WebApplication):
             raise TypeError("DynamicWebBatteryPolicy drives web applications")
-        if not self.is_day() and app.current_rate_rps <= 0:
+        if not self.is_day(state) and app.current_rate_rps <= 0:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
         needed = self._sized_for_slo(app)
-        solar_w = self.api.get_solar_power()
-        level = self.api.get_battery_charge_level()
-        capacity = self.api.get_battery_capacity()
+        solar_w = state.solar_power_w
+        level = state.battery_charge_level_wh
+        capacity = state.battery_capacity_wh
         battery_ok = capacity > 0 and level / capacity > self._min_battery_fraction
         solar_funded = int(solar_w // self._worker_power_w)
         if battery_ok:

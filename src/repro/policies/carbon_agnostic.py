@@ -8,6 +8,7 @@ time at the cost of the highest emissions (Figure 4).
 from __future__ import annotations
 
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.policies.base import Policy
 
 
@@ -29,7 +30,7 @@ class CarbonAgnosticPolicy(Policy):
     def on_attach(self) -> None:
         self.scale_workers(self._workers, self._cores, self._gpu)
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         if self.app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)

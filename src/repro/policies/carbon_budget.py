@@ -19,6 +19,7 @@ policy because the pool idles low whenever load is light.
 from __future__ import annotations
 
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.core.units import power_for_carbon_rate
 from repro.policies.base import Policy
 from repro.workloads.webapp import WebApplication
@@ -71,10 +72,12 @@ class DynamicCarbonBudgetPolicy(Policy):
         """The budget line: target rate integrated over elapsed time."""
         return self._rate * elapsed_s / 1000.0
 
-    def carbon_credit_g(self, elapsed_s: float) -> float:
+    def carbon_credit_g(
+        self, elapsed_s: float, state: EnergyState | None = None
+    ) -> float:
         """Banked under-use: budget so far minus emissions so far."""
-        emitted = self.api.ecovisor.ledger.app_carbon_g(self.app.name)
-        return self.budget_so_far_g(elapsed_s) - emitted
+        state = state if state is not None else self.api.state()
+        return self.budget_so_far_g(elapsed_s) - state.total_carbon_g
 
     def on_attach(self) -> None:
         """Pre-provision a small pool so the first ticks are not served
@@ -101,7 +104,7 @@ class DynamicCarbonBudgetPolicy(Policy):
         )
         return max(self._min_workers, min(self._max_workers, needed))
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         app = self.app
         if not isinstance(app, WebApplication):
             raise TypeError(
@@ -109,14 +112,14 @@ class DynamicCarbonBudgetPolicy(Policy):
             )
         needed = self.slo_sized_workers()
 
-        intensity = self.api.get_grid_carbon()
+        intensity = state.grid_carbon_g_per_kwh
         allowance_w = power_for_carbon_rate(self._rate, intensity)
         rate_funded = int(allowance_w // self._worker_power_w)
         rate_funded = max(self._min_workers, min(self._max_workers, rate_funded))
 
         if needed <= rate_funded:
             target = needed
-        elif self.carbon_credit_g(tick.start_s) > self._credit_floor_g:
+        elif self.carbon_credit_g(tick.start_s, state) > self._credit_floor_g:
             # Spend banked credits to ride out the high-carbon/high-load
             # period while still meeting the SLO.
             target = needed

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.carbon.traces import CarbonTrace
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.market.prices import PriceTrace
 from repro.policies.base import Policy
 
@@ -116,23 +117,24 @@ class CarbonCostPolicy(Policy):
     def scaled_workers(self) -> int:
         return int(round(self._base_workers * self._scale_factor))
 
-    def current_index(self) -> float:
+    def current_index(self, state: EnergyState | None = None) -> float:
         """The blended index at the current tick's signals."""
+        state = state if state is not None else self.api.state()
         return blended_index(
-            self.api.get_grid_carbon(),
-            self.api.get_grid_price(),
+            state.grid_carbon_g_per_kwh,
+            state.grid_price_usd_per_kwh,
             self._lam,
             self._carbon_scale,
             self._price_scale,
         )
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         if self.app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
         target = (
-            0 if self.current_index() > self._threshold else self.scaled_workers
+            0 if self.current_index(state) > self._threshold else self.scaled_workers
         )
         if self.current_worker_count() != target:
             self.scale_workers(target, self._cores)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.carbon.forecast import CarbonForecaster
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.policies.base import Policy
 
 
@@ -70,14 +71,14 @@ class ForecastWaitAndScalePolicy(Policy):
         )
         self._last_refresh_s = now_s
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         self._forecaster.observe(tick.start_s)
         self._maybe_refresh(tick.start_s)
         if self.app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
-        intensity = self.api.get_grid_carbon()
+        intensity = state.grid_carbon_g_per_kwh
         assert self._threshold is not None  # set by _maybe_refresh
         target = 0 if intensity > self._threshold else self.scaled_workers
         if self.current_worker_count() != target:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.carbon.forecast import CarbonForecaster
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.policies.base import Policy
 
 
@@ -73,14 +74,14 @@ class PriceThresholdPolicy(Policy):
         )
         self._last_refresh_s = now_s
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         self._forecaster.observe(tick.start_s)
         self._maybe_refresh(tick.start_s)
         if self.app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
-        price = self.api.get_grid_price()
+        price = state.grid_price_usd_per_kwh
         assert self._threshold is not None  # set by _maybe_refresh
         target = 0 if price > self._threshold else self.scaled_workers
         if self.current_worker_count() != target:

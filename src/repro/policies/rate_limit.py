@@ -14,6 +14,7 @@ violates the SLO during simultaneous high-carbon/high-load periods
 from __future__ import annotations
 
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.core.units import power_for_carbon_rate
 from repro.policies.base import Policy
 
@@ -67,26 +68,32 @@ class CarbonRateLimitPolicy(Policy):
         workers = int(allowance_w // self._worker_power_w)
         return max(self._min_workers, min(self._max_workers, workers))
 
-    def _measured_worker_power_w(self) -> float:
-        """Average measured draw per worker; the full-power estimate when
-        there are no workers yet."""
+    def _measured_worker_power_w(self, state: EnergyState) -> float:
+        """Average measured draw per worker (from the tick snapshot); the
+        full-power estimate when there are no workers yet."""
         workers = [c for c in self.api.list_containers() if c.role == "worker"]
         if not workers:
             return self._worker_power_w
-        total = sum(self.api.get_container_power(c.id) for c in workers)
+        powers = state.container_power_w
+        total = sum(
+            powers[c.id]
+            if c.id in powers
+            else self.api.get_container_power(c.id)
+            for c in workers
+        )
         per_worker = total / len(workers)
         # Guard the feedback loop: never divide by less than the idle
         # floor, or a fully idle pool would request unbounded workers.
         floor = 0.1 * self._worker_power_w
         return max(per_worker, floor)
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         if self.app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
-        allowance_w = power_for_carbon_rate(self._rate, self.api.get_grid_carbon())
-        target = int(allowance_w // self._measured_worker_power_w())
+        allowance_w = power_for_carbon_rate(self._rate, state.grid_carbon_g_per_kwh)
+        target = int(allowance_w // self._measured_worker_power_w(state))
         target = max(self._min_workers, min(self._max_workers, target))
         if self.current_worker_count() != target:
             self.scale_workers(target, self._cores)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.policies.base import Policy
 from repro.workloads.parallel import ParallelJob
 
@@ -52,13 +53,13 @@ class _SolarCapPolicy(Policy):
 class StaticSolarCapPolicy(_SolarCapPolicy):
     """System-level equal split of solar across all nodes."""
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         if self._stop_if_complete():
             return
         containers = self.api.list_containers()
         if not containers:
             return
-        cap_w = self.api.get_solar_power() / len(containers)
+        cap_w = state.solar_power_w / len(containers)
         for container in containers:
             self.api.set_container_powercap(container.id, cap_w)
 
@@ -72,7 +73,7 @@ class DynamicSolarCapPolicy(_SolarCapPolicy):
             raise ValueError("min cap fraction must be in [0, 1)")
         self._min_cap_fraction = min_cap_fraction
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         if self._stop_if_complete():
             return
         app = self.app
@@ -80,7 +81,7 @@ class DynamicSolarCapPolicy(_SolarCapPolicy):
         containers = {c.id: c for c in self.api.list_containers()}
         if not containers:
             return
-        solar_w = self.api.get_solar_power()
+        solar_w = state.solar_power_w
         remaining = app.task_remaining()
         total_remaining = float(np.sum(remaining))
         n = len(containers)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.policies.base import Policy
 from repro.workloads.parallel import ParallelJob
 
@@ -57,7 +58,7 @@ class StragglerReplicaPolicy(Policy):
             app.assign_task_container(task_index, container.id)
         self._last_round = app.current_round
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         app = self.app
         assert isinstance(app, ParallelJob)
         if app.is_complete:
@@ -69,7 +70,7 @@ class StragglerReplicaPolicy(Policy):
             self._retire_replicas(app)
             self._last_round = app.current_round
 
-        solar_w = self.api.get_solar_power()
+        solar_w = state.solar_power_w
         primaries = app.num_tasks
         committed_w = (primaries + len(self._replica_ids)) * self._worker_power_w
         self._set_caps()

@@ -14,6 +14,7 @@ BLAST), computed by the experiment harness from the carbon service.
 from __future__ import annotations
 
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.policies.base import Policy
 
 
@@ -48,12 +49,12 @@ class SuspendResumePolicy(Policy):
         """How many distinct suspensions occurred (for runtime analysis)."""
         return self._suspension_count
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         if self.app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
-        intensity = self.api.get_grid_carbon()
+        intensity = state.grid_carbon_g_per_kwh
         should_suspend = intensity > self._threshold
         if should_suspend and not self._suspended:
             self._suspension_count += 1

@@ -12,6 +12,7 @@ well to 3x and hits its queue-server bottleneck at 4x.
 from __future__ import annotations
 
 from repro.core.clock import TickInfo
+from repro.core.state import EnergyState
 from repro.policies.base import Policy
 
 
@@ -52,12 +53,12 @@ class WaitAndScalePolicy(Policy):
     def carbon_threshold_g_per_kwh(self) -> float:
         return self._threshold
 
-    def on_tick(self, tick: TickInfo) -> None:
+    def on_tick(self, tick: TickInfo, state: EnergyState) -> None:
         if self.app.is_complete:
             if self.current_worker_count() > 0:
                 self.scale_workers(0, self._cores)
             return
-        intensity = self.api.get_grid_carbon()
+        intensity = state.grid_carbon_g_per_kwh
         target = 0 if intensity > self._threshold else self.scaled_workers
         if self.current_worker_count() != target:
             self.scale_workers(target, self._cores, self._gpu)

@@ -38,14 +38,24 @@ class Request:
 
 @dataclass(frozen=True)
 class Response:
-    """One API response with an HTTP-like status code."""
+    """One API response with an HTTP-like status code and headers."""
 
     status: int
     body: Any = None
+    headers: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return 300 <= self.status < 400
+
+    @property
+    def location(self) -> Optional[str]:
+        """The ``Location`` header of a redirect response, if any."""
+        return self.headers.get("Location")
 
 
 class Route:
@@ -82,7 +92,11 @@ class Router:
     def dispatch(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Response:
-        """Route a request; maps library errors onto HTTP status codes."""
+        """Route a request; maps library errors onto HTTP status codes.
+
+        A handler may return a full :class:`Response` (redirects, custom
+        statuses); any other return value becomes a 200 body.
+        """
         for route in self._routes:
             params = route.match(method, path)
             if params is None:
@@ -100,5 +114,7 @@ class Router:
                 return Response(400, {"error": str(exc)})
             except EcovisorError as exc:
                 return Response(500, {"error": str(exc)})
+            if isinstance(result, Response):
+                return result
             return Response(200, result)
         return Response(404, {"error": f"no route for {method} {path}"})

@@ -1,31 +1,44 @@
-"""The ecovisor's REST surface.
+"""The ecovisor's REST surface (versioned, snapshot-first v1).
 
 Maps the Table 1 API (plus container management) onto routes, mirroring
 the prototype's REST server.  Applications are identified by the ``app``
 path segment; every route goes through the same per-application
 authorization as the in-process API.
 
-Routes:
+The surface is versioned under ``/v1``.  The headline route is::
 
-==========  =============================================  ===============
-Method      Path                                            Table 1 call
-==========  =============================================  ===============
-GET         /apps/{app}/solar                               get_solar_power
-GET         /apps/{app}/grid                                get_grid_power
-GET         /apps/{app}/carbon                              get_grid_carbon
-GET         /apps/{app}/price                               get_grid_price
-GET         /apps/{app}/cost                                get_energy_cost
-GET         /apps/{app}/battery                             charge level + discharge rate
-POST        /apps/{app}/battery/charge_rate                 set_battery_charge_rate
-POST        /apps/{app}/battery/max_discharge               set_battery_max_discharge
-GET         /apps/{app}/containers                          list containers
-POST        /apps/{app}/containers                          launch container
-DELETE      /apps/{app}/containers/{cid}                    stop container
-GET         /apps/{app}/containers/{cid}/power              get_container_power
-GET         /apps/{app}/containers/{cid}/powercap           get_container_powercap
-POST        /apps/{app}/containers/{cid}/powercap           set_container_powercap
-POST        /apps/{app}/scale                               horizontal scale
-==========  =============================================  ===============
+    GET /v1/apps/{app}/state
+
+which returns the application's full immutable per-tick
+:class:`~repro.core.state.EnergyState` snapshot in **one** round-trip —
+solar, grid, carbon, price, battery (``null`` without a battery share),
+per-container power, and cumulative ledger figures — instead of the
+getter-per-field polling the unversioned surface encouraged.  Legacy
+unversioned paths answer ``301 Moved Permanently`` with a ``Location``
+header pointing at the ``/v1`` equivalent.
+
+Routes (all under ``/v1``):
+
+==========  =============================================  ===================
+Method      Path                                            Backing call
+==========  =============================================  ===================
+GET         /v1/apps/{app}/state                            api.state()
+GET         /v1/apps/{app}/solar                            state.solar_power_w
+GET         /v1/apps/{app}/grid                             state.grid_power_w
+GET         /v1/apps/{app}/carbon                           state.grid_carbon_g_per_kwh
+GET         /v1/apps/{app}/price                            state.grid_price_usd_per_kwh
+GET         /v1/apps/{app}/cost                             state.total_cost_usd
+GET         /v1/apps/{app}/battery                          state.battery
+POST        /v1/apps/{app}/battery/charge_rate              set_battery_charge_rate
+POST        /v1/apps/{app}/battery/max_discharge            set_battery_max_discharge
+GET         /v1/apps/{app}/containers                       list containers
+POST        /v1/apps/{app}/containers                       launch container
+DELETE      /v1/apps/{app}/containers/{cid}                 stop container
+GET         /v1/apps/{app}/containers/{cid}/power           state.container_power_w
+GET         /v1/apps/{app}/containers/{cid}/powercap        get_container_powercap
+POST        /v1/apps/{app}/containers/{cid}/powercap        set_container_powercap
+POST        /v1/apps/{app}/scale                            horizontal scale
+==========  =============================================  ===================
 """
 
 from __future__ import annotations
@@ -37,6 +50,9 @@ from repro.core.ecovisor import Ecovisor
 from repro.rest.router import Request, Response, Router
 
 _MISSING = object()
+
+#: Version prefix of the current API surface.
+API_PREFIX = "/v1"
 
 
 def _body_field(request: Request, name: str, cast: Callable, default: Any = _MISSING):
@@ -71,9 +87,23 @@ class EcovisorRestServer:
     def router(self) -> Router:
         return self._router
 
-    def request(self, method: str, path: str, body: dict | None = None) -> Response:
-        """Issue one request against the API surface."""
-        return self._router.dispatch(method, path, body)
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        follow_redirects: bool = False,
+    ) -> Response:
+        """Issue one request against the API surface.
+
+        ``follow_redirects`` chases the 301 from a legacy unversioned
+        path to its ``/v1`` home (one hop), the way an HTTP client
+        configured to follow redirects would.
+        """
+        response = self._router.dispatch(method, path, body)
+        if follow_redirects and response.is_redirect and response.location:
+            response = self._router.dispatch(method, response.location, body)
+        return response
 
     # ------------------------------------------------------------------
     # Route handlers
@@ -85,49 +115,73 @@ class EcovisorRestServer:
             self._apis[app_name] = connect(self._ecovisor, app_name)
         return self._apis[app_name]
 
+    def _add(self, method: str, pattern: str, handler) -> None:
+        """Register a v1 route plus the 301 redirect from the legacy path."""
+        self._router.add(method, API_PREFIX + pattern, handler)
+        self._router.add(method, pattern, self._redirect_to_v1)
+
+    def _redirect_to_v1(self, request: Request) -> Response:
+        location = API_PREFIX + request.path
+        return Response(
+            301,
+            {"error": "moved permanently", "location": location},
+            headers={"Location": location},
+        )
+
     def _install_routes(self) -> None:
-        r = self._router
-        r.add("GET", "/apps/{app}/solar", self._get_solar)
-        r.add("GET", "/apps/{app}/grid", self._get_grid)
-        r.add("GET", "/apps/{app}/carbon", self._get_carbon)
-        r.add("GET", "/apps/{app}/price", self._get_price)
-        r.add("GET", "/apps/{app}/cost", self._get_cost)
-        r.add("GET", "/apps/{app}/battery", self._get_battery)
-        r.add("POST", "/apps/{app}/battery/charge_rate", self._set_charge_rate)
-        r.add("POST", "/apps/{app}/battery/max_discharge", self._set_max_discharge)
-        r.add("GET", "/apps/{app}/containers", self._list_containers)
-        r.add("POST", "/apps/{app}/containers", self._launch_container)
-        r.add("DELETE", "/apps/{app}/containers/{cid}", self._stop_container)
-        r.add("GET", "/apps/{app}/containers/{cid}/power", self._container_power)
-        r.add("GET", "/apps/{app}/containers/{cid}/powercap", self._get_powercap)
-        r.add("POST", "/apps/{app}/containers/{cid}/powercap", self._set_powercap)
-        r.add("POST", "/apps/{app}/scale", self._scale)
+        self._add("GET", "/apps/{app}/state", self._get_state)
+        self._add("GET", "/apps/{app}/solar", self._get_solar)
+        self._add("GET", "/apps/{app}/grid", self._get_grid)
+        self._add("GET", "/apps/{app}/carbon", self._get_carbon)
+        self._add("GET", "/apps/{app}/price", self._get_price)
+        self._add("GET", "/apps/{app}/cost", self._get_cost)
+        self._add("GET", "/apps/{app}/battery", self._get_battery)
+        self._add("POST", "/apps/{app}/battery/charge_rate", self._set_charge_rate)
+        self._add("POST", "/apps/{app}/battery/max_discharge", self._set_max_discharge)
+        self._add("GET", "/apps/{app}/containers", self._list_containers)
+        self._add("POST", "/apps/{app}/containers", self._launch_container)
+        self._add("DELETE", "/apps/{app}/containers/{cid}", self._stop_container)
+        self._add("GET", "/apps/{app}/containers/{cid}/power", self._container_power)
+        self._add("GET", "/apps/{app}/containers/{cid}/powercap", self._get_powercap)
+        self._add("POST", "/apps/{app}/containers/{cid}/powercap", self._set_powercap)
+        self._add("POST", "/apps/{app}/scale", self._scale)
+
+    # Snapshot route: the whole Table 1 observation surface in one call.
+    def _get_state(self, request: Request):
+        return self._api(request.params["app"]).state().to_dict()
 
     def _get_solar(self, request: Request):
-        return {"solar_w": self._api(request.params["app"]).get_solar_power()}
+        return {"solar_w": self._api(request.params["app"]).state().solar_power_w}
 
     def _get_grid(self, request: Request):
-        return {"grid_w": self._api(request.params["app"]).get_grid_power()}
+        return {"grid_w": self._api(request.params["app"]).state().grid_power_w}
 
     def _get_carbon(self, request: Request):
         return {
-            "carbon_g_per_kwh": self._api(request.params["app"]).get_grid_carbon()
+            "carbon_g_per_kwh": self._api(
+                request.params["app"]
+            ).state().grid_carbon_g_per_kwh
         }
 
     def _get_price(self, request: Request):
         return {
-            "price_usd_per_kwh": self._api(request.params["app"]).get_grid_price()
+            "price_usd_per_kwh": self._api(
+                request.params["app"]
+            ).state().grid_price_usd_per_kwh
         }
 
     def _get_cost(self, request: Request):
-        return {"cost_usd": self._api(request.params["app"]).get_energy_cost()}
+        return {"cost_usd": self._api(request.params["app"]).state().total_cost_usd}
 
     def _get_battery(self, request: Request):
-        api = self._api(request.params["app"])
+        state = self._api(request.params["app"]).state()
         return {
-            "charge_level_wh": api.get_battery_charge_level(),
-            "capacity_wh": api.get_battery_capacity(),
-            "discharge_rate_w": api.get_battery_discharge_rate(),
+            "battery": state.battery.to_dict() if state.battery else None,
+            # Zero-default figures (legacy access style, kept for
+            # battery-less apps and pre-v1 clients).
+            "charge_level_wh": state.battery_charge_level_wh,
+            "capacity_wh": state.battery_capacity_wh,
+            "discharge_rate_w": state.battery_discharge_rate_w,
         }
 
     def _set_charge_rate(self, request: Request):

@@ -1,0 +1,258 @@
+"""Golden parity: legacy getter path vs snapshot path, byte-identical.
+
+One scenario per policy family, run twice: once with the ported
+snapshot-reading policy, once with a *legacy twin* — the pre-v1
+implementation of the same policy, overriding ``on_tick(self, tick)``
+with the old single-argument signature and issuing the deprecated
+Table 1 getter calls.  The twins exercise both halves of the back-compat
+story at once (the arity shim and the getter delegation); the sweep
+tables (carbon, cost, energy, runtime) must match bit-for-bit.
+"""
+
+from repro.carbon.forecast import OracleForecaster
+from repro.carbon.traces import make_region_trace
+from repro.core.config import ShareConfig
+from repro.market.prices import make_price_trace
+from repro.policies.battery import DynamicSparkBatteryPolicy
+from repro.policies.price_threshold import PriceThresholdPolicy
+from repro.policies.rate_limit import CarbonRateLimitPolicy
+from repro.policies.solar_matching import StaticSolarCapPolicy
+from repro.policies.wait_and_scale import WaitAndScalePolicy
+from repro.sim.experiment import (
+    UNLIMITED_GRID_SHARE,
+    carbon_threshold,
+    grid_environment,
+    solar_battery_environment,
+)
+from repro.workloads.base import BatchJob
+from repro.workloads.parallel import ParallelJob
+from repro.workloads.spark import SparkJob
+
+
+class _UnitJob(BatchJob):
+    """Unit-throughput batch job for the threshold-family scenarios."""
+
+    def throughput_units_per_s(self, effective_utilizations):
+        return sum(effective_utilizations)
+
+
+# ----------------------------------------------------------------------
+# Legacy twins: single-arg on_tick + deprecated getters (pre-v1 bodies)
+# ----------------------------------------------------------------------
+class LegacyWaitAndScale(WaitAndScalePolicy):
+    def on_tick(self, tick):
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        intensity = self.api.get_grid_carbon()
+        target = 0 if intensity > self._threshold else self.scaled_workers
+        if self.current_worker_count() != target:
+            self.scale_workers(target, self._cores, self._gpu)
+
+
+class LegacyPriceThreshold(PriceThresholdPolicy):
+    def on_tick(self, tick):
+        self._forecaster.observe(tick.start_s)
+        self._maybe_refresh(tick.start_s)
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        price = self.api.get_grid_price()
+        assert self._threshold is not None
+        target = 0 if price > self._threshold else self.scaled_workers
+        if self.current_worker_count() != target:
+            self.scale_workers(target, self._cores)
+
+
+class LegacyRateLimit(CarbonRateLimitPolicy):
+    def _legacy_measured_worker_power_w(self) -> float:
+        workers = [c for c in self.api.list_containers() if c.role == "worker"]
+        if not workers:
+            return self._worker_power_w
+        total = sum(self.api.get_container_power(c.id) for c in workers)
+        per_worker = total / len(workers)
+        floor = 0.1 * self._worker_power_w
+        return max(per_worker, floor)
+
+    def on_tick(self, tick):
+        from repro.core.units import power_for_carbon_rate
+
+        if self.app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        allowance_w = power_for_carbon_rate(self._rate, self.api.get_grid_carbon())
+        target = int(allowance_w // self._legacy_measured_worker_power_w())
+        target = max(self._min_workers, min(self._max_workers, target))
+        if self.current_worker_count() != target:
+            self.scale_workers(target, self._cores)
+
+
+class LegacySparkBattery(DynamicSparkBatteryPolicy):
+    def on_tick(self, tick):
+        app = self.app
+        if app.is_complete:
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            return
+        if not self.api.get_solar_power() > self._day_threshold_w:
+            if self._was_day and isinstance(app, SparkJob):
+                total = self.current_worker_count()
+                if total > 0:
+                    app.kill_workers(total, total, tick.start_s)
+            if self.current_worker_count() > 0:
+                self.scale_workers(0, self._cores)
+            self._surge_workers = 0
+            self._was_day = False
+            return
+        self._was_day = True
+        solar_w = self.api.get_solar_power()
+        level = self.api.get_battery_charge_level()
+        capacity = self.api.get_battery_capacity()
+        battery_nearly_full = (
+            capacity > 0 and level / capacity >= self._battery_full_fraction
+        )
+        base_demand_w = self._base_workers * self._worker_power_w
+        target = self._base_workers
+        if battery_nearly_full and solar_w > base_demand_w + self._worker_power_w:
+            extra = int((solar_w - base_demand_w) // self._worker_power_w)
+            target = min(self._max_workers, self._base_workers + extra)
+        current = self.current_worker_count()
+        if target < current and isinstance(app, SparkJob):
+            app.kill_workers(current - target, current, tick.start_s)
+        if target != current:
+            self.scale_workers(target, self._cores)
+        self._surge_workers = max(0, target - self._base_workers)
+
+
+class LegacySolarCap(StaticSolarCapPolicy):
+    def on_tick(self, tick):
+        if self._stop_if_complete():
+            return
+        containers = self.api.list_containers()
+        if not containers:
+            return
+        cap_w = self.api.get_solar_power() / len(containers)
+        for container in containers:
+            self.api.set_container_powercap(container.id, cap_w)
+
+
+# ----------------------------------------------------------------------
+# Scenario runners: build env fresh, run, return the sweep-table row
+# ----------------------------------------------------------------------
+def _table_row(env, app):
+    account = env.ecovisor.ledger.account(app.name)
+    return (
+        account.carbon_g,
+        account.cost_usd,
+        account.energy_wh,
+        account.solar_wh,
+        account.battery_wh,
+        account.grid_wh,
+        account.unmet_wh,
+        app.completion_time_s,
+        app.is_complete,
+    )
+
+
+def _run_threshold(policy_cls):
+    trace = make_region_trace("caiso", days=2, seed=7)
+    env = grid_environment(trace=trace)
+    app = _UnitJob("job", total_work_units=150000.0)
+    threshold = carbon_threshold(trace, 40.0)
+    policy = policy_cls(threshold, base_workers=2, scale_factor=2.0)
+    env.engine.add_application(app, UNLIMITED_GRID_SHARE, policy)
+    env.engine.run(900, stop_when_batch_complete=True)
+    return _table_row(env, app)
+
+
+def _run_price(policy_cls):
+    trace = make_region_trace("caiso", days=2, seed=11)
+    price = make_price_trace("realtime", days=2, seed=11)
+    env = grid_environment(trace=trace, price_trace=price)
+    app = _UnitJob("job", total_work_units=120000.0)
+    policy = policy_cls(
+        OracleForecaster(env.price_signal),
+        percentile=40.0,
+        window_s=24 * 3600.0,
+        base_workers=2,
+        scale_factor=2.0,
+    )
+    env.engine.add_application(app, UNLIMITED_GRID_SHARE, policy)
+    env.engine.run(900, stop_when_batch_complete=True)
+    return _table_row(env, app)
+
+
+def _run_rate_limit(policy_cls):
+    trace = make_region_trace("caiso", days=1, seed=3)
+    env = grid_environment(trace=trace)
+    app = _UnitJob("web", total_work_units=1e9)  # effectively a service
+    policy = policy_cls(
+        target_rate_mg_per_s=0.8, worker_power_w=2.0, max_workers=8
+    )
+    env.engine.add_application(app, UNLIMITED_GRID_SHARE, policy)
+    env.engine.run(240)
+    return _table_row(env, app)
+
+
+def _run_spark_battery(policy_cls):
+    env = solar_battery_environment(
+        solar_peak_w=60.0, battery_capacity_wh=120.0, days=2, seed=5
+    )
+    app = SparkJob("spark", total_work_units=250000.0)
+    policy = policy_cls(base_workers=2, worker_power_w=4.0, max_workers=8)
+    env.engine.add_application(
+        app,
+        ShareConfig(solar_fraction=1.0, battery_fraction=1.0),
+        policy,
+    )
+    env.engine.run(1200, stop_when_batch_complete=True)
+    return _table_row(env, app)
+
+
+def _run_solar_cap(policy_cls):
+    env = solar_battery_environment(
+        solar_peak_w=40.0, battery_capacity_wh=50.0, days=1, seed=9
+    )
+    app = ParallelJob("par", num_tasks=4, num_rounds=6, seed=13)
+    policy = policy_cls()
+    env.engine.add_application(
+        app, ShareConfig(solar_fraction=1.0), policy
+    )
+    env.engine.run(600, stop_when_batch_complete=True)
+    return _table_row(env, app)
+
+
+# ----------------------------------------------------------------------
+# The golden assertions: one per policy family
+# ----------------------------------------------------------------------
+class TestGoldenParity:
+    def test_threshold_family(self):
+        assert _run_threshold(WaitAndScalePolicy) == _run_threshold(
+            LegacyWaitAndScale
+        )
+
+    def test_market_family(self):
+        snapshot = _run_price(PriceThresholdPolicy)
+        legacy = _run_price(LegacyPriceThreshold)
+        assert snapshot == legacy
+        assert snapshot[1] > 0.0  # the scenario actually billed cost
+
+    def test_rate_limit_family(self):
+        assert _run_rate_limit(CarbonRateLimitPolicy) == _run_rate_limit(
+            LegacyRateLimit
+        )
+
+    def test_battery_family(self):
+        snapshot = _run_spark_battery(DynamicSparkBatteryPolicy)
+        legacy = _run_spark_battery(LegacySparkBattery)
+        assert snapshot == legacy
+        assert snapshot[4] > 0.0  # battery energy actually flowed
+
+    def test_solar_cap_family(self):
+        snapshot = _run_solar_cap(StaticSolarCapPolicy)
+        legacy = _run_solar_cap(LegacySolarCap)
+        assert snapshot == legacy
+        assert snapshot[3] > 0.0  # solar energy actually flowed

@@ -67,77 +67,77 @@ def market_server():
 
 class TestMonitoringRoutes:
     def test_carbon(self, server):
-        response = server.request("GET", "/apps/a/carbon")
+        response = server.request("GET", "/v1/apps/a/carbon")
         assert response.ok
         assert response.body["carbon_g_per_kwh"] == pytest.approx(250.0)
 
     def test_price(self, market_server):
-        response = market_server.request("GET", "/apps/a/price")
+        response = market_server.request("GET", "/v1/apps/a/price")
         assert response.ok
         assert response.body["price_usd_per_kwh"] == pytest.approx(0.55)
 
     def test_price_without_market_is_zero(self, server):
-        response = server.request("GET", "/apps/a/price")
+        response = server.request("GET", "/v1/apps/a/price")
         assert response.ok
         assert response.body["price_usd_per_kwh"] == 0.0
 
     def test_cost(self, market_server):
-        response = market_server.request("GET", "/apps/a/cost")
+        response = market_server.request("GET", "/v1/apps/a/cost")
         assert response.ok
         assert response.body["cost_usd"] > 0.0
 
     def test_cost_without_market_is_zero(self, server):
-        response = server.request("GET", "/apps/a/cost")
+        response = server.request("GET", "/v1/apps/a/cost")
         assert response.ok
         assert response.body["cost_usd"] == 0.0
 
     def test_solar(self, server):
-        response = server.request("GET", "/apps/a/solar")
+        response = server.request("GET", "/v1/apps/a/solar")
         assert response.body["solar_w"] == pytest.approx(5.0)
 
     def test_battery(self, server):
-        response = server.request("GET", "/apps/a/battery")
+        response = server.request("GET", "/v1/apps/a/battery")
         assert response.body["charge_level_wh"] > 0
         assert response.body["capacity_wh"] > 0
 
     def test_unknown_app_is_404(self, server):
-        assert server.request("GET", "/apps/ghost/solar").status == 404
+        assert server.request("GET", "/v1/apps/ghost/solar").status == 404
 
 
 class TestContainerRoutes:
     def test_launch_list_stop(self, server):
-        launched = server.request("POST", "/apps/a/containers", {"cores": 2})
+        launched = server.request("POST", "/v1/apps/a/containers", {"cores": 2})
         assert launched.ok
         cid = launched.body["id"]
-        listing = server.request("GET", "/apps/a/containers")
+        listing = server.request("GET", "/v1/apps/a/containers")
         assert [c["id"] for c in listing.body["containers"]] == [cid]
-        assert server.request("DELETE", f"/apps/a/containers/{cid}").ok
-        listing = server.request("GET", "/apps/a/containers")
+        assert server.request("DELETE", f"/v1/apps/a/containers/{cid}").ok
+        listing = server.request("GET", "/v1/apps/a/containers")
         assert listing.body["containers"] == []
 
     def test_powercap_roundtrip(self, server):
-        cid = server.request("POST", "/apps/a/containers", {"cores": 1}).body["id"]
+        cid = server.request("POST", "/v1/apps/a/containers", {"cores": 1}).body["id"]
         assert server.request(
-            "POST", f"/apps/a/containers/{cid}/powercap", {"watts": 1.1}
+            "POST", f"/v1/apps/a/containers/{cid}/powercap", {"watts": 1.1}
         ).ok
-        got = server.request("GET", f"/apps/a/containers/{cid}/powercap")
+        got = server.request("GET", f"/v1/apps/a/containers/{cid}/powercap")
         assert got.body["powercap_w"] == pytest.approx(1.1)
 
     def test_cross_app_access_is_403(self, server):
-        cid = server.request("POST", "/apps/a/containers", {"cores": 1}).body["id"]
+        cid = server.request("POST", "/v1/apps/a/containers", {"cores": 1}).body["id"]
         response = server.request(
-            "POST", f"/apps/b/containers/{cid}/powercap", {"watts": 1.0}
+            "POST", f"/v1/apps/b/containers/{cid}/powercap", {"watts": 1.0}
         )
         assert response.status == 403
 
     def test_scale_route(self, server):
-        response = server.request("POST", "/apps/a/scale", {"count": 3, "cores": 1})
+        response = server.request("POST", "/v1/apps/a/scale", {"count": 3, "cores": 1})
         assert response.ok
         assert len(response.body["containers"]) == 3
 
     def test_container_power_route(self, server):
-        cid = server.request("POST", "/apps/a/containers", {"cores": 1}).body["id"]
-        response = server.request("GET", f"/apps/a/containers/{cid}/power")
+        cid = server.request("POST", "/v1/apps/a/containers", {"cores": 1}).body["id"]
+        response = server.request("GET", f"/v1/apps/a/containers/{cid}/power")
         assert response.ok
         assert response.body["power_w"] >= 0.0
 
@@ -151,47 +151,47 @@ class TestErrorPaths:
         assert "no route" in response.body["error"]
 
     def test_unknown_method_on_known_path_is_404(self, server):
-        assert server.request("PATCH", "/apps/a/solar").status == 404
+        assert server.request("PATCH", "/v1/apps/a/solar").status == 404
 
     def test_unknown_app_on_every_monitoring_route(self, server):
         for path in ("solar", "grid", "carbon", "price", "cost", "battery"):
-            response = server.request("GET", f"/apps/ghost/{path}")
+            response = server.request("GET", f"/v1/apps/ghost/{path}")
             assert response.status == 404, path
             assert "ghost" in response.body["error"]
 
     def test_unknown_container_is_404(self, server):
-        response = server.request("GET", "/apps/a/containers/nope/power")
+        response = server.request("GET", "/v1/apps/a/containers/nope/power")
         assert response.status == 404
         assert "nope" in response.body["error"]
 
     def test_scale_with_missing_count_is_400(self, server):
-        response = server.request("POST", "/apps/a/scale", {})
+        response = server.request("POST", "/v1/apps/a/scale", {})
         assert response.status == 400
         assert "count" in response.body["error"]
 
     def test_scale_with_non_numeric_count_is_400(self, server):
-        response = server.request("POST", "/apps/a/scale", {"count": "lots"})
+        response = server.request("POST", "/v1/apps/a/scale", {"count": "lots"})
         assert response.status == 400
 
     def test_charge_rate_with_missing_watts_is_400(self, server):
-        response = server.request("POST", "/apps/a/battery/charge_rate", {})
+        response = server.request("POST", "/v1/apps/a/battery/charge_rate", {})
         assert response.status == 400
         assert "watts" in response.body["error"]
 
     def test_charge_rate_with_non_numeric_watts_is_400(self, server):
         response = server.request(
-            "POST", "/apps/a/battery/charge_rate", {"watts": "fast"}
+            "POST", "/v1/apps/a/battery/charge_rate", {"watts": "fast"}
         )
         assert response.status == 400
 
     def test_launch_with_non_numeric_cores_is_400(self, server):
-        response = server.request("POST", "/apps/a/containers", {"cores": None})
+        response = server.request("POST", "/v1/apps/a/containers", {"cores": None})
         assert response.status == 400
 
     def test_powercap_with_non_numeric_watts_is_400(self, server):
-        cid = server.request("POST", "/apps/a/containers", {"cores": 1}).body["id"]
+        cid = server.request("POST", "/v1/apps/a/containers", {"cores": 1}).body["id"]
         response = server.request(
-            "POST", f"/apps/a/containers/{cid}/powercap", {"watts": "low"}
+            "POST", f"/v1/apps/a/containers/{cid}/powercap", {"watts": "low"}
         )
         assert response.status == 400
 
@@ -199,16 +199,100 @@ class TestErrorPaths:
 class TestBatteryRoutes:
     def test_set_charge_rate(self, server):
         assert server.request(
-            "POST", "/apps/a/battery/charge_rate", {"watts": 5.0}
+            "POST", "/v1/apps/a/battery/charge_rate", {"watts": 5.0}
         ).ok
 
     def test_set_max_discharge(self, server):
         assert server.request(
-            "POST", "/apps/a/battery/max_discharge", {"watts": 8.0}
+            "POST", "/v1/apps/a/battery/max_discharge", {"watts": 8.0}
         ).ok
 
     def test_negative_rate_is_400(self, server):
         response = server.request(
-            "POST", "/apps/a/battery/charge_rate", {"watts": -5.0}
+            "POST", "/v1/apps/a/battery/charge_rate", {"watts": -5.0}
         )
         assert response.status == 400
+
+
+class TestVersioning:
+    """Legacy unversioned paths 301 to their /v1 homes."""
+
+    def test_legacy_get_redirects(self, server):
+        response = server.request("GET", "/apps/a/solar")
+        assert response.status == 301
+        assert response.is_redirect
+        assert response.location == "/v1/apps/a/solar"
+        assert response.body["location"] == "/v1/apps/a/solar"
+
+    def test_legacy_post_redirects(self, server):
+        response = server.request(
+            "POST", "/apps/a/battery/charge_rate", {"watts": 2.0}
+        )
+        assert response.status == 301
+        assert response.location == "/v1/apps/a/battery/charge_rate"
+
+    def test_follow_redirects_lands_on_v1(self, server):
+        response = server.request("GET", "/apps/a/solar", follow_redirects=True)
+        assert response.ok
+        assert response.body["solar_w"] == pytest.approx(5.0)
+
+    def test_redirect_substitutes_path_params(self, server):
+        cid = server.request(
+            "POST", "/v1/apps/a/containers", {"cores": 1}
+        ).body["id"]
+        response = server.request("GET", f"/apps/a/containers/{cid}/power")
+        assert response.status == 301
+        assert response.location == f"/v1/apps/a/containers/{cid}/power"
+
+    def test_every_v1_route_has_a_legacy_redirect(self, server):
+        routes = server.router.routes()
+        v1 = {(m, p) for m, p in routes if p.startswith("/v1/")}
+        legacy = {(m, p) for m, p in routes if not p.startswith("/v1/")}
+        assert {(m, p[len("/v1"):]) for m, p in v1} == legacy
+
+
+class TestStateRoute:
+    """GET /v1/apps/{app}/state: the whole observation in one round-trip."""
+
+    def test_state_snapshot_fields(self, server):
+        response = server.request("GET", "/v1/apps/a/state")
+        assert response.ok
+        body = response.body
+        assert body["app_name"] == "a"
+        assert body["solar_power_w"] == pytest.approx(5.0)
+        assert body["grid_carbon_g_per_kwh"] == pytest.approx(250.0)
+        assert body["has_market"] is False
+        assert body["settled"] is True
+        assert body["battery"]["charge_level_wh"] > 0
+        assert body["container_power_w"] == {}
+
+    def test_state_matches_field_routes(self, market_server):
+        state = market_server.request("GET", "/v1/apps/a/state").body
+        assert state["grid_price_usd_per_kwh"] == pytest.approx(
+            market_server.request("GET", "/v1/apps/a/price").body[
+                "price_usd_per_kwh"
+            ]
+        )
+        assert state["total_cost_usd"] == pytest.approx(
+            market_server.request("GET", "/v1/apps/a/cost").body["cost_usd"]
+        )
+        assert state["total_cost_usd"] > 0.0
+
+    def test_state_battery_null_without_share(self, market_server):
+        state = market_server.request("GET", "/v1/apps/a/state").body
+        assert state["battery"] is None
+
+    def test_state_container_powers(self, market_server):
+        state = market_server.request("GET", "/v1/apps/a/state").body
+        assert len(state["container_power_w"]) == 1
+        assert all(p > 0 for p in state["container_power_w"].values())
+
+    def test_state_unknown_app_is_404(self, server):
+        assert server.request("GET", "/v1/apps/ghost/state").status == 404
+
+    def test_battery_route_carries_null_and_zero_defaults(self, market_server):
+        body = market_server.request("GET", "/v1/apps/a/battery").body
+        assert body["battery"] is None
+        assert body["charge_level_wh"] == 0.0
+        assert body["capacity_wh"] == 0.0
+        assert body["discharge_rate_w"] == 0.0
