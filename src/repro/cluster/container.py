@@ -22,6 +22,21 @@ def _next_container_id(app_name: str) -> str:
     return f"{app_name}-c{next(_container_counter)}"
 
 
+def reset_container_id_counter() -> None:
+    """Restart the process-global container-id sequence.
+
+    Container ids embed a process-wide counter, so two otherwise
+    identical environments built back-to-back in one process get
+    different ids (and therefore different ``container.<id>.*``
+    telemetry series names).  Byte-identical parity tests reset the
+    counter between runs; production code should never call this, since
+    it can reintroduce id collisions between coexisting environments
+    that share an application name.
+    """
+    global _container_counter
+    _container_counter = itertools.count()
+
+
 class ContainerState(enum.Enum):
     """Lifecycle states; RUNNING containers draw power, STOPPED draw none."""
 

@@ -40,7 +40,15 @@ class ContainerOrchestrationPlatform:
             Server(f"server-{i}", self._config.server)
             for i in range(self._config.num_servers)
         ]
+        self._servers_by_name: Dict[str, Server] = {
+            server.name: server for server in self._servers
+        }
         self._containers: Dict[str, Container] = {}
+        # Per-application index of the same containers.  Each inner dict
+        # preserves launch order, which equals the global insertion order
+        # filtered by app — so `containers_for` keeps its historical
+        # ordering while dropping from O(all containers) to O(app's).
+        self._containers_by_app: Dict[str, Dict[str, Container]] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -77,10 +85,14 @@ class ContainerOrchestrationPlatform:
         return [c for c in self._containers.values() if c.is_running]
 
     def containers_for(self, app_name: str) -> List[Container]:
-        return [c for c in self._containers.values() if c.app_name == app_name]
+        index = self._containers_by_app.get(app_name)
+        return list(index.values()) if index else []
 
     def running_containers_for(self, app_name: str) -> List[Container]:
-        return [c for c in self.containers_for(app_name) if c.is_running]
+        index = self._containers_by_app.get(app_name)
+        if not index:
+            return []
+        return [c for c in index.values() if c.is_running]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -99,6 +111,7 @@ class ContainerOrchestrationPlatform:
         server = self._scheduler.select(self._servers, cores)
         server.place(container)
         self._containers[container.id] = container
+        self._containers_by_app.setdefault(app_name, {})[container.id] = container
         return container
 
     def stop_container(self, container_id: str) -> None:
@@ -109,6 +122,9 @@ class ContainerOrchestrationPlatform:
             server.evict(container_id)
         container.stop()
         del self._containers[container_id]
+        app_index = self._containers_by_app.get(container.app_name)
+        if app_index is not None:
+            app_index.pop(container_id, None)
 
     def stop_app(self, app_name: str) -> List[str]:
         """Stop every container of an application; returns their ids."""
@@ -128,6 +144,7 @@ class ContainerOrchestrationPlatform:
         server = self._server_by_name(container.server_name)
         if server.can_grow(container, cores):
             container.set_cores(cores)
+            self._refresh_power_cap(container)
             return
         # Migrate: evict, resize, re-place (stateful LXD migration).
         server.evict(container_id)
@@ -140,6 +157,17 @@ class ContainerOrchestrationPlatform:
             server.place(container)
             raise
         target.place(container)
+        self._refresh_power_cap(container)
+
+    def _refresh_power_cap(self, container: Container) -> None:
+        """Re-derive a capped container's utilization clamp after resize.
+
+        The watt cap is enforced as a utilization clamp computed from
+        the container's core count; resizing with a stale clamp would
+        let measured power exceed the configured cap.
+        """
+        if container.power_cap_w is not None:
+            self.set_power_cap(container.id, container.power_cap_w)
 
     def scale_app_to(
         self,
@@ -189,7 +217,10 @@ class ContainerOrchestrationPlatform:
     # ------------------------------------------------------------------
     def container_power_w(self, container_id: str) -> float:
         """Attributed power of one container at its current utilization."""
-        container = self.get_container(container_id)
+        return self._container_power(self.get_container(container_id))
+
+    def _container_power(self, container: Container) -> float:
+        """The power model applied to one already-resolved container."""
         if not container.is_running or container.server_name is None:
             return 0.0
         server = self._server_by_name(container.server_name)
@@ -198,15 +229,38 @@ class ContainerOrchestrationPlatform:
             container.effective_utilization, container.cores, gpu_util
         )
 
+    def container_powers(self) -> Dict[str, float]:
+        """Attributed power of every container, in one measurement pass.
+
+        Equivalent to calling :meth:`container_power_w` per container but
+        without the per-call id lookup — the form the per-tick monitor
+        sampling uses on the batched hot path.
+        """
+        return {
+            container_id: self._container_power(container)
+            for container_id, container in self._containers.items()
+        }
+
+    def app_container_powers(self, app_name: str) -> Dict[str, float]:
+        """Per-container attributed power of one app's running containers."""
+        index = self._containers_by_app.get(app_name)
+        if not index:
+            return {}
+        return {
+            container_id: self._container_power(container)
+            for container_id, container in index.items()
+            if container.is_running
+        }
+
     def app_power_w(self, app_name: str) -> float:
         """Summed attributed power of an application's running containers."""
         return sum(
-            self.container_power_w(c.id) for c in self.running_containers_for(app_name)
+            self._container_power(c) for c in self.running_containers_for(app_name)
         )
 
     def cluster_power_w(self) -> float:
         """Attributed power of all containers plus unallocated idle power."""
-        attributed = sum(self.container_power_w(c.id) for c in self.running_containers())
+        attributed = sum(self._container_power(c) for c in self.running_containers())
         baseline = sum(s.baseline_idle_power_w() for s in self._servers)
         return attributed + baseline
 
@@ -215,7 +269,9 @@ class ContainerOrchestrationPlatform:
         return sum(s.baseline_idle_power_w() for s in self._servers)
 
     def _server_by_name(self, name: Optional[str]) -> Server:
-        for server in self._servers:
-            if server.name == name:
-                return server
-        raise SchedulingError(f"container not placed on any known server: {name!r}")
+        server = self._servers_by_name.get(name) if name is not None else None
+        if server is None:
+            raise SchedulingError(
+                f"container not placed on any known server: {name!r}"
+            )
+        return server

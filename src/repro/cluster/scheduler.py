@@ -30,12 +30,23 @@ class FewestInstancesScheduler(Scheduler):
     """LXD's default policy: fewest running instances first."""
 
     def select(self, servers: Sequence[Server], cores: float) -> Server:
-        candidates = [s for s in servers if s.can_host(cores)]
-        if not candidates:
+        # Single pass: each server's occupancy feeds both the capacity
+        # filter and the fewest-instances key (ties break on name, and
+        # like min() the first of equal keys wins).
+        best: Server | None = None
+        best_key = None
+        for server in servers:
+            allocated, count = server.occupancy()
+            if server.total_cores - allocated + 1e-9 >= cores:
+                key = (count, server.name)
+                if best is None or key < best_key:
+                    best = server
+                    best_key = key
+        if best is None:
             raise InsufficientResourcesError(
                 f"no server can host a {cores:g}-core container"
             )
-        return min(candidates, key=lambda s: (s.instance_count, s.name))
+        return best
 
 
 class BestFitScheduler(Scheduler):

@@ -61,6 +61,21 @@ class Server:
     def can_host(self, cores: float) -> bool:
         return self.free_cores + 1e-9 >= cores
 
+    def occupancy(self) -> tuple:
+        """(allocated cores, running instances) in one container pass.
+
+        The scheduler consults both per candidate server on every
+        launch; deriving them together halves the scan the separate
+        ``allocated_cores``/``instance_count`` properties would do.
+        """
+        allocated = 0.0
+        count = 0
+        for container in self._containers.values():
+            if container.is_running:
+                allocated += container.cores
+                count += 1
+        return allocated, count
+
     def place(self, container: Container) -> None:
         """Host ``container``; raises if the server lacks free cores."""
         if not self.can_host(container.cores):

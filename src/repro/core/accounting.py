@@ -28,7 +28,7 @@ _CONSERVATION_TOLERANCE_WH = 1e-6
 _BILLING_TOLERANCE_USD = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TickSettlement:
     """The settled energy flows of one application over one tick.
 
@@ -84,8 +84,14 @@ class TickSettlement:
         return self.carbon_g * 1000.0 / self.duration_s
 
     def validate(self) -> None:
-        """Raise :class:`EnergyConservationError` if any flow is inconsistent."""
-        checks = [
+        """Raise :class:`EnergyConservationError` if any flow is inconsistent.
+
+        Runs once per application per tick on the hot path, so the happy
+        path allocates nothing: plain comparisons first, diagnostic
+        structures built only when a check actually fails.
+        """
+        tol = _CONSERVATION_TOLERANCE_WH
+        checks = (
             (
                 "served = solar_used + battery + grid_load",
                 self.served_wh,
@@ -97,9 +103,9 @@ class TickSettlement:
                 self.solar_used_wh + self.solar_to_battery_wh + self.curtailed_wh,
             ),
             ("demand = served + unmet", self.demand_wh, self.served_wh + self.unmet_wh),
-        ]
+        )
         for label, lhs, rhs in checks:
-            if abs(lhs - rhs) > _CONSERVATION_TOLERANCE_WH:
+            if abs(lhs - rhs) > tol:
                 raise EnergyConservationError(
                     f"{self.app_name} @ {self.time_s:.0f}s: {label} violated "
                     f"({lhs:.9f} != {rhs:.9f})"
@@ -110,38 +116,52 @@ class TickSettlement:
                 f"{self.app_name} @ {self.time_s:.0f}s: cost = grid x price "
                 f"violated ({self.cost_usd:.12f} != {billed:.12f})"
             )
-        negatives = [
-            name
-            for name, value in [
-                ("demand_wh", self.demand_wh),
-                ("served_wh", self.served_wh),
-                ("unmet_wh", self.unmet_wh),
-                ("solar_available_wh", self.solar_available_wh),
-                ("solar_used_wh", self.solar_used_wh),
-                ("solar_to_battery_wh", self.solar_to_battery_wh),
-                ("curtailed_wh", self.curtailed_wh),
-                ("battery_discharge_wh", self.battery_discharge_wh),
-                ("grid_load_wh", self.grid_load_wh),
-                ("grid_to_battery_wh", self.grid_to_battery_wh),
-                ("carbon_g", self.carbon_g),
+        if (
+            self.demand_wh < -tol
+            or self.served_wh < -tol
+            or self.unmet_wh < -tol
+            or self.solar_available_wh < -tol
+            or self.solar_used_wh < -tol
+            or self.solar_to_battery_wh < -tol
+            or self.curtailed_wh < -tol
+            or self.battery_discharge_wh < -tol
+            or self.grid_load_wh < -tol
+            or self.grid_to_battery_wh < -tol
+            or self.carbon_g < -tol
+            or self.price_usd_per_kwh < -_BILLING_TOLERANCE_USD
+            or self.cost_usd < -_BILLING_TOLERANCE_USD
+        ):
+            negatives = [
+                name
+                for name, value in [
+                    ("demand_wh", self.demand_wh),
+                    ("served_wh", self.served_wh),
+                    ("unmet_wh", self.unmet_wh),
+                    ("solar_available_wh", self.solar_available_wh),
+                    ("solar_used_wh", self.solar_used_wh),
+                    ("solar_to_battery_wh", self.solar_to_battery_wh),
+                    ("curtailed_wh", self.curtailed_wh),
+                    ("battery_discharge_wh", self.battery_discharge_wh),
+                    ("grid_load_wh", self.grid_load_wh),
+                    ("grid_to_battery_wh", self.grid_to_battery_wh),
+                    ("carbon_g", self.carbon_g),
+                ]
+                if value < -tol
             ]
-            if value < -_CONSERVATION_TOLERANCE_WH
-        ]
-        negatives += [
-            name
-            for name, value in [
-                ("price_usd_per_kwh", self.price_usd_per_kwh),
-                ("cost_usd", self.cost_usd),
+            negatives += [
+                name
+                for name, value in [
+                    ("price_usd_per_kwh", self.price_usd_per_kwh),
+                    ("cost_usd", self.cost_usd),
+                ]
+                if value < -_BILLING_TOLERANCE_USD
             ]
-            if value < -_BILLING_TOLERANCE_USD
-        ]
-        if negatives:
             raise EnergyConservationError(
                 f"{self.app_name} @ {self.time_s:.0f}s: negative flows {negatives}"
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class AppAccount:
     """Cumulative totals for one application."""
 
@@ -180,9 +200,16 @@ class CarbonLedger:
             self._accounts[app_name] = AppAccount(app_name)
         return self._accounts[app_name]
 
-    def record(self, settlement: TickSettlement) -> None:
-        """Validate and accumulate one tick settlement."""
-        settlement.validate()
+    def record(self, settlement: TickSettlement, validate: bool = True) -> None:
+        """Validate and accumulate one tick settlement.
+
+        ``validate=False`` skips the conservation re-check for callers
+        that already validated the settlement (the ecovisor records
+        straight from ``VirtualEnergySystem.settle``, which validates
+        before returning — re-validating doubled the hot-path cost).
+        """
+        if validate:
+            settlement.validate()
         self.account(settlement.app_name).add(settlement)
 
     def app_names(self) -> List[str]:

@@ -43,8 +43,9 @@ instead of re-polling live getters.
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.carbon.service import CarbonIntensityService
 from repro.cluster.container import Container
@@ -68,12 +69,13 @@ from repro.core.events import (
     TickEvent,
 )
 from repro.core.state import BatteryState, EnergyState
+from repro.core.tracecache import SignalTraceCache, build_signal_cache
 from repro.core.virtual_battery import VirtualBattery
 from repro.core.virtual_energy_system import VirtualEnergySystem
 from repro.energy.system import PhysicalEnergySystem
 from repro.market.service import PriceSignal
 from repro.telemetry.monitor import PowerMonitor
-from repro.telemetry.timeseries import TimeSeriesDatabase
+from repro.telemetry.timeseries import Series, TimeSeriesDatabase
 
 TickCallback = Callable[..., None]
 
@@ -102,17 +104,28 @@ def _callback_arity(callback: TickCallback) -> int:
     return 2 if positional >= 2 else 1
 
 
-@dataclass
+@dataclass(slots=True)
 class _RegisteredApp:
-    """Internal bookkeeping for one registered application."""
+    """Internal bookkeeping for one registered application.
+
+    ``tick_callbacks`` is a tuple rebuilt on registration so the upcall
+    loop iterates it directly (the tuple *is* the snapshot) instead of
+    copying a list every app every tick.  ``solar_event_threshold_w``
+    is the app's share-scaled solar-change threshold, hoisted out of the
+    per-tick loop.  ``telemetry`` caches the app's settlement series
+    handles (built lazily on first settle).
+    """
 
     name: str
     ves: VirtualEnergySystem
-    tick_callbacks: List[Tuple[TickCallback, int]] = field(default_factory=list)
+    tick_callbacks: Tuple[Tuple[TickCallback, int], ...] = ()
     previous_solar_w: float = 0.0
     battery_was_full: bool = False
     battery_was_empty: bool = False
     state: Optional[EnergyState] = None
+    solar_event_threshold_w: float = 0.0
+    has_solar_share: bool = False
+    telemetry: Optional[Dict[str, Series]] = None
 
 
 class Ecovisor:
@@ -153,6 +166,14 @@ class Ecovisor:
         self._current_tick_duration_s = self._config.tick_interval_s
         self._carbon_sample_time_s = 0.0
         self._state_builds = 0
+        #: Batched hot path toggle: with True (the default) settlement
+        #: reuses the monitor's one bulk container-power pass and
+        #: ``begin_tick`` reads primed signal arrays when available;
+        #: with False every phase re-derives its inputs per application
+        #: (the fallback loop the parity tests compare against).
+        self.batched = True
+        self._signal_cache: Optional[SignalTraceCache] = None
+        self._container_carbon_series: Dict[str, Series] = {}
 
     # ------------------------------------------------------------------
     # Wiring and registration
@@ -241,7 +262,14 @@ class Ecovisor:
                 "solar share requested but the plant has no solar array"
             )
         ves = VirtualEnergySystem(name, share, battery)
-        self._apps[name] = _RegisteredApp(name=name, ves=ves)
+        self._apps[name] = _RegisteredApp(
+            name=name,
+            ves=ves,
+            solar_event_threshold_w=(
+                self._config.solar_change_threshold_w * share.solar_fraction
+            ),
+            has_solar_share=share.solar_fraction > 0.0,
+        )
         self._allocated_solar += share.solar_fraction
         self._allocated_battery += share.battery_fraction
         return ves
@@ -263,7 +291,8 @@ class Ecovisor:
         :class:`EnergyState` snapshot; single-parameter callbacks keep
         the legacy ``(tick)`` shape.
         """
-        self._app(name).tick_callbacks.append((callback, _callback_arity(callback)))
+        app = self._app(name)
+        app.tick_callbacks = (*app.tick_callbacks, (callback, _callback_arity(callback)))
 
     # ------------------------------------------------------------------
     # Snapshot access
@@ -304,11 +333,11 @@ class Ecovisor:
             is_empty=battery.is_empty,
         )
 
-    def _container_powers(self, name: str) -> Dict[str, float]:
-        return {
-            container.id: self._platform.container_power_w(container.id)
-            for container in self._platform.running_containers_for(name)
-        }
+    def _container_powers(self, name: str) -> Mapping[str, float]:
+        # Wrapped at the source: the dict is freshly built by the
+        # platform, so the snapshot can adopt the proxy without the
+        # defensive copy `_freeze_mapping` makes for foreign mappings.
+        return MappingProxyType(self._platform.app_container_powers(name))
 
     def _build_state(
         self, app: _RegisteredApp, bootstrap: bool = False
@@ -402,6 +431,29 @@ class Ecovisor:
         return self._platform.running_containers_for(app_name)
 
     # ------------------------------------------------------------------
+    # Batched signal priming
+    # ------------------------------------------------------------------
+    def prime_signal_cache(self, start_index: int, times) -> None:
+        """Precompute per-tick solar/carbon/price arrays for a run.
+
+        Called by the engine before a batched run; ``begin_tick`` then
+        reads one array entry per signal per tick instead of walking the
+        trace-lookup call chains.  Ticks outside the primed window (or a
+        clock that disagrees with ``times``) fall back to live sampling.
+        """
+        self._signal_cache = build_signal_cache(
+            self._plant,
+            self._carbon_service,
+            self._price_signal,
+            start_index,
+            times,
+        )
+
+    def clear_signal_cache(self) -> None:
+        """Drop any primed signals; every tick samples live again."""
+        self._signal_cache = None
+
+    # ------------------------------------------------------------------
     # Tick phases
     # ------------------------------------------------------------------
     def begin_tick(self, tick: TickInfo) -> None:
@@ -409,7 +461,14 @@ class Ecovisor:
         time_s = tick.start_s
         self._current_tick_index = tick.index
         self._current_tick_duration_s = tick.duration_s
-        physical_solar = self._plant.solar_power_w(time_s)
+        cache = self._signal_cache
+        offset = (
+            cache.offset_for(tick.index, time_s) if cache is not None else None
+        )
+        if offset is None:
+            physical_solar = self._plant.solar_power_w(time_s)
+        else:
+            physical_solar = float(cache.solar_w[offset])
         if not self._config.solar_buffer_enabled or self._buffered_solar_w is None:
             # Buffer disabled (ablation), or first tick where no buffered
             # interval exists yet: expose the current sample directly.
@@ -428,7 +487,11 @@ class Ecovisor:
         pending_events: List[Event] = []
 
         self._previous_carbon = self._current_carbon or None
-        self._current_carbon = self._carbon_service.observe(time_s)
+        if offset is None:
+            self._current_carbon = self._carbon_service.observe(time_s)
+        else:
+            self._current_carbon = float(cache.carbon[offset])
+            self._carbon_service.record_observation(time_s, self._current_carbon)
         self._monitor.record_carbon_intensity(time_s, self._current_carbon)
 
         if (
@@ -448,7 +511,11 @@ class Ecovisor:
             self._previous_price = (
                 self._current_price if self._price_sampled else None
             )
-            self._current_price = self._price_signal.observe(time_s)
+            if offset is None or cache.price is None:
+                self._current_price = self._price_signal.observe(time_s)
+            else:
+                self._current_price = float(cache.price[offset])
+                self._price_signal.record_observation(time_s, self._current_price)
             self._price_sampled = True
             self._monitor.record_grid_price(time_s, self._current_price)
             if (
@@ -467,9 +534,9 @@ class Ecovisor:
         for app in self._apps.values():
             new_solar = app.ves.update_solar(visible_solar)
             if (
-                abs(new_solar - app.previous_solar_w)
-                >= self._config.solar_change_threshold_w * app.ves.share.solar_fraction
-                and app.ves.share.solar_fraction > 0.0
+                app.has_solar_share
+                and abs(new_solar - app.previous_solar_w)
+                >= app.solar_event_threshold_w
             ):
                 pending_events.append(
                     SolarChangeEvent(
@@ -495,7 +562,9 @@ class Ecovisor:
         """Deliver the ``tick()`` upcall to every registered callback."""
         for app in self._apps.values():
             state: Optional[EnergyState] = None
-            for callback, arity in list(app.tick_callbacks):
+            # The tuple is an immutable snapshot: callbacks registered
+            # during delivery replace it and take effect next tick.
+            for callback, arity in app.tick_callbacks:
                 if arity >= 2:
                     if state is None:
                         state = self.state_for(app.name)
@@ -520,26 +589,50 @@ class Ecovisor:
         fractions: Dict[str, float] = {}
         total_grid_w = 0.0
         total_solar_used_w = 0.0
+        batched = self.batched
 
+        # One bulk power-measurement pass; on the batched path its
+        # readings also provide per-app demand (one container-list walk
+        # per app, recorded via the monitor) and the cluster total,
+        # instead of re-deriving each from the platform per application.
         container_readings = self._monitor.sample_containers(time_s)
-        self._monitor.sample_apps(time_s, self._apps.keys())
-        self._monitor.sample_cluster(time_s)
+        if batched:
+            self._monitor.sample_cluster(time_s, container_readings)
+        else:
+            self._monitor.sample_apps(time_s, self._apps.keys())
+            self._monitor.sample_cluster(time_s)
 
+        platform = self._platform
+        monitor = self._monitor
+        ledger = self._ledger
+        carbon = self._current_carbon
+        price = self._current_price
         for app in self._apps.values():
-            demand_w = self._platform.app_power_w(app.name)
+            containers = platform.running_containers_for(app.name)
+            if batched:
+                demand_w = sum(container_readings[c.id] for c in containers)
+                monitor.record_app_power(
+                    time_s, app.name, demand_w, len(containers)
+                )
+            else:
+                demand_w = platform.app_power_w(app.name)
             settlement = app.ves.settle(
                 demand_w,
-                self._current_carbon,
+                carbon,
                 time_s,
                 duration_s,
-                price_usd_per_kwh=self._current_price,
+                price_usd_per_kwh=price,
             )
-            self._ledger.record(settlement)
-            containers = self._platform.running_containers_for(app.name)
+            # The VES validated the settlement before returning it.
+            ledger.record(settlement, validate=False)
             app.state = self._finalize_state(app, containers, container_readings)
             self._record_app_telemetry(app, settlement, time_s)
             self._attribute_to_containers(
-                containers, settlement, container_readings
+                containers,
+                settlement,
+                container_readings,
+                # Batched: the app's measured power is already in hand.
+                total_power_w=demand_w if batched else None,
             )
             self._publish_battery_events(app, time_s)
             fractions[app.name] = (
@@ -588,43 +681,61 @@ class Ecovisor:
         return base.finalized(
             grid_power_w=app.ves.grid_power_w,
             battery=self._battery_state(app.ves),
-            container_power_w={
-                c.id: container_readings.get(c.id, 0.0) for c in containers
-            },
+            container_power_w=MappingProxyType(
+                {c.id: container_readings.get(c.id, 0.0) for c in containers}
+            ),
             total_energy_wh=account.energy_wh,
             total_carbon_g=account.carbon_g,
             total_cost_usd=account.cost_usd,
         )
 
+    def _app_telemetry_handles(self, app: _RegisteredApp) -> Dict[str, Series]:
+        """Build (once) the app's settlement series handles."""
+        db = self._db
+        name = app.name
+        handles = {
+            "carbon_g": db.series_handle(f"app.{name}.carbon_g"),
+            "grid_power_w": db.series_handle(f"app.{name}.grid_power_w"),
+            "solar_used_wh": db.series_handle(f"app.{name}.solar_used_wh"),
+            "unmet_wh": db.series_handle(f"app.{name}.unmet_wh"),
+        }
+        if self._price_signal is not None:
+            handles["cost_usd"] = db.series_handle(f"app.{name}.cost_usd")
+        if app.ves.has_battery:
+            handles["battery_soc"] = db.series_handle(f"app.{name}.battery_soc")
+            handles["battery_level_wh"] = db.series_handle(
+                f"app.{name}.battery_level_wh"
+            )
+            handles["battery_power_w"] = db.series_handle(
+                f"app.{name}.battery_power_w"
+            )
+        return handles
+
     def _record_app_telemetry(
         self, app: _RegisteredApp, settlement: TickSettlement, time_s: float
     ) -> None:
         """Persist per-app telemetry from the finalized snapshot."""
-        name = app.name
+        handles = app.telemetry
+        if handles is None:
+            handles = app.telemetry = self._app_telemetry_handles(app)
         state = app.state
-        self._db.record(f"app.{name}.carbon_g", time_s, settlement.carbon_g)
+        handles["carbon_g"].append(time_s, settlement.carbon_g)
         if self._price_signal is not None:
-            self._db.record(f"app.{name}.cost_usd", time_s, settlement.cost_usd)
-        self._db.record(f"app.{name}.grid_power_w", time_s, state.grid_power_w)
-        self._db.record(f"app.{name}.solar_used_wh", time_s, settlement.solar_used_wh)
-        self._db.record(f"app.{name}.unmet_wh", time_s, settlement.unmet_wh)
+            handles["cost_usd"].append(time_s, settlement.cost_usd)
+        handles["grid_power_w"].append(time_s, state.grid_power_w)
+        handles["solar_used_wh"].append(time_s, settlement.solar_used_wh)
+        handles["unmet_wh"].append(time_s, settlement.unmet_wh)
         self._monitor.record_app_carbon_rate(
-            time_s, name, settlement.carbon_rate_mg_per_s
+            time_s, app.name, settlement.carbon_rate_mg_per_s
         )
         if state.battery is not None:
             battery = state.battery
-            self._db.record(
-                f"app.{name}.battery_soc", time_s, battery.soc_fraction
-            )
-            self._db.record(
-                f"app.{name}.battery_level_wh", time_s, battery.charge_level_wh
-            )
+            handles["battery_soc"].append(time_s, battery.soc_fraction)
+            handles["battery_level_wh"].append(time_s, battery.charge_level_wh)
             # Signed battery power: positive while charging, negative
             # while discharging (the convention of Figure 9b).
-            self._db.record(
-                f"app.{name}.battery_power_w",
-                time_s,
-                battery.charge_rate_w - battery.discharge_rate_w,
+            handles["battery_power_w"].append(
+                time_s, battery.charge_rate_w - battery.discharge_rate_w
             )
 
     def _attribute_to_containers(
@@ -632,23 +743,35 @@ class Ecovisor:
         containers: List[Container],
         settlement: TickSettlement,
         container_readings: Dict[str, float],
+        total_power_w: Optional[float] = None,
     ) -> None:
         """Split an app's settled energy and carbon across its containers.
 
         Attribution is proportional to each container's share of the
         application's measured power, the same resource-usage-based
-        attribution as the prototype [48, 60].
+        attribution as the prototype [48, 60].  ``total_power_w`` lets
+        the batched loop pass the app power it already summed from the
+        same readings; None recomputes it (the fallback path).
         """
-        total_power = sum(container_readings.get(c.id, 0.0) for c in containers)
+        total_power = (
+            total_power_w
+            if total_power_w is not None
+            else sum(container_readings.get(c.id, 0.0) for c in containers)
+        )
+        carbon_series = self._container_carbon_series
         for container in containers:
             power = container_readings.get(container.id, 0.0)
             fraction = power / total_power if total_power > 1e-12 else 0.0
             energy = settlement.served_wh * fraction
             carbon = settlement.carbon_g * fraction
             container.record_tick(power, energy, carbon)
-            self._db.record(
-                f"container.{container.id}.carbon_g", settlement.time_s, carbon
-            )
+            series = carbon_series.get(container.id)
+            if series is None:
+                series = self._db.series_handle(
+                    f"container.{container.id}.carbon_g"
+                )
+                carbon_series[container.id] = series
+            series.append(settlement.time_s, carbon)
 
     def _publish_battery_events(self, app: _RegisteredApp, time_s: float) -> None:
         if not app.ves.has_battery:

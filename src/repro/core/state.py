@@ -31,12 +31,12 @@ tick.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Dict, Mapping, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatteryState:
     """Immutable view of one application's virtual battery at a tick.
 
@@ -76,7 +76,7 @@ def _freeze_mapping(mapping: Mapping[str, float]) -> Mapping[str, float]:
     return MappingProxyType(dict(mapping))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EnergyState:
     """One application's frozen per-tick view of its virtual energy system.
 
@@ -159,9 +159,21 @@ class EnergyState:
         total_carbon_g: float,
         total_cost_usd: float,
     ) -> "EnergyState":
-        """The settled version of this tick's snapshot (cheap ``replace``)."""
-        return replace(
-            self,
+        """The settled version of this tick's snapshot.
+
+        Semantically ``dataclasses.replace``; spelled as a direct
+        construction because it runs once per app per tick and
+        ``replace`` pays field introspection every call.
+        """
+        return EnergyState(
+            app_name=self.app_name,
+            tick_index=self.tick_index,
+            time_s=self.time_s,
+            duration_s=self.duration_s,
+            solar_power_w=self.solar_power_w,
+            grid_carbon_g_per_kwh=self.grid_carbon_g_per_kwh,
+            grid_price_usd_per_kwh=self.grid_price_usd_per_kwh,
+            has_market=self.has_market,
             grid_power_w=grid_power_w,
             battery=battery,
             container_power_w=_freeze_mapping(container_power_w),

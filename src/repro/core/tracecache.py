@@ -1,0 +1,176 @@
+"""Precomputed per-tick environment signals (the batched hot path).
+
+``Ecovisor.begin_tick`` samples three environment signals every tick —
+physical solar output, grid carbon intensity, and (when a market is
+attached) the electricity price.  On the live path each sample is a
+Python call chain ending in a trace lookup; over a fleet-scale sweep
+those chains run millions of times.  :class:`SignalTraceCache`
+precomputes all three signals for an entire engine run into numpy arrays
+indexed by tick, so the per-tick cost collapses to one array read per
+signal.
+
+Bit-exactness contract: a cached value must equal the live sample for
+the same timestamp **exactly** (the batched-vs-unbatched parity tests
+pin this).  The vectorized builders therefore replicate the scalar
+lookup arithmetic operation for operation — same index truncation, same
+clamping, same multiplication order — and they engage only for the
+**exact** stock types (``type(x) is ...``, not ``isinstance``): a
+subclass overriding a lookup method falls back to calling the scalar
+sampler once per tick at build time, which is trivially exact and still
+removes the lookup from the hot loop.
+
+The cache is advisory: ``Ecovisor.begin_tick`` consults it only when the
+tick's index and timestamp match (:meth:`SignalTraceCache.offset_for`),
+and silently falls back to live sampling otherwise — driving the
+ecovisor by hand, or past the primed horizon, behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.carbon.traces import SAMPLE_INTERVAL_S, CarbonTrace
+from repro.core.units import SECONDS_PER_HOUR
+
+#: Native resolution of the solar irradiance traces (samples per hour).
+_SOLAR_SAMPLES_PER_HOUR = 60
+
+
+@dataclass(frozen=True, slots=True)
+class SignalTraceCache:
+    """Per-tick environment signals for one contiguous run of ticks.
+
+    ``times`` holds the tick start timestamps the arrays were built for;
+    ``start_index`` is the tick index of the first entry.  ``price`` is
+    ``None`` when no price signal is attached.
+    """
+
+    start_index: int
+    times: np.ndarray
+    solar_w: np.ndarray
+    carbon: np.ndarray
+    price: Optional[np.ndarray]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def offset_for(self, tick_index: int, start_s: float) -> Optional[int]:
+        """The array offset for a tick, or None when the cache misses.
+
+        A hit requires both the index to fall inside the primed window
+        and the timestamp to match exactly — a clock driven differently
+        from the priming assumptions never reads stale signals.
+        """
+        offset = tick_index - self.start_index
+        if 0 <= offset < len(self.times) and self.times[offset] == start_s:
+            return offset
+        return None
+
+
+def _clamped_indices(
+    positions: np.ndarray, num_samples: int
+) -> np.ndarray:
+    """Truncate float sample positions and clamp to the trace end."""
+    return np.minimum(positions.astype(np.int64), num_samples - 1)
+
+
+def _solar_array(plant, times: np.ndarray) -> np.ndarray:
+    """Physical solar output per tick; replicates ``plant.solar_power_w``.
+
+    Vectorized only for the exact stock plant/emulator/trace types — a
+    subclass overriding any lookup method gets the scalar fallback, so
+    its override is honored sample for sample.
+    """
+    from repro.energy.solar import (
+        ConstantSolarTrace,
+        SolarArrayEmulator,
+        SolarTrace,
+        TabularSolarTrace,
+    )
+    from repro.energy.system import PhysicalEnergySystem
+
+    solar = plant.solar
+    if solar is None and type(plant) is PhysicalEnergySystem:
+        return np.zeros(len(times))
+    if (
+        type(plant) is PhysicalEnergySystem
+        and type(solar) is SolarArrayEmulator
+    ):
+        trace = solar._trace
+        config = solar.config
+        if type(trace) is ConstantSolarTrace:
+            irradiance = np.full(len(times), trace.irradiance_at(0.0))
+        elif type(trace) in (SolarTrace, TabularSolarTrace):
+            samples = np.asarray(trace._samples)
+            positions = times / SECONDS_PER_HOUR * _SOLAR_SAMPLES_PER_HOUR
+            irradiance = samples[_clamped_indices(positions, len(samples))]
+        else:
+            return np.asarray([plant.solar_power_w(float(t)) for t in times])
+        # Same multiplication order as SolarArrayEmulator.available_power_w.
+        return (
+            irradiance
+            * config.peak_power_w
+            * config.panel_efficiency_derating
+            * config.scale
+        )
+    return np.asarray([plant.solar_power_w(float(t)) for t in times])
+
+
+def _carbon_array(service, times: np.ndarray) -> np.ndarray:
+    """Per-tick carbon samples; replicates ``service.intensity_at``."""
+    from repro.carbon.service import CarbonIntensityService
+
+    trace = service.trace
+    if type(service) is CarbonIntensityService and type(trace) is CarbonTrace:
+        return _quantized_samples(
+            service.config.update_interval_s, np.asarray(trace.samples), times
+        )
+    return np.asarray([service.intensity_at(float(t)) for t in times])
+
+
+def _price_array(service, times: np.ndarray) -> np.ndarray:
+    """Per-tick price samples; replicates ``service.price_at``."""
+    from repro.market.prices import PriceTrace
+    from repro.market.service import PriceSignal
+
+    trace = service.trace
+    if type(service) is PriceSignal and type(trace) is PriceTrace:
+        return _quantized_samples(
+            service.config.update_interval_s, np.asarray(trace.samples), times
+        )
+    return np.asarray([service.price_at(float(t)) for t in times])
+
+
+def _quantized_samples(
+    update_s: float, samples: np.ndarray, times: np.ndarray
+) -> np.ndarray:
+    """Quantize query times to the polling interval, then index the trace.
+
+    Replicates ``intensity_at``/``price_at``: ``(t // update) * update``
+    for the refresh quantization, then the trace's own 5-minute sample
+    index (clamped to the trace end).
+    """
+    quantized = (times // update_s) * update_s
+    positions = quantized / SAMPLE_INTERVAL_S
+    return samples[_clamped_indices(positions, len(samples))]
+
+
+def build_signal_cache(
+    plant,
+    carbon_service,
+    price_signal,
+    start_index: int,
+    times: np.ndarray,
+) -> SignalTraceCache:
+    """Precompute one run's per-tick solar/carbon/price arrays."""
+    times = np.asarray(times, dtype=float)
+    return SignalTraceCache(
+        start_index=start_index,
+        times=times,
+        solar_w=_solar_array(plant, times),
+        carbon=_carbon_array(carbon_service, times),
+        price=_price_array(price_signal, times) if price_signal is not None else None,
+    )

@@ -316,6 +316,59 @@ def run_extension_market(params: Dict[str, Any]) -> Dict[str, Any]:
 
 
 @register(
+    "fleet_small",
+    description=(
+        "Fleet scale (50 tenants): mixed ML/Spark workloads under a "
+        "mixed policy assignment on one ecovisor with solar, battery, "
+        "and a real-time price signal.  The hot-path scenario family "
+        "behind benchmarks/bench_scale.py; all randomness derives from "
+        "config_digest of the parameters (see repro.sim.fleet)."
+    ),
+    defaults={"seed": 2023, "apps": 50, "ticks": 240, "mix": "balanced"},
+    tags=("fleet", "scale"),
+)
+def run_fleet_small(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One 50-app fleet run; see :func:`repro.sim.fleet.run_fleet`."""
+    from repro.sim.fleet import run_fleet
+
+    return run_fleet(params)
+
+
+@register(
+    "fleet_medium",
+    description=(
+        "Fleet scale (200 tenants): the committed perf-baseline "
+        "scenario — bench_scale.py measures tick-loop throughput on "
+        "this population and CI gates on regressions against "
+        "benchmarks/BENCH_scale.json."
+    ),
+    defaults={"seed": 2023, "apps": 200, "ticks": 120, "mix": "balanced"},
+    tags=("fleet", "scale"),
+)
+def run_fleet_medium(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One 200-app fleet run; see :func:`repro.sim.fleet.run_fleet`."""
+    from repro.sim.fleet import run_fleet
+
+    return run_fleet(params)
+
+
+@register(
+    "fleet_large",
+    description=(
+        "Fleet scale (1000 tenants): the stress end of the family; "
+        "nightly CI tracks its throughput trend."
+    ),
+    defaults={"seed": 2023, "apps": 1000, "ticks": 60, "mix": "balanced"},
+    tags=("fleet", "scale"),
+)
+def run_fleet_large(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One 1000-app fleet run; see :func:`repro.sim.fleet.run_fleet`."""
+    from repro.sim.fleet import run_fleet
+
+    return run_fleet(params)
+
+
+@register(
     "extension_geo",
     description=(
         "Extension (paper Section 7): geo-distributed coordination of "

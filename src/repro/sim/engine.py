@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from repro.core.api import EcovisorAPI, connect
 from repro.core.clock import SimulationClock, TickInfo
 from repro.core.config import ShareConfig
@@ -37,13 +39,19 @@ TickObserver = Callable[[TickInfo], None]
 class SimulationEngine:
     """Couples an ecovisor, a clock, and a set of (app, policy) pairs."""
 
-    def __init__(self, ecovisor: Ecovisor, clock: Optional[SimulationClock] = None):
+    def __init__(
+        self,
+        ecovisor: Ecovisor,
+        clock: Optional[SimulationClock] = None,
+        batched: bool = True,
+    ):
         self._ecovisor = ecovisor
         self._clock = clock or SimulationClock(
             tick_interval_s=ecovisor.config.tick_interval_s
         )
         self._apps: List[Application] = []
         self._observers: List[TickObserver] = []
+        self._batched = batched
 
     @property
     def ecovisor(self) -> Ecovisor:
@@ -52,6 +60,22 @@ class SimulationEngine:
     @property
     def clock(self) -> SimulationClock:
         return self._clock
+
+    @property
+    def batched(self) -> bool:
+        """Whether :meth:`run` uses the batched tick hot path.
+
+        True (the default) primes the ecovisor's per-tick signal cache
+        for the run and lets settlement reuse the bulk container power
+        pass.  False forces the per-application fallback loop — the
+        reference the batched path is parity-tested against, and the
+        ``use_snapshots=False`` analogue for benchmarking.
+        """
+        return self._batched
+
+    @batched.setter
+    def batched(self, value: bool) -> None:
+        self._batched = bool(value)
 
     @property
     def applications(self) -> List[Application]:
@@ -90,17 +114,32 @@ class SimulationEngine:
         """
         if max_ticks <= 0:
             raise SimulationError(f"max_ticks must be positive, got {max_ticks}")
+        ecovisor = self._ecovisor
+        ecovisor.batched = self._batched
+        if self._batched:
+            # Precompute the run's solar/carbon/price signals in one
+            # pass: tick k of this run starts at (start + k) * dt, the
+            # same arithmetic the clock uses, so every lookup hits.
+            clock = self._clock
+            times = (
+                clock.tick_index + np.arange(max_ticks)
+            ) * clock.tick_interval_s
+            ecovisor.prime_signal_cache(clock.tick_index, times)
+        else:
+            ecovisor.clear_signal_cache()
+        apps = self._apps
+        observers = self._observers
         executed = 0
         for _ in range(max_ticks):
             tick = self._clock.current_tick()
-            self._ecovisor.begin_tick(tick)
-            self._ecovisor.invoke_app_ticks(tick)
-            for app in self._apps:
+            ecovisor.begin_tick(tick)
+            ecovisor.invoke_app_ticks(tick)
+            for app in apps:
                 app.step(tick, tick.duration_s)
-            fractions = self._ecovisor.settle(tick)
-            for app in self._apps:
+            fractions = ecovisor.settle(tick)
+            for app in apps:
                 app.finish_tick(tick, tick.duration_s, fractions.get(app.name, 1.0))
-            for observer in self._observers:
+            for observer in observers:
                 observer(tick)
             self._clock.advance()
             executed += 1

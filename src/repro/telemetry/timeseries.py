@@ -19,12 +19,24 @@ from repro.core.units import SECONDS_PER_HOUR
 
 
 class Series:
-    """One append-only time series with monotonically increasing times."""
+    """One append-only time series with monotonically increasing times.
+
+    Appends are amortized O(1): points land in plain Python lists, and
+    the numpy views handed out by :meth:`times`/:meth:`values` are built
+    lazily and cached until the next append — per-tick telemetry writes
+    never pay a list-to-array conversion, and repeated reads (exports,
+    ``to_rows`` alignment) reuse one immutable array instead of
+    re-materializing it per call.
+    """
+
+    __slots__ = ("_name", "_times", "_values", "_times_arr", "_values_arr")
 
     def __init__(self, name: str):
         self._name = name
         self._times: List[float] = []
         self._values: List[float] = []
+        self._times_arr: np.ndarray | None = None
+        self._values_arr: np.ndarray | None = None
 
     @property
     def name(self) -> str:
@@ -34,13 +46,16 @@ class Series:
         return len(self._times)
 
     def append(self, time_s: float, value: float) -> None:
-        if self._times and time_s < self._times[-1]:
+        times = self._times
+        if times and time_s < times[-1]:
             raise TraceError(
                 f"series {self._name!r}: non-monotonic append "
-                f"({time_s} after {self._times[-1]})"
+                f"({time_s} after {times[-1]})"
             )
-        self._times.append(float(time_s))
+        times.append(float(time_s))
         self._values.append(float(value))
+        self._times_arr = None
+        self._values_arr = None
 
     def latest(self) -> Tuple[float, float]:
         if not self._times:
@@ -51,16 +66,23 @@ class Series:
         """Points with start_s <= time < end_s as (times, values) arrays."""
         lo = bisect.bisect_left(self._times, start_s)
         hi = bisect.bisect_left(self._times, end_s)
-        return (
-            np.asarray(self._times[lo:hi]),
-            np.asarray(self._values[lo:hi]),
-        )
+        return self.times()[lo:hi], self.values()[lo:hi]
 
     def times(self) -> np.ndarray:
-        return np.asarray(self._times)
+        """All timestamps as a read-only array (cached between appends)."""
+        if self._times_arr is None:
+            arr = np.asarray(self._times)
+            arr.flags.writeable = False
+            self._times_arr = arr
+        return self._times_arr
 
     def values(self) -> np.ndarray:
-        return np.asarray(self._values)
+        """All values as a read-only array (cached between appends)."""
+        if self._values_arr is None:
+            arr = np.asarray(self._values)
+            arr.flags.writeable = False
+            self._values_arr = arr
+        return self._values_arr
 
 
 class TimeSeriesDatabase:
@@ -71,11 +93,20 @@ class TimeSeriesDatabase:
 
     def record(self, name: str, time_s: float, value: float) -> None:
         """Append one point to series ``name`` (created on first write)."""
+        self.series_handle(name).append(time_s, value)
+
+    def series_handle(self, name: str) -> Series:
+        """The (auto-created) series, for hot-path callers to hold onto.
+
+        Per-tick writers (the power monitor, the ecovisor's settlement
+        telemetry) cache these handles so the hot loop appends directly
+        instead of re-resolving ``name`` every tick.
+        """
         series = self._series.get(name)
         if series is None:
             series = Series(name)
             self._series[name] = series
-        series.append(time_s, value)
+        return series
 
     def has_series(self, name: str) -> bool:
         return name in self._series
@@ -143,15 +174,17 @@ class TimeSeriesDatabase:
         if not names:
             return []
         base = self.series(names[0])
+        base_times = base.times()
+        base_values = base.values()
+        others = [
+            (self.series(name).times().tolist(), self.series(name).values())
+            for name in names[1:]
+        ]
         rows = []
-        for i, t in enumerate(base.times()):
-            row = [t, base.values()[i]]
-            for other_name in names[1:]:
-                other = self.series(other_name)
-                times = other.times()
-                idx = min(
-                    bisect.bisect_right(list(times), t) - 1, len(times) - 1
-                )
-                row.append(float(other.values()[idx]) if idx >= 0 else float("nan"))
+        for i, t in enumerate(base_times):
+            row = [float(t), float(base_values[i])]
+            for times, values in others:
+                idx = min(bisect.bisect_right(times, t) - 1, len(times) - 1)
+                row.append(float(values[idx]) if idx >= 0 else float("nan"))
             rows.append(tuple(row))
         return rows

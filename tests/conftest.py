@@ -126,3 +126,15 @@ def run_ticks(ecovisor: Ecovisor, ticks: int, demand_setter=None) -> SimulationC
 @pytest.fixture
 def default_share() -> ShareConfig:
     return ShareConfig(solar_fraction=0.5, battery_fraction=0.5)
+
+
+@pytest.fixture
+def small_fleet_params() -> dict:
+    """A seconds-scale fleet spec for the fleet scenario tests.
+
+    Every random choice in a fleet flows from ``config_digest`` of these
+    parameters (see :mod:`repro.sim.fleet`), so tests built on this
+    fixture are deterministic across processes — the property the
+    serial-vs-parallel sweep parity of ``fleet_*`` rests on.
+    """
+    return {"apps": 10, "ticks": 20, "seed": 2023, "mix": "balanced"}

@@ -114,3 +114,25 @@ class TestLedger:
         ledger = CarbonLedger()
         assert ledger.app_carbon_g("new") == 0.0
         assert ledger.total_energy_wh() == 0.0
+
+
+class TestLedgerValidateFlag:
+    def test_record_validates_by_default(self):
+        bad = settlement(unmet=5.0)  # demand != served + unmet
+        ledger = CarbonLedger()
+        with pytest.raises(EnergyConservationError):
+            ledger.record(bad)
+
+    def test_record_can_skip_revalidation(self):
+        # The ecovisor records settlements the VES already validated;
+        # validate=False must accumulate without re-checking.
+        bad = settlement(unmet=5.0)
+        ledger = CarbonLedger()
+        ledger.record(bad, validate=False)
+        assert ledger.account("app").unmet_wh == 5.0
+
+    def test_settlement_is_slotted(self):
+        s = settlement()
+        assert not hasattr(s, "__dict__")
+        with pytest.raises(AttributeError):
+            object.__setattr__(s, "not_a_field", 1.0)

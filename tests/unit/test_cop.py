@@ -156,3 +156,79 @@ class TestPowerMeasurement:
 
     def test_baseline_power_full_when_empty(self, cop):
         assert cop.baseline_power_w() == pytest.approx(3 * 1.35)
+
+
+class TestBulkPowerMeasurement:
+    def test_container_powers_matches_per_container_calls(self, cop):
+        ids = [cop.launch_container("app", 1).id for _ in range(3)]
+        ids += [cop.launch_container("other", 2).id]
+        for c in cop.containers():
+            c.set_demand_utilization(0.7)
+        bulk = cop.container_powers()
+        assert set(bulk) == set(ids)
+        for container_id in ids:
+            assert bulk[container_id] == cop.container_power_w(container_id)
+
+    def test_app_container_powers_matches_filtered_calls(self, cop):
+        for _ in range(2):
+            cop.launch_container("a", 1)
+        cop.launch_container("b", 1)
+        for c in cop.containers():
+            c.set_demand_utilization(0.5)
+        powers = cop.app_container_powers("a")
+        assert set(powers) == {c.id for c in cop.running_containers_for("a")}
+        for container_id, power in powers.items():
+            assert power == cop.container_power_w(container_id)
+        assert cop.app_container_powers("missing") == {}
+
+    def test_app_power_equals_sum_of_bulk_readings(self, cop):
+        for _ in range(3):
+            cop.launch_container("a", 1)
+        for c in cop.containers():
+            c.set_demand_utilization(0.9)
+        readings = cop.container_powers()
+        expected = sum(
+            readings[c.id] for c in cop.running_containers_for("a")
+        )
+        assert cop.app_power_w("a") == expected
+
+
+class TestPerAppIndex:
+    def test_index_tracks_launch_and_stop(self, cop):
+        c1 = cop.launch_container("a", 1)
+        c2 = cop.launch_container("a", 1)
+        cop.launch_container("b", 1)
+        assert [c.id for c in cop.containers_for("a")] == [c1.id, c2.id]
+        cop.stop_container(c1.id)
+        assert [c.id for c in cop.containers_for("a")] == [c2.id]
+        assert len(cop.containers_for("b")) == 1
+
+    def test_index_preserves_launch_order_after_scaling(self, cop):
+        cop.scale_app_to("a", 3, 1)
+        before = [c.id for c in cop.running_containers_for("a")]
+        cop.scale_app_to("a", 1, 1)  # stops newest first
+        assert [c.id for c in cop.running_containers_for("a")] == before[:1]
+
+    def test_stop_app_clears_index(self, cop):
+        cop.launch_container("a", 1)
+        cop.launch_container("a", 1)
+        cop.stop_app("a")
+        assert cop.containers_for("a") == []
+        assert cop.app_power_w("a") == 0.0
+
+
+class TestCapSurvivesResize:
+    def test_resize_recomputes_cap_clamp(self, cop):
+        c = cop.launch_container("app", 1)
+        cop.set_power_cap(c.id, 1.0)
+        cop.set_container_cores(c.id, 2)
+        c.set_demand_utilization(1.0)
+        idle_floor = 2 / 4 * 1.35
+        assert cop.container_power_w(c.id) <= max(1.0, idle_floor) + 1e-9
+
+    def test_clearing_cap_after_resize(self, cop):
+        c = cop.launch_container("app", 1)
+        cop.set_power_cap(c.id, 1.0)
+        cop.set_container_cores(c.id, 2)
+        cop.set_power_cap(c.id, None)
+        assert c.power_cap_w is None

@@ -132,3 +132,38 @@ class TestServedFractions:
         engine2.run(2)
         fractions = [c[2] for c in hungry.calls if c[0] == "finish"]
         assert all(f == pytest.approx(0.4) for f in fractions)
+
+
+class TestBatchedToggle:
+    def test_batched_by_default_and_primes_cache(self):
+        ecovisor = make_ecovisor()
+        engine = SimulationEngine(ecovisor, SimulationClock(60.0))
+        assert engine.batched is True
+        engine.run(3)
+        assert ecovisor.batched is True
+        assert ecovisor._signal_cache is not None
+
+    def test_unbatched_clears_cache(self):
+        ecovisor = make_ecovisor()
+        engine = SimulationEngine(ecovisor, SimulationClock(60.0), batched=False)
+        engine.run(3)
+        assert ecovisor.batched is False
+        assert ecovisor._signal_cache is None
+
+    def test_toggle_between_runs(self):
+        ecovisor = make_ecovisor()
+        engine = SimulationEngine(ecovisor, SimulationClock(60.0))
+        engine.run(2)
+        engine.batched = False
+        engine.run(2)
+        assert ecovisor._signal_cache is None
+
+    def test_run_past_primed_window_falls_back_to_live(self):
+        # Priming covers max_ticks; a second run re-primes from the
+        # clock's new position, so signals stay correct either way.
+        ecovisor = make_ecovisor(carbon_g_per_kwh=150.0)
+        engine = SimulationEngine(ecovisor, SimulationClock(60.0))
+        engine.run(2)
+        engine.run(2)
+        assert ecovisor.current_carbon_g_per_kwh == 150.0
+        assert len(ecovisor.carbon_service.history()) == 4

@@ -1,0 +1,67 @@
+"""Fleet scenario family: registry, construction, and validation."""
+
+import pytest
+
+from repro.sim import scenarios
+from repro.sim.fleet import POLICY_MIXES, build_fleet, run_fleet
+
+
+class TestRegistry:
+    def test_fleet_family_registered(self):
+        for name in ("fleet_small", "fleet_medium", "fleet_large"):
+            scenario = scenarios.get(name)
+            assert "fleet" in scenario.tags
+            assert set(scenario.defaults) == {"seed", "apps", "ticks", "mix"}
+
+    def test_population_sizes(self):
+        assert scenarios.get("fleet_small").defaults["apps"] == 50
+        assert scenarios.get("fleet_medium").defaults["apps"] == 200
+        assert scenarios.get("fleet_large").defaults["apps"] == 1000
+
+
+class TestBuildFleet:
+    def test_builds_requested_population(self, small_fleet_params):
+        fleet = build_fleet(small_fleet_params)
+        assert len(fleet.applications) == small_fleet_params["apps"]
+        assert fleet.ecovisor.has_market
+        assert fleet.ecovisor.plant.has_solar
+        assert fleet.ecovisor.plant.has_battery
+
+    def test_every_mix_builds(self, small_fleet_params):
+        for mix in POLICY_MIXES:
+            fleet = build_fleet({**small_fleet_params, "mix": mix})
+            assert len(fleet.applications) == small_fleet_params["apps"]
+
+    def test_unknown_mix_rejected(self, small_fleet_params):
+        with pytest.raises(ValueError, match="unknown policy mix"):
+            build_fleet({**small_fleet_params, "mix": "bogus"})
+
+    def test_nonpositive_apps_rejected(self, small_fleet_params):
+        with pytest.raises(ValueError, match="apps must be positive"):
+            build_fleet({**small_fleet_params, "apps": 0})
+
+
+class TestRunFleet:
+    def test_metrics_shape(self, small_fleet_params):
+        metrics = run_fleet(small_fleet_params)
+        assert set(metrics) == {
+            "ticks_executed",
+            "apps",
+            "containers",
+            "completed_jobs",
+            "mean_progress",
+            "energy_wh",
+            "carbon_g",
+            "cost_usd",
+        }
+        assert metrics["ticks_executed"] == float(small_fleet_params["ticks"])
+        assert metrics["apps"] == float(small_fleet_params["apps"])
+        assert metrics["energy_wh"] > 0.0
+        assert metrics["carbon_g"] > 0.0
+        assert metrics["cost_usd"] > 0.0
+        assert 0.0 < metrics["mean_progress"] <= 1.0
+
+    def test_seed_changes_population(self, small_fleet_params):
+        a = run_fleet(small_fleet_params)
+        b = run_fleet({**small_fleet_params, "seed": small_fleet_params["seed"] + 1})
+        assert a != b

@@ -72,6 +72,22 @@ class TestParallelDeterminism:
         assert parallel.jobs == 2
         assert serial.metrics_json() == parallel.metrics_json()
 
+    def test_fleet_family_parallel_matches_serial(self):
+        # The fleet scenarios seed every RNG from config_digest of the
+        # spec parameters, so worker processes rebuild bit-identical
+        # fleets; the sweep table must be byte-identical serial vs
+        # parallel (two seeds -> a two-spec matrix).
+        overrides = {"apps": 8, "ticks": 15, "seed": [2023, 7]}
+        serial = run_sweep("fleet_small", overrides=overrides, jobs=1)
+        parallel = run_sweep("fleet_small", overrides=overrides, jobs=2)
+        assert serial.ok and parallel.ok
+        assert parallel.jobs == 2
+        assert serial.metrics_json() == parallel.metrics_json()
+        for row in serial.table():
+            assert row["apps"] == 8.0
+            assert row["ticks_executed"] == 15.0
+            assert row["energy_wh"] > 0.0
+
     def test_metrics_json_is_canonical(self):
         sweep = run_sweep("smoke", overrides=FAST_SMOKE, jobs=1)
         assert json.loads(sweep.metrics_json()) == json.loads(

@@ -119,3 +119,38 @@ class TestRowExport:
 
     def test_to_rows_empty_names(self):
         assert TimeSeriesDatabase().to_rows([]) == []
+
+
+class TestCachedArrays:
+    def test_arrays_cached_between_appends(self):
+        series = Series("s")
+        series.append(0.0, 1.0)
+        first = series.values()
+        assert series.values() is first  # cached
+        series.append(60.0, 2.0)
+        second = series.values()
+        assert second is not first  # invalidated by the append
+        assert second.tolist() == [1.0, 2.0]
+
+    def test_cached_arrays_are_read_only(self):
+        series = Series("s")
+        series.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.values()[0] = 99.0
+        with pytest.raises(ValueError):
+            series.times()[0] = 99.0
+
+    def test_window_views_reflect_data(self):
+        series = Series("s")
+        for i in range(5):
+            series.append(i * 60.0, float(i))
+        times, values = series.window(60.0, 240.0)
+        assert times.tolist() == [60.0, 120.0, 180.0]
+        assert values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_series_handle_get_or_create(self):
+        db = TimeSeriesDatabase()
+        handle = db.series_handle("x")
+        assert db.series_handle("x") is handle
+        handle.append(0.0, 5.0)
+        assert db.latest("x") == 5.0

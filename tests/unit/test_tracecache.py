@@ -1,0 +1,144 @@
+"""Signal trace cache: primed arrays must equal live samples exactly."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.traces import make_region_trace
+from repro.core.tracecache import build_signal_cache
+from repro.market.prices import make_price_trace
+from repro.sim.experiment import grid_environment, solar_battery_environment
+
+TICKS = 300
+TICK_S = 60.0
+
+
+def _times(n=TICKS, dt=TICK_S, start=0):
+    return (start + np.arange(n)) * dt
+
+
+class TestBitExactness:
+    def test_grid_environment_carbon_and_price(self):
+        env = grid_environment(
+            trace=make_region_trace("caiso", days=1, seed=5),
+            price_trace=make_price_trace("realtime", days=1, seed=5),
+        )
+        times = _times()
+        cache = build_signal_cache(
+            env.plant, env.carbon_service, env.price_signal, 0, times
+        )
+        for i, t in enumerate(times):
+            assert cache.carbon[i] == env.carbon_service.intensity_at(float(t))
+            assert cache.price[i] == env.price_signal.price_at(float(t))
+            assert cache.solar_w[i] == env.plant.solar_power_w(float(t))
+
+    def test_solar_battery_environment_solar(self):
+        env = solar_battery_environment(
+            solar_peak_w=80.0, battery_capacity_wh=100.0, days=1, seed=9
+        )
+        times = _times()
+        cache = build_signal_cache(
+            env.plant, env.carbon_service, env.price_signal, 0, times
+        )
+        assert cache.price is None
+        for i, t in enumerate(times):
+            assert cache.solar_w[i] == env.plant.solar_power_w(float(t))
+
+    def test_scaled_solar_matches(self):
+        env = solar_battery_environment(
+            solar_peak_w=40.0,
+            battery_capacity_wh=50.0,
+            days=1,
+            seed=2,
+            solar_scale=0.37,
+        )
+        times = _times(n=120)
+        cache = build_signal_cache(env.plant, env.carbon_service, None, 0, times)
+        for i, t in enumerate(times):
+            assert cache.solar_w[i] == env.plant.solar_power_w(float(t))
+
+    def test_unknown_trace_type_falls_back_to_scalar(self):
+        class OddTrace:
+            region = "odd"
+
+            def intensity_at(self, time_s):
+                return 100.0 + time_s / 1000.0
+
+        env = grid_environment(trace=make_region_trace("caiso", days=1, seed=5))
+        env.carbon_service._trace = OddTrace()
+        times = _times(n=50)
+        cache = build_signal_cache(env.plant, env.carbon_service, None, 0, times)
+        for i, t in enumerate(times):
+            assert cache.carbon[i] == env.carbon_service.intensity_at(float(t))
+
+
+class TestOffsetLookup:
+    @pytest.fixture
+    def cache(self):
+        env = grid_environment(trace=make_region_trace("caiso", days=1, seed=5))
+        return build_signal_cache(
+            env.plant, env.carbon_service, None, 10, _times(n=20, start=10)
+        )
+
+    def test_hit_inside_window(self, cache):
+        assert cache.offset_for(10, 10 * TICK_S) == 0
+        assert cache.offset_for(29, 29 * TICK_S) == 19
+
+    def test_miss_outside_window(self, cache):
+        assert cache.offset_for(9, 9 * TICK_S) is None
+        assert cache.offset_for(30, 30 * TICK_S) is None
+
+    def test_miss_on_timestamp_mismatch(self, cache):
+        # Right index, wrong wall time: a clock the cache was not primed
+        # for must fall back to live sampling, never read stale signals.
+        assert cache.offset_for(10, 10 * TICK_S + 1.0) is None
+
+    def test_len(self, cache):
+        assert len(cache) == 20
+
+
+class TestServiceRecordObservation:
+    def test_carbon_history_matches_observe(self):
+        base = grid_environment(trace=make_region_trace("caiso", days=1, seed=5))
+        twin = grid_environment(trace=make_region_trace("caiso", days=1, seed=5))
+        for t in (0.0, 60.0, 60.0, 120.0):
+            value = base.carbon_service.observe(t)
+            twin.carbon_service.record_observation(
+                t, twin.carbon_service.intensity_at(t)
+            )
+            assert value == twin.carbon_service.intensity_at(t)
+        assert base.carbon_service.history() == twin.carbon_service.history()
+
+
+class TestSubclassFallback:
+    def test_subclassed_solar_trace_override_is_honored(self):
+        from repro.energy.solar import SolarTrace
+
+        class DeratedTrace(SolarTrace):
+            def irradiance_at(self, time_s):
+                return 0.5 * super().irradiance_at(time_s)
+
+        env = solar_battery_environment(
+            solar_peak_w=60.0, battery_capacity_wh=80.0, days=1, seed=4
+        )
+        env.plant.solar._trace = DeratedTrace(days=1, seed=4)
+        times = _times(n=100)
+        cache = build_signal_cache(env.plant, env.carbon_service, None, 0, times)
+        # The exact-type gate must route subclasses through the scalar
+        # sampler, so the override's derating shows up in the cache.
+        for i, t in enumerate(times):
+            assert cache.solar_w[i] == env.plant.solar_power_w(float(t))
+
+    def test_subclassed_carbon_trace_override_is_honored(self):
+        from repro.carbon.traces import CarbonTrace
+
+        class ShiftedTrace(CarbonTrace):
+            def intensity_at(self, time_s):
+                return super().intensity_at(time_s) + 1.0
+
+        base = make_region_trace("caiso", days=1, seed=5)
+        env = grid_environment(trace=base)
+        env.carbon_service._trace = ShiftedTrace(base.samples, region="caiso")
+        times = _times(n=100)
+        cache = build_signal_cache(env.plant, env.carbon_service, None, 0, times)
+        for i, t in enumerate(times):
+            assert cache.carbon[i] == env.carbon_service.intensity_at(float(t))
