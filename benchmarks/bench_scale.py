@@ -35,9 +35,15 @@ import time
 from pathlib import Path
 from typing import Any, Dict
 
-from repro.sim.fleet import build_fleet
+from repro.sim.fleet import build_churn_fleet, build_fleet
 
 SCHEMA = "bench_scale/v1"
+
+#: Scenario families the benchmark can time.  ``fleet`` is the static
+#: population; ``fleet_churn`` adds the digest-seeded Poisson
+#: admit/evict schedule, timing the control plane's lifecycle path
+#: (admission, share rebalancing, eviction) inside the tick loop.
+SCENARIOS = ("fleet", "fleet_churn")
 
 
 def peak_rss_mb() -> float:
@@ -48,17 +54,31 @@ def peak_rss_mb() -> float:
     return rss_kib / 1024.0
 
 
-def entry_key(apps: int, ticks: int, mix: str) -> str:
-    return f"apps={apps},ticks={ticks},mix={mix}"
+def entry_key(apps: int, ticks: int, mix: str, scenario: str = "fleet") -> str:
+    base = f"apps={apps},ticks={ticks},mix={mix}"
+    if scenario != "fleet":
+        return f"scenario={scenario},{base}"
+    return base
 
 
 def time_fleet_run(
-    apps: int, ticks: int, mix: str, seed: int, batched: bool
+    apps: int,
+    ticks: int,
+    mix: str,
+    seed: int,
+    batched: bool,
+    scenario: str = "fleet",
 ) -> Dict[str, float]:
-    """Build one fleet and time ``engine.run`` alone."""
-    fleet = build_fleet(
-        {"apps": apps, "ticks": ticks, "seed": seed, "mix": mix, "batched": batched}
-    )
+    """Build one fleet (static or churn) and time ``engine.run`` alone."""
+    params = {
+        "apps": apps,
+        "ticks": ticks,
+        "seed": seed,
+        "mix": mix,
+        "batched": batched,
+    }
+    builder = build_churn_fleet if scenario == "fleet_churn" else build_fleet
+    fleet = builder(params)
     started = time.perf_counter()
     executed = fleet.engine.run(ticks)
     wall_s = time.perf_counter() - started
@@ -75,11 +95,15 @@ def run_benchmark(
     mix: str = "balanced",
     seed: int = 2023,
     skip_unbatched: bool = False,
+    scenario: str = "fleet",
 ) -> Dict[str, Any]:
-    batched = time_fleet_run(apps, ticks, mix, seed, batched=True)
+    if scenario not in SCENARIOS:
+        raise SystemExit(f"unknown scenario {scenario!r}; known: {SCENARIOS}")
+    batched = time_fleet_run(apps, ticks, mix, seed, batched=True, scenario=scenario)
     wall_s = batched["wall_s"]
     result: Dict[str, Any] = {
         "schema": SCHEMA,
+        "scenario": scenario,
         "apps": apps,
         "ticks": ticks,
         "mix": mix,
@@ -91,7 +115,9 @@ def run_benchmark(
         "peak_rss_mb": peak_rss_mb(),
     }
     if not skip_unbatched:
-        unbatched = time_fleet_run(apps, ticks, mix, seed, batched=False)
+        unbatched = time_fleet_run(
+            apps, ticks, mix, seed, batched=False, scenario=scenario
+        )
         result["unbatched_wall_s"] = unbatched["wall_s"]
         result["speedup_vs_unbatched"] = unbatched["wall_s"] / wall_s
     return result
@@ -99,7 +125,8 @@ def run_benchmark(
 
 def print_table(result: Dict[str, Any]) -> None:
     print(
-        f"\n=== fleet tick loop: {result['apps']} apps x {result['ticks']} ticks "
+        f"\n=== {result.get('scenario', 'fleet')} tick loop: "
+        f"{result['apps']} apps x {result['ticks']} ticks "
         f"({result['containers']:.0f} containers, mix={result['mix']}) ==="
     )
     print(f"{'wall time':>22s}: {result['wall_s']:.3f} s")
@@ -126,7 +153,10 @@ def check_against_baseline(
     result: Dict[str, Any], path: Path, max_regression: float
 ) -> int:
     """Exit status 0 if within budget, 1 on regression or missing entry."""
-    key = entry_key(result["apps"], result["ticks"], result["mix"])
+    key = entry_key(
+        result["apps"], result["ticks"], result["mix"],
+        result.get("scenario", "fleet"),
+    )
     baseline = load_baseline(path).get("entries", {}).get(key)
     if baseline is None:
         print(f"FAIL: no baseline entry {key!r} in {path}", file=sys.stderr)
@@ -151,7 +181,10 @@ def check_against_baseline(
 
 def write_baseline(result: Dict[str, Any], path: Path) -> None:
     data = load_baseline(path)
-    key = entry_key(result["apps"], result["ticks"], result["mix"])
+    key = entry_key(
+        result["apps"], result["ticks"], result["mix"],
+        result.get("scenario", "fleet"),
+    )
     data["entries"][key] = result
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     print(f"baseline entry {key!r} written to {path}")
@@ -163,6 +196,13 @@ def main() -> None:
     parser.add_argument("--ticks", type=int, default=120)
     parser.add_argument("--mix", type=str, default="balanced")
     parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--scenario",
+        type=str,
+        default="fleet",
+        choices=SCENARIOS,
+        help="fleet (static population) or fleet_churn (Poisson admit/evict)",
+    )
     parser.add_argument("--out", type=str, default=None, help="JSON output path")
     parser.add_argument(
         "--check",
@@ -194,6 +234,7 @@ def main() -> None:
         mix=args.mix,
         seed=args.seed,
         skip_unbatched=args.skip_unbatched,
+        scenario=args.scenario,
     )
     print_table(result)
     if args.out:

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Dynamic tenancy: admit, rebalance, and evict a tenant mid-run.
+
+Control plane v1.1 makes the tenant population dynamic. This example
+drives the whole lifecycle from *outside* the ecovisor through the
+typed Python SDK (`repro.client`) over the REST transport:
+
+1. run a one-tenant simulation for an hour of simulated time,
+2. admit a second tenant mid-run (`EcovisorAdminClient.admit_app`),
+   launch its container through its own `EcovisorClient`,
+3. rebalance its energy share (`set_share` — takes effect at the next
+   tick boundary),
+4. tail its `AppAdmitted` / `ShareChanged` signals from the cursor-paged
+   event feed (`GET /v1/apps/{app}/events?cursor=N`),
+5. evict it and print the finalized ledger account.
+
+Run:  python examples/dynamic_tenancy.py
+"""
+
+from repro.client import EcovisorAdminClient, EcovisorClient
+from repro.core.config import ShareConfig
+from repro.market.prices import make_price_trace
+from repro.policies import CarbonAgnosticPolicy
+from repro.rest import EcovisorRestServer
+from repro.sim.experiment import solar_battery_environment
+from repro.workloads.mltrain import MLTrainingJob
+
+
+def main() -> None:
+    # A solar + battery + grid plant with a time-of-use market attached.
+    env = solar_battery_environment(
+        solar_peak_w=30.0,
+        battery_capacity_wh=100.0,
+        days=1,
+        price_trace=make_price_trace("tou", days=1),
+    )
+    env.engine.add_application(
+        MLTrainingJob(name="anchor", total_work_units=1e9),
+        ShareConfig(solar_fraction=0.5, battery_fraction=0.5),
+        CarbonAgnosticPolicy(workers=2),
+    )
+
+    # The REST server is the SDK's transport; an external controller
+    # would speak HTTP to the same surface.
+    server = EcovisorRestServer(env.ecovisor)
+    admin = EcovisorAdminClient(server)
+
+    print("=== hour 1: the anchor tenant runs alone ===")
+    env.engine.run(60)
+    for share in admin.list_apps():
+        print(f"  {share.name}: solar={share.solar_fraction:.0%} "
+              f"battery={share.battery_fraction:.0%}")
+
+    print("\n=== admitting 'guest' mid-run ===")
+    admin.admit_app("guest", solar_fraction=0.2, battery_fraction=0.2)
+    guest = EcovisorClient(server, "guest")
+    worker = guest.launch_container(cores=1)
+    print(f"  guest admitted with container {worker.id}")
+
+    # Rebalance: stage a larger solar share; it takes effect at the
+    # next tick boundary, where ShareChanged is published.
+    effective_at = admin.set_share("guest", solar_fraction=0.4)
+    print(f"  share rebalance staged (effective at tick {effective_at})")
+
+    env.engine.run(60)  # hour 2: both tenants share the plant
+
+    state = guest.state()
+    print(f"\n=== guest after an hour (tick {state.tick_index}) ===")
+    print(f"  solar {state.solar_power_w:.2f} W, "
+          f"grid {state.grid_power_w:.2f} W, "
+          f"carbon {state.total_carbon_g:.3f} g, "
+          f"cost ${state.total_cost_usd:.4f}")
+
+    # Tail the guest's event feed from the beginning: admission, the
+    # share rebalance, and any energy signals, in publish order.
+    page = guest.events(cursor=0)
+    print(f"\n=== guest event feed ({len(page.events)} events) ===")
+    for event in page.events:
+        print(f"  t={event.time_s:7.0f}s  {type(event).__name__}")
+
+    print("\n=== evicting guest ===")
+    account = admin.evict_app("guest")
+    print(f"  finalized: energy {account['energy_wh']:.3f} Wh, "
+          f"carbon {account['carbon_g']:.3f} g, "
+          f"cost ${account['cost_usd']:.4f} "
+          f"({account['settlements']} settlements)")
+
+    # The feed outlives the tenant: the terminal AppEvictedEvent is
+    # still readable at the old cursor.
+    tail = guest.events(cursor=page.next_cursor)
+    for event in tail.events:
+        print(f"  t={event.time_s:7.0f}s  {type(event).__name__} (terminal)")
+
+    env.engine.run(30)  # the anchor tenant keeps running
+
+
+if __name__ == "__main__":
+    main()

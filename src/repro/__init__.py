@@ -59,6 +59,8 @@ _EXPORTS = {
     # harness
     "SimulationEngine": "repro.sim.engine",
     "EcovisorRestServer": "repro.rest.server",
+    "EcovisorClient": "repro.client.sdk",
+    "EcovisorAdminClient": "repro.client.sdk",
     # extensions
     "GeoCoordinator": "repro.geo.coordinator",
     "SharedWorkPool": "repro.geo.coordinator",

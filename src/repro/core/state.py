@@ -69,6 +69,11 @@ class BatteryState:
             "is_empty": self.is_empty,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BatteryState":
+        """Inverse of :meth:`to_dict` (client SDK reconstruction)."""
+        return cls(**{key: payload[key] for key in cls.__slots__})
+
 
 def _freeze_mapping(mapping: Mapping[str, float]) -> Mapping[str, float]:
     if isinstance(mapping, MappingProxyType):
@@ -181,6 +186,33 @@ class EnergyState:
             total_carbon_g=total_carbon_g,
             total_cost_usd=total_cost_usd,
             settled=True,
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EnergyState":
+        """Inverse of :meth:`to_dict`.
+
+        The client SDK uses this to hand callers the same frozen
+        ``EnergyState`` type an in-process ``api.state()`` returns; the
+        round-trip is lossless, which is what the SDK parity test pins.
+        """
+        battery = payload.get("battery")
+        return cls(
+            app_name=payload["app_name"],
+            tick_index=payload["tick_index"],
+            time_s=payload["time_s"],
+            duration_s=payload["duration_s"],
+            solar_power_w=payload["solar_power_w"],
+            grid_carbon_g_per_kwh=payload["grid_carbon_g_per_kwh"],
+            grid_price_usd_per_kwh=payload["grid_price_usd_per_kwh"],
+            has_market=payload["has_market"],
+            grid_power_w=payload["grid_power_w"],
+            battery=BatteryState.from_dict(battery) if battery else None,
+            container_power_w=dict(payload["container_power_w"]),
+            total_energy_wh=payload["total_energy_wh"],
+            total_carbon_g=payload["total_carbon_g"],
+            total_cost_usd=payload["total_cost_usd"],
+            settled=payload["settled"],
         )
 
     def to_dict(self) -> Dict[str, Any]:

@@ -148,6 +148,27 @@ class VirtualBattery:
         """Record the combined charge power for the tick (solar + grid)."""
         self._last_charge_w = total_accepted_w
 
+    def rescaled(
+        self, physical_config: BatteryConfig, fraction: float
+    ) -> "VirtualBattery":
+        """A new virtual battery holding ``fraction`` of the physical bank.
+
+        Used by share rebalancing (:meth:`Ecovisor.set_share`): the new
+        share inherits this battery's absolute stored energy (clamped to
+        the new capacity — energy beyond a shrunken share returns to the
+        unallocated pool) and the application's charge-rate and
+        max-discharge knobs, re-clamped to the new physical limits.
+        """
+        rescaled = VirtualBattery(physical_config, fraction)
+        rescaled._battery.set_level_wh(self._battery.level_wh)
+        rescaled.set_charge_rate(self._charge_rate_w)
+        if self._max_discharge_w < self._battery.max_discharge_power_w:
+            # The app lowered the knob below its old physical limit:
+            # keep the explicit cap.  An untouched knob (== the old
+            # limit) tracks the new share's physical limit instead.
+            rescaled.set_max_discharge(self._max_discharge_w)
+        return rescaled
+
     def __repr__(self) -> str:
         return (
             f"VirtualBattery(share={self._fraction:.0%}, "

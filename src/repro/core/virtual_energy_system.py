@@ -90,6 +90,22 @@ class VirtualEnergySystem:
         self._current_solar_w = physical_solar_w * self._share.solar_fraction
         return self._current_solar_w
 
+    def set_share(
+        self, share: ShareConfig, virtual_battery: Optional[VirtualBattery]
+    ) -> None:
+        """Rebalance this system to a new share (applied by the ecovisor).
+
+        The ecovisor validates aggregate allocations and builds the
+        rescaled virtual battery (or ``None`` when the new share drops
+        the battery) before calling; this only swaps the views.  The
+        current tick's virtual solar is left untouched — the new solar
+        fraction takes effect at the next ``update_solar``, i.e. the
+        next tick boundary.
+        """
+        share.validate()
+        self._share = share
+        self._battery = virtual_battery
+
     def settle(
         self,
         demand_w: float,

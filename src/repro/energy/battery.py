@@ -156,6 +156,18 @@ class Battery:
         self._cycle_throughput_wh += output_wh
         return power_w(output_wh, duration_s)
 
+    def set_level_wh(self, level_wh: float) -> None:
+        """Set the absolute stored energy, clamped to [0, capacity].
+
+        A controller operation, not an energy flow: the throughput and
+        cycle meters are untouched.  Used when a virtual battery is
+        rescaled to a new share of the physical bank — the rescaled
+        model inherits the stored energy the share can hold.
+        """
+        if level_wh < 0:
+            raise ValueError(f"level must be >= 0, got {level_wh}")
+        self._level_wh = clamp(level_wh, 0.0, self._config.capacity_wh)
+
     def max_discharge_energy_wh(self, duration_s: float) -> float:
         """Most terminal energy deliverable over a window of ``duration_s``."""
         rate_limited = energy_wh(self.max_discharge_power_w, duration_s)

@@ -3,8 +3,13 @@
 The prototype "runs on an external server and exposes a REST API to
 applications" (paper Section 4).  This module reproduces the API's shape
 in-process: JSON-dict requests dispatched by (method, path) to handlers,
-with path parameters, JSON bodies, and HTTP-like status codes — without
-a network dependency, so the full surface is unit-testable.
+with path parameters, query strings, JSON bodies, and HTTP-like status
+codes — without a network dependency, so the full surface is
+unit-testable.
+
+Dispatch semantics follow HTTP: an unknown path is ``404``; a known path
+reached with the wrong method is ``405 Method Not Allowed`` carrying an
+``Allow`` header that lists the methods the path does serve.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl
 
 from repro.core.errors import (
     AuthorizationError,
@@ -28,12 +34,18 @@ _PARAM_PATTERN = re.compile(r"\{(\w+)\}")
 
 @dataclass(frozen=True)
 class Request:
-    """One API request."""
+    """One API request.
+
+    ``params`` are path parameters (``{app}``-style segments); ``query``
+    holds the parsed query string (``?cursor=3``) with string values,
+    last occurrence winning.
+    """
 
     method: str
     path: str
     params: Dict[str, str] = field(default_factory=dict)
     body: Dict[str, Any] = field(default_factory=dict)
+    query: Dict[str, str] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -68,13 +80,17 @@ class Route:
         regex = _PARAM_PATTERN.sub(r"(?P<\1>[^/]+)", pattern)
         self._regex = re.compile(f"^{regex}$")
 
-    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
-        if method.upper() != self.method:
-            return None
+    def match_path(self, path: str) -> Optional[Dict[str, str]]:
+        """Path parameters if ``path`` matches the pattern (any method)."""
         found = self._regex.match(path)
         if found is None:
             return None
         return found.groupdict()
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        if method.upper() != self.method:
+            return None
+        return self.match_path(path)
 
 
 class Router:
@@ -89,20 +105,45 @@ class Router:
     def routes(self) -> List[Tuple[str, str]]:
         return [(r.method, r.pattern) for r in self._routes]
 
+    def route_table(self) -> List[Tuple[str, str, str]]:
+        """Every route as ``(method, pattern, backing_call)``.
+
+        The backing call is the handler's name with any leading
+        underscore stripped — the identifier the docs route table and
+        the ``repro routes`` CLI subcommand print.
+        """
+        return [
+            (r.method, r.pattern, getattr(r.handler, "__name__", "?").lstrip("_"))
+            for r in self._routes
+        ]
+
     def dispatch(
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Response:
         """Route a request; maps library errors onto HTTP status codes.
 
-        A handler may return a full :class:`Response` (redirects, custom
-        statuses); any other return value becomes a 200 body.
+        ``path`` may carry a query string (``/x?cursor=3``), parsed into
+        ``Request.query``.  A handler may return a full
+        :class:`Response` (redirects, custom statuses); any other return
+        value becomes a 200 body.
         """
+        path, _, query_string = path.partition("?")
+        query = dict(parse_qsl(query_string)) if query_string else {}
+        method = method.upper()
+        allowed: List[str] = []
         for route in self._routes:
-            params = route.match(method, path)
+            params = route.match_path(path)
             if params is None:
                 continue
+            if route.method != method:
+                allowed.append(route.method)
+                continue
             request = Request(
-                method=method.upper(), path=path, params=params, body=body or {}
+                method=method,
+                path=path,
+                params=params,
+                body=body or {},
+                query=query,
             )
             try:
                 result = route.handler(request)
@@ -117,4 +158,10 @@ class Router:
             if isinstance(result, Response):
                 return result
             return Response(200, result)
+        if allowed:
+            return Response(
+                405,
+                {"error": f"method {method} not allowed for {path}"},
+                headers={"Allow": ", ".join(sorted(set(allowed)))},
+            )
         return Response(404, {"error": f"no route for {method} {path}"})

@@ -17,6 +17,13 @@ getter-per-field polling the unversioned surface encouraged.  Legacy
 unversioned paths answer ``301 Moved Permanently`` with a ``Location``
 header pointing at the ``/v1`` equivalent.
 
+Control plane v1.1 adds the **admin namespace** (dynamic application
+lifecycle — no legacy twin, so only under ``/v1/admin``) and the
+**event feed**: ``GET /v1/apps/{app}/events?cursor=N`` is a cursor-paged
+read of the application's bounded event journal, letting an external
+controller tail the signals the in-process ``SignalBus`` delivered
+without holding a callback in this process.
+
 Routes (all under ``/v1``):
 
 ==========  =============================================  ===================
@@ -37,16 +44,27 @@ DELETE      /v1/apps/{app}/containers/{cid}                 stop container
 GET         /v1/apps/{app}/containers/{cid}/power           state.container_power_w
 GET         /v1/apps/{app}/containers/{cid}/powercap        get_container_powercap
 POST        /v1/apps/{app}/containers/{cid}/powercap        set_container_powercap
+POST        /v1/apps/{app}/containers/{cid}/cores           set_container_cores
 POST        /v1/apps/{app}/scale                            horizontal scale
+GET         /v1/apps/{app}/events                           ecovisor.events_for
+GET         /v1/admin/apps                                  ecovisor.app_shares
+POST        /v1/admin/apps                                  ecovisor.admit_app
+GET         /v1/admin/apps/{app}                            ecovisor.share_for
+PATCH       /v1/admin/apps/{app}                            ecovisor.set_share
+DELETE      /v1/admin/apps/{app}                            ecovisor.evict_app
 ==========  =============================================  ===================
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
+from urllib.parse import urlencode
 
+from repro.core.accounting import AppAccount
 from repro.core.api import EcovisorAPI, connect
+from repro.core.config import ShareConfig
 from repro.core.ecovisor import Ecovisor
+from repro.core.events import AppEvictedEvent, event_to_dict
 from repro.rest.router import Request, Response, Router
 
 _MISSING = object()
@@ -74,6 +92,22 @@ def _body_field(request: Request, name: str, cast: Callable, default: Any = _MIS
         raise ValueError(f"malformed field {name!r}: {exc}") from None
 
 
+def _query_field(request: Request, name: str, cast: Callable, default: Any = _MISSING):
+    """Extract and convert one query-string parameter (400 on bad input).
+
+    The missing-value default is returned *uncast*, so ``default=None``
+    means "parameter absent" rather than ``cast(None)``.
+    """
+    if name not in request.query:
+        if default is not _MISSING:
+            return default
+        raise ValueError(f"missing query parameter: {name!r}")
+    try:
+        return cast(request.query[name])
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"malformed query parameter {name!r}: {exc}") from None
+
+
 class EcovisorRestServer:
     """In-process REST facade over an :class:`Ecovisor`."""
 
@@ -82,6 +116,14 @@ class EcovisorRestServer:
         self._apis: Dict[str, EcovisorAPI] = {}
         self._router = Router()
         self._install_routes()
+        # Invalidate the cached per-app API handle on *any* eviction —
+        # in-process, engine-scheduled, or via this server's own admin
+        # route — so a re-admission under the same name binds a fresh
+        # virtual energy system instead of the evicted one.
+        ecovisor.events.subscribe(AppEvictedEvent, self._on_app_evicted)
+
+    def _on_app_evicted(self, event: AppEvictedEvent) -> None:
+        self._apis.pop(event.app_name, None)
 
     @property
     def router(self) -> Router:
@@ -122,11 +164,19 @@ class EcovisorRestServer:
 
     def _redirect_to_v1(self, request: Request) -> Response:
         location = API_PREFIX + request.path
+        if request.query:
+            # Preserve the query string (e.g. the event feed's cursor)
+            # across the redirect, as an HTTP 301 would.
+            location += "?" + urlencode(request.query)
         return Response(
             301,
             {"error": "moved permanently", "location": location},
             headers={"Location": location},
         )
+
+    def _add_admin(self, method: str, pattern: str, handler) -> None:
+        """Register an admin route (v1-only: no legacy twin to redirect)."""
+        self._router.add(method, API_PREFIX + pattern, handler)
 
     def _install_routes(self) -> None:
         self._add("GET", "/apps/{app}/state", self._get_state)
@@ -144,7 +194,14 @@ class EcovisorRestServer:
         self._add("GET", "/apps/{app}/containers/{cid}/power", self._container_power)
         self._add("GET", "/apps/{app}/containers/{cid}/powercap", self._get_powercap)
         self._add("POST", "/apps/{app}/containers/{cid}/powercap", self._set_powercap)
+        self._add("POST", "/apps/{app}/containers/{cid}/cores", self._set_cores)
         self._add("POST", "/apps/{app}/scale", self._scale)
+        self._add("GET", "/apps/{app}/events", self._app_events)
+        self._add_admin("GET", "/admin/apps", self._admin_list_apps)
+        self._add_admin("POST", "/admin/apps", self._admin_admit_app)
+        self._add_admin("GET", "/admin/apps/{app}", self._admin_get_app)
+        self._add_admin("PATCH", "/admin/apps/{app}", self._admin_set_share)
+        self._add_admin("DELETE", "/admin/apps/{app}", self._admin_evict_app)
 
     # Snapshot route: the whole Table 1 observation surface in one call.
     def _get_state(self, request: Request):
@@ -239,6 +296,13 @@ class EcovisorRestServer:
         )
         return {"ok": True}
 
+    def _set_cores(self, request: Request):
+        api = self._api(request.params["app"])
+        api.set_container_cores(
+            request.params["cid"], _body_field(request, "cores", float)
+        )
+        return {"ok": True}
+
     def _scale(self, request: Request):
         api = self._api(request.params["app"])
         containers = api.scale_to(
@@ -248,3 +312,110 @@ class EcovisorRestServer:
             role=str(request.body.get("role", "worker")),
         )
         return {"containers": [c.id for c in containers]}
+
+    # ------------------------------------------------------------------
+    # Event feed (control plane v1.1)
+    # ------------------------------------------------------------------
+    def _app_events(self, request: Request):
+        cursor = _query_field(request, "cursor", int, default=0)
+        limit = _query_field(request, "limit", int, default=None)
+        page = self._ecovisor.events_for(
+            request.params["app"], cursor=cursor, limit=limit
+        )
+        return {
+            "app_name": page.app_name,
+            "events": [event_to_dict(event) for event in page.events],
+            "next_cursor": page.next_cursor,
+            "dropped": page.dropped,
+        }
+
+    # ------------------------------------------------------------------
+    # Admin namespace: dynamic application lifecycle
+    # ------------------------------------------------------------------
+    def _share_body(
+        self, request: Request, current: Optional[ShareConfig]
+    ) -> ShareConfig:
+        """A ShareConfig from body fields, defaulting to ``current``'s."""
+        base = current or ShareConfig()
+        return ShareConfig(
+            solar_fraction=_body_field(
+                request, "solar_fraction", float, default=base.solar_fraction
+            ),
+            battery_fraction=_body_field(
+                request, "battery_fraction", float, default=base.battery_fraction
+            ),
+            grid_power_w=_body_field(
+                request, "grid_power_w", float, default=base.grid_power_w
+            ),
+        )
+
+    def _admin_list_apps(self, request: Request):
+        return {
+            "apps": [
+                {"name": name, **_share_to_dict(share)}
+                for name, share in self._ecovisor.app_shares().items()
+            ]
+        }
+
+    def _admin_get_app(self, request: Request):
+        name = request.params["app"]
+        share = self._ecovisor.share_for(name)
+        pending = self._ecovisor.pending_share(name)
+        return {
+            "name": name,
+            **_share_to_dict(share),
+            "pending_share": _share_to_dict(pending) if pending else None,
+        }
+
+    def _admin_admit_app(self, request: Request):
+        name = str(_body_field(request, "name", str))
+        share = self._share_body(request, current=None)
+        self._ecovisor.admit_app(name, share)
+        return Response(201, {"name": name, **_share_to_dict(share)})
+
+    def _admin_set_share(self, request: Request):
+        name = request.params["app"]
+        # Partial fields default from the *staged* share when one is
+        # pending, so two PATCHes between tick boundaries compose
+        # instead of the second silently reverting the first.
+        current = self._ecovisor.pending_share(name) or self._ecovisor.share_for(
+            name
+        )
+        share = self._share_body(request, current=current)
+        self._ecovisor.set_share(name, share)
+        return {
+            "name": name,
+            **_share_to_dict(share),
+            # Rebalances take effect at the next tick boundary.
+            "effective_at_tick": self._ecovisor.next_tick_index,
+        }
+
+    def _admin_evict_app(self, request: Request):
+        name = request.params["app"]
+        account = self._ecovisor.evict_app(name)
+        return {"name": name, "account": _account_to_dict(account)}
+
+
+def _share_to_dict(share: ShareConfig) -> Dict[str, float]:
+    return {
+        "solar_fraction": share.solar_fraction,
+        "battery_fraction": share.battery_fraction,
+        "grid_power_w": share.grid_power_w,
+    }
+
+
+def _account_to_dict(account: AppAccount) -> Dict[str, Any]:
+    """JSON form of a (finalized) ledger account."""
+    return {
+        "app_name": account.app_name,
+        "energy_wh": account.energy_wh,
+        "solar_wh": account.solar_wh,
+        "battery_wh": account.battery_wh,
+        "grid_wh": account.grid_wh,
+        "carbon_g": account.carbon_g,
+        "cost_usd": account.cost_usd,
+        "curtailed_wh": account.curtailed_wh,
+        "unmet_wh": account.unmet_wh,
+        "finalized": account.finalized,
+        "settlements": len(account.settlements),
+    }

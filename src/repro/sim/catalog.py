@@ -369,6 +369,33 @@ def run_fleet_large(params: Dict[str, Any]) -> Dict[str, Any]:
 
 
 @register(
+    "fleet_churn",
+    description=(
+        "Dynamic tenancy (control plane v1.1): a static fleet plus "
+        "Poisson tenant arrivals/departures and mid-run share "
+        "rebalances, all scheduled deterministically from config_digest "
+        "of the parameters (see repro.sim.fleet.build_churn_fleet). "
+        "Metrics span evicted tenants' finalized accounts, so the "
+        "sweep pins the whole lifecycle path."
+    ),
+    defaults={
+        "seed": 2023,
+        "apps": 40,
+        "ticks": 120,
+        "mix": "balanced",
+        "admit_rate": 0.4,
+        "evict_rate": 0.3,
+    },
+    tags=("fleet", "scale", "churn"),
+)
+def run_fleet_churn(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One churn fleet run; see :func:`repro.sim.fleet.run_fleet_churn`."""
+    from repro.sim.fleet import run_fleet_churn
+
+    return run_fleet_churn(params)
+
+
+@register(
     "extension_geo",
     description=(
         "Extension (paper Section 7): geo-distributed coordination of "

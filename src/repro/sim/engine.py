@@ -17,19 +17,29 @@ protocol (Section 3.1).  One engine tick performs, in order:
 
 The engine stops at ``max_ticks`` or, optionally, as soon as every
 tracked batch job has completed.
+
+Control plane v1.1 makes the tenant population dynamic: applications can
+be admitted, rebalanced, and evicted **mid-run** — immediately (through
+``add_application`` / ``remove_application``, or externally through the
+REST admin namespace) or on a schedule (``schedule_admission`` /
+``schedule_share_change`` / ``schedule_eviction``), with scheduled
+operations applied at the top of their tick, before ``begin_tick``, so
+an admitted application participates in that tick's full protocol.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.accounting import AppAccount
 from repro.core.api import EcovisorAPI, connect
 from repro.core.clock import SimulationClock, TickInfo
 from repro.core.config import ShareConfig
 from repro.core.ecovisor import Ecovisor
 from repro.core.errors import SimulationError
+from repro.core.events import AppEvictedEvent
 from repro.policies.base import Policy
 from repro.workloads.base import Application
 
@@ -52,6 +62,19 @@ class SimulationEngine:
         self._apps: List[Application] = []
         self._observers: List[TickObserver] = []
         self._batched = batched
+        # Scheduled lifecycle operations, keyed by tick index.  Each
+        # tick processes evictions, then share changes, then admissions
+        # (frees capacity before granting it), in scheduling order.
+        self._scheduled_evictions: Dict[int, List[str]] = {}
+        self._scheduled_share_changes: Dict[int, List[Tuple[str, ShareConfig]]] = {}
+        self._scheduled_admissions: Dict[
+            int, List[Tuple[Application, ShareConfig, Optional[Policy]]]
+        ] = {}
+        self._evicted_accounts: Dict[str, AppAccount] = {}
+        # Track evictions at the source: whichever path evicts (this
+        # engine, the REST admin namespace, or direct Ecovisor calls),
+        # the Application must stop being stepped and counted.
+        ecovisor.events.subscribe(AppEvictedEvent, self._on_app_evicted)
 
     @property
     def ecovisor(self) -> Ecovisor:
@@ -87,14 +110,104 @@ class SimulationEngine:
         share: ShareConfig,
         policy: Optional[Policy] = None,
     ) -> EcovisorAPI:
-        """Register an application (and optionally its policy) for the run."""
-        self._ecovisor.register_app(app.name, share)
+        """Admit an application (and optionally its policy).
+
+        Works both before the run and mid-run: admission goes through
+        ``Ecovisor.admit_app``, so an ``AppAdmittedEvent`` is published
+        and a mid-run admission joins the in-flight tick's settlement.
+        """
+        self._ecovisor.admit_app(app.name, share)
         api = connect(self._ecovisor, app.name)
         app.bind(api)
         if policy is not None:
             policy.attach(app, api)
         self._apps.append(app)
         return api
+
+    def _on_app_evicted(self, event: AppEvictedEvent) -> None:
+        """Unregister an evicted Application, whoever triggered it.
+
+        Runs synchronously inside ``Ecovisor.evict_app`` (before any
+        re-admission can reopen the account), so the finalized account
+        stored here is the evicted tenant's.  When a name is re-admitted
+        and evicted again, the latest life wins in this name-keyed dict;
+        displaced lives remain in ``ledger.archived_accounts``.
+        """
+        self._apps = [app for app in self._apps if app.name != event.app_name]
+        self._evicted_accounts[event.app_name] = self._ecovisor.ledger.account(
+            event.app_name
+        )
+
+    def remove_application(self, name: str) -> AppAccount:
+        """Evict an application mid-run; returns its finalized account.
+
+        The application stops receiving ``step``/``finish_tick`` calls,
+        its containers are stopped, and its solar/battery share returns
+        to the admission pool (``Ecovisor.evict_app``; the same cleanup
+        runs for evictions issued outside this engine, e.g. through the
+        REST admin namespace).
+        """
+        return self._ecovisor.evict_app(name)
+
+    # ------------------------------------------------------------------
+    # Scheduled lifecycle (applied at the top of the target tick)
+    # ------------------------------------------------------------------
+    def schedule_admission(
+        self,
+        tick_index: int,
+        app: Application,
+        share: ShareConfig,
+        policy: Optional[Policy] = None,
+    ) -> None:
+        """Admit ``app`` at the start of tick ``tick_index``."""
+        self._scheduled_admissions.setdefault(tick_index, []).append(
+            (app, share, policy)
+        )
+
+    def schedule_eviction(self, tick_index: int, app_name: str) -> None:
+        """Evict ``app_name`` at the start of tick ``tick_index``."""
+        self._scheduled_evictions.setdefault(tick_index, []).append(app_name)
+
+    def schedule_share_change(
+        self, tick_index: int, app_name: str, share: ShareConfig
+    ) -> None:
+        """Rebalance ``app_name`` to ``share`` at tick ``tick_index``.
+
+        The change is staged via ``Ecovisor.set_share`` at the top of
+        the tick, so it is effective for that same tick's ``begin_tick``.
+        """
+        self._scheduled_share_changes.setdefault(tick_index, []).append(
+            (app_name, share)
+        )
+
+    @property
+    def evicted_accounts(self) -> Dict[str, AppAccount]:
+        """Finalized accounts of applications evicted through this engine."""
+        return dict(self._evicted_accounts)
+
+    def _process_scheduled(self, tick_index: int) -> None:
+        """Apply lifecycle operations scheduled at or before this tick.
+
+        Evictions and share changes targeting an application that is no
+        longer registered (evicted earlier — by another schedule entry
+        or an external controller) are silently skipped: one stale
+        entry must not abort the run for every other tenant.
+        Admissions stay strict (a duplicate name is a real error).
+        """
+        ecovisor = self._ecovisor
+        for due in sorted(k for k in self._scheduled_evictions if k <= tick_index):
+            for name in self._scheduled_evictions.pop(due):
+                if ecovisor.has_app(name):
+                    self.remove_application(name)
+        for due in sorted(
+            k for k in self._scheduled_share_changes if k <= tick_index
+        ):
+            for name, share in self._scheduled_share_changes.pop(due):
+                if ecovisor.has_app(name):
+                    ecovisor.set_share(name, share)
+        for due in sorted(k for k in self._scheduled_admissions if k <= tick_index):
+            for app, share, policy in self._scheduled_admissions.pop(due):
+                self.add_application(app, share, policy)
 
     def add_observer(self, observer: TickObserver) -> None:
         """Call ``observer`` at the end of every tick (for custom probes)."""
@@ -127,13 +240,22 @@ class SimulationEngine:
             ecovisor.prime_signal_cache(clock.tick_index, times)
         else:
             ecovisor.clear_signal_cache()
-        apps = self._apps
         observers = self._observers
         executed = 0
         for _ in range(max_ticks):
             tick = self._clock.current_tick()
+            if (
+                self._scheduled_evictions
+                or self._scheduled_share_changes
+                or self._scheduled_admissions
+            ):
+                self._process_scheduled(tick.index)
             ecovisor.begin_tick(tick)
             ecovisor.invoke_app_ticks(tick)
+            # Snapshot after the upcalls: applications admitted during
+            # them are stepped and settled this very tick; evictions
+            # later in the tick leave a harmless no-op finish_tick.
+            apps = list(self._apps)
             for app in apps:
                 app.step(tick, tick.duration_s)
             fractions = ecovisor.settle(tick)

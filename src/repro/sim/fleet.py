@@ -26,15 +26,18 @@ therefore build bit-identical fleets, which is what makes
 
 The registered scenarios (see :mod:`repro.sim.catalog`) are
 ``fleet_small`` (50 apps), ``fleet_medium`` (200 apps, the committed
-perf-baseline scenario of ``benchmarks/bench_scale.py``), and
-``fleet_large`` (1000 apps).
+perf-baseline scenario of ``benchmarks/bench_scale.py``), ``fleet_large``
+(1000 apps), and ``fleet_churn`` — a dynamic-tenancy fleet where, on top
+of the static population, tenants arrive and depart mid-run on a
+digest-seeded Poisson schedule (``build_churn_fleet``), exercising the
+control plane's ``admit_app``/``set_share``/``evict_app`` path at scale.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.core.config import config_digest
 
@@ -198,6 +201,132 @@ def run_fleet(params: Dict[str, Any]) -> Dict[str, Any]:
         "containers": float(fleet.num_containers),
         "completed_jobs": float(completed),
         "mean_progress": float(sum(progress) / len(progress)) if progress else 0.0,
+        "energy_wh": float(ledger.total_energy_wh()),
+        "carbon_g": float(ledger.total_carbon_g()),
+        "cost_usd": float(ledger.total_cost_usd()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Dynamic tenancy: the fleet_churn scenario family
+# ----------------------------------------------------------------------
+
+#: Parameters defining a churn fleet's population *and* its schedule.
+#: The static base population still derives from :data:`FLEET_PARAM_KEYS`
+#: (so the initial fleet matches the static family bit-for-bit); the
+#: schedule RNG mixes in the churn rates as well.
+CHURN_PARAM_KEYS = ("apps", "mix", "seed", "ticks", "admit_rate", "evict_rate")
+
+#: Solar/battery fraction granted to each dynamic tenant that wins a
+#: share, and the cap on how many may hold one concurrently.  The static
+#: fleet allocates 0.9 of solar and battery, so 8 x 0.01 stays inside
+#: the 0.1 headroom with margin.
+DYNAMIC_SHARE_FRACTION = 0.01
+MAX_DYNAMIC_SHARES = 8
+
+
+def churn_root_seed(params: Mapping[str, Any]) -> int:
+    """Root seed of the churn *schedule* (digest over churn parameters)."""
+    population = {k: params[k] for k in CHURN_PARAM_KEYS if k in params}
+    return int(config_digest(population, length=16), 16)
+
+
+def build_churn_fleet(params: Mapping[str, Any]) -> FleetEnvironment:
+    """A static fleet plus a deterministic Poisson admit/evict schedule.
+
+    Per tick, ``poisson(admit_rate)`` dynamic tenants arrive and
+    ``poisson(evict_rate)`` of the still-live dynamic tenants depart
+    (the static base population is never evicted, so the churn rides on
+    a stable floor).  Every dynamic tenant is a small ML training job
+    under a carbon-agnostic policy; tenants that win one of the
+    :data:`MAX_DYNAMIC_SHARES` share slots are admitted grid-only and
+    receive their solar+battery share via a scheduled ``set_share`` two
+    ticks later — exercising mid-run rebalancing, not just admission.
+
+    The whole schedule is precomputed here from ``churn_root_seed``, so
+    two processes expanding the same spec build bit-identical schedules
+    — the property the serial-vs-parallel sweep parity of
+    ``fleet_churn`` rests on.
+    """
+    from repro.core.config import ShareConfig
+    from repro.policies import CarbonAgnosticPolicy
+    from repro.workloads.mltrain import MLTrainingJob
+
+    import numpy as np
+
+    fleet = build_fleet(params)
+    engine = fleet.engine
+    ticks = int(params["ticks"])
+    admit_rate = float(params.get("admit_rate", 0.4))
+    evict_rate = float(params.get("evict_rate", 0.3))
+    if admit_rate < 0 or evict_rate < 0:
+        raise ValueError("churn rates must be >= 0")
+    rng = np.random.default_rng([churn_root_seed(params), 0xC0FFEE])
+
+    live: List[Tuple[str, int]] = []  # (dynamic tenant, admission tick)
+    shared_slots: List[str] = []  # dynamic tenants holding a share
+    serial = 0
+    for tick in range(1, ticks):
+        # Only tenants admitted >= 3 ticks ago are evictable, so a
+        # tenant's scheduled share change (admission + 2) has always
+        # fired before its eviction can be drawn.
+        for _ in range(int(rng.poisson(evict_rate))):
+            eligible = [
+                i for i, (_, admitted) in enumerate(live) if admitted <= tick - 3
+            ]
+            if not eligible:
+                break
+            victim, _ = live.pop(eligible[int(rng.integers(len(eligible)))])
+            engine.schedule_eviction(tick, victim)
+            if victim in shared_slots:
+                shared_slots.remove(victim)
+        for _ in range(int(rng.poisson(admit_rate))):
+            name = f"churn-{serial:04d}"
+            serial += 1
+            work_units = float(rng.uniform(0.2, 1.0)) * ticks * 60.0
+            app = MLTrainingJob(name=name, total_work_units=work_units)
+            engine.schedule_admission(
+                tick,
+                app,
+                ShareConfig(grid_power_w=float("inf")),
+                CarbonAgnosticPolicy(workers=1),
+            )
+            live.append((name, tick))
+            if (
+                tick + 2 < ticks
+                and len(shared_slots) < MAX_DYNAMIC_SHARES
+                and rng.random() < 0.5
+            ):
+                shared_slots.append(name)
+                engine.schedule_share_change(
+                    tick + 2,
+                    name,
+                    ShareConfig(
+                        solar_fraction=DYNAMIC_SHARE_FRACTION,
+                        battery_fraction=DYNAMIC_SHARE_FRACTION,
+                        grid_power_w=float("inf"),
+                    ),
+                )
+    return fleet
+
+
+def run_fleet_churn(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one churn fleet; returns metrics spanning evicted tenants too."""
+    fleet = build_churn_fleet(params)
+    engine = fleet.engine
+    executed = engine.run(int(params["ticks"]))
+    ledger = fleet.ecovisor.ledger
+    evicted = engine.evicted_accounts
+    live_apps = fleet.ecovisor.app_names()
+    return {
+        "ticks_executed": float(executed),
+        "initial_apps": float(len(fleet.applications)),
+        "final_apps": float(len(live_apps)),
+        "admitted": float(len(ledger.app_names()) - len(fleet.applications)),
+        "evicted": float(len(evicted)),
+        "evicted_energy_wh": float(sum(a.energy_wh for a in evicted.values())),
+        "evicted_carbon_g": float(sum(a.carbon_g for a in evicted.values())),
+        "evicted_cost_usd": float(sum(a.cost_usd for a in evicted.values())),
         "energy_wh": float(ledger.total_energy_wh()),
         "carbon_g": float(ledger.total_carbon_g()),
         "cost_usd": float(ledger.total_cost_usd()),

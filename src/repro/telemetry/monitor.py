@@ -25,6 +25,7 @@ Series naming scheme (stable, used by benches and analysis):
 - ``grid.price_usd_per_kwh``    — electricity price (market layer)
 - ``plant.solar_w``, ``plant.battery_level_wh``, ``plant.grid_power_w``
 - ``cluster.power_w``           — all containers + platform baseline
+- ``cluster.apps``              — registered application count (churn)
 """
 
 from __future__ import annotations
@@ -143,6 +144,10 @@ class PowerMonitor:
         self._series("plant.solar_w").append(time_s, solar_w)
         self._series("plant.battery_level_wh").append(time_s, battery_level_wh)
         self._series("plant.grid_power_w").append(time_s, grid_power_w)
+
+    def record_app_count(self, time_s: float, count: int) -> None:
+        """Persist the registered-application count (churn telemetry)."""
+        self._series("cluster.apps").append(time_s, float(count))
 
     def record_app_carbon_rate(
         self, time_s: float, app_name: str, rate_mg_per_s: float

@@ -109,9 +109,15 @@ def engine(ecovisor: Ecovisor) -> SimulationEngine:
     return SimulationEngine(ecovisor, SimulationClock(TICK_S))
 
 
-def run_ticks(ecovisor: Ecovisor, ticks: int, demand_setter=None) -> SimulationClock:
-    """Drive the bare ecovisor tick loop (no engine, no applications)."""
-    clock = SimulationClock(TICK_S)
+def run_ticks(
+    ecovisor: Ecovisor, ticks: int, demand_setter=None, clock=None
+) -> SimulationClock:
+    """Drive the bare ecovisor tick loop (no engine, no applications).
+
+    Pass the returned clock back in to continue the same timeline
+    across multiple calls (mid-run lifecycle tests).
+    """
+    clock = clock or SimulationClock(TICK_S)
     for _ in range(ticks):
         tick = clock.current_tick()
         ecovisor.begin_tick(tick)

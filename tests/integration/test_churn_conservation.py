@@ -1,0 +1,147 @@
+"""Energy/cost conservation across tenant churn (control plane v1.1).
+
+The fleet_churn scenario admits, rebalances, and evicts tenants mid-run.
+These tests pin the lifecycle's accounting invariants every tick:
+
+- the ledger's cluster totals equal the sum of per-app accounts
+  *including evicted apps' finalized accounts*;
+- the plant-side grid and solar meters agree with the ledger's summed
+  per-app flows (the physical world and the books reconcile);
+- an evicted app's finalized account never changes again, and its
+  terminal AppEvictedEvent carries exactly the finalized figures.
+"""
+
+import pytest
+
+from repro.core.events import AppEvictedEvent
+from repro.sim.fleet import build_churn_fleet
+
+CHURN_PARAMS = {
+    "apps": 12,
+    "ticks": 40,
+    "seed": 2023,
+    "mix": "balanced",
+    "admit_rate": 0.6,
+    "evict_rate": 0.5,
+}
+
+
+@pytest.fixture(scope="module")
+def churn_run():
+    """One churn fleet driven with per-tick conservation probes."""
+    fleet = build_churn_fleet(dict(CHURN_PARAMS))
+    ecovisor = fleet.ecovisor
+    ledger = fleet.ecovisor.ledger
+    plant = fleet.ecovisor.plant
+    eviction_events = []
+    ecovisor.events.subscribe(AppEvictedEvent, eviction_events.append)
+
+    per_tick = []
+
+    def probe(tick):
+        accounts = [ledger.account(name) for name in ledger.app_names()]
+        per_tick.append(
+            {
+                "tick": tick.index,
+                "apps": len(ecovisor.app_names()),
+                "ledger_energy_wh": ledger.total_energy_wh(),
+                "sum_energy_wh": sum(a.energy_wh for a in accounts),
+                "ledger_cost_usd": ledger.total_cost_usd(),
+                "sum_cost_usd": sum(a.cost_usd for a in accounts),
+                "ledger_carbon_g": ledger.total_carbon_g(),
+                "sum_carbon_g": sum(a.carbon_g for a in accounts),
+                "sum_grid_wh": sum(a.grid_wh for a in accounts),
+                "meter_grid_wh": plant.grid.total_energy_wh,
+                "sum_solar_wh": sum(
+                    s.solar_used_wh + s.solar_to_battery_wh
+                    for a in accounts
+                    for s in a.settlements
+                ),
+                "meter_solar_wh": plant.solar.total_energy_wh,
+            }
+        )
+
+    fleet.engine.add_observer(probe)
+    executed = fleet.engine.run(CHURN_PARAMS["ticks"])
+    return {
+        "fleet": fleet,
+        "executed": executed,
+        "per_tick": per_tick,
+        "eviction_events": eviction_events,
+    }
+
+
+class TestChurnConservation:
+    def test_churn_actually_happened(self, churn_run):
+        evicted = churn_run["fleet"].engine.evicted_accounts
+        assert len(evicted) >= 3
+        populations = {row["apps"] for row in churn_run["per_tick"]}
+        assert len(populations) > 1  # the tenant count really varied
+
+    def test_ledger_totals_equal_account_sum_every_tick(self, churn_run):
+        for row in churn_run["per_tick"]:
+            assert row["ledger_energy_wh"] == pytest.approx(
+                row["sum_energy_wh"], abs=1e-9
+            ), f"tick {row['tick']}"
+            assert row["ledger_cost_usd"] == pytest.approx(
+                row["sum_cost_usd"], abs=1e-12
+            )
+            assert row["ledger_carbon_g"] == pytest.approx(
+                row["sum_carbon_g"], abs=1e-9
+            )
+
+    def test_grid_meter_reconciles_every_tick(self, churn_run):
+        for row in churn_run["per_tick"]:
+            assert row["meter_grid_wh"] == pytest.approx(
+                row["sum_grid_wh"], rel=1e-9, abs=1e-9
+            ), f"tick {row['tick']}"
+
+    def test_solar_meter_reconciles_every_tick(self, churn_run):
+        for row in churn_run["per_tick"]:
+            assert row["meter_solar_wh"] == pytest.approx(
+                row["sum_solar_wh"], rel=1e-9, abs=1e-9
+            ), f"tick {row['tick']}"
+
+    def test_totals_are_monotone_across_evictions(self, churn_run):
+        energies = [row["ledger_energy_wh"] for row in churn_run["per_tick"]]
+        assert all(b >= a - 1e-12 for a, b in zip(energies, energies[1:]))
+        assert energies[-1] > 0.0
+
+    def test_evicted_accounts_frozen_at_their_terminal_event(self, churn_run):
+        ledger = churn_run["fleet"].ecovisor.ledger
+        assert churn_run["eviction_events"]
+        for event in churn_run["eviction_events"]:
+            account = ledger.account(event.app_name)
+            assert account.finalized
+            # The account never moved after the terminal event was cut.
+            assert account.energy_wh == event.energy_wh
+            assert account.carbon_g == event.carbon_g
+            assert account.cost_usd == event.cost_usd
+
+    def test_shares_never_oversubscribed(self, churn_run):
+        ecovisor = churn_run["fleet"].ecovisor
+        assert 0.0 <= ecovisor.allocated_solar_fraction <= 1.0 + 1e-9
+        assert 0.0 <= ecovisor.allocated_battery_fraction <= 1.0 + 1e-9
+
+    def test_rebalanced_tenants_exist(self, churn_run):
+        # The schedule grants solar+battery micro-shares to a subset of
+        # dynamic tenants; at least one must have gone through set_share.
+        shares = churn_run["fleet"].ecovisor.app_shares()
+        dynamic_with_share = [
+            name
+            for name, share in shares.items()
+            if name.startswith("churn-") and share.solar_fraction > 0.0
+        ]
+        evicted_with_share = [
+            e for e in churn_run["eviction_events"] if e.app_name.startswith("churn-")
+        ]
+        assert dynamic_with_share or evicted_with_share
+
+    def test_run_is_deterministic(self, churn_run):
+        fleet = build_churn_fleet(dict(CHURN_PARAMS))
+        fleet.engine.run(CHURN_PARAMS["ticks"])
+        ledger = fleet.ecovisor.ledger
+        reference = churn_run["fleet"].ecovisor.ledger
+        assert ledger.total_energy_wh() == reference.total_energy_wh()
+        assert ledger.total_cost_usd() == reference.total_cost_usd()
+        assert ledger.app_names() == reference.app_names()

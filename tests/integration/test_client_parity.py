@@ -1,0 +1,188 @@
+"""SDK parity: EcovisorClient must be byte-identical to EcovisorAPI.
+
+Every ``EcovisorAPI`` method is driven twice — in-process and through
+``EcovisorClient`` over the Router transport — and the results must be
+*byte-identical* (exact float equality, identical serialized
+snapshots).  The event feed must replay exactly the signals the
+in-process ``SignalBus`` delivered, reconstructed to equal dataclasses.
+"""
+
+import json
+
+import pytest
+
+from repro.client import EcovisorAdminClient, EcovisorClient
+from repro.core.api import connect
+from repro.core.config import ShareConfig
+from repro.core.signals import (
+    AppEvicted,
+    BatteryEmpty,
+    BatteryFull,
+    CarbonChange,
+    PriceChange,
+    ShareChanged,
+    SolarChange,
+)
+from repro.market.prices import make_price_trace
+from repro.policies import CarbonAgnosticPolicy
+from repro.rest.server import EcovisorRestServer
+from repro.sim.experiment import solar_battery_environment
+from repro.workloads.mltrain import MLTrainingJob
+
+SIGNAL_TYPES = (
+    CarbonChange,
+    PriceChange,
+    SolarChange,
+    BatteryFull,
+    BatteryEmpty,
+    ShareChanged,
+    AppEvicted,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A market-attached solar+battery run with real workload demand."""
+    env = solar_battery_environment(
+        solar_peak_w=20.0,
+        battery_capacity_wh=60.0,
+        days=1,
+        price_trace=make_price_trace("realtime", days=1),
+    )
+    env.engine.add_application(
+        MLTrainingJob(name="shop", total_work_units=1e9),
+        ShareConfig(solar_fraction=0.5, battery_fraction=0.5),
+        CarbonAgnosticPolicy(workers=2),
+    )
+    env.engine.add_application(
+        MLTrainingJob(name="batch", total_work_units=1e9),
+        ShareConfig(grid_power_w=float("inf")),
+        CarbonAgnosticPolicy(workers=1),
+    )
+    api = connect(env.ecovisor, "shop")
+
+    # Mirror the journal's delivery through the in-process SignalBus:
+    # one subscription per signal type, collected in delivery order.
+    delivered = []
+    for signal_type in SIGNAL_TYPES:
+        api.signals.on(signal_type, delivered.append)
+
+    env.engine.run(3 * 60)  # three hours crossing solar ramp-up
+    server = EcovisorRestServer(env.ecovisor)
+    return {
+        "env": env,
+        "api": api,
+        "client": EcovisorClient(server, "shop"),
+        "admin": EcovisorAdminClient(server),
+        "server": server,
+        "delivered": delivered,
+    }
+
+
+class TestObservationParity:
+    def test_state_snapshot_byte_identical(self, world):
+        via_api = json.dumps(world["api"].state().to_dict(), sort_keys=True)
+        via_client = json.dumps(world["client"].state().to_dict(), sort_keys=True)
+        assert via_api == via_client
+        # And the reconstructed object equals the in-process one.
+        assert world["client"].state() == world["api"].state()
+
+    def test_every_scalar_getter_byte_identical(self, world):
+        api, client = world["api"], world["client"]
+        assert client.get_solar_power() == api.get_solar_power()
+        assert client.get_grid_power() == api.get_grid_power()
+        assert client.get_grid_carbon() == api.get_grid_carbon()
+        assert client.get_grid_price() == api.get_grid_price()
+        assert client.get_energy_cost() == api.get_energy_cost()
+        assert client.get_battery_charge_level() == api.get_battery_charge_level()
+        assert client.get_battery_capacity() == api.get_battery_capacity()
+        assert (
+            client.get_battery_discharge_rate() == api.get_battery_discharge_rate()
+        )
+
+    def test_meaningful_figures(self, world):
+        # Guard against vacuous parity: the run produced real flows.
+        state = world["client"].state()
+        assert state.total_energy_wh > 0.0
+        assert state.total_cost_usd > 0.0
+        assert state.has_market is True
+        assert state.battery is not None
+
+    def test_container_surface_parity(self, world):
+        api, client = world["api"], world["client"]
+        in_process = api.list_containers()
+        via_client = client.list_containers()
+        assert [c.id for c in via_client] == [c.id for c in in_process]
+        assert [c.cores for c in via_client] == [c.cores for c in in_process]
+        assert [c.role for c in via_client] == [c.role for c in in_process]
+        for container in in_process:
+            assert client.get_container_power(container.id) == (
+                api.get_container_power(container.id)
+            )
+            assert client.get_container_powercap(container.id) == (
+                api.get_container_powercap(container.id)
+            )
+
+
+class TestActuationParity:
+    def test_setters_visible_in_process(self, world):
+        api, client = world["api"], world["client"]
+        client.set_battery_charge_rate(2.5)
+        assert api.ecovisor.ves_for("shop").battery.charge_rate_w == 2.5
+        client.set_battery_max_discharge(4.0)
+        assert api.ecovisor.ves_for("shop").battery.max_discharge_w == 4.0
+        container = api.list_containers()[0]
+        client.set_container_powercap(container.id, 1.25)
+        assert api.get_container_powercap(container.id) == 1.25
+        client.set_container_powercap(container.id, None)
+        assert api.get_container_powercap(container.id) is None
+
+    def test_launch_and_scale_through_client(self, world):
+        api, client = world["api"], world["client"]
+        before = len(api.list_containers())
+        worker = client.launch_container(cores=1, role="extra")
+        assert any(c.id == worker.id for c in api.list_containers())
+        client.stop_container(worker.id)
+        assert len(api.list_containers()) == before
+
+
+class TestEventFeedParity:
+    def test_feed_replays_signal_bus_deliveries_exactly(self, world):
+        page = world["client"].events(cursor=0)
+        assert page.dropped == 0
+        # events[0] is the admission (published before any subscriber
+        # could exist); everything after must equal the in-process
+        # deliveries, as equal dataclasses, in order.
+        assert type(page.events[0]).__name__ == "AppAdmittedEvent"
+        assert list(page.events[1:]) == world["delivered"]
+        assert len(world["delivered"]) > 0
+
+    def test_cursor_tail_is_incremental(self, world):
+        page = world["client"].events(cursor=0)
+        tail = world["client"].events(cursor=page.next_cursor - 2)
+        assert list(tail.events) == list(page.events[-2:])
+
+
+class TestLifecycleParity:
+    def test_admit_rebalance_evict_through_the_sdk(self, world):
+        admin = world["admin"]
+        env = world["env"]
+        admin.admit_app("guest", solar_fraction=0.1, battery_fraction=0.1)
+        assert "guest" in env.ecovisor.app_names()
+        guest = EcovisorClient(world["server"], "guest")
+        guest.launch_container(cores=1)
+        admin.set_share("guest", solar_fraction=0.2)
+        assert env.ecovisor.pending_share("guest").solar_fraction == 0.2
+        env.engine.run(5)
+        assert env.ecovisor.share_for("guest").solar_fraction == 0.2
+        account = admin.evict_app("guest")
+        in_process = env.ecovisor.ledger.account("guest")
+        assert account["energy_wh"] == in_process.energy_wh
+        assert account["cost_usd"] == in_process.cost_usd
+        assert in_process.finalized
+        # The guest's feed survives with the terminal event readable.
+        page = guest.events(cursor=0)
+        names = [type(e).__name__ for e in page.events]
+        assert names[0] == "AppAdmittedEvent"
+        assert "ShareChangedEvent" in names
+        assert names[-1] == "AppEvictedEvent"

@@ -1,8 +1,13 @@
 """Command-line interface."""
 
+import re
+from pathlib import Path
+
 import pytest
 
-from repro.cli import build_parser, main, parse_param_overrides
+from repro.cli import build_parser, build_route_rows, main, parse_param_overrides
+
+DOCS_API_TOUR = Path(__file__).resolve().parents[2] / "docs" / "api_tour.md"
 
 
 class TestParser:
@@ -78,6 +83,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "smoke" in out
         assert "fig10_solar_caps" in out
+        assert "fleet_churn" in out
+
+    def test_routes_prints_live_table(self, capsys):
+        assert main(["routes"]) == 0
+        out = capsys.readouterr().out
+        assert "GET     /v1/apps/{app}/state" in out
+        assert "/v1/admin/apps" in out
+        assert "/v1/apps/{app}/events" in out
+        assert "admit_app" in out
+
+
+class TestRouteDocsSync:
+    """docs/api_tour.md's route table must match the live Router."""
+
+    def _documented_routes(self):
+        rows = set()
+        pattern = re.compile(r"^\| (GET|POST|PATCH|DELETE) \| `([^`]+)` \|")
+        for line in DOCS_API_TOUR.read_text().splitlines():
+            found = pattern.match(line)
+            if found:
+                rows.add((found.group(1), found.group(2)))
+        return rows
+
+    def test_docs_table_matches_live_router(self):
+        live = {(method, path) for method, path, _ in build_route_rows()}
+        documented = self._documented_routes()
+        assert documented == live, (
+            "docs/api_tour.md route table is out of sync with the live "
+            "Router; run `python -m repro routes` and update the docs.\n"
+            f"missing from docs: {sorted(live - documented)}\n"
+            f"stale in docs: {sorted(documented - live)}"
+        )
 
     def test_sweep_smoke_serial(self, capsys):
         assert main(["sweep", "smoke", "--param", "ticks=15"]) == 0

@@ -94,6 +94,110 @@ class TestEarlyStop:
         assert executed < 100
 
 
+class TestScheduledLifecycle:
+    """Engine-scheduled admissions, evictions, and share changes."""
+
+    def _engine(self):
+        eco = make_ecovisor()
+        return SimulationEngine(eco, SimulationClock(60.0)), eco
+
+    def test_scheduled_admission_joins_at_its_tick(self):
+        engine, eco = self._engine()
+        engine.add_application(CountingService("base"), ShareConfig())
+        late = CountingService("late")
+        engine.schedule_admission(3, late, ShareConfig())
+        engine.run(5)
+        assert "late" in eco.app_names()
+        # First stepped at tick 3, for ticks 3 and 4.
+        assert [c[1] for c in late.calls if c[0] == "step"] == [3, 4]
+
+    def test_scheduled_eviction_stops_participation(self):
+        engine, eco = self._engine()
+        app = CountingService("gone")
+        engine.add_application(app, ShareConfig())
+        engine.add_application(CountingService("stays"), ShareConfig())
+        engine.schedule_eviction(2, "gone")
+        engine.run(4)
+        assert "gone" not in eco.app_names()
+        assert [c[1] for c in app.calls if c[0] == "step"] == [0, 1]
+        assert "gone" in engine.evicted_accounts
+        assert engine.evicted_accounts["gone"].finalized
+
+    def test_scheduled_share_change_effective_same_tick(self):
+        engine, eco = self._engine()
+        app = CountingService("app")
+        engine.add_application(app, ShareConfig(solar_fraction=0.5))
+        engine.schedule_share_change(2, "app", ShareConfig(solar_fraction=1.0))
+        engine.run(2)
+        assert eco.share_for("app").solar_fraction == 0.5
+        engine.run(1)  # tick 2: staged at the top, applied in begin_tick
+        assert eco.share_for("app").solar_fraction == 1.0
+
+    def test_evicted_accounts_keep_the_latest_life(self):
+        engine, eco = self._engine()
+        engine.add_application(CountingService("x"), ShareConfig())
+        engine.run(1)
+        engine.remove_application("x")
+        engine.add_application(CountingService("x"), ShareConfig())
+        engine.run(1)
+        second = engine.remove_application("x")
+        # Latest life wins in the name-keyed dict; the displaced life
+        # is preserved in the ledger archive.
+        assert engine.evicted_accounts["x"] is second
+        assert len(eco.ledger.archived_accounts) == 1
+
+    def test_external_eviction_unregisters_the_application(self):
+        # Eviction through the ecovisor (the REST admin path) must stop
+        # the engine from stepping the zombie and counting it for the
+        # batch-completion rule.
+        engine, eco = self._engine()
+        app = CountingService("ext")
+        engine.add_application(app, ShareConfig())
+        engine.run(2)
+        eco.evict_app("ext")  # not via the engine
+        assert engine.applications == []
+        assert "ext" in engine.evicted_accounts
+        engine.run(2)
+        assert [c[1] for c in app.calls if c[0] == "step"] == [0, 1]
+
+    def test_remove_application_mid_run(self):
+        engine, eco = self._engine()
+        engine.add_application(CountingService("a"), ShareConfig())
+        engine.run(2)
+        account = engine.remove_application("a")
+        assert account.finalized
+        assert eco.app_names() == []
+        assert engine.applications == []
+        engine.run(2)  # an empty fleet still ticks
+
+    def test_stale_schedule_entries_do_not_abort_the_run(self):
+        # An eviction and a share change racing the same app (or plain
+        # stale names) must be skipped, not kill every other tenant.
+        engine, eco = self._engine()
+        engine.add_application(CountingService("a"), ShareConfig())
+        survivor = CountingService("b")
+        engine.add_application(survivor, ShareConfig())
+        engine.schedule_eviction(2, "a")
+        engine.schedule_share_change(2, "a", ShareConfig(solar_fraction=0.5))
+        engine.schedule_eviction(3, "a")  # already gone
+        engine.schedule_share_change(3, "ghost", ShareConfig())
+        assert engine.run(5) == 5
+        assert [c[1] for c in survivor.calls if c[0] == "step"] == list(range(5))
+        assert eco.app_names() == ["b"]
+
+    def test_evictions_free_capacity_for_same_tick_admissions(self):
+        engine, eco = self._engine()
+        engine.add_application(
+            CountingService("old"), ShareConfig(solar_fraction=0.9)
+        )
+        engine.schedule_eviction(2, "old")
+        engine.schedule_admission(
+            2, CountingService("new"), ShareConfig(solar_fraction=0.9)
+        )
+        engine.run(4)
+        assert eco.app_names() == ["new"]
+
+
 class TestObservers:
     def test_observers_called_each_tick(self):
         eco = make_ecovisor()

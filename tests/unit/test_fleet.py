@@ -3,7 +3,13 @@
 import pytest
 
 from repro.sim import scenarios
-from repro.sim.fleet import POLICY_MIXES, build_fleet, run_fleet
+from repro.sim.fleet import (
+    POLICY_MIXES,
+    build_churn_fleet,
+    build_fleet,
+    run_fleet,
+    run_fleet_churn,
+)
 
 
 class TestRegistry:
@@ -65,3 +71,43 @@ class TestRunFleet:
         a = run_fleet(small_fleet_params)
         b = run_fleet({**small_fleet_params, "seed": small_fleet_params["seed"] + 1})
         assert a != b
+
+
+class TestChurnFleet:
+    def test_registered_with_churn_defaults(self):
+        scenario = scenarios.get("fleet_churn")
+        assert "churn" in scenario.tags
+        assert {"admit_rate", "evict_rate"} <= set(scenario.defaults)
+
+    def test_zero_rates_degenerate_to_static_fleet(self, small_fleet_params):
+        params = {**small_fleet_params, "admit_rate": 0.0, "evict_rate": 0.0}
+        metrics = run_fleet_churn(params)
+        static = run_fleet(small_fleet_params)
+        assert metrics["admitted"] == 0.0
+        assert metrics["evicted"] == 0.0
+        # The base population (same FLEET_PARAM_KEYS) is bit-identical,
+        # so the energy books match the static scenario exactly.
+        assert metrics["energy_wh"] == static["energy_wh"]
+        assert metrics["cost_usd"] == static["cost_usd"]
+
+    def test_negative_rates_rejected(self, small_fleet_params):
+        with pytest.raises(ValueError, match="churn rates"):
+            build_churn_fleet({**small_fleet_params, "admit_rate": -1.0})
+
+    def test_schedule_is_deterministic(self, small_fleet_params):
+        params = {
+            **small_fleet_params,
+            "ticks": 30,
+            "admit_rate": 0.7,
+            "evict_rate": 0.5,
+        }
+        a = run_fleet_churn(dict(params))
+        b = run_fleet_churn(dict(params))
+        assert a == b
+        assert a["admitted"] > 0.0
+
+    def test_churn_rates_shape_the_schedule(self, small_fleet_params):
+        params = {**small_fleet_params, "ticks": 30}
+        low = run_fleet_churn({**params, "admit_rate": 0.2, "evict_rate": 0.1})
+        high = run_fleet_churn({**params, "admit_rate": 1.5, "evict_rate": 0.1})
+        assert high["admitted"] > low["admitted"]

@@ -1,0 +1,177 @@
+"""Bounded per-application event journals (control plane v1.1)."""
+
+import pytest
+
+from repro.core.errors import UnknownApplicationError
+from repro.core.events import (
+    AppEvictedEvent,
+    CarbonChangeEvent,
+    SolarChangeEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.core.journal import EventJournal
+
+
+def carbon_event(i: int) -> CarbonChangeEvent:
+    return CarbonChangeEvent(
+        time_s=60.0 * i, previous_g_per_kwh=100.0, current_g_per_kwh=100.0 + i
+    )
+
+
+class TestEventJournal:
+    def test_record_and_read(self):
+        journal = EventJournal()
+        events = [carbon_event(i) for i in range(3)]
+        for event in events:
+            journal.record("a", event)
+        page = journal.read("a", cursor=0)
+        assert list(page.events) == events
+        assert page.next_cursor == 3
+        assert page.dropped == 0
+
+    def test_cursor_resumes_where_it_left_off(self):
+        journal = EventJournal()
+        journal.record("a", carbon_event(0))
+        first = journal.read("a")
+        journal.record("a", carbon_event(1))
+        journal.record("a", carbon_event(2))
+        second = journal.read("a", cursor=first.next_cursor)
+        assert [e.time_s for e in second.events] == [60.0, 120.0]
+        assert second.next_cursor == 3
+
+    def test_read_at_head_is_empty_and_idempotent(self):
+        journal = EventJournal()
+        journal.record("a", carbon_event(0))
+        page = journal.read("a", cursor=1)
+        assert page.events == ()
+        assert page.next_cursor == 1
+        assert journal.read("a", cursor=1).next_cursor == 1
+
+    def test_bounded_journal_reports_dropped(self):
+        journal = EventJournal(capacity=3)
+        for i in range(10):
+            journal.record("a", carbon_event(i))
+        page = journal.read("a", cursor=0)
+        # Only the newest 3 survive; 7 fell out before cursor 0 saw them.
+        assert [e.time_s for e in page.events] == [420.0, 480.0, 540.0]
+        assert page.dropped == 7
+        assert page.next_cursor == 10
+
+    def test_limit_zero_probes_without_advancing(self):
+        journal = EventJournal(capacity=3)
+        for i in range(5):
+            journal.record("a", carbon_event(i))
+        # A dropped-count probe: no events consumed, and the returned
+        # cursor must resume at the first undelivered event (past the
+        # dropped gap), not at the feed's end.
+        page = journal.read("a", cursor=0, limit=0)
+        assert page.events == ()
+        assert page.dropped == 2
+        assert page.next_cursor == 2
+        resumed = journal.read("a", cursor=page.next_cursor)
+        assert [e.time_s for e in resumed.events] == [120.0, 180.0, 240.0]
+
+    def test_limit_pages_without_losing_position(self):
+        journal = EventJournal()
+        for i in range(5):
+            journal.record("a", carbon_event(i))
+        first = journal.read("a", cursor=0, limit=2)
+        assert len(first.events) == 2
+        assert first.next_cursor == 2
+        rest = journal.read("a", cursor=first.next_cursor)
+        assert [e.time_s for e in rest.events] == [120.0, 180.0, 240.0]
+
+    def test_feeds_are_per_app(self):
+        journal = EventJournal()
+        journal.record("a", carbon_event(0))
+        journal.record("b", carbon_event(1))
+        assert len(journal.read("a").events) == 1
+        assert len(journal.read("b").events) == 1
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(UnknownApplicationError):
+            EventJournal().read("ghost")
+
+    def test_ensure_feed_creates_empty_feed(self):
+        journal = EventJournal()
+        journal.ensure_feed("a")
+        assert journal.has_feed("a")
+        assert journal.read("a").events == ()
+
+    def test_negative_cursor_rejected(self):
+        journal = EventJournal()
+        journal.ensure_feed("a")
+        with pytest.raises(ValueError):
+            journal.read("a", cursor=-1)
+
+    def test_negative_limit_rejected(self):
+        journal = EventJournal()
+        journal.ensure_feed("a")
+        with pytest.raises(ValueError):
+            journal.read("a", limit=-1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventJournal(capacity=0)
+
+    def test_retired_feeds_bounded(self):
+        journal = EventJournal(max_retired_feeds=2)
+        for i in range(4):
+            journal.record(f"t{i}", carbon_event(i))
+            journal.retire_feed(f"t{i}")
+        # Only the two most recently retired feeds survive.
+        assert not journal.has_feed("t0")
+        assert not journal.has_feed("t1")
+        assert journal.has_feed("t2")
+        assert journal.has_feed("t3")
+        with pytest.raises(UnknownApplicationError):
+            journal.read("t0")
+
+    def test_readmission_unretires_the_feed(self):
+        journal = EventJournal(max_retired_feeds=1)
+        journal.record("a", carbon_event(0))
+        journal.retire_feed("a")
+        journal.ensure_feed("a")  # re-admitted: back in service
+        journal.retire_feed("b")  # unrelated retirement churn
+        journal.record("b", carbon_event(1))
+        journal.retire_feed("b")
+        assert journal.has_feed("a")  # not dropped by b's retirement
+        assert len(journal.read("a").events) == 1
+
+    def test_retire_is_idempotent(self):
+        journal = EventJournal(max_retired_feeds=2)
+        journal.record("a", carbon_event(0))
+        journal.retire_feed("a")
+        journal.retire_feed("a")
+        journal.retire_feed("b")  # no feed: no-op
+        assert journal.has_feed("a")
+
+
+class TestEventWireFormat:
+    def test_round_trip_is_lossless(self):
+        original = SolarChangeEvent(
+            time_s=120.0, app_name="a", previous_w=1.0, current_w=3.5
+        )
+        payload = event_to_dict(original)
+        assert payload["type"] == "SolarChangeEvent"
+        assert event_from_dict(payload) == original
+
+    def test_round_trip_every_registered_type(self):
+        from repro.core.events import EVENT_TYPES
+
+        for cls in EVENT_TYPES.values():
+            event = cls(time_s=1.0)
+            assert event_from_dict(event_to_dict(event)) == event
+
+    def test_eviction_event_carries_final_figures(self):
+        event = AppEvictedEvent(
+            time_s=60.0, app_name="a", energy_wh=1.5, carbon_g=0.2, cost_usd=0.01
+        )
+        rebuilt = event_from_dict(event_to_dict(event))
+        assert rebuilt.energy_wh == 1.5
+        assert rebuilt.containers_stopped == 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"type": "NopeEvent", "time_s": 0.0})

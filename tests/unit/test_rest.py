@@ -5,8 +5,16 @@ import pytest
 from repro.core.config import ShareConfig
 from repro.market.prices import constant_price_trace
 from repro.rest.router import Router
-from repro.rest.server import EcovisorRestServer
+from repro.rest.server import API_PREFIX, EcovisorRestServer
 from tests.conftest import make_ecovisor, run_ticks
+
+
+def _legacy_routes():
+    """Every legacy (unversioned) route of a freshly wired server."""
+    server = EcovisorRestServer(make_ecovisor())
+    return sorted(
+        (m, p) for m, p in server.router.routes() if not p.startswith("/v1/")
+    )
 
 
 class TestRouter:
@@ -17,13 +25,40 @@ class TestRouter:
         assert response.ok
         assert response.body == {"got": "42"}
 
-    def test_method_mismatch_is_404(self):
+    def test_method_mismatch_is_405_with_allow(self):
         router = Router()
         router.add("GET", "/x", lambda req: {})
-        assert router.dispatch("POST", "/x").status == 404
+        router.add("DELETE", "/x", lambda req: {})
+        response = router.dispatch("POST", "/x")
+        assert response.status == 405
+        assert response.headers["Allow"] == "DELETE, GET"
+        assert "not allowed" in response.body["error"]
 
     def test_unknown_path_is_404(self):
         assert Router().dispatch("GET", "/nope").status == 404
+
+    def test_method_match_beats_405(self):
+        router = Router()
+        router.add("GET", "/x", lambda req: {"ok": True})
+        router.add("POST", "/x", lambda req: {"posted": True})
+        assert router.dispatch("GET", "/x").body == {"ok": True}
+        assert router.dispatch("POST", "/x").body == {"posted": True}
+
+    def test_query_string_parsed(self):
+        router = Router()
+        router.add("GET", "/feed", lambda req: {"cursor": req.query.get("cursor")})
+        response = router.dispatch("GET", "/feed?cursor=7")
+        assert response.ok
+        assert response.body == {"cursor": "7"}
+
+    def test_route_table_names_backing_calls(self):
+        router = Router()
+
+        def _get_state(req):
+            return {}
+
+        router.add("GET", "/v1/apps/{app}/state", _get_state)
+        assert router.route_table() == [("GET", "/v1/apps/{app}/state", "get_state")]
 
     def test_value_error_maps_to_400(self):
         router = Router()
@@ -150,8 +185,10 @@ class TestErrorPaths:
         assert response.status == 404
         assert "no route" in response.body["error"]
 
-    def test_unknown_method_on_known_path_is_404(self, server):
-        assert server.request("PATCH", "/v1/apps/a/solar").status == 404
+    def test_unknown_method_on_known_path_is_405(self, server):
+        response = server.request("PATCH", "/v1/apps/a/solar")
+        assert response.status == 405
+        assert response.headers["Allow"] == "GET"
 
     def test_unknown_app_on_every_monitoring_route(self, server):
         for path in ("solar", "grid", "carbon", "price", "cost", "battery"):
@@ -244,11 +281,40 @@ class TestVersioning:
         assert response.status == 301
         assert response.location == f"/v1/apps/a/containers/{cid}/power"
 
-    def test_every_v1_route_has_a_legacy_redirect(self, server):
+    def test_every_nonadmin_v1_route_has_a_legacy_redirect(self, server):
+        # Admin routes are v1-only (no pre-v1.1 client ever saw them);
+        # every other v1 route keeps its 301 legacy twin.
         routes = server.router.routes()
-        v1 = {(m, p) for m, p in routes if p.startswith("/v1/")}
+        v1 = {
+            (m, p)
+            for m, p in routes
+            if p.startswith("/v1/") and not p.startswith("/v1/admin")
+        }
         legacy = {(m, p) for m, p in routes if not p.startswith("/v1/")}
         assert {(m, p[len("/v1"):]) for m, p in v1} == legacy
+
+    def test_admin_routes_have_no_legacy_twin(self, server):
+        legacy = {p for _, p in server.router.routes() if not p.startswith("/v1/")}
+        assert not any(p.startswith("/admin") for p in legacy)
+
+    @pytest.mark.parametrize("method,pattern", _legacy_routes())
+    def test_every_legacy_route_redirects_to_a_live_v1_route(
+        self, server, method, pattern
+    ):
+        # Generated from Router.routes(): a new route cannot silently
+        # ship without its legacy 301 resolving to a live /v1 home.
+        path = pattern.replace("{app}", "a").replace("{cid}", "some-cid")
+        response = server.request(method, path)
+        assert response.status == 301
+        assert response.location == API_PREFIX + path
+        assert (method, API_PREFIX + pattern) in server.router.routes()
+        # The Location must dispatch to a handler, not fall through to
+        # 404 "no route" / 405 (400/404 from the handler itself is fine
+        # for placeholder ids and empty bodies).
+        followed = server.request(method, response.location)
+        assert followed.status != 405
+        if followed.status == 404:
+            assert "no route" not in followed.body["error"]
 
 
 class TestStateRoute:
@@ -296,3 +362,184 @@ class TestStateRoute:
         assert body["charge_level_wh"] == 0.0
         assert body["capacity_wh"] == 0.0
         assert body["discharge_rate_w"] == 0.0
+
+
+class TestContainerCoresRoute:
+    def test_set_cores(self, server):
+        cid = server.request("POST", "/v1/apps/a/containers", {"cores": 1}).body["id"]
+        assert server.request(
+            "POST", f"/v1/apps/a/containers/{cid}/cores", {"cores": 2}
+        ).ok
+        listing = server.request("GET", "/v1/apps/a/containers").body
+        assert listing["containers"][0]["cores"] == 2.0
+
+    def test_missing_cores_is_400(self, server):
+        cid = server.request("POST", "/v1/apps/a/containers", {"cores": 1}).body["id"]
+        response = server.request("POST", f"/v1/apps/a/containers/{cid}/cores", {})
+        assert response.status == 400
+
+
+class TestAdminNamespace:
+    """POST/PATCH/DELETE /v1/admin/apps[...]: the dynamic lifecycle."""
+
+    def test_list_apps_with_shares(self, server):
+        body = server.request("GET", "/v1/admin/apps").body
+        assert [entry["name"] for entry in body["apps"]] == ["a", "b"]
+        assert body["apps"][0]["solar_fraction"] == 0.5
+
+    def test_admit_app(self, server):
+        response = server.request(
+            "POST", "/v1/admin/apps", {"name": "c", "solar_fraction": 0.0}
+        )
+        assert response.status == 201
+        assert response.body["name"] == "c"
+        # The new tenant is immediately servable on the app surface.
+        assert server.request("GET", "/v1/apps/c/state").ok
+
+    def test_admit_requires_name(self, server):
+        assert server.request("POST", "/v1/admin/apps", {}).status == 400
+
+    def test_admit_duplicate_is_400(self, server):
+        response = server.request("POST", "/v1/admin/apps", {"name": "a"})
+        assert response.status == 400
+        assert "already registered" in response.body["error"]
+
+    def test_admit_oversubscription_is_400(self, server):
+        response = server.request(
+            "POST", "/v1/admin/apps", {"name": "c", "solar_fraction": 0.5}
+        )
+        assert response.status == 400
+        assert "oversubscribed" in response.body["error"]
+
+    def test_get_app_share_and_pending(self, server):
+        server.request("PATCH", "/v1/admin/apps/a", {"solar_fraction": 0.25})
+        body = server.request("GET", "/v1/admin/apps/a").body
+        assert body["solar_fraction"] == 0.5  # still effective
+        assert body["pending_share"]["solar_fraction"] == 0.25
+
+    def test_patch_reports_effective_tick(self, server):
+        response = server.request(
+            "PATCH", "/v1/admin/apps/a", {"solar_fraction": 0.25}
+        )
+        assert response.ok
+        assert response.body["effective_at_tick"] == 1  # one tick ran
+
+    def test_patch_partial_fields_keep_current(self, server):
+        response = server.request(
+            "PATCH", "/v1/admin/apps/a", {"solar_fraction": 0.25}
+        )
+        assert response.body["battery_fraction"] == 0.5  # untouched
+
+    def test_two_patches_between_boundaries_compose(self, server):
+        server.request("PATCH", "/v1/admin/apps/a", {"solar_fraction": 0.25})
+        response = server.request(
+            "PATCH", "/v1/admin/apps/a", {"battery_fraction": 0.3}
+        )
+        # The second PATCH defaults from the *staged* share: the first
+        # rebalance must not silently revert.
+        assert response.body["solar_fraction"] == 0.25
+        assert response.body["battery_fraction"] == 0.3
+        pending = server.request("GET", "/v1/admin/apps/a").body["pending_share"]
+        assert pending == {
+            "solar_fraction": 0.25,
+            "battery_fraction": 0.3,
+            "grid_power_w": float("inf"),
+        }
+
+    def test_patch_oversubscription_is_400(self, server):
+        response = server.request(
+            "PATCH", "/v1/admin/apps/a", {"solar_fraction": 0.6}
+        )
+        assert response.status == 400
+
+    def test_delete_evicts_and_returns_finalized_account(self, server):
+        cid = server.request("POST", "/v1/apps/a/containers", {"cores": 1}).body["id"]
+        response = server.request("DELETE", "/v1/admin/apps/a")
+        assert response.ok
+        account = response.body["account"]
+        assert account["app_name"] == "a"
+        assert account["finalized"] is True
+        # App and container are gone from the app surface.
+        assert server.request("GET", "/v1/apps/a/state").status == 404
+        assert (
+            server.request("GET", f"/v1/apps/b/containers/{cid}/power").status == 404
+        )
+
+    def test_readmission_after_eviction_binds_fresh_ves(self, server):
+        server.request("DELETE", "/v1/admin/apps/a")
+        assert server.request(
+            "POST", "/v1/admin/apps", {"name": "a", "battery_fraction": 0.25}
+        ).status == 201
+        body = server.request("GET", "/v1/apps/a/battery").body
+        assert body["battery"] is not None
+
+    def test_in_process_eviction_invalidates_cached_api(self, server):
+        # Prime the server's per-app API cache, then evict through the
+        # ecovisor directly (the engine/churn path, not the admin
+        # route): a re-admission must still bind the fresh VES.
+        assert server.request("GET", "/v1/apps/a/state").ok
+        server._ecovisor.evict_app("a")
+        server._ecovisor.admit_app("a", ShareConfig())  # no battery now
+        body = server.request("GET", "/v1/apps/a/battery").body
+        assert body["battery"] is None
+
+    def test_patch_before_first_tick_reports_tick_zero(self):
+        eco = make_ecovisor()
+        eco.register_app("x", ShareConfig(solar_fraction=0.5))
+        fresh = EcovisorRestServer(eco)  # no tick has run yet
+        response = fresh.request(
+            "PATCH", "/v1/admin/apps/x", {"solar_fraction": 0.25}
+        )
+        assert response.body["effective_at_tick"] == 0
+
+    def test_admin_unknown_app_is_404(self, server):
+        assert server.request("DELETE", "/v1/admin/apps/ghost").status == 404
+        assert server.request("GET", "/v1/admin/apps/ghost").status == 404
+        assert server.request("PATCH", "/v1/admin/apps/ghost", {}).status == 404
+
+
+class TestEventFeedRoute:
+    """GET /v1/apps/{app}/events?cursor=N: the cursor-paged journal."""
+
+    def test_feed_starts_with_admission(self, server):
+        body = server.request("GET", "/v1/apps/a/events").body
+        assert body["app_name"] == "a"
+        assert body["events"][0]["type"] == "AppAdmittedEvent"
+        assert body["dropped"] == 0
+
+    def test_cursor_pages_through_the_feed(self, server):
+        first = server.request("GET", "/v1/apps/a/events?cursor=0").body
+        assert first["next_cursor"] >= 1
+        again = server.request(
+            "GET", f"/v1/apps/a/events?cursor={first['next_cursor']}"
+        ).body
+        assert again["events"] == []
+        assert again["next_cursor"] == first["next_cursor"]
+
+    def test_limit_parameter(self, server):
+        body = server.request("GET", "/v1/apps/a/events?limit=1").body
+        assert len(body["events"]) == 1
+
+    def test_feed_readable_after_eviction(self, server):
+        server.request("DELETE", "/v1/admin/apps/a")
+        body = server.request("GET", "/v1/apps/a/events").body
+        assert body["events"][-1]["type"] == "AppEvictedEvent"
+
+    def test_malformed_cursor_is_400(self, server):
+        assert server.request("GET", "/v1/apps/a/events?cursor=soon").status == 400
+
+    def test_negative_limit_is_400(self, server):
+        assert server.request("GET", "/v1/apps/a/events?limit=-1").status == 400
+
+    def test_legacy_redirect_preserves_query_string(self, server):
+        response = server.request("GET", "/apps/a/events?cursor=99")
+        assert response.status == 301
+        assert response.location == "/v1/apps/a/events?cursor=99"
+        followed = server.request(
+            "GET", "/apps/a/events?cursor=99", follow_redirects=True
+        )
+        assert followed.ok
+        assert followed.body["events"] == []  # cursor survived the hop
+
+    def test_unknown_app_is_404(self, server):
+        assert server.request("GET", "/v1/apps/ghost/events").status == 404

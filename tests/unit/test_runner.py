@@ -88,6 +88,28 @@ class TestParallelDeterminism:
             assert row["ticks_executed"] == 15.0
             assert row["energy_wh"] > 0.0
 
+    def test_fleet_churn_parallel_matches_serial(self):
+        # The churn scenario additionally seeds its Poisson admit/evict
+        # schedule from config_digest of the parameters, so the whole
+        # lifecycle (admissions, rebalances, evictions, finalized
+        # accounts) must replay byte-identically across workers.
+        overrides = {
+            "apps": 8,
+            "ticks": 25,
+            "admit_rate": 0.6,
+            "evict_rate": 0.5,
+            "seed": [2023, 7],
+        }
+        serial = run_sweep("fleet_churn", overrides=overrides, jobs=1)
+        parallel = run_sweep("fleet_churn", overrides=overrides, jobs=2)
+        assert serial.ok and parallel.ok
+        assert parallel.jobs == 2
+        assert serial.metrics_json() == parallel.metrics_json()
+        for row in serial.table():
+            assert row["ticks_executed"] == 25.0
+            assert row["admitted"] > 0.0
+            assert row["energy_wh"] > 0.0
+
     def test_metrics_json_is_canonical(self):
         sweep = run_sweep("smoke", overrides=FAST_SMOKE, jobs=1)
         assert json.loads(sweep.metrics_json()) == json.loads(
