@@ -55,6 +55,16 @@ class Container:
 
     DEFAULT_ROLE = "worker"
 
+    #: Process-wide generation counter, bumped whenever an *existing*
+    #: container's placement-relevant state changes (start, stop, core
+    #: resize).  Batched consumers key derived caches on it so per-tick
+    #: knob writes (demand utilization, power caps) stay epoch-free and
+    #: cheap.  Creation deliberately does not bump it: a new container
+    #: is invisible until the platform registers it, which bumps the
+    #: platform's own version — keeping launches from invalidating every
+    #: server's occupancy cache.
+    _mutation_epoch = 0
+
     def __init__(
         self,
         app_name: str,
@@ -113,6 +123,7 @@ class Container:
         if cores <= 0:
             raise ValueError(f"cores must be positive, got {cores}")
         self._cores = float(cores)
+        Container._mutation_epoch += 1
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -129,9 +140,11 @@ class Container:
         self._state = ContainerState.STOPPED
         self._demand_utilization = 0.0
         self._last_power_w = 0.0
+        Container._mutation_epoch += 1
 
     def start(self) -> None:
         self._state = ContainerState.RUNNING
+        Container._mutation_epoch += 1
 
     # ------------------------------------------------------------------
     # Power capping and utilization
@@ -159,7 +172,8 @@ class Container:
 
     def set_demand_utilization(self, utilization: float) -> None:
         """Workload-requested utilization of the container's cores."""
-        self._demand_utilization = clamp(utilization, 0.0, 1.0)
+        if utilization != self._demand_utilization:
+            self._demand_utilization = clamp(utilization, 0.0, 1.0)
 
     @property
     def effective_utilization(self) -> float:

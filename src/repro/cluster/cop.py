@@ -49,6 +49,16 @@ class ContainerOrchestrationPlatform:
         # filtered by app — so `containers_for` keeps its historical
         # ordering while dropping from O(all containers) to O(app's).
         self._containers_by_app: Dict[str, Dict[str, Container]] = {}
+        # Topology generation: bumped on launch/stop so batched readers
+        # can key derived caches on (version, Container._mutation_epoch)
+        # instead of rescanning the container population every tick.
+        self._version = 0
+        self._running_cache: Dict[str, List[Container]] = {}
+        self._role_cache: Dict[tuple, List[Container]] = {}
+        self._cache_version = -1
+        self._cache_epoch = -1
+        self._baseline_key = (-1, -1)
+        self._baseline_w = 0.0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -56,6 +66,11 @@ class ContainerOrchestrationPlatform:
     @property
     def config(self) -> ClusterConfig:
         return self._config
+
+    @property
+    def version(self) -> int:
+        """Topology generation; changes whenever containers come or go."""
+        return self._version
 
     @property
     def servers(self) -> List[Server]:
@@ -88,11 +103,63 @@ class ContainerOrchestrationPlatform:
         index = self._containers_by_app.get(app_name)
         return list(index.values()) if index else []
 
+    def _running_for(self, app_name: str) -> List[Container]:
+        # Memoized per (topology, container mutation) generation: the
+        # batched tick path asks for every app's running list every tick
+        # while the population usually changes orders of magnitude less
+        # often.  Returns the cached list itself — callers must copy
+        # before exposing it for mutation.
+        if (
+            self._cache_version != self._version
+            or self._cache_epoch != Container._mutation_epoch
+        ):
+            self._running_cache = {}
+            self._role_cache = {}
+            self._cache_version = self._version
+            self._cache_epoch = Container._mutation_epoch
+        cached = self._running_cache.get(app_name)
+        if cached is None:
+            index = self._containers_by_app.get(app_name)
+            cached = [c for c in index.values() if c.is_running] if index else []
+            self._running_cache[app_name] = cached
+        return cached
+
     def running_containers_for(self, app_name: str) -> List[Container]:
-        index = self._containers_by_app.get(app_name)
-        if not index:
-            return []
-        return [c for c in index.values() if c.is_running]
+        return list(self._running_for(app_name))
+
+    def running_containers_for_role(
+        self, app_name: str, role: str
+    ) -> List[Container]:
+        """One app's running containers of one role, memoized like
+        :meth:`running_containers_for` (policies and workloads consult
+        the worker pool several times per app per tick).
+
+        Returns the cached list itself to keep the fleet hot path
+        allocation-free — callers must treat it as read-only.
+        """
+        if (
+            self._cache_version != self._version
+            or self._cache_epoch != Container._mutation_epoch
+        ):
+            self._running_cache = {}
+            self._role_cache = {}
+            self._cache_version = self._version
+            self._cache_epoch = Container._mutation_epoch
+        key = (app_name, role)
+        cached = self._role_cache.get(key)
+        if cached is None:
+            base = self._running_cache.get(app_name)
+            if base is None:
+                index = self._containers_by_app.get(app_name)
+                base = (
+                    [c for c in index.values() if c.is_running]
+                    if index
+                    else []
+                )
+                self._running_cache[app_name] = base
+            cached = [c for c in base if c.role == role]
+            self._role_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -110,8 +177,10 @@ class ContainerOrchestrationPlatform:
         container = Container(app_name, cores, gpu=gpu, role=role)
         server = self._scheduler.select(self._servers, cores)
         server.place(container)
+        self._scheduler.commit(server, container.cores)
         self._containers[container.id] = container
         self._containers_by_app.setdefault(app_name, {})[container.id] = container
+        self._version += 1
         return container
 
     def stop_container(self, container_id: str) -> None:
@@ -125,6 +194,7 @@ class ContainerOrchestrationPlatform:
         app_index = self._containers_by_app.get(container.app_name)
         if app_index is not None:
             app_index.pop(container_id, None)
+        self._version += 1
 
     def stop_app(self, app_name: str) -> List[str]:
         """Stop every container of an application; returns their ids."""
@@ -157,6 +227,7 @@ class ContainerOrchestrationPlatform:
             server.place(container)
             raise
         target.place(container)
+        self._scheduler.commit(target, container.cores)
         self._refresh_power_cap(container)
 
     def _refresh_power_cap(self, container: Container) -> None:
@@ -187,9 +258,7 @@ class ContainerOrchestrationPlatform:
         """
         if count < 0:
             raise SchedulingError(f"count must be >= 0, got {count}")
-        running = [
-            c for c in self.running_containers_for(app_name) if c.role == role
-        ]
+        running = list(self.running_containers_for_role(app_name, role))
         while len(running) > count:
             victim = running.pop()
             self.stop_container(victim.id)
@@ -261,12 +330,22 @@ class ContainerOrchestrationPlatform:
     def cluster_power_w(self) -> float:
         """Attributed power of all containers plus unallocated idle power."""
         attributed = sum(self._container_power(c) for c in self.running_containers())
-        baseline = sum(s.baseline_idle_power_w() for s in self._servers)
-        return attributed + baseline
+        return attributed + self.baseline_power_w()
 
     def baseline_power_w(self) -> float:
-        """Idle power of unallocated cores (the platform's own footprint)."""
-        return sum(s.baseline_idle_power_w() for s in self._servers)
+        """Idle power of unallocated cores (the platform's own footprint).
+
+        Memoized on the (topology version, container mutation epoch)
+        generation: occupancy only moves when containers come, go, or
+        resize, while the settle path asks every tick.
+        """
+        key = (self._version, Container._mutation_epoch)
+        if self._baseline_key != key:
+            self._baseline_w = sum(
+                s.baseline_idle_power_w() for s in self._servers
+            )
+            self._baseline_key = key
+        return self._baseline_w
 
     def _server_by_name(self, name: Optional[str]) -> Server:
         server = self._servers_by_name.get(name) if name is not None else None

@@ -24,6 +24,13 @@ class Server:
         self._config.validate()
         self._power_model = ServerPowerModel(self._config)
         self._containers: Dict[str, Container] = {}
+        # Occupancy memo: placements/evictions clear it locally, while
+        # in-place container mutations (stop/start/resize, which don't
+        # pass through this server) invalidate via the global mutation
+        # epoch.  Keeps the fleet-wide scheduler scan from re-walking
+        # every server's containers on every launch.
+        self._occ_cache: tuple | None = None
+        self._occ_epoch = -1
 
     @property
     def name(self) -> str:
@@ -43,11 +50,11 @@ class Server:
 
     @property
     def allocated_cores(self) -> float:
-        return sum(c.cores for c in self._containers.values() if c.is_running)
+        return self.occupancy()[0]
 
     @property
     def free_cores(self) -> float:
-        return self.total_cores - self.allocated_cores
+        return self.total_cores - self.occupancy()[0]
 
     @property
     def containers(self) -> List[Container]:
@@ -56,25 +63,33 @@ class Server:
     @property
     def instance_count(self) -> int:
         """Running containers hosted here (the LXD scheduler's sort key)."""
-        return sum(1 for c in self._containers.values() if c.is_running)
+        return self.occupancy()[1]
 
     def can_host(self, cores: float) -> bool:
         return self.free_cores + 1e-9 >= cores
 
     def occupancy(self) -> tuple:
-        """(allocated cores, running instances) in one container pass.
+        """(allocated cores, running instances), memoized between changes.
 
         The scheduler consults both per candidate server on every
         launch; deriving them together halves the scan the separate
-        ``allocated_cores``/``instance_count`` properties would do.
+        ``allocated_cores``/``instance_count`` computations would do,
+        and the memo turns the steady-state consult into two attribute
+        reads.
         """
+        cache = self._occ_cache
+        if cache is not None and self._occ_epoch == Container._mutation_epoch:
+            return cache
         allocated = 0.0
         count = 0
         for container in self._containers.values():
             if container.is_running:
                 allocated += container.cores
                 count += 1
-        return allocated, count
+        cache = (allocated, count)
+        self._occ_cache = cache
+        self._occ_epoch = Container._mutation_epoch
+        return cache
 
     def place(self, container: Container) -> None:
         """Host ``container``; raises if the server lacks free cores."""
@@ -85,11 +100,13 @@ class Server:
             )
         self._containers[container.id] = container
         container.server_name = self._name
+        self._occ_cache = None
 
     def evict(self, container_id: str) -> Container:
         """Remove a container from this server and return it."""
         container = self._containers.pop(container_id)
         container.server_name = None
+        self._occ_cache = None
         return container
 
     def hosts(self, container_id: str) -> bool:

@@ -211,9 +211,23 @@ class CarbonLedger:
     def __init__(self):
         self._accounts: Dict[str, AppAccount] = {}
         self._archived: List[AppAccount] = []
+        # Optional pre-read flush hook: the columnar tick path buffers
+        # settlements per tick and installs a callable here so they land
+        # before any account is observed (same contract as the telemetry
+        # database's hook).
+        self._flush_hook = None
+
+    def set_flush_hook(self, hook) -> None:
+        """Install (or clear, with None) the pre-read flush callable."""
+        self._flush_hook = hook
+
+    def _flush(self) -> None:
+        if self._flush_hook is not None:
+            self._flush_hook()
 
     def account(self, app_name: str) -> AppAccount:
         """The (auto-created) account for ``app_name``."""
+        self._flush()
         if app_name not in self._accounts:
             self._accounts[app_name] = AppAccount(app_name)
         return self._accounts[app_name]
@@ -221,6 +235,7 @@ class CarbonLedger:
     @property
     def archived_accounts(self) -> List[AppAccount]:
         """Finalized accounts displaced by a re-admission under their name."""
+        self._flush()
         return list(self._archived)
 
     def reopen(self, app_name: str) -> None:
@@ -230,6 +245,7 @@ class CarbonLedger:
         crash on) its predecessor's finalized account.  No-op when the
         name has no account or a live (non-finalized) one.
         """
+        self._flush()
         existing = self._accounts.get(app_name)
         if existing is not None and existing.finalized:
             self._archived.append(self._accounts.pop(app_name))
@@ -258,6 +274,7 @@ class CarbonLedger:
         return account
 
     def app_names(self) -> List[str]:
+        self._flush()
         return sorted(self._accounts)
 
     def app_carbon_g(self, app_name: str) -> float:
@@ -270,16 +287,19 @@ class CarbonLedger:
         return self.account(app_name).cost_usd
 
     def total_carbon_g(self) -> float:
+        self._flush()
         return sum(a.carbon_g for a in self._accounts.values()) + sum(
             a.carbon_g for a in self._archived
         )
 
     def total_energy_wh(self) -> float:
+        self._flush()
         return sum(a.energy_wh for a in self._accounts.values()) + sum(
             a.energy_wh for a in self._archived
         )
 
     def total_cost_usd(self) -> float:
+        self._flush()
         return sum(a.cost_usd for a in self._accounts.values()) + sum(
             a.cost_usd for a in self._archived
         )

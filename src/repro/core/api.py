@@ -55,8 +55,16 @@ class EcovisorAPI:
         self._ecovisor = ecovisor
         self._app_name = app_name
         self._ves = ecovisor.ves_for(app_name)
+        self._platform = ecovisor.platform
         self._use_snapshots = use_snapshots
         self._signals: Optional[SignalBus] = None
+        # Handle-local role-list memo: the workload and policy consult
+        # the worker pool several times per tick, and this handle is
+        # pinned to one app — so a generation-checked dict here answers
+        # repeats without re-entering the platform's shared cache.
+        self._role_lists: dict = {}
+        self._rl_version = -1
+        self._rl_epoch = -1
 
     @property
     def app_name(self) -> str:
@@ -277,9 +285,33 @@ class EcovisorAPI:
         """Vertically scale an owned container's core allocation."""
         self._ecovisor.set_container_cores(self._app_name, container_id, cores)
 
-    def list_containers(self) -> List[Container]:
-        """The application's running containers."""
-        return self._ecovisor.containers_for(self._app_name)
+    def list_containers(self, role: Optional[str] = None) -> List[Container]:
+        """The application's running containers (optionally one role's).
+
+        The role-filtered form returns the platform's memoized list —
+        treat it as read-only (every policy and workload consults it
+        several times per tick on the fleet hot path).
+        """
+        if role is not None:
+            platform = self._platform
+            # Private generation reads: this check runs a few thousand
+            # times per tick at fleet scale, where even the property
+            # indirection shows up.
+            version = platform._version
+            if (
+                self._rl_version != version
+                or self._rl_epoch != Container._mutation_epoch
+            ):
+                self._role_lists = {}
+                self._rl_version = version
+                self._rl_epoch = Container._mutation_epoch
+            cached = self._role_lists.get(role)
+            if cached is None:
+                cached = self._role_lists[role] = (
+                    platform.running_containers_for_role(self._app_name, role)
+                )
+            return cached
+        return self._platform.running_containers_for(self._app_name)
 
     # ------------------------------------------------------------------
     # Internals

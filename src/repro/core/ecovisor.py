@@ -71,9 +71,10 @@ from repro.core.events import (
     SolarChangeEvent,
     TickEvent,
 )
+from repro.core.fleetarrays import FleetArrays
 from repro.core.journal import EventJournal, JournalPage
 from repro.core.signals import SignalBus
-from repro.core.state import BatteryState, EnergyState
+from repro.core.state import BatteryState, EnergyState, RowEnergyState
 from repro.core.tracecache import SignalTraceCache, build_signal_cache
 from repro.core.virtual_battery import VirtualBattery
 from repro.core.virtual_energy_system import VirtualEnergySystem
@@ -131,6 +132,14 @@ class _RegisteredApp:
     solar_event_threshold_w: float = 0.0
     has_solar_share: bool = False
     telemetry: Optional[Dict[str, Series]] = None
+    # Columnar bookkeeping: the app's persistent array row, its dense
+    # index into the current FleetSnapshot (valid while snap_epoch
+    # matches the fleet's), and the tick phase its cached lazy view was
+    # built for.
+    row: int = -1
+    snap_index: int = -1
+    snap_epoch: int = -1
+    state_stamp: int = -1
 
 
 class Ecovisor:
@@ -178,6 +187,16 @@ class Ecovisor:
         #: (the fallback loop the parity tests compare against).
         self.batched = True
         self._signal_cache: Optional[SignalTraceCache] = None
+        # Columnar hot path (core/fleetarrays.py): fleet state lives in
+        # struct-of-arrays rows, snapshots are lazy RowEnergyState views,
+        # and telemetry/ledger writes buffer until first read.  Off by
+        # default; the engine enables it alongside `batched`.
+        self._columnar = False
+        self._fleet: Optional[FleetArrays] = None
+        self._phase_stamp = 0
+        self._flushing = False
+        self._flush_hooks_installed = False
+        self._flush_series: Dict[str, Series] = {}
         self._container_carbon_series: Dict[str, Series] = {}
         # Control plane v1.1: per-app event journals backing the REST
         # cursor feed, share rebalances staged until the next tick
@@ -381,6 +400,11 @@ class Ecovisor:
         self._journal.ensure_feed(name)
         if self._in_tick:
             app.state = self._build_state(app)
+            app.state_stamp = self._phase_stamp
+        if self._fleet is not None:
+            # The newcomer gets its row (seeded from the live VES) at
+            # the next tick phase's refresh.
+            self._fleet.dirty = True
         self._publish(
             AppAdmittedEvent(
                 time_s=self._carbon_sample_time_s,
@@ -418,6 +442,12 @@ class Ecovisor:
             0.0, self._allocated_battery - share.battery_fraction
         )
         del self._apps[name]
+        fleet = self._fleet
+        if fleet is not None:
+            if app.row >= 0:
+                fleet.release_row(app.row)
+                app.row = -1
+            fleet.dirty = True
         # Cancel the tenant's signal subscriptions: broadcast signals
         # (carbon/price/tick) bypass app scoping, so stale dispatchers
         # would otherwise fire dead callbacks on the next tick.
@@ -504,6 +534,10 @@ class Ecovisor:
                 )
             )
         self._pending_shares.clear()
+        if events and self._fleet is not None:
+            # Solar fractions / thresholds / grid shares changed; the
+            # dense caches re-derive at this tick's begin phase.
+            self._fleet.dirty = True
         return events
 
     def _app(self, name: str) -> _RegisteredApp:
@@ -545,6 +579,10 @@ class Ecovisor:
         changes stay visible to the legacy live-read fallbacks).
         """
         app = self._app(name)
+        if self._columnar:
+            state = self._columnar_state(app)
+            if state is not None:
+                return state
         if app.state is None:
             return self._build_state(app, bootstrap=True)
         return app.state
@@ -555,7 +593,10 @@ class Ecovisor:
         The deprecated getters use this to decide between snapshot
         delegation and the legacy live-read fallback.
         """
-        return self._app(name).state
+        app = self._app(name)
+        if self._columnar:
+            return self._columnar_state(app)
+        return app.state
 
     def _battery_state(self, ves: VirtualEnergySystem) -> Optional[BatteryState]:
         battery = ves.battery
@@ -667,7 +708,11 @@ class Ecovisor:
         self.owned_container(app_name, container_id)
         self._platform.set_power_cap(container_id, cap_w)
 
-    def containers_for(self, app_name: str) -> List[Container]:
+    def containers_for(
+        self, app_name: str, role: Optional[str] = None
+    ) -> List[Container]:
+        if role is not None:
+            return self._platform.running_containers_for_role(app_name, role)
         return self._platform.running_containers_for(app_name)
 
     # ------------------------------------------------------------------
@@ -692,6 +737,163 @@ class Ecovisor:
     def clear_signal_cache(self) -> None:
         """Drop any primed signals; every tick samples live again."""
         self._signal_cache = None
+
+    # ------------------------------------------------------------------
+    # Columnar fleet mode (core/fleetarrays.py)
+    # ------------------------------------------------------------------
+    @property
+    def columnar(self) -> bool:
+        """Whether tick phases run the struct-of-arrays fleet kernel."""
+        return self._columnar
+
+    @columnar.setter
+    def columnar(self, enabled: bool) -> None:
+        if enabled:
+            if self._fleet is None:
+                self._fleet = FleetArrays()
+            if not self._flush_hooks_installed:
+                # Installed once and left in place: with no pending
+                # records the hook is one attribute check per read, so
+                # toggling the mode off does not need to tear it down.
+                self._db.set_flush_hook(self._flush_pending)
+                self._ledger.set_flush_hook(self._flush_pending)
+                self._flush_hooks_installed = True
+            self._columnar = True
+            self._fleet.dirty = True
+            return
+        if not self._columnar:
+            return
+        self._columnar = False
+        fleet = self._fleet
+        if fleet is None:
+            return
+        # Drain buffers and write the array-held per-tick readings back
+        # into each app's VirtualEnergySystem so the object path resumes
+        # from identical state.
+        self._flush_pending()
+        for app in self._apps.values():
+            if app.row >= 0:
+                app.ves.restore_tick_state(
+                    float(fleet.solar_w[app.row]), float(fleet.grid_w[app.row])
+                )
+                app.previous_solar_w = float(fleet.prev_solar[app.row])
+                fleet.release_row(app.row)
+                app.row = -1
+            app.snap_index = -1
+            app.snap_epoch = -1
+        fleet.dirty = True
+        fleet.current_snap = None
+
+    def _flush_pending(self) -> None:
+        """Replay buffered tick records into the database and ledger.
+
+        Installed as both stores' flush hook while columnar mode is (or
+        has been) on; re-entrant calls (the replay itself touches both
+        stores) are cut off by the ``_flushing`` guard.
+        """
+        fleet = self._fleet
+        if fleet is None or self._flushing or not fleet.pending:
+            return
+        records = fleet.pending
+        fleet.pending = []
+        self._flushing = True
+        try:
+            db = self._db
+            ledger = self._ledger
+            handles = self._flush_series
+
+            def series(name: str) -> Series:
+                handle = handles.get(name)
+                if handle is None:
+                    handle = handles[name] = db.series_handle(name)
+                return handle
+
+            for r in records:
+                t = r.time_s
+                duration_s = r.duration_s
+                for cid, p in zip(r.cont_ids, r.cont_powers):
+                    series(f"container.{cid}.power_w").append(t, p)
+                series("cluster.power_w").append(t, r.cluster_power)
+                demand_wh = r.demand_wh.tolist()
+                served = r.served.tolist()
+                unmet = r.unmet.tolist()
+                solar_avail = r.solar_avail.tolist()
+                solar_used = r.solar_used.tolist()
+                s2b = r.s2b.tolist()
+                curtailed = r.curtailed.tolist()
+                battery_wh = r.battery_wh.tolist()
+                grid_load = r.grid_load.tolist()
+                g2b = r.g2b.tolist()
+                carbon_g = r.carbon_g.tolist()
+                cost = r.cost.tolist()
+                last_grid = r.last_grid.tolist()
+                for i, name in enumerate(r.names):
+                    s = r.settlements[i]
+                    if s is None:
+                        # Kernel row: materialize the exact settlement
+                        # the object path would have built (conserving
+                        # by construction, so the validate skip mirrors
+                        # `ledger.record(validate=False)`).
+                        s = TickSettlement(
+                            app_name=name,
+                            time_s=t,
+                            duration_s=duration_s,
+                            carbon_intensity_g_per_kwh=r.carbon,
+                            demand_wh=demand_wh[i],
+                            served_wh=served[i],
+                            unmet_wh=unmet[i],
+                            solar_available_wh=solar_avail[i],
+                            solar_used_wh=solar_used[i],
+                            solar_to_battery_wh=s2b[i],
+                            curtailed_wh=curtailed[i],
+                            battery_discharge_wh=battery_wh[i],
+                            grid_load_wh=grid_load[i],
+                            grid_to_battery_wh=g2b[i],
+                            carbon_g=carbon_g[i],
+                            price_usd_per_kwh=r.price,
+                            cost_usd=cost[i],
+                        )
+                    ledger.account(name).add(s)
+                    app = self._apps.get(name)
+                    if app is not None:
+                        app.ves.note_settlement(s)
+                    prefix = f"app.{name}."
+                    series(prefix + "power_w").append(t, r.demand_w[i])
+                    series(prefix + "containers").append(t, float(r.counts[i]))
+                    series(prefix + "carbon_g").append(t, s.carbon_g)
+                    if r.has_market:
+                        series(prefix + "cost_usd").append(t, s.cost_usd)
+                    series(prefix + "grid_power_w").append(t, last_grid[i])
+                    series(prefix + "solar_used_wh").append(t, s.solar_used_wh)
+                    series(prefix + "unmet_wh").append(t, s.unmet_wh)
+                    series(prefix + "carbon_rate_mg_s").append(
+                        t, s.carbon_rate_mg_per_s
+                    )
+                for i, soc, level, power in r.batt_tel:
+                    prefix = f"app.{r.names[i]}."
+                    series(prefix + "battery_soc").append(t, soc)
+                    series(prefix + "battery_level_wh").append(t, level)
+                    series(prefix + "battery_power_w").append(t, power)
+                for cid, cg in r.cont_carbon:
+                    series(f"container.{cid}.carbon_g").append(t, cg)
+        finally:
+            self._flushing = False
+
+    def _columnar_state(self, app: _RegisteredApp) -> Optional[EnergyState]:
+        """The app's lazy row view for the current tick phase (cached)."""
+        if app.state is not None and app.state_stamp == self._phase_stamp:
+            return app.state
+        snap = self._fleet.current_snap if self._fleet is not None else None
+        if (
+            snap is not None
+            and app.snap_epoch == snap.epoch
+            and app.snap_index >= 0
+        ):
+            state = RowEnergyState(snap, app.snap_index)
+            app.state = state
+            app.state_stamp = self._phase_stamp
+            return state
+        return app.state
 
     # ------------------------------------------------------------------
     # Tick phases
@@ -778,28 +980,37 @@ class Ecovisor:
                     )
                 )
 
-        for app in self._apps.values():
-            new_solar = app.ves.update_solar(visible_solar)
-            if (
-                app.has_solar_share
-                and abs(new_solar - app.previous_solar_w)
-                >= app.solar_event_threshold_w
-            ):
-                pending_events.append(
-                    SolarChangeEvent(
-                        time_s=time_s,
-                        app_name=app.name,
-                        previous_w=app.previous_solar_w,
-                        current_w=new_solar,
-                    )
-                )
-            app.previous_solar_w = new_solar
-
-        # One snapshot build per app per tick: everything the Table 1
-        # getters would return during the upcall window, captured once.
         self._carbon_sample_time_s = time_s
-        for app in self._apps.values():
-            app.state = self._build_state(app)
+        if self._columnar and self._fleet is not None:
+            # Bulk path: one vectorized solar refresh plus a dense
+            # begin-phase snapshot; per-app RowEnergyState views are
+            # materialized lazily but still counted as one build per
+            # app per tick (the parity-pinned invariant).
+            pending_events.extend(self._fleet.begin(self, time_s, visible_solar))
+            self._state_builds += len(self._apps)
+            self._phase_stamp += 1
+        else:
+            for app in self._apps.values():
+                new_solar = app.ves.update_solar(visible_solar)
+                if (
+                    app.has_solar_share
+                    and abs(new_solar - app.previous_solar_w)
+                    >= app.solar_event_threshold_w
+                ):
+                    pending_events.append(
+                        SolarChangeEvent(
+                            time_s=time_s,
+                            app_name=app.name,
+                            previous_w=app.previous_solar_w,
+                            current_w=new_solar,
+                        )
+                    )
+                app.previous_solar_w = new_solar
+
+            # One snapshot build per app per tick: everything the Table 1
+            # getters would return during the upcall window, captured once.
+            for app in self._apps.values():
+                app.state = self._build_state(app)
 
         # From here until settlement completes, admissions join the
         # in-flight tick (snapshot built on admission, settled below).
@@ -815,8 +1026,10 @@ class Ecovisor:
         evict applications mid-delivery: admissions receive their first
         upcall next tick, evicted apps are skipped.
         """
-        for app in list(self._apps.values()):
-            if app.name not in self._apps:
+        apps = self._apps
+        columnar = self._columnar
+        for app in list(apps.values()):
+            if app.name not in apps:
                 continue
             state: Optional[EnergyState] = None
             # The tuple is an immutable snapshot: callbacks registered
@@ -824,7 +1037,13 @@ class Ecovisor:
             for callback, arity in app.tick_callbacks:
                 if arity >= 2:
                     if state is None:
-                        state = self.state_for(app.name)
+                        # The app handle is already resolved; only fall
+                        # back to the name lookup when no columnar row
+                        # view exists for it yet.
+                        if columnar:
+                            state = self._columnar_state(app)
+                        if state is None:
+                            state = self.state_for(app.name)
                     callback(tick, state)
                 else:
                     callback(tick)
@@ -843,6 +1062,11 @@ class Ecovisor:
         """
         time_s = tick.start_s
         duration_s = tick.duration_s
+        if self._columnar and self._fleet is not None:
+            fractions = self._fleet.settle(self, time_s, duration_s)
+            self._phase_stamp += 1
+            self._in_tick = False
+            return fractions
         fractions: Dict[str, float] = {}
         total_grid_w = 0.0
         total_solar_used_w = 0.0

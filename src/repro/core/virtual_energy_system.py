@@ -90,6 +90,26 @@ class VirtualEnergySystem:
         self._current_solar_w = physical_solar_w * self._share.solar_fraction
         return self._current_solar_w
 
+    def restore_tick_state(self, solar_power_w: float, grid_power_w: float) -> None:
+        """Reinstate per-tick readings computed outside :meth:`settle`.
+
+        The columnar tick path keeps virtual solar and last grid draw in
+        fleet-wide arrays; when an app leaves that path (mode switch,
+        eviction restore) this writes the array values back so the
+        object path resumes from identical state.
+        """
+        self._current_solar_w = float(solar_power_w)
+        self._last_grid_power_w = float(grid_power_w)
+
+    def note_settlement(self, settlement: TickSettlement) -> None:
+        """Adopt a settlement computed externally (columnar kernel).
+
+        The settlement must describe this system's tick exactly as
+        :meth:`settle` would have — the columnar path guarantees that by
+        replaying the same arithmetic — so only the record is updated.
+        """
+        self._last_settlement = settlement
+
     def set_share(
         self, share: ShareConfig, virtual_battery: Optional[VirtualBattery]
     ) -> None:

@@ -105,7 +105,10 @@ class Policy(abc.ABC):
         self.api.scale_to(count, cores, gpu=gpu, role="worker")
 
     def current_worker_count(self) -> int:
-        return len([c for c in self.api.list_containers() if c.role == "worker"])
+        api = self._api
+        if api is None:
+            raise RuntimeError(f"{type(self).__name__} is not attached")
+        return len(api.list_containers(role="worker"))
 
     def __repr__(self) -> str:
         target = self._app.name if self._app is not None else "<detached>"

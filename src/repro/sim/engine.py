@@ -229,6 +229,10 @@ class SimulationEngine:
             raise SimulationError(f"max_ticks must be positive, got {max_ticks}")
         ecovisor = self._ecovisor
         ecovisor.batched = self._batched
+        # The columnar struct-of-arrays kernel rides the batched toggle;
+        # batched=False remains the per-app reference object path the
+        # parity harness compares against.
+        ecovisor.columnar = self._batched
         if self._batched:
             # Precompute the run's solar/carbon/price signals in one
             # pass: tick k of this run starts at (start + k) * dt, the

@@ -86,10 +86,26 @@ class Series:
 
 
 class TimeSeriesDatabase:
-    """Named series with interval queries and aggregation."""
+    """Named series with interval queries and aggregation.
+
+    A writer that buffers points (the ecovisor's columnar tick path) can
+    install a *flush hook*: a zero-argument callable invoked before any
+    read or handle resolution, so buffered points land before consumers
+    observe the database.  ``Series.append`` itself is hook-free — cached
+    handles held by per-tick writers stay on the fast path.
+    """
 
     def __init__(self):
         self._series: Dict[str, Series] = {}
+        self._flush_hook = None
+
+    def set_flush_hook(self, hook) -> None:
+        """Install (or clear, with None) the pre-read flush callable."""
+        self._flush_hook = hook
+
+    def _flush(self) -> None:
+        if self._flush_hook is not None:
+            self._flush_hook()
 
     def record(self, name: str, time_s: float, value: float) -> None:
         """Append one point to series ``name`` (created on first write)."""
@@ -102,6 +118,7 @@ class TimeSeriesDatabase:
         telemetry) cache these handles so the hot loop appends directly
         instead of re-resolving ``name`` every tick.
         """
+        self._flush()
         series = self._series.get(name)
         if series is None:
             series = Series(name)
@@ -109,12 +126,15 @@ class TimeSeriesDatabase:
         return series
 
     def has_series(self, name: str) -> bool:
+        self._flush()
         return name in self._series
 
     def series_names(self) -> List[str]:
+        self._flush()
         return sorted(self._series)
 
     def series(self, name: str) -> Series:
+        self._flush()
         try:
             return self._series[name]
         except KeyError:
@@ -122,6 +142,7 @@ class TimeSeriesDatabase:
 
     def latest(self, name: str, default: float | None = None) -> float:
         """Most recent value of a series, or ``default`` if empty/missing."""
+        self._flush()
         series = self._series.get(name)
         if series is None or len(series) == 0:
             if default is None:

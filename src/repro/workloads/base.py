@@ -77,8 +77,16 @@ class Application(abc.ABC):
         return self.api.list_containers()
 
     def worker_containers(self):
-        """Running containers with the default ``worker`` role."""
-        return [c for c in self.api.list_containers() if c.role == "worker"]
+        """Running containers with the default ``worker`` role.
+
+        Reads the bound handle directly: this runs twice per app per
+        tick (step and finish), where the guard property's extra frame
+        is measurable at fleet scale.
+        """
+        api = self._api
+        if api is None:
+            raise RuntimeError(f"application {self._name!r} is not bound to an API")
+        return api.list_containers(role="worker")
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self._name!r})"
@@ -157,6 +165,15 @@ class BatchJob(Application):
     # ------------------------------------------------------------------
     # Engine protocol
     # ------------------------------------------------------------------
+    def step_demand_utilization(self, num_workers: int) -> float:
+        """Demand utilization :meth:`step` assigns each worker.
+
+        Subclasses with a utilization model (e.g. barrier-stall spin)
+        override this instead of re-fetching the worker list in their
+        own ``step``.
+        """
+        return 1.0
+
     def step(self, tick: TickInfo, duration_s: float) -> None:
         if self.is_complete:
             for container in self.running_containers():
@@ -168,8 +185,10 @@ class BatchJob(Application):
         if running_now and not self._was_running:
             self._warmup_remaining = self._warmup_ticks_on_resume
         self._was_running = running_now
-        for container in containers:
-            container.set_demand_utilization(1.0)
+        if containers:
+            demand = self.step_demand_utilization(len(containers))
+            for container in containers:
+                container.set_demand_utilization(demand)
         self._pending_units = 0.0  # computed in finish_tick from effective utils
 
     def finish_tick(

@@ -23,7 +23,7 @@ beyond the pure duty-cycle factor (Figure 4a's 7.4x).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +44,14 @@ DEFAULT_SCALING_ANCHORS: Tuple[Tuple[float, float], ...] = (
     (16.0, 9.2),
 )
 
+# Anchor tuples are immutable per job, so the interpolation grids — and
+# the interpolated values themselves, which fleet runs request for the
+# same handful of worker counts every tick — memoize cleanly.
+_ANCHOR_GRIDS: Dict[
+    Tuple[Tuple[float, float], ...], Tuple[np.ndarray, np.ndarray]
+] = {}
+_INTERP_CACHE: Dict[Tuple[float, Tuple[Tuple[float, float], ...]], float] = {}
+
 
 def effective_parallelism(
     num_workers: float,
@@ -52,9 +60,23 @@ def effective_parallelism(
     """Effective parallel worker count after synchronization losses."""
     if num_workers <= 0:
         return 0.0
-    xs = np.asarray([a[0] for a in anchors])
-    ys = np.asarray([a[1] for a in anchors])
-    return float(np.interp(num_workers, xs, ys))
+    try:
+        key = (num_workers, tuple(anchors))
+        cached = _INTERP_CACHE.get(key)
+    except TypeError:  # unhashable anchor points (e.g. lists)
+        xs = np.asarray([a[0] for a in anchors])
+        ys = np.asarray([a[1] for a in anchors])
+        return float(np.interp(num_workers, xs, ys))
+    if cached is None:
+        grids = _ANCHOR_GRIDS.get(key[1])
+        if grids is None:
+            xs = np.asarray([a[0] for a in key[1]])
+            ys = np.asarray([a[1] for a in key[1]])
+            grids = _ANCHOR_GRIDS[key[1]] = (xs, ys)
+        cached = _INTERP_CACHE[key] = float(
+            np.interp(num_workers, grids[0], grids[1])
+        )
+    return cached
 
 
 def sync_efficiency(
@@ -92,6 +114,10 @@ class MLTrainingJob(BatchJob):
         self._worker_rate = worker_rate_units_per_s
         self._anchors = anchors
         self._stall_power_fraction = stall_power_fraction
+        # Per-worker-count memos: anchors and stall fraction are fixed
+        # for the job's lifetime, so these pure derivations are too.
+        self._demand_by_n: Dict[int, float] = {}
+        self._share_by_n: Dict[int, float] = {}
 
     @property
     def scaling_anchors(self) -> Tuple[Tuple[float, float], ...]:
@@ -123,16 +149,13 @@ class MLTrainingJob(BatchJob):
         busy = self.busy_fraction(num_workers)
         return busy + self._stall_power_fraction * (1.0 - busy)
 
-    def step(self, tick, duration_s: float) -> None:  # noqa: D401
-        super().step(tick, duration_s)
-        if self.is_complete:
-            return
-        containers = self.worker_containers()
-        if not containers:
-            return
-        demand = self.demand_utilization(len(containers))
-        for container in containers:
-            container.set_demand_utilization(demand)
+    def step_demand_utilization(self, num_workers: int) -> float:
+        cached = self._demand_by_n.get(num_workers)
+        if cached is None:
+            cached = self._demand_by_n[num_workers] = self.demand_utilization(
+                num_workers
+            )
+        return cached
 
     def throughput_units_per_s(self, effective_utilizations: List[float]) -> float:
         """Aggregate training throughput under synchronous barriers.
@@ -145,10 +168,14 @@ class MLTrainingJob(BatchJob):
         n = len(effective_utilizations)
         if n == 0:
             return 0.0
-        demand = self.demand_utilization(n)
-        if demand <= 0:
-            return 0.0
-        productive_share = self.busy_fraction(n) / demand
+        productive_share = self._share_by_n.get(n)
+        if productive_share is None:
+            demand = self.demand_utilization(n)
+            if demand <= 0:
+                return 0.0
+            productive_share = self._share_by_n[n] = (
+                self.busy_fraction(n) / demand
+            )
         return self._worker_rate * sum(effective_utilizations) * productive_share
 
     def _natural_throughput(self, num_workers: int) -> float:

@@ -52,6 +52,7 @@ class SparkJob(BatchJob):
         self._last_checkpoint_s = 0.0
         self._lost_units_total = 0.0
         self._checkpoint_count = 0
+        self._denom_by_n: dict = {}
 
     # ------------------------------------------------------------------
     # Checkpoint state
@@ -113,8 +114,11 @@ class SparkJob(BatchJob):
         n = len(effective_utilizations)
         if n == 0:
             return 0.0
+        denom = self._denom_by_n.get(n)
+        if denom is None:
+            denom = self._denom_by_n[n] = 1.0 + self._sync_overhead * (n - 1)
         raw = self._worker_rate * sum(effective_utilizations)
-        return raw / (1.0 + self._sync_overhead * (n - 1))
+        return raw / denom
 
     # ------------------------------------------------------------------
     # Engine protocol: auto-checkpoint on the configured interval
@@ -123,7 +127,9 @@ class SparkJob(BatchJob):
         self, tick: TickInfo, duration_s: float, served_fraction: float
     ) -> None:
         super().finish_tick(tick, duration_s, served_fraction)
-        running = len(self.running_containers()) > 0
+        # Spark pools are all workers; the memoized worker list avoids
+        # re-walking the container table after the settle phase.
+        running = len(self.worker_containers()) > 0
         if (
             running
             and not self.is_complete

@@ -1,0 +1,230 @@
+"""Columnar parity: the struct-of-arrays kernel vs the object path.
+
+:mod:`repro.core.fleetarrays` re-implements the per-tick settle and
+snapshot arithmetic over preallocated numpy rows.  Its contract — pinned
+here — is that it is an *optimization*, never a semantic change: every
+observable the simulator produces must be **byte-identical** between the
+columnar hot path (``engine.batched = True``) and the per-app object
+reference path (``engine.batched = False``).
+
+Where :mod:`tests.integration.test_fleet_parity` checks one committed
+fleet configuration, this module is a *differential harness*: hypothesis
+draws randomized fleet sizes, policy mixes, trace seeds (which select
+the solar/carbon/price regimes and, through the shared-plant stride, the
+battery-holding subset), and churn schedules, and every drawn fleet is
+run down both paths and compared on four surfaces:
+
+- per-app :class:`EnergyState` snapshots at every tick (the lazy
+  :class:`~repro.core.state.RowEnergyState` views must materialize the
+  exact floats the eager objects carry),
+- per-app settlement ledgers (every ``TickSettlement`` plus the
+  cumulative account totals),
+- the full telemetry database (series names, timestamps, values — the
+  columnar path buffers these and flushes lazily), and
+- per-app event journals (battery/solar/share/lifecycle signals in
+  publish order, including retired feeds of evicted churn tenants).
+
+Comparison is by SHA-256 over a canonical JSON dump, so "identical"
+means identical down to the float bit patterns (``json.dumps`` emits
+shortest-round-trip reprs); on mismatch a recursive diff locates the
+first differing (surface, tick, app, field) for a readable failure.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+from hypothesis import HealthCheck, assume, example, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.container import reset_container_id_counter
+from repro.core.errors import InsufficientResourcesError
+from repro.sim.fleet import POLICY_MIXES, build_churn_fleet, build_fleet
+
+# Small-but-varied fleets: large enough to mix all policy kinds, both
+# workload classes, and battery holders vs grid-only tenants; small
+# enough that each example's two runs stay well under a second.
+FLEET_PARAMS = st.fixed_dictionaries(
+    {
+        "apps": st.integers(min_value=3, max_value=20),
+        "ticks": st.integers(min_value=5, max_value=36),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "mix": st.sampled_from(sorted(POLICY_MIXES)),
+    }
+)
+
+CHURN_PARAMS = st.fixed_dictionaries(
+    {
+        "apps": st.integers(min_value=6, max_value=12),
+        "ticks": st.integers(min_value=8, max_value=24),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "mix": st.sampled_from(sorted(POLICY_MIXES)),
+        "admit_rate": st.sampled_from([0.0, 0.3, 0.8]),
+        "evict_rate": st.sampled_from([0.0, 0.25, 0.7]),
+    }
+)
+
+_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    print_blob=True,
+)
+
+
+def _capture(params, batched, churn=False):
+    """Run one fleet down one path; return every observable surface."""
+    # Container ids embed a process-global counter; reset it so both
+    # captures name identical containers identically (ids appear in
+    # snapshots, telemetry series names, and journal payloads).
+    reset_container_id_counter()
+    build = build_churn_fleet if churn else build_fleet
+    fleet = build({**params, "batched": batched})
+    ecovisor = fleet.ecovisor
+    engine = fleet.engine
+
+    states = []
+
+    def observer(tick):
+        states.append(
+            {
+                name: ecovisor.state_for(name).to_dict()
+                for name in ecovisor.app_names()
+            }
+        )
+
+    engine.add_observer(observer)
+    engine.run(int(params["ticks"]))
+    assert ecovisor.batched is batched and ecovisor.columnar is batched
+
+    ledger = ecovisor.ledger
+    accounts = {}
+    for name in sorted(ledger.app_names()):
+        account = ledger.account(name)
+        accounts[name] = {
+            "settlements": [
+                dataclasses.asdict(s) for s in account.settlements
+            ],
+            "energy_wh": account.energy_wh,
+            "carbon_g": account.carbon_g,
+            "cost_usd": account.cost_usd,
+            "unmet_wh": account.unmet_wh,
+        }
+
+    database = ecovisor.database
+    telemetry = {
+        name: [
+            database.series(name).times().tolist(),
+            database.series(name).values().tolist(),
+        ]
+        for name in database.series_names()
+    }
+
+    journal = ecovisor.journal
+    journals = {}
+    for name in sorted(ledger.app_names()):
+        if not journal.has_feed(name):
+            continue
+        page = journal.read(name)
+        journals[name] = {
+            "events": [dataclasses.asdict(e) for e in page.events],
+            "next_cursor": page.next_cursor,
+            "dropped": page.dropped,
+        }
+
+    return {
+        "states": states,
+        "accounts": accounts,
+        "telemetry": telemetry,
+        "journals": journals,
+    }
+
+
+def _digest(capture):
+    """SHA-256 over canonical JSON: equal digests == byte-equal floats."""
+    return hashlib.sha256(
+        json.dumps(capture, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+def _first_difference(a, b, path="capture"):
+    """Recursively locate the first mismatch for a readable assertion."""
+    if type(a) is not type(b):
+        return f"{path}: {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, dict):
+        if a.keys() != b.keys():
+            only_a = sorted(set(a) - set(b))
+            only_b = sorted(set(b) - set(a))
+            return f"{path}: keys differ (columnar-only {only_a}, object-only {only_b})"
+        for key in a:
+            if a[key] != b[key]:
+                return _first_difference(a[key], b[key], f"{path}[{key!r}]")
+    elif isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                return _first_difference(x, y, f"{path}[{i}]")
+    elif a != b:
+        return f"{path}: {a!r} != {b!r}"
+    return None
+
+
+def _assert_parity(params, churn=False):
+    try:
+        columnar = _capture(params, batched=True, churn=churn)
+        objects = _capture(params, batched=False, churn=churn)
+    except InsufficientResourcesError:
+        # The drawn churn schedule oversubscribed the little cluster —
+        # a scenario-capacity limit, not a parity property.  Discard
+        # the example (both paths would raise at the same tick).
+        assume(False)
+    assert _digest(columnar) == _digest(objects), _first_difference(
+        columnar, objects
+    )
+    # The digest compares JSON reprs; confirm the structures agree too
+    # (this would catch a hypothetical repr collision, and gives the
+    # recursive differ full coverage in the failure case).
+    assert columnar == objects
+
+
+class TestColumnarDifferentialParity:
+    @settings(max_examples=8, **_SETTINGS)
+    @given(params=FLEET_PARAMS)
+    @example(params={"apps": 20, "ticks": 36, "seed": 2023, "mix": "balanced"})
+    @example(params={"apps": 3, "ticks": 5, "seed": 0, "mix": "agnostic"})
+    def test_static_fleet_surfaces_byte_identical(self, params):
+        """Randomized static fleets: all four surfaces, both paths."""
+        _assert_parity(params)
+
+    @settings(max_examples=5, **_SETTINGS)
+    @given(params=CHURN_PARAMS)
+    @example(
+        params={
+            "apps": 8,
+            "ticks": 24,
+            "seed": 2023,
+            "mix": "balanced",
+            "admit_rate": 0.8,
+            "evict_rate": 0.25,
+        }
+    )
+    def test_churn_fleet_surfaces_byte_identical(self, params):
+        """Admit/evict/set_share churn mid-run: rows retire and respawn
+        without perturbing a single byte of any surface."""
+        _assert_parity(params, churn=True)
+
+
+class TestHarnessSensitivity:
+    """The harness itself must be able to see a difference."""
+
+    def test_digest_differs_across_seeds(self):
+        base = {"apps": 6, "ticks": 8, "seed": 1, "mix": "balanced"}
+        a = _capture(base, batched=True)
+        b = _capture({**base, "seed": 2}, batched=True)
+        assert _digest(a) != _digest(b)
+
+    def test_first_difference_locates_field(self):
+        a = {"states": [{"app": {"x": 1.0}}]}
+        b = {"states": [{"app": {"x": 1.5}}]}
+        message = _first_difference(a, b)
+        assert "states" in message and "'x'" in message and "1.5" in message

@@ -128,6 +128,26 @@ class TestSubclassFallback:
         for i, t in enumerate(times):
             assert cache.solar_w[i] == env.plant.solar_power_w(float(t))
 
+    def test_subclassed_price_trace_override_is_honored(self):
+        from repro.market.prices import PriceTrace
+
+        class SurchargedTrace(PriceTrace):
+            def price_at(self, time_s):
+                return super().price_at(time_s) * 1.25 + 0.01
+
+        base = make_price_trace("realtime", days=1, seed=5)
+        env = grid_environment(
+            trace=make_region_trace("caiso", days=1, seed=5),
+            price_trace=base,
+        )
+        env.price_signal._trace = SurchargedTrace(base.samples, regime=base.regime)
+        times = _times(n=100)
+        cache = build_signal_cache(
+            env.plant, env.carbon_service, env.price_signal, 0, times
+        )
+        for i, t in enumerate(times):
+            assert cache.price[i] == env.price_signal.price_at(float(t))
+
     def test_subclassed_carbon_trace_override_is_honored(self):
         from repro.carbon.traces import CarbonTrace
 
