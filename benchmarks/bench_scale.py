@@ -33,7 +33,7 @@ import resource
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from repro.sim.fleet import build_churn_fleet, build_fleet
 
@@ -68,8 +68,14 @@ def time_fleet_run(
     seed: int,
     batched: bool,
     scenario: str = "fleet",
-) -> Dict[str, float]:
-    """Build one fleet (static or churn) and time ``engine.run`` alone."""
+    profile: bool = False,
+) -> Dict[str, Any]:
+    """Build one fleet (static or churn) and time ``engine.run`` alone.
+
+    With ``profile``, the engine's tick profiler is enabled for the run
+    and the per-phase rollup rides along in the returned dict — the
+    timing then includes the profiler's (gated, ~1%) overhead.
+    """
     params = {
         "apps": apps,
         "ticks": ticks,
@@ -79,14 +85,26 @@ def time_fleet_run(
     }
     builder = build_churn_fleet if scenario == "fleet_churn" else build_fleet
     fleet = builder(params)
+    if profile:
+        fleet.engine.profiler.enabled = True
     started = time.perf_counter()
     executed = fleet.engine.run(ticks)
     wall_s = time.perf_counter() - started
-    return {
+    result: Dict[str, Any] = {
         "wall_s": wall_s,
         "ticks_executed": float(executed),
         "containers": float(fleet.num_containers),
     }
+    if profile:
+        summary = fleet.engine.profiler.summary()
+        result["profile"] = {
+            "phase_table": summary["phase_table"],
+            "mean_tick_s": summary["mean_tick_s"],
+            "p50_tick_s": summary["p50_tick_s"],
+            "p99_tick_s": summary["p99_tick_s"],
+            "slow_ticks_total": summary["slow_ticks_total"],
+        }
+    return result
 
 
 def run_benchmark(
@@ -96,10 +114,13 @@ def run_benchmark(
     seed: int = 2023,
     skip_unbatched: bool = False,
     scenario: str = "fleet",
+    profile: bool = False,
 ) -> Dict[str, Any]:
     if scenario not in SCENARIOS:
         raise SystemExit(f"unknown scenario {scenario!r}; known: {SCENARIOS}")
-    batched = time_fleet_run(apps, ticks, mix, seed, batched=True, scenario=scenario)
+    batched = time_fleet_run(
+        apps, ticks, mix, seed, batched=True, scenario=scenario, profile=profile
+    )
     wall_s = batched["wall_s"]
     result: Dict[str, Any] = {
         "schema": SCHEMA,
@@ -114,6 +135,10 @@ def run_benchmark(
         "per_app_us_per_tick": wall_s / ticks / apps * 1e6,
         "peak_rss_mb": peak_rss_mb(),
     }
+    if profile:
+        # The phase breakdown explains *where* a regression happened,
+        # not just that it happened.
+        result["profile"] = batched["profile"]
     if not skip_unbatched:
         unbatched = time_fleet_run(
             apps, ticks, mix, seed, batched=False, scenario=scenario
@@ -121,6 +146,82 @@ def run_benchmark(
         result["unbatched_wall_s"] = unbatched["wall_s"]
         result["speedup_vs_unbatched"] = unbatched["wall_s"] / wall_s
     return result
+
+
+def check_profiler_overhead(
+    apps: int,
+    ticks: int,
+    mix: str,
+    seed: int,
+    scenario: str,
+    budget: float,
+    repeats: int = 3,
+) -> int:
+    """Gate the profiler's enabled-vs-disabled cost; exit status 0/1.
+
+    A 2% budget cannot be checked by comparing two whole-run wall times
+    on a shared runner: ambient interference (CPU steal, frequency
+    drift) perturbs a quarter-second run by far more than that, and the
+    machine's quiet floor itself wanders over the tens of seconds that
+    back-to-back runs span.  The gate therefore pairs the modes at
+    *chunk* granularity: four identical fleets are built up front — a
+    (disabled, enabled) pair and an (enabled, disabled) pair, opposite
+    build orders cancelling allocation-order bias — and short same-work
+    slices of ``engine.run`` rotate between them, so each ratio's two
+    samples sit milliseconds apart and see the same machine.  Each
+    rotation yields two enabled/disabled ratios; the middle-half
+    trimmed mean of all ratios discards the chunks an interference
+    burst landed on, and what survives isolates the profiler's cost.
+    """
+    chunk_ticks = max(ticks // 8, 5)
+    chunks = 8 * max(repeats, 1)
+    params = {
+        "apps": apps,
+        "ticks": chunk_ticks * (chunks + 1),
+        "seed": seed,
+        "mix": mix,
+        "batched": True,
+    }
+    builder = build_churn_fleet if scenario == "fleet_churn" else build_fleet
+
+    def build(profile: bool) -> Any:
+        fleet = builder(params)
+        if profile:
+            fleet.engine.profiler.enabled = True
+        # First chunk untimed: trace-cache priming, allocator growth.
+        fleet.engine.run(chunk_ticks)
+        return fleet.engine
+
+    d1, e1 = build(False), build(True)
+    e2, d2 = build(True), build(False)
+    ratios: List[float] = []
+    for i in range(chunks):
+        rotation = (d1, e1, e2, d2) if i % 2 == 0 else (e1, d1, d2, e2)
+        walls = {}
+        for engine in rotation:
+            started = time.perf_counter()
+            engine.run(chunk_ticks)
+            walls[id(engine)] = time.perf_counter() - started
+        ratios.append(walls[id(e1)] / walls[id(d1)])
+        ratios.append(walls[id(e2)] / walls[id(d2)])
+    trim = len(ratios) // 4
+    core = sorted(ratios)[trim : len(ratios) - trim]
+    overhead = sum(core) / len(core) - 1.0
+    verdict = "ok" if overhead <= budget else "FAIL"
+    print(
+        f"\nprofiler overhead gate ({apps} apps, {len(ratios)} paired "
+        f"{chunk_ticks}-tick chunk ratios, middle-half trimmed mean): "
+        f"{overhead * 100:+.2f}% (budget {budget * 100:.1f}%) -> {verdict}"
+    )
+    if verdict != "ok":
+        print(
+            "Profiler overhead exceeded the budget: the enabled-path "
+            "brackets got more expensive, or timing leaked into the "
+            "disabled loop (it must stay free of perf_counter calls).",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def print_table(result: Dict[str, Any]) -> None:
@@ -138,6 +239,12 @@ def print_table(result: Dict[str, Any]) -> None:
             f"{'unbatched fallback':>22s}: {result['unbatched_wall_s']:.3f} s "
             f"({result['speedup_vs_unbatched']:.2f}x slower than batched)"
         )
+    if "profile" in result:
+        for row in result["profile"]["phase_table"]:
+            print(
+                f"{row['phase']:>22s}: {row['total_s']:.3f} s "
+                f"({row['share'] * 100:.1f}% of tick time)"
+            )
 
 
 def load_baseline(path: Path) -> Dict[str, Any]:
@@ -227,7 +334,39 @@ def main() -> None:
         action="store_true",
         help="measure only the batched path (faster; used by the CI gate)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run with the tick profiler enabled and record the phase "
+             "breakdown in the JSON output",
+    )
+    parser.add_argument(
+        "--overhead-check",
+        type=float,
+        default=None,
+        metavar="BUDGET",
+        help="gate the profiler's enabled-vs-disabled overhead at BUDGET "
+             "(e.g. 0.02 for 2%%); runs instead of the normal benchmark",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="repetitions per mode for --overhead-check (min wall time wins)",
+    )
     args = parser.parse_args()
+    if args.overhead_check is not None:
+        raise SystemExit(
+            check_profiler_overhead(
+                apps=args.apps,
+                ticks=args.ticks,
+                mix=args.mix,
+                seed=args.seed,
+                scenario=args.scenario,
+                budget=args.overhead_check,
+                repeats=args.repeats,
+            )
+        )
     result = run_benchmark(
         apps=args.apps,
         ticks=args.ticks,
@@ -235,6 +374,7 @@ def main() -> None:
         seed=args.seed,
         skip_unbatched=args.skip_unbatched,
         scenario=args.scenario,
+        profile=args.profile,
     )
     print_table(result)
     if args.out:

@@ -11,6 +11,8 @@ Usage::
     python -m repro sweep smoke --jobs 2 # run a scenario matrix in parallel
     python -m repro sweep fig10_solar_caps --jobs 4 --param solar_pct=10/50/90
     python -m repro sweep extension_market --jobs 4 --out market.csv
+    python -m repro profile fleet_medium # tick-phase profile of a fleet run
+    python -m repro profile fleet_large --ticks 30 --out profile.json
 
 Each figure command runs the same experiment builder the benchmarks use
 and prints the figure's rows.  ``sweep`` expands a registered scenario's
@@ -278,6 +280,112 @@ def _fmt_metric(value: Any) -> str:
     return str(value)
 
 
+def _fmt_seconds(seconds: float) -> str:
+    """A phase duration scaled to a readable unit."""
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} µs"
+
+
+def run_profile(
+    scenario_name: str, ticks: Optional[int] = None
+) -> Dict[str, Any]:
+    """Run one fleet scenario with the tick profiler on; returns a report.
+
+    The report is what ``repro profile`` prints and ``--out`` persists:
+    the profiler summary (phase table, histogram percentiles, slow
+    ticks) plus the run's wall-clock time, so the phase-sum-vs-wall
+    coverage figure is part of the artifact.
+    """
+    from time import perf_counter
+
+    from repro.core.errors import ScenarioError
+    from repro.sim import scenarios
+    from repro.sim.fleet import build_churn_fleet, build_fleet
+
+    scenario = scenarios.get(scenario_name)
+    if "fleet" not in scenario.tags:
+        raise ScenarioError(
+            f"'profile' runs fleet scenarios (tagged 'fleet'); "
+            f"{scenario_name!r} is not one — see 'repro scenarios'"
+        )
+    params = dict(scenario.defaults)
+    if ticks is not None:
+        params["ticks"] = ticks
+    builder = build_churn_fleet if "churn" in scenario.tags else build_fleet
+    fleet = builder(params)
+    engine = fleet.engine
+    engine.profiler.enabled = True
+    start = perf_counter()
+    executed = engine.run(int(params["ticks"]))
+    wall_s = perf_counter() - start
+    summary = engine.profiler.summary()
+    phase_sum_s = sum(row["total_s"] for row in summary["phase_table"])
+    return {
+        "scenario": scenario_name,
+        "params": params,
+        "apps": len(fleet.applications),
+        "containers": fleet.num_containers,
+        "ticks_executed": executed,
+        "wall_s": wall_s,
+        "phase_sum_s": phase_sum_s,
+        # Fraction of the run's wall-clock the phase brackets account
+        # for (loop overhead outside the brackets is the remainder).
+        "coverage": phase_sum_s / wall_s if wall_s > 0 else 0.0,
+        "ticks_per_s": executed / wall_s if wall_s > 0 else 0.0,
+        "summary": summary,
+    }
+
+
+def cmd_profile(args) -> int:
+    report = run_profile(args.scenario, ticks=args.ticks)
+    summary = report["summary"]
+    print(
+        f"=== profile {report['scenario']}: {report['apps']} apps, "
+        f"{report['ticks_executed']} ticks, {report['wall_s']:.2f}s wall "
+        f"({report['ticks_per_s']:.1f} ticks/s) ==="
+    )
+    print(
+        f"{'phase':16s} {'total':>11s} {'mean/tick':>11s} {'p50':>11s} "
+        f"{'p99':>11s} {'share':>7s}"
+    )
+    for row in summary["phase_table"]:
+        print(
+            f"{row['phase']:16s} {_fmt_seconds(row['total_s'])} "
+            f"{_fmt_seconds(row['mean_s'])} {_fmt_seconds(row['p50_s'])} "
+            f"{_fmt_seconds(row['p99_s'])} {row['share'] * 100:6.1f}%"
+        )
+    print(
+        f"{'tick total':16s} {_fmt_seconds(summary['total_s'])} "
+        f"{_fmt_seconds(summary['mean_tick_s'])} "
+        f"{_fmt_seconds(summary['p50_tick_s'])} "
+        f"{_fmt_seconds(summary['p99_tick_s'])} {100.0:6.1f}%"
+    )
+    print(
+        f"phase sum {report['phase_sum_s']:.3f}s covers "
+        f"{report['coverage'] * 100:.1f}% of wall-clock"
+    )
+    slow = summary["slow_ticks"]
+    print(f"slow ticks (> {4.0:.0f}x median): {summary['slow_ticks_total']}")
+    for entry in slow[-5:]:
+        worst = max(entry["phases"], key=entry["phases"].get)
+        print(
+            f"  tick {entry['tick_index']:5d}  "
+            f"{_fmt_seconds(entry['total_s'])}  "
+            f"(median {_fmt_seconds(entry['median_s'])}, "
+            f"dominated by {worst})"
+        )
+    if args.out:
+        import json
+
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote profile report to {args.out}")
+    return 0
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig01": cmd_fig01,
     "fig04a": cmd_fig04a,
@@ -299,13 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(COMMANDS) + ["list", "routes", "scenarios", "sweep"],
+        choices=sorted(COMMANDS) + [
+            "list", "profile", "routes", "scenarios", "sweep",
+        ],
         help="which figure to regenerate, 'list', 'routes', 'scenarios', "
-             "or 'sweep'",
+             "'sweep', or 'profile'",
     )
     parser.add_argument(
         "scenario", nargs="?", default=None,
-        help="registered scenario name (required for 'sweep')",
+        help="registered scenario name (required for 'sweep' and 'profile')",
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -336,22 +446,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--points", type=str, default=None,
         help="comma-separated sweep points for Figures 10/11",
     )
+    parser.add_argument(
+        "--ticks", type=int, default=None,
+        help="override the scenario's tick count for 'profile'",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.experiment != "sweep" and args.scenario:
+    if args.experiment not in ("sweep", "profile") and args.scenario:
         parser.error(
             f"unexpected argument {args.scenario!r} "
-            f"(only 'sweep' takes a scenario)"
+            f"(only 'sweep' and 'profile' take a scenario)"
         )
     if args.experiment == "list":
         print("available experiments:")
         for name in sorted(COMMANDS):
             print(f"  {name}")
-        print("plus: scenarios (catalog), sweep <scenario> (parallel runner)")
+        print(
+            "plus: scenarios (catalog), sweep <scenario> (parallel runner), "
+            "profile <scenario> (tick-phase profiler)"
+        )
         return 0
     if args.experiment == "routes":
         cmd_routes(args)
@@ -366,6 +483,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         try:
             return cmd_sweep(args)
+        except (ScenarioError, ValueError) as exc:
+            parser.error(str(exc))
+    if args.experiment == "profile":
+        if not args.scenario:
+            parser.error("profile requires a scenario name (see 'scenarios')")
+        from repro.core.errors import ScenarioError
+
+        try:
+            return cmd_profile(args)
         except (ScenarioError, ValueError) as exc:
             parser.error(str(exc))
     COMMANDS[args.experiment](args)

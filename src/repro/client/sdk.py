@@ -113,6 +113,20 @@ class _ClientBase:
             error = str(response.body.get("error", ""))
         _raise_for_status(response.status, error)
 
+    # ------------------------------------------------------------------
+    # Observability (shared by app and admin clients)
+    # ------------------------------------------------------------------
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self._request("GET", "/v1/metrics")
+
+    def tick_profile(self, last: Optional[int] = None) -> Dict[str, Any]:
+        """The tick profiler's ring buffer (``last`` most recent ticks)."""
+        path = "/v1/metrics/ticks"
+        if last is not None:
+            path += f"?last={last}"
+        return self._request("GET", path)
+
 
 class EcovisorClient(_ClientBase):
     """Per-application SDK handle, one-to-one with ``EcovisorAPI``."""
@@ -151,6 +165,7 @@ class EcovisorClient(_ClientBase):
             events=tuple(event_from_dict(e) for e in payload["events"]),
             next_cursor=payload["next_cursor"],
             dropped=payload["dropped"],
+            journal_dropped=payload.get("journal_dropped", 0),
         )
 
     def iter_events(self, cursor: int = 0) -> Iterator[Event]:

@@ -80,6 +80,7 @@ from repro.core.virtual_battery import VirtualBattery
 from repro.core.virtual_energy_system import VirtualEnergySystem
 from repro.energy.system import PhysicalEnergySystem
 from repro.market.service import PriceSignal
+from repro.obs.metrics import MetricsRegistry
 from repro.telemetry.monitor import PowerMonitor
 from repro.telemetry.timeseries import Series, TimeSeriesDatabase
 
@@ -153,6 +154,7 @@ class Ecovisor:
         config: EcovisorConfig | None = None,
         database: TimeSeriesDatabase | None = None,
         price_signal: Optional[PriceSignal] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self._plant = plant
         self._platform = platform
@@ -211,6 +213,20 @@ class Ecovisor:
         # broadcast signals carry no app_name, so a dead app's
         # callbacks would otherwise keep firing after eviction.
         self._signal_buses: Dict[str, List[SignalBus]] = {}
+        # Observability (obs/): one standalone registry per ecovisor by
+        # default, so sweep and test runs don't leak series into the
+        # process-wide registry; pass `metrics=default_registry()` (or
+        # a child of it) to attach this instance to a shared scrape.
+        # Hot paths keep plain int counters — the registry reads them
+        # through collect-time callbacks, so being observable costs the
+        # tick loop nothing.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        #: The engine's :class:`~repro.obs.profiler.TickProfiler`
+        #: (installed by SimulationEngine; None for a bare ecovisor).
+        self.profiler = None
+        self._trace_cache_hits = 0
+        self._trace_cache_misses = 0
+        self._register_metric_callbacks()
 
     # ------------------------------------------------------------------
     # Wiring and registration
@@ -256,6 +272,76 @@ class Ecovisor:
     def journal(self) -> EventJournal:
         """Per-application bounded event journals (REST cursor feed)."""
         return self._journal
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """This instance's metrics registry (``GET /v1/metrics`` source)."""
+        return self._metrics
+
+    def _register_metric_callbacks(self) -> None:
+        """Expose the hot-path counters through collect-time callbacks.
+
+        The journal, trace cache, and columnar store keep plain integer
+        attributes; these callbacks read them only when the registry is
+        scraped or rendered, so the tick loop never touches a metric
+        object.
+        """
+        registry = self._metrics
+        registry.counter_fn(
+            "ticks_begun_total",
+            "Engine ticks started (begin_tick calls).",
+            lambda: self._ticks_begun,
+        )
+        registry.counter_fn(
+            "state_builds_total",
+            "Per-tick EnergyState snapshots built (ticks x apps).",
+            lambda: self._state_builds,
+        )
+        registry.gauge_fn(
+            "apps_registered",
+            "Applications currently registered.",
+            lambda: len(self._apps),
+        )
+        registry.counter_fn(
+            "journal_dropped_total",
+            "Events evicted from bounded per-app journal feeds.",
+            lambda: self._journal.overflow_dropped_total,
+        )
+        registry.counter_fn(
+            "trace_cache_hits_total",
+            "begin_tick signal lookups served from the primed cache.",
+            lambda: self._trace_cache_hits,
+        )
+        registry.counter_fn(
+            "trace_cache_misses_total",
+            "begin_tick signal lookups that fell back to live sampling.",
+            lambda: self._trace_cache_misses,
+        )
+        registry.counter_fn(
+            "fleet_rows_acquired_total",
+            "Columnar fleet rows handed out (first use + reuse).",
+            lambda: self._fleet.rows_acquired if self._fleet else 0,
+        )
+        registry.counter_fn(
+            "fleet_rows_reused_total",
+            "Columnar fleet row acquisitions served from the free list.",
+            lambda: self._fleet.rows_reused if self._fleet else 0,
+        )
+        registry.counter_fn(
+            "fleet_rows_released_total",
+            "Columnar fleet rows returned to the free list.",
+            lambda: self._fleet.rows_released if self._fleet else 0,
+        )
+        registry.counter_fn(
+            "fleet_grow_total",
+            "Columnar fleet capacity-doubling resizes.",
+            lambda: self._fleet.grow_count if self._fleet else 0,
+        )
+        registry.gauge_fn(
+            "fleet_capacity_rows",
+            "Columnar fleet allocated row capacity.",
+            lambda: self._fleet.capacity if self._fleet else 0,
+        )
 
     def signal_bus_for(self, name: str) -> SignalBus:
         """A typed signal bus scoped to ``name``, tracked for eviction.
@@ -911,9 +997,14 @@ class Ecovisor:
             self._apply_pending_shares(time_s) if self._pending_shares else []
         )
         cache = self._signal_cache
-        offset = (
-            cache.offset_for(tick.index, time_s) if cache is not None else None
-        )
+        if cache is not None:
+            offset = cache.offset_for(tick.index, time_s)
+            if offset is None:
+                self._trace_cache_misses += 1
+            else:
+                self._trace_cache_hits += 1
+        else:
+            offset = None
         if offset is None:
             physical_solar = self._plant.solar_power_w(time_s)
         else:

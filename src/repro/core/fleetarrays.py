@@ -400,6 +400,15 @@ class FleetArrays:
         self._free = list(range(capacity - 1, -1, -1))
         self.dirty = True
         self.epoch = 0
+        # Row-lifecycle counters, read by the metrics registry through
+        # collect-time callbacks (no metric objects in this hot path).
+        # "Reused" means the acquired row had been released before —
+        # the free-list recycling an evict-then-readmit churn exercises.
+        self.rows_acquired = 0
+        self.rows_released = 0
+        self.rows_reused = 0
+        self.grow_count = 0
+        self._released_ever: set = set()
         self.pending: List[_TickRecord] = []
         self.current_snap: Optional[FleetSnapshot] = None
         self._cc: Optional[_ContainerCache] = None
@@ -437,12 +446,19 @@ class FleetArrays:
     def acquire_row(self) -> int:
         if not self._free:
             self._grow()
-        return self._free.pop()
+        row = self._free.pop()
+        self.rows_acquired += 1
+        if row in self._released_ever:
+            self.rows_reused += 1
+        return row
 
     def release_row(self, row: int) -> None:
         self._free.append(row)
+        self.rows_released += 1
+        self._released_ever.add(row)
 
     def _grow(self) -> None:
+        self.grow_count += 1
         new_capacity = self.capacity * 2
         for arr in (
             self.solar_w,

@@ -57,16 +57,23 @@ class JournalPage:
     events: Tuple[Event, ...]
     next_cursor: int
     dropped: int
+    #: Events this feed has evicted past its bound since creation —
+    #: the feed-lifetime overflow figure (``journal_dropped_total`` in
+    #: the metrics registry), as opposed to ``dropped``, which is the
+    #: *caller's* cursor lag on this particular read.
+    journal_dropped: int = 0
 
 
 class _Feed:
     """One application's bounded (sequence, event) journal."""
 
-    __slots__ = ("entries", "next_seq")
+    __slots__ = ("entries", "next_seq", "overflow_dropped")
 
     def __init__(self, capacity: int):
         self.entries: Deque[Tuple[int, Event]] = deque(maxlen=capacity)
         self.next_seq = 0
+        # Events evicted from the full deque, counted at append time.
+        self.overflow_dropped = 0
 
     def append(self, event: Event) -> None:
         self.entries.append((self.next_seq, event))
@@ -93,10 +100,25 @@ class EventJournal:
         # Names of evicted tenants whose feeds are retained, oldest
         # retirement first; beyond the cap the oldest feed is dropped.
         self._retired: Deque[str] = deque()
+        # Journal-lifetime overflow total across all feeds, surviving
+        # retired-feed cleanup (per-feed figures die with their feed).
+        self._overflow_total = 0
 
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    @property
+    def overflow_dropped_total(self) -> int:
+        """Events evicted past any feed's bound, journal-lifetime."""
+        return self._overflow_total
+
+    def overflow_dropped_for(self, app_name: str) -> int:
+        """Events ``app_name``'s feed has evicted since it was created."""
+        feed = self._feeds.get(app_name)
+        if feed is None:
+            raise UnknownApplicationError(app_name)
+        return feed.overflow_dropped
 
     def ensure_feed(self, app_name: str) -> None:
         """Create an empty feed for a newly admitted application.
@@ -127,10 +149,19 @@ class EventJournal:
             self._feeds.pop(self._retired.popleft(), None)
 
     def record(self, app_name: str, event: Event) -> None:
-        """Append one event to an application's feed (created on demand)."""
+        """Append one event to an application's feed (created on demand).
+
+        An append into a full feed evicts the feed's oldest entry; the
+        eviction is counted (per feed and journal-wide) instead of
+        happening silently, so slow consumers and the metrics surface
+        can see retention-window losses.
+        """
         feed = self._feeds.get(app_name)
         if feed is None:
             feed = self._feeds[app_name] = _Feed(self._capacity)
+        if len(feed.entries) == self._capacity:
+            feed.overflow_dropped += 1
+            self._overflow_total += 1
         feed.append(event)
 
     def read(
@@ -166,4 +197,5 @@ class EventJournal:
             events=tuple(selected),
             next_cursor=next_cursor,
             dropped=dropped,
+            journal_dropped=feed.overflow_dropped,
         )

@@ -1,0 +1,42 @@
+"""Runtime observability: metrics registry and tick-phase profiler.
+
+The ecovisor exposes fine-grained visibility into *energy* state as a
+first-class API (the paper's core thesis); this package gives the
+reproduction the same visibility into *itself*:
+
+- :mod:`repro.obs.metrics` — a small Prometheus-style metrics registry
+  (counters, gauges, fixed-bucket histograms) designed for the
+  single-threaded tick hot path: preallocated, lock-free, numpy-backed
+  bucket arrays so recording a sample is one index increment.
+- :mod:`repro.obs.profiler` — a tick-phase profiler bracketing the
+  engine's run loop into named phases, with a ring buffer of per-tick
+  timings, histogram rollups, and a slow-tick log.
+
+The REST layer serves the registry at ``GET /v1/metrics`` (Prometheus
+text format) and the profiler ring at ``GET /v1/metrics/ticks?last=N``;
+``repro profile <scenario>`` prints the same data as a table.  See
+docs/observability.md.
+"""
+
+from repro.obs.metrics import (
+    CallbackCounter,
+    CallbackGauge,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.profiler import PHASES, TickProfiler
+
+__all__ = [
+    "CallbackCounter",
+    "CallbackGauge",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASES",
+    "TickProfiler",
+    "default_registry",
+]

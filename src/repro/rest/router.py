@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 from urllib.parse import parse_qsl
 
@@ -26,6 +27,19 @@ from repro.core.errors import (
     UnknownApplicationError,
     UnknownContainerError,
 )
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+#: Request-latency buckets: in-process dispatch is microseconds, but a
+#: handler walking a long series can reach milliseconds.
+REQUEST_LATENCY_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 1.0,
+)
+
+#: The ``route`` label for requests no route pattern matched (404s).
+#: A fixed label instead of the raw path, so an attacker probing random
+#: paths cannot inflate series cardinality.
+UNMATCHED_ROUTE_LABEL = "unmatched"
 
 Handler = Callable[["Request"], Any]
 
@@ -98,6 +112,30 @@ class Router:
 
     def __init__(self):
         self._routes: List[Route] = []
+        self._requests: Optional[Counter] = None
+        self._latency: Optional[Histogram] = None
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Count and time every dispatch into ``registry``.
+
+        Registers ``http_requests_total{route,status}`` and
+        ``http_request_seconds{route}``.  *Every* dispatch is counted —
+        including requests no handler saw: a 405 is labeled with the
+        route pattern whose path matched (the method did not), and a
+        404 with the fixed ``unmatched`` label, so probing traffic is
+        visible without unbounded label cardinality.
+        """
+        self._requests = registry.counter(
+            "http_requests_total",
+            "API requests dispatched, by route pattern and status.",
+            labelnames=("route", "status"),
+        )
+        self._latency = registry.histogram(
+            "http_request_seconds",
+            "In-process dispatch latency, by route pattern.",
+            labelnames=("route",),
+            buckets=REQUEST_LATENCY_BUCKETS,
+        )
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         self._routes.append(Route(method, pattern, handler))
@@ -127,16 +165,39 @@ class Router:
         :class:`Response` (redirects, custom statuses); any other return
         value becomes a 200 body.
         """
+        requests = self._requests
+        if requests is None:
+            return self._dispatch(method, path, body)[0]
+        start = perf_counter()
+        response, route_label = self._dispatch(method, path, body)
+        elapsed = perf_counter() - start
+        requests.labels(route=route_label, status=str(response.status)).inc()
+        self._latency.labels(route=route_label).observe(elapsed)
+        return response
+
+    def _dispatch(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[Response, str]:
+        """Dispatch plus the route label the metrics should carry.
+
+        The label is the matched route's *pattern* (not the concrete
+        path), so cardinality is bounded by the route table; a 405
+        carries the pattern whose path matched, a 404 the fixed
+        ``unmatched`` label.
+        """
         path, _, query_string = path.partition("?")
         query = dict(parse_qsl(query_string)) if query_string else {}
         method = method.upper()
         allowed: List[str] = []
+        allowed_pattern: Optional[str] = None
         for route in self._routes:
             params = route.match_path(path)
             if params is None:
                 continue
             if route.method != method:
                 allowed.append(route.method)
+                if allowed_pattern is None:
+                    allowed_pattern = route.pattern
                 continue
             request = Request(
                 method=method,
@@ -148,20 +209,26 @@ class Router:
             try:
                 result = route.handler(request)
             except (UnknownContainerError, UnknownApplicationError) as exc:
-                return Response(404, {"error": str(exc)})
+                return Response(404, {"error": str(exc)}), route.pattern
             except AuthorizationError as exc:
-                return Response(403, {"error": str(exc)})
+                return Response(403, {"error": str(exc)}), route.pattern
             except (ConfigurationError, ValueError) as exc:
-                return Response(400, {"error": str(exc)})
+                return Response(400, {"error": str(exc)}), route.pattern
             except EcovisorError as exc:
-                return Response(500, {"error": str(exc)})
+                return Response(500, {"error": str(exc)}), route.pattern
             if isinstance(result, Response):
-                return result
-            return Response(200, result)
+                return result, route.pattern
+            return Response(200, result), route.pattern
         if allowed:
-            return Response(
-                405,
-                {"error": f"method {method} not allowed for {path}"},
-                headers={"Allow": ", ".join(sorted(set(allowed)))},
+            return (
+                Response(
+                    405,
+                    {"error": f"method {method} not allowed for {path}"},
+                    headers={"Allow": ", ".join(sorted(set(allowed)))},
+                ),
+                allowed_pattern or UNMATCHED_ROUTE_LABEL,
             )
-        return Response(404, {"error": f"no route for {method} {path}"})
+        return (
+            Response(404, {"error": f"no route for {method} {path}"}),
+            UNMATCHED_ROUTE_LABEL,
+        )

@@ -47,6 +47,8 @@ POST        /v1/apps/{app}/containers/{cid}/powercap        set_container_powerc
 POST        /v1/apps/{app}/containers/{cid}/cores           set_container_cores
 POST        /v1/apps/{app}/scale                            horizontal scale
 GET         /v1/apps/{app}/events                           ecovisor.events_for
+GET         /v1/metrics                                     metrics.render (Prometheus text)
+GET         /v1/metrics/ticks                               profiler.ticks_payload
 GET         /v1/admin/apps                                  ecovisor.app_shares
 POST        /v1/admin/apps                                  ecovisor.admit_app
 GET         /v1/admin/apps/{app}                            ecovisor.share_for
@@ -116,6 +118,10 @@ class EcovisorRestServer:
         self._apis: Dict[str, EcovisorAPI] = {}
         self._router = Router()
         self._install_routes()
+        # Count and time every dispatch — including 404/405 paths no
+        # handler sees — into the ecovisor's registry, which the
+        # /v1/metrics route below then serves.
+        self._router.instrument(ecovisor.metrics)
         # Invalidate the cached per-app API handle on *any* eviction —
         # in-process, engine-scheduled, or via this server's own admin
         # route — so a re-admission under the same name binds a fresh
@@ -197,6 +203,9 @@ class EcovisorRestServer:
         self._add("POST", "/apps/{app}/containers/{cid}/cores", self._set_cores)
         self._add("POST", "/apps/{app}/scale", self._scale)
         self._add("GET", "/apps/{app}/events", self._app_events)
+        # Observability surface (v1-only, like admin: no legacy twin).
+        self._add_admin("GET", "/metrics", self._get_metrics)
+        self._add_admin("GET", "/metrics/ticks", self._get_metrics_ticks)
         self._add_admin("GET", "/admin/apps", self._admin_list_apps)
         self._add_admin("POST", "/admin/apps", self._admin_admit_app)
         self._add_admin("GET", "/admin/apps/{app}", self._admin_get_app)
@@ -327,7 +336,39 @@ class EcovisorRestServer:
             "events": [event_to_dict(event) for event in page.events],
             "next_cursor": page.next_cursor,
             "dropped": page.dropped,
+            # Feed-lifetime retention losses (as opposed to `dropped`,
+            # this caller's cursor lag on this read).
+            "journal_dropped": page.journal_dropped,
         }
+
+    # ------------------------------------------------------------------
+    # Observability surface (obs/)
+    # ------------------------------------------------------------------
+    def _get_metrics(self, request: Request):
+        """The ecovisor's registry in Prometheus text exposition format."""
+        return Response(
+            200,
+            self._ecovisor.metrics.render(),
+            headers={"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+        )
+
+    def _get_metrics_ticks(self, request: Request):
+        """The tick profiler's ring buffer (``?last=N`` most recent)."""
+        last = _query_field(request, "last", int, default=None)
+        if last is not None and last < 0:
+            raise ValueError(f"last must be >= 0, got {last}")
+        profiler = self._ecovisor.profiler
+        if profiler is None:
+            return {
+                "enabled": False,
+                "phases": [],
+                "ring_size": 0,
+                "ticks_recorded": 0,
+                "returned": 0,
+                "ticks": [],
+                "slow_ticks_total": 0,
+            }
+        return profiler.ticks_payload(last=last)
 
     # ------------------------------------------------------------------
     # Admin namespace: dynamic application lifecycle

@@ -29,6 +29,7 @@ an admitted application participates in that tick's full protocol.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -40,6 +41,7 @@ from repro.core.config import ShareConfig
 from repro.core.ecovisor import Ecovisor
 from repro.core.errors import SimulationError
 from repro.core.events import AppEvictedEvent
+from repro.obs.profiler import TickProfiler
 from repro.policies.base import Policy
 from repro.workloads.base import Application
 
@@ -54,11 +56,20 @@ class SimulationEngine:
         ecovisor: Ecovisor,
         clock: Optional[SimulationClock] = None,
         batched: bool = True,
+        profiler: Optional[TickProfiler] = None,
     ):
         self._ecovisor = ecovisor
         self._clock = clock or SimulationClock(
             tick_interval_s=ecovisor.config.tick_interval_s
         )
+        # Disabled by default: the unprofiled loop stays byte-identical
+        # to the pre-observability hot path.  Flip ``engine.profiler.
+        # enabled`` (or pass an enabled profiler) to get per-tick phase
+        # timings; rollups land in the ecovisor's metrics registry.
+        self.profiler = profiler or TickProfiler(
+            enabled=False, registry=ecovisor.metrics
+        )
+        ecovisor.profiler = self.profiler
         self._apps: List[Application] = []
         self._observers: List[TickObserver] = []
         self._batched = batched
@@ -244,6 +255,8 @@ class SimulationEngine:
             ecovisor.prime_signal_cache(clock.tick_index, times)
         else:
             ecovisor.clear_signal_cache()
+        if self.profiler.enabled:
+            return self._run_profiled(max_ticks, stop_when_batch_complete)
         observers = self._observers
         executed = 0
         for _ in range(max_ticks):
@@ -268,6 +281,53 @@ class SimulationEngine:
             for observer in observers:
                 observer(tick)
             self._clock.advance()
+            executed += 1
+            if stop_when_batch_complete and self._all_batch_complete():
+                break
+        return executed
+
+    def _run_profiled(
+        self, max_ticks: int, stop_when_batch_complete: bool
+    ) -> int:
+        """The tick loop with phase timing brackets.
+
+        A deliberate duplicate of the loop body in :meth:`run`: keeping
+        the unprofiled path free of any per-tick conditionals or
+        ``perf_counter`` calls is what makes ``enabled=False`` near-zero
+        overhead (CI gates it at ≤2%).  Phase boundaries are consecutive
+        ``perf_counter`` reads, so the five durations partition the tick
+        exactly — their sum *is* the wall-clock tick time.
+        """
+        ecovisor = self._ecovisor
+        observers = self._observers
+        profiler = self.profiler
+        executed = 0
+        for _ in range(max_ticks):
+            t0 = perf_counter()
+            tick = self._clock.current_tick()
+            if (
+                self._scheduled_evictions
+                or self._scheduled_share_changes
+                or self._scheduled_admissions
+            ):
+                self._process_scheduled(tick.index)
+            ecovisor.begin_tick(tick)
+            t1 = perf_counter()
+            ecovisor.invoke_app_ticks(tick)
+            t2 = perf_counter()
+            apps = list(self._apps)
+            for app in apps:
+                app.step(tick, tick.duration_s)
+            t3 = perf_counter()
+            fractions = ecovisor.settle(tick)
+            t4 = perf_counter()
+            for app in apps:
+                app.finish_tick(tick, tick.duration_s, fractions.get(app.name, 1.0))
+            for observer in observers:
+                observer(tick)
+            self._clock.advance()
+            t5 = perf_counter()
+            profiler.record(tick.index, t1 - t0, t2 - t1, t3 - t2, t4 - t3, t5 - t4)
             executed += 1
             if stop_when_batch_complete and self._all_batch_complete():
                 break

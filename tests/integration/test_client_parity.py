@@ -186,3 +186,65 @@ class TestLifecycleParity:
         assert names[0] == "AppAdmittedEvent"
         assert "ShareChangedEvent" in names
         assert names[-1] == "AppEvictedEvent"
+
+
+class TestObservabilityParity:
+    """The two observability routes through the SDK vs direct requests.
+
+    A scrape counts *prior* scrapes of ``/v1/metrics`` into
+    ``http_requests_total``, so two consecutive scrapes differ exactly
+    on that route's series; masking those lines must leave the outputs
+    byte-identical.
+    """
+
+    @staticmethod
+    def _mask_self_scrape(text: str) -> str:
+        return "\n".join(
+            line
+            for line in text.splitlines()
+            if 'route="/v1/metrics"' not in line
+        )
+
+    def test_metrics_scrape_byte_identical_modulo_self_count(self, world):
+        via_client = world["client"].metrics()
+        direct = world["server"].request("GET", "/v1/metrics").body
+        assert self._mask_self_scrape(via_client) == self._mask_self_scrape(
+            direct
+        )
+        assert "# TYPE http_requests_total counter" in via_client
+        assert "# TYPE tick_total_seconds histogram" in via_client
+
+    def test_admin_client_shares_the_same_scrape(self, world):
+        assert self._mask_self_scrape(
+            world["admin"].metrics()
+        ) == self._mask_self_scrape(world["client"].metrics())
+
+    def test_tick_profile_byte_identical(self, world):
+        via_client = world["client"].tick_profile(last=4)
+        direct = world["server"].request("GET", "/v1/metrics/ticks?last=4").body
+        assert json.dumps(via_client, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+
+    def test_journal_drop_figure_rides_the_events_page(self, world):
+        page = world["client"].events(cursor=0)
+        in_process = world["env"].ecovisor.journal.overflow_dropped_for("shop")
+        assert page.journal_dropped == in_process
+
+    def test_profiled_ticks_surface_through_the_sdk(self, world):
+        # Mutates the shared world (runs extra ticks), so it runs last:
+        # every parity test above re-reads both sides live anyway.
+        engine = world["env"].engine
+        engine.profiler.enabled = True
+        engine.run(5)
+        payload = world["client"].tick_profile(last=3)
+        assert payload["enabled"] is True
+        assert payload["returned"] == 3
+        for tick in payload["ticks"]:
+            assert sum(tick["phases"].values()) == pytest.approx(
+                tick["total_s"]
+            )
+        direct = world["server"].request("GET", "/v1/metrics/ticks?last=3").body
+        assert json.dumps(payload, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )

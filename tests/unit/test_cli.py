@@ -202,3 +202,52 @@ class TestRouteDocsSync:
             main(["sweep", "smoke", "--param", "typo=5"])
         err = capsys.readouterr().err
         assert "has no parameter 'typo'" in err
+
+
+class TestProfile:
+    def test_profile_prints_phase_table(self, capsys):
+        assert main(["profile", "fleet_small", "--ticks", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "=== profile fleet_small:" in out
+        for phase in (
+            "begin_tick",
+            "policy_upcalls",
+            "workload_step",
+            "settle",
+            "telemetry_flush",
+        ):
+            assert phase in out
+        assert "tick total" in out
+        assert "of wall-clock" in out
+        assert "slow ticks" in out
+
+    def test_profile_out_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "profile.json"
+        assert main(
+            ["profile", "fleet_small", "--ticks", "12", "--out", str(out)]
+        ) == 0
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["scenario"] == "fleet_small"
+        assert report["ticks_executed"] == 12
+        assert len(report["summary"]["phase_table"]) == 5
+        assert f"wrote profile report to {out}" in capsys.readouterr().out
+
+    def test_profile_phase_sum_tracks_wall_clock(self):
+        from repro.cli import run_profile
+
+        report = run_profile("fleet_small", ticks=12)
+        # The brackets partition each tick; wall additionally includes
+        # cache priming and loop overhead outside the brackets.
+        assert 0.0 < report["phase_sum_s"] <= report["wall_s"]
+        assert report["coverage"] > 0.5
+
+    def test_profile_without_scenario_errors(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
+    def test_profile_rejects_non_fleet_scenario(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["profile", "smoke"])
+        assert "fleet" in capsys.readouterr().err

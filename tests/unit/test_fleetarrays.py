@@ -57,6 +57,24 @@ class TestRowLifecycle:
         # Exhausted the free list's recycled rows; fresh rows follow.
         assert fleet.acquire_row() == 5
 
+    def test_lifecycle_counters_track_acquire_release_reuse(self):
+        fleet = FleetArrays(capacity=8)
+        rows = [fleet.acquire_row() for _ in range(3)]
+        assert fleet.rows_acquired == 3
+        assert fleet.rows_reused == 0
+        fleet.release_row(rows[2])
+        assert fleet.rows_released == 1
+        fleet.acquire_row()
+        assert fleet.rows_acquired == 4
+        assert fleet.rows_reused == 1
+
+    def test_grow_counter_increments_on_doubling(self):
+        fleet = FleetArrays(capacity=2)
+        for _ in range(3):
+            fleet.acquire_row()
+        assert fleet.grow_count == 1
+        assert fleet.capacity == 4
+
     def test_evicted_tenant_row_goes_to_next_admission(self):
         fleet = _small_fleet()
         engine, ecovisor = fleet.engine, fleet.ecovisor

@@ -58,6 +58,39 @@ class TestEventJournal:
         assert page.dropped == 7
         assert page.next_cursor == 10
 
+    def test_overflow_counted_per_feed_and_journal_wide(self):
+        journal = EventJournal(capacity=3)
+        for i in range(10):
+            journal.record("a", carbon_event(i))
+        for i in range(4):
+            journal.record("b", carbon_event(i))
+        assert journal.overflow_dropped_for("a") == 7
+        assert journal.overflow_dropped_for("b") == 1
+        assert journal.overflow_dropped_total == 8
+
+    def test_overflow_rides_along_on_pages(self):
+        journal = EventJournal(capacity=3)
+        for i in range(5):
+            journal.record("a", carbon_event(i))
+        page = journal.read("a", cursor=0)
+        # journal_dropped is the feed's lifetime overflow; dropped is
+        # relative to this caller's cursor.  Here they coincide.
+        assert page.journal_dropped == 2
+        assert page.dropped == 2
+        # A caught-up reader still sees the lifetime figure.
+        assert journal.read("a", cursor=page.next_cursor).journal_dropped == 2
+
+    def test_no_overflow_before_capacity(self):
+        journal = EventJournal(capacity=3)
+        for i in range(3):
+            journal.record("a", carbon_event(i))
+        assert journal.overflow_dropped_total == 0
+        assert journal.read("a").journal_dropped == 0
+
+    def test_overflow_for_unknown_app_raises(self):
+        with pytest.raises(UnknownApplicationError):
+            EventJournal().overflow_dropped_for("ghost")
+
     def test_limit_zero_probes_without_advancing(self):
         journal = EventJournal(capacity=3)
         for i in range(5):

@@ -282,20 +282,21 @@ class TestVersioning:
         assert response.location == f"/v1/apps/a/containers/{cid}/power"
 
     def test_every_nonadmin_v1_route_has_a_legacy_redirect(self, server):
-        # Admin routes are v1-only (no pre-v1.1 client ever saw them);
-        # every other v1 route keeps its 301 legacy twin.
+        # Admin and metrics routes are v1-only (no pre-v1.1 client ever
+        # saw them); every other v1 route keeps its 301 legacy twin.
         routes = server.router.routes()
         v1 = {
             (m, p)
             for m, p in routes
-            if p.startswith("/v1/") and not p.startswith("/v1/admin")
+            if p.startswith("/v1/")
+            and not p.startswith(("/v1/admin", "/v1/metrics"))
         }
         legacy = {(m, p) for m, p in routes if not p.startswith("/v1/")}
         assert {(m, p[len("/v1"):]) for m, p in v1} == legacy
 
     def test_admin_routes_have_no_legacy_twin(self, server):
         legacy = {p for _, p in server.router.routes() if not p.startswith("/v1/")}
-        assert not any(p.startswith("/admin") for p in legacy)
+        assert not any(p.startswith(("/admin", "/metrics")) for p in legacy)
 
     @pytest.mark.parametrize("method,pattern", _legacy_routes())
     def test_every_legacy_route_redirects_to_a_live_v1_route(
