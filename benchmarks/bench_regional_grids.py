@@ -1,0 +1,64 @@
+"""Regional extension: one policy grid across bundled regional datasets.
+
+Targets: the ``regional`` scenario resolves every signal (carbon, price,
+on-site generation) by name from the provider registry and runs the same
+policy grid across three historical carbon datasets.  All runs complete
+within the two-day window; on the high-variance CAISO grid both
+carbon-aware policies beat the agnostic baseline; adding wind to the
+solar plant strictly cuts carbon in every cell; and every row carries
+its carbon dataset's name and SHA-256, so the table is self-describing.
+
+Per-region divergence is the scenario's finding, not a failure: on flat,
+clean grids (Ontario) waiting for "clean" periods buys little, so the
+assertions pin the CAISO savings and completion — not a universal win.
+
+Runs on the scenario runner: the region x policy x generation matrix
+executes as independent worker processes (``regional`` scenario).
+"""
+
+from repro.analysis.figures_regional import regional_grids_table
+from repro.sim.runner import default_jobs
+
+
+def run_via_runner():
+    return regional_grids_table(jobs=default_jobs())
+
+
+def test_regional_grids(benchmark):
+    rows = benchmark.pedantic(run_via_runner, rounds=1, iterations=1)
+
+    print("\n=== Regional grids: one policy grid, three carbon datasets ===")
+    print(f"{'region':14s} {'generation':11s} {'policy':15s} {'carbon':>9s} "
+          f"{'runtime':>8s} {'vs agn':>8s}")
+    for row in rows:
+        print(
+            f"{row['region']:14s} {row['generation']:11s} "
+            f"{row['policy']:15s} {row['carbon_g']:7.3f} g "
+            f"{row['runtime_s'] / 3600:6.2f} h "
+            f"{row['carbon_reduction_vs_agnostic'] * 100:+7.1f}%"
+        )
+
+    by_key = {(r["region"], r["generation"], r["policy"]): r for r in rows}
+    regions = {r["region"] for r in rows}
+    policies = ("agnostic", "wait-and-scale", "suspend-resume")
+
+    assert regions == {"caiso-2022", "ontario-2022", "germany-2022"}
+    assert len(rows) == len(regions) * 2 * len(policies)
+    assert all(r["completed"] == 1.0 for r in rows)
+    # Every row states its data provenance: dataset name + full SHA-256.
+    for row in rows:
+        assert row["carbon_dataset"] == row["region"]
+        assert len(row["carbon_checksum"]) == 64
+    # The paper's headline holds where the grid actually swings: on
+    # CAISO's duck curve both carbon-aware policies beat agnostic.
+    caiso_base = by_key[("caiso-2022", "solar", "agnostic")]["carbon_g"]
+    for policy in ("wait-and-scale", "suspend-resume"):
+        assert by_key[("caiso-2022", "solar", policy)]["carbon_g"] < caiso_base
+    # Wind on top of solar strictly cleans every (region, policy) cell.
+    for region in regions:
+        for policy in policies:
+            hybrid = by_key[(region, "wind+solar", policy)]["carbon_g"]
+            solar_only = by_key[(region, "solar", policy)]["carbon_g"]
+            assert hybrid < solar_only, (region, policy)
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["regions"] = len(regions)

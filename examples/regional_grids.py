@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The same carbon-aware policies across three regional grids (paper Fig. 1).
+
+The paper motivates carbon-aware scheduling with three regional grids —
+nuclear-flat Ontario, hydro Uruguay, duck-curve California — then runs
+its evaluation on CAISO alone.  The provider registry closes that loop:
+this example resolves bundled *historical* carbon datasets by name,
+verifies their checksums, and runs one ML-training policy grid per
+region, fully offline.
+
+Run:  python examples/regional_grids.py
+"""
+
+from repro.analysis.figures_regional import run_regional_case
+from repro.providers.registry import DATASETS
+
+REGIONS = ("caiso-2022", "ontario-2022", "germany-2022")
+POLICIES = ("agnostic", "wait-and-scale", "suspend-resume")
+
+
+def main() -> None:
+    print("Bundled carbon datasets (checksum-verified on load):\n")
+    for region in REGIONS:
+        desc = DATASETS[region]
+        print(f"  {desc.name:14s} sha256 {desc.sha256[:12]}…  {desc.description}")
+
+    print(f"\n{'region':14s} {'policy':15s} {'carbon':>9s} {'runtime':>9s} "
+          f"{'vs agnostic':>12s}")
+    for region in REGIONS:
+        baseline = None
+        for policy in POLICIES:
+            metrics = run_regional_case(region, policy, generation="solar")
+            if policy == "agnostic":
+                baseline = metrics["carbon_g"]
+            reduction = (
+                (baseline - metrics["carbon_g"]) / baseline * 100
+                if baseline
+                else 0.0
+            )
+            print(
+                f"{region:14s} {policy:15s} {metrics['carbon_g']:7.3f} g "
+                f"{metrics['runtime_s'] / 3600:7.2f} h {reduction:+11.1f}%"
+            )
+
+    print(
+        "\nTakeaway: carbon-aware policies pay off where the grid actually\n"
+        "swings (CAISO's duck curve) and wash out on flat, already-clean\n"
+        "grids (Ontario) — the data decides, which is why the registry\n"
+        "bundles more than one region.  Try 'python -m repro traces' to\n"
+        "list every dataset, or sweep the full matrix with\n"
+        "'python -m repro sweep regional --jobs 4'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,7 @@ from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.core.errors import TraceError
+from repro.core.errors import TraceError, UnknownTraceNameError
 from repro.core.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 SAMPLE_INTERVAL_S = 300.0  # 5 minutes
@@ -91,6 +91,21 @@ REGION_PROFILES: Dict[str, RegionProfile] = {
         ceiling=350.0,
         fast_noise_sigma=35.0,
         fast_noise_persistence=0.55,
+    ),
+    # Coal/gas baseload with heavy wind penetration: high mean, large
+    # weather-driven swings (windy days displace coal), and a visible
+    # but shallower duck from the growing solar fleet.
+    "germany": RegionProfile(
+        name="germany",
+        base_g_per_kwh=380.0,
+        diurnal_amplitude=45.0,
+        duck_amplitude=35.0,
+        noise_sigma=28.0,
+        noise_persistence=0.97,
+        floor=120.0,
+        ceiling=650.0,
+        fast_noise_sigma=18.0,
+        fast_noise_persistence=0.6,
     ),
 }
 
@@ -231,11 +246,15 @@ def ar1(rng: np.random.Generator, n: int, sigma: float, persistence: float) -> n
 
 
 def make_region_trace(region: str, days: int = 4, seed: int = 2023) -> CarbonTrace:
-    """Build the named region's trace (``ontario``/``uruguay``/``caiso``)."""
+    """Build the named region's trace (``ontario``/``uruguay``/``caiso``/
+    ``germany``).
+
+    Raises :class:`UnknownTraceNameError` (a ``TraceError`` *and* a
+    ``ValueError``) listing the valid regions on an unknown name.
+    """
     key = region.lower()
     if key not in REGION_PROFILES:
-        known = ", ".join(sorted(REGION_PROFILES))
-        raise TraceError(f"unknown region {region!r}; known regions: {known}")
+        raise UnknownTraceNameError("region", region, REGION_PROFILES)
     return synthesize_trace(REGION_PROFILES[key], days=days, seed=seed)
 
 

@@ -13,6 +13,9 @@ Usage::
     python -m repro sweep extension_market --jobs 4 --out market.csv
     python -m repro profile fleet_medium # tick-phase profile of a fleet run
     python -m repro profile fleet_large --ticks 30 --out profile.json
+    python -m repro traces               # bundled signal datasets
+    python -m repro traces show caiso-2022
+    python -m repro traces validate      # checksum-verify every dataset
 
 Each figure command runs the same experiment builder the benchmarks use
 and prints the figure's rows.  ``sweep`` expands a registered scenario's
@@ -241,6 +244,65 @@ def cmd_scenarios(args) -> None:
             print(f"    {scenario.description}")
 
 
+def cmd_traces(args) -> int:
+    """``repro traces [list|show NAME|validate]`` — the dataset registry."""
+    from repro.core.errors import DatasetIntegrityError, UnknownTraceNameError
+    from repro.providers.registry import (
+        DATASET_INTERVAL_S,
+        DATASETS,
+        descriptor,
+        load_samples,
+        validate_all,
+    )
+
+    action = args.scenario or "list"
+    if action == "list":
+        print(f"bundled datasets ({len(DATASETS)}):")
+        print(f"{'name':22s} {'kind':9s} {'region':9s} {'units':12s} sha256")
+        for name in sorted(DATASETS):
+            desc = DATASETS[name]
+            print(
+                f"{desc.name:22s} {desc.kind:9s} {desc.region:9s} "
+                f"{desc.units:12s} {desc.sha256[:12]}…"
+            )
+        print("\nuse 'traces show <name>' for one dataset, "
+              "'traces validate' to checksum-verify all")
+        return 0
+    if action == "show":
+        if not args.dataset:
+            raise ValueError("traces show requires a dataset name")
+        desc = descriptor(args.dataset)
+        samples = load_samples(desc.name)
+        duration_h = len(samples) * DATASET_INTERVAL_S / 3600.0
+        print(f"dataset:  {desc.name}")
+        print(f"kind:     {desc.kind}")
+        print(f"region:   {desc.region}")
+        print(f"units:    {desc.units}")
+        print(f"sha256:   {desc.sha256}")
+        print(f"file:     {desc.path}")
+        print(f"samples:  {len(samples)} @ {DATASET_INTERVAL_S:.0f}s "
+              f"({duration_h:.1f} h)")
+        print(
+            f"values:   min {samples.min():.4g}  mean {samples.mean():.4g}  "
+            f"max {samples.max():.4g}"
+        )
+        print(f"about:    {desc.description}")
+        return 0
+    if action == "validate":
+        try:
+            results = validate_all()
+        except DatasetIntegrityError as exc:
+            print(f"FAIL: {exc}")
+            return 1
+        for name, sha in sorted(results.items()):
+            print(f"ok  {name:22s} sha256 {sha}")
+        print(f"=== {len(results)}/{len(DATASETS)} datasets verified ===")
+        return 0
+    raise UnknownTraceNameError(
+        "traces action", action, ("list", "show", "validate")
+    )
+
+
 def cmd_sweep(args) -> int:
     from repro.sim.runner import run_sweep
 
@@ -408,14 +470,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(COMMANDS) + [
-            "list", "profile", "routes", "scenarios", "sweep",
+            "list", "profile", "routes", "scenarios", "sweep", "traces",
         ],
         help="which figure to regenerate, 'list', 'routes', 'scenarios', "
-             "'sweep', or 'profile'",
+             "'sweep', 'profile', or 'traces'",
     )
     parser.add_argument(
         "scenario", nargs="?", default=None,
-        help="registered scenario name (required for 'sweep' and 'profile')",
+        help="registered scenario name (required for 'sweep' and "
+             "'profile'); action for 'traces' (list/show/validate)",
+    )
+    parser.add_argument(
+        "dataset", nargs="?", default=None,
+        help="dataset name for 'traces show'",
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -456,10 +523,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.experiment not in ("sweep", "profile") and args.scenario:
+    if args.experiment not in ("sweep", "profile", "traces") and args.scenario:
         parser.error(
             f"unexpected argument {args.scenario!r} "
-            f"(only 'sweep' and 'profile' take a scenario)"
+            f"(only 'sweep', 'profile', and 'traces' take one)"
+        )
+    if args.experiment != "traces" and args.dataset:
+        parser.error(
+            f"unexpected argument {args.dataset!r} "
+            f"(only 'traces show' takes a dataset name)"
         )
     if args.experiment == "list":
         print("available experiments:")
@@ -467,7 +539,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {name}")
         print(
             "plus: scenarios (catalog), sweep <scenario> (parallel runner), "
-            "profile <scenario> (tick-phase profiler)"
+            "profile <scenario> (tick-phase profiler), "
+            "traces (bundled dataset registry)"
         )
         return 0
     if args.experiment == "routes":
@@ -493,6 +566,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return cmd_profile(args)
         except (ScenarioError, ValueError) as exc:
+            parser.error(str(exc))
+    if args.experiment == "traces":
+        try:
+            return cmd_traces(args)
+        except ValueError as exc:
             parser.error(str(exc))
     COMMANDS[args.experiment](args)
     return 0

@@ -176,6 +176,26 @@ class SolarConfig:
 
 
 @dataclass(frozen=True)
+class WindConfig:
+    """Wind plant sized by rated (nameplate) power.
+
+    The plant replays a capacity-factor trace through the rated power,
+    the wind analogue of :class:`SolarConfig`'s irradiance conversion.
+    ``scale`` uniformly scales output so hybrid-generation sweeps can
+    vary 'available renewable power' without touching the trace.
+    """
+
+    rated_power_w: float = 500.0
+    scale: float = 1.0
+
+    def validate(self) -> None:
+        if self.rated_power_w <= 0:
+            raise ConfigurationError("rated power must be positive")
+        if self.scale < 0:
+            raise ConfigurationError("scale must be >= 0")
+
+
+@dataclass(frozen=True)
 class GridConfig:
     """Grid connection. ``max_power_w`` of ``inf`` means unconstrained."""
 

@@ -441,9 +441,10 @@ class Ecovisor:
             raise ConfigurationError(
                 "battery share requested but the plant has no battery"
             )
-        if share.solar_fraction > 0.0 and not self._plant.has_solar:
+        if share.solar_fraction > 0.0 and not self._plant.has_renewable:
             raise ConfigurationError(
                 "solar share requested but the plant has no solar array"
+                " or wind plant"
             )
 
     def admit_app(self, name: str, share: ShareConfig) -> VirtualEnergySystem:
@@ -1006,7 +1007,7 @@ class Ecovisor:
         else:
             offset = None
         if offset is None:
-            physical_solar = self._plant.solar_power_w(time_s)
+            physical_solar = self._plant.renewable_power_w(time_s)
         else:
             physical_solar = float(cache.solar_w[offset])
         if not self._config.solar_buffer_enabled or self._buffered_solar_w is None:
@@ -1226,8 +1227,8 @@ class Ecovisor:
 
         if self._plant.has_grid and total_grid_w > 0:
             self._plant.grid.draw(total_grid_w, duration_s)
-        if self._plant.has_solar and total_solar_used_w > 0:
-            self._plant.solar.deliver(total_solar_used_w, duration_s)
+        if self._plant.has_renewable and total_solar_used_w > 0:
+            self._plant.deliver_renewable(total_solar_used_w, duration_s, time_s)
 
         aggregate_battery_wh = sum(
             app.ves.battery.battery.level_wh

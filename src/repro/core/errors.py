@@ -73,6 +73,39 @@ class TraceError(EcovisorError):
     """A trace (carbon, solar, or workload) was malformed or out of range."""
 
 
+class UnknownTraceNameError(TraceError, ValueError):
+    """A trace name failed to resolve against its known set.
+
+    Raised for unknown carbon regions, price regimes, bundled dataset
+    names, and generation specs.  Also a :class:`ValueError` so callers
+    validating plain string arguments (CLI adapters, scenario builders)
+    can catch it without importing the library hierarchy.  The message
+    always lists the valid names.
+    """
+
+    def __init__(self, kind: str, name: str, known):
+        super().__init__(
+            f"unknown {kind} {name!r}; known {kind}s: "
+            + ", ".join(sorted(known))
+        )
+        self.kind = kind
+        self.name = name
+        self.known = tuple(sorted(known))
+
+
+class DatasetIntegrityError(TraceError):
+    """A bundled dataset's bytes did not match its registered checksum.
+
+    Provider-backed runs are only reproducible if the data they read is
+    exactly the data the registry promises; a mismatch means a corrupted
+    or locally edited file, and the run must not proceed on it.
+    """
+
+
+class ProviderError(EcovisorError):
+    """A signal provider could not produce a value (fetch or parse failure)."""
+
+
 class ScenarioError(EcovisorError):
     """A scenario definition or parameter override was invalid."""
 

@@ -1001,8 +1001,8 @@ class FleetArrays:
         plant = eco._plant
         if plant.has_grid and total_grid_w > 0:
             plant.grid.draw(total_grid_w, duration_s)
-        if plant.has_solar and total_solar_used_w > 0:
-            plant.solar.deliver(total_solar_used_w, duration_s)
+        if plant.has_renewable and total_solar_used_w > 0:
+            plant.deliver_renewable(total_solar_used_w, duration_s, time_s)
 
         aggregate_battery_wh = sum(
             app.ves.battery.battery.level_wh

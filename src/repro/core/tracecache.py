@@ -1,8 +1,8 @@
 """Precomputed per-tick environment signals (the batched hot path).
 
 ``Ecovisor.begin_tick`` samples three environment signals every tick —
-physical solar output, grid carbon intensity, and (when a market is
-attached) the electricity price.  On the live path each sample is a
+physical renewable output (solar and, when attached, wind), grid carbon
+intensity, and (when a market is attached) the electricity price.  On the live path each sample is a
 Python call chain ending in a trace lookup; over a fleet-scale sweep
 those chains run millions of times.  :class:`SignalTraceCache`
 precomputes all three signals for an entire engine run into numpy arrays
@@ -77,46 +77,90 @@ def _clamped_indices(
     return np.minimum(positions.astype(np.int64), num_samples - 1)
 
 
-def _solar_array(plant, times: np.ndarray) -> np.ndarray:
-    """Physical solar output per tick; replicates ``plant.solar_power_w``.
+def _renewable_array(plant, times: np.ndarray) -> np.ndarray:
+    """Renewable output per tick; replicates ``plant.renewable_power_w``.
 
     Vectorized only for the exact stock plant/emulator/trace types — a
     subclass overriding any lookup method gets the scalar fallback, so
-    its override is honored sample for sample.
+    its override is honored sample for sample.  The combination mirrors
+    ``PhysicalEnergySystem.renewable_power_w`` term for term: solar-only
+    plants never add a zero wind array, so pre-wind runs stay bit-exact.
     """
+    from repro.energy.system import PhysicalEnergySystem
+
+    if type(plant) is not PhysicalEnergySystem:
+        return np.asarray([plant.renewable_power_w(float(t)) for t in times])
+    solar_w = (
+        _stock_solar_array(plant.solar, times)
+        if plant.solar is not None
+        else None
+    )
+    wind_w = (
+        _stock_wind_array(plant.wind, times) if plant.wind is not None else None
+    )
+    if (plant.solar is not None and solar_w is None) or (
+        plant.wind is not None and wind_w is None
+    ):
+        # A non-stock source type: honor its overrides sample by sample.
+        return np.asarray([plant.renewable_power_w(float(t)) for t in times])
+    if solar_w is None and wind_w is None:
+        return np.zeros(len(times))
+    if wind_w is None:
+        return solar_w
+    if solar_w is None:
+        return wind_w
+    # Same addition order as PhysicalEnergySystem.renewable_power_w.
+    return solar_w + wind_w
+
+
+def _stock_solar_array(solar, times: np.ndarray) -> Optional[np.ndarray]:
+    """Vectorized ``SolarArrayEmulator.available_power_w``, or None."""
     from repro.energy.solar import (
         ConstantSolarTrace,
         SolarArrayEmulator,
         SolarTrace,
         TabularSolarTrace,
     )
-    from repro.energy.system import PhysicalEnergySystem
 
-    solar = plant.solar
-    if solar is None and type(plant) is PhysicalEnergySystem:
-        return np.zeros(len(times))
-    if (
-        type(plant) is PhysicalEnergySystem
-        and type(solar) is SolarArrayEmulator
-    ):
-        trace = solar._trace
-        config = solar.config
-        if type(trace) is ConstantSolarTrace:
-            irradiance = np.full(len(times), trace.irradiance_at(0.0))
-        elif type(trace) in (SolarTrace, TabularSolarTrace):
-            samples = np.asarray(trace._samples)
-            positions = times / SECONDS_PER_HOUR * _SOLAR_SAMPLES_PER_HOUR
-            irradiance = samples[_clamped_indices(positions, len(samples))]
-        else:
-            return np.asarray([plant.solar_power_w(float(t)) for t in times])
-        # Same multiplication order as SolarArrayEmulator.available_power_w.
-        return (
-            irradiance
-            * config.peak_power_w
-            * config.panel_efficiency_derating
-            * config.scale
-        )
-    return np.asarray([plant.solar_power_w(float(t)) for t in times])
+    if type(solar) is not SolarArrayEmulator:
+        return None
+    trace = solar._trace
+    config = solar.config
+    if type(trace) is ConstantSolarTrace:
+        irradiance = np.full(len(times), trace.irradiance_at(0.0))
+    elif type(trace) in (SolarTrace, TabularSolarTrace):
+        samples = np.asarray(trace._samples)
+        positions = times / SECONDS_PER_HOUR * _SOLAR_SAMPLES_PER_HOUR
+        irradiance = samples[_clamped_indices(positions, len(samples))]
+    else:
+        return None
+    # Same multiplication order as SolarArrayEmulator.available_power_w.
+    return (
+        irradiance
+        * config.peak_power_w
+        * config.panel_efficiency_derating
+        * config.scale
+    )
+
+
+def _stock_wind_array(wind, times: np.ndarray) -> Optional[np.ndarray]:
+    """Vectorized ``WindPlant.available_power_w``, or None."""
+    from repro.energy.wind import (
+        WIND_SAMPLE_INTERVAL_S,
+        WindCapacityTrace,
+        WindPlant,
+    )
+
+    if type(wind) is not WindPlant:
+        return None
+    trace = wind._trace
+    if type(trace) is not WindCapacityTrace:
+        return None
+    samples = np.asarray(trace._samples)
+    positions = times / WIND_SAMPLE_INTERVAL_S
+    cf = samples[_clamped_indices(positions, len(samples))]
+    # Same multiplication order as WindPlant.available_power_w.
+    return cf * wind.config.rated_power_w * wind.config.scale
 
 
 def _carbon_array(service, times: np.ndarray) -> np.ndarray:
@@ -170,7 +214,7 @@ def build_signal_cache(
     return SignalTraceCache(
         start_index=start_index,
         times=times,
-        solar_w=_solar_array(plant, times),
+        solar_w=_renewable_array(plant, times),
         carbon=_carbon_array(carbon_service, times),
         price=_price_array(price_signal, times) if price_signal is not None else None,
     )

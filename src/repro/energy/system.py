@@ -1,10 +1,14 @@
 """The combined physical energy system.
 
-Bundles the three power sources of the paper's Background section — grid,
-battery, and solar — behind one object with the monitoring surface the
-ecovisor multiplexes (Section 3.3).  Sites need not have all three: a
-simple datacenter may be grid-only, an edge site may be grid-less; the
-optional constructor arguments model both.
+Bundles the power sources of the paper's Background section — grid,
+battery, and local renewable generation — behind one object with the
+monitoring surface the ecovisor multiplexes (Section 3.3).  Sites need
+not have all of them: a simple datacenter may be grid-only, an edge site
+may be grid-less; the optional constructor arguments model both.  Local
+generation may be solar, wind, or a hybrid of the two: the ecovisor
+consumes the *combined* renewable output (``renewable_power_w``), so the
+virtualized "solar" signal applications see is really "local renewable
+generation" and wind-backed plants need no policy changes.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from repro.core.errors import ConfigurationError
 from repro.energy.battery import Battery
 from repro.energy.grid import GridConnection
 from repro.energy.solar import SolarArrayEmulator
+from repro.energy.wind import WindPlant
 
 
 @dataclass(frozen=True)
@@ -26,24 +31,27 @@ class EnergySystemSnapshot:
     battery_level_wh: float
     battery_soc_fraction: float
     grid_energy_wh: float
+    wind_power_w: float = 0.0
 
 
 class PhysicalEnergySystem:
-    """Grid + battery + solar behind the controller APIs the ecovisor uses."""
+    """Grid + battery + renewables behind the controller APIs the ecovisor uses."""
 
     def __init__(
         self,
         grid: GridConnection | None = None,
         battery: Battery | None = None,
         solar: SolarArrayEmulator | None = None,
+        wind: WindPlant | None = None,
     ):
-        if grid is None and battery is None and solar is None:
+        if grid is None and battery is None and solar is None and wind is None:
             raise ConfigurationError(
                 "an energy system needs at least one power source"
             )
         self._grid = grid
         self._battery = battery
         self._solar = solar
+        self._wind = wind
 
     @property
     def grid(self) -> GridConnection | None:
@@ -58,6 +66,10 @@ class PhysicalEnergySystem:
         return self._solar
 
     @property
+    def wind(self) -> WindPlant | None:
+        return self._wind
+
+    @property
     def has_grid(self) -> bool:
         return self._grid is not None
 
@@ -69,11 +81,66 @@ class PhysicalEnergySystem:
     def has_solar(self) -> bool:
         return self._solar is not None
 
+    @property
+    def has_wind(self) -> bool:
+        return self._wind is not None
+
+    @property
+    def has_renewable(self) -> bool:
+        """Whether any local generation (solar or wind) is attached."""
+        return self._solar is not None or self._wind is not None
+
     def solar_power_w(self, time_s: float) -> float:
         """Physical solar array output at ``time_s`` (zero without an array)."""
         if self._solar is None:
             return 0.0
         return self._solar.available_power_w(time_s)
+
+    def wind_power_w(self, time_s: float) -> float:
+        """Physical wind plant output at ``time_s`` (zero without a plant)."""
+        if self._wind is None:
+            return 0.0
+        return self._wind.available_power_w(time_s)
+
+    def renewable_power_w(self, time_s: float) -> float:
+        """Combined local generation at ``time_s`` — what the ecovisor samples.
+
+        For a solar-only plant this equals :meth:`solar_power_w` exactly
+        (the zero wind term is never added), preserving bit-exact
+        behavior for every pre-wind configuration.
+        """
+        if self._wind is None:
+            return self.solar_power_w(time_s)
+        if self._solar is None:
+            return self._wind.available_power_w(time_s)
+        return self._solar.available_power_w(time_s) + self._wind.available_power_w(
+            time_s
+        )
+
+    def deliver_renewable(
+        self, power_w: float, duration_s: float, time_s: float
+    ) -> None:
+        """Meter consumed renewable power onto the generating sources.
+
+        Solar-only plants meter everything on the solar array (the
+        pre-wind behavior, bit for bit).  Hybrid plants split pro-rata to
+        each source's available power at ``time_s``, so per-source
+        cumulative meters stay physically meaningful; when both read
+        zero (consuming buffered output after generation died) the split
+        falls back to 50/50.
+        """
+        if self._wind is None:
+            if self._solar is not None:
+                self._solar.deliver(power_w, duration_s)
+            return
+        if self._solar is None:
+            self._wind.deliver(power_w, duration_s)
+            return
+        solar_avail = self._solar.available_power_w(time_s)
+        total_avail = solar_avail + self._wind.available_power_w(time_s)
+        solar_share = solar_avail / total_avail if total_avail > 0 else 0.5
+        self._solar.deliver(power_w * solar_share, duration_s)
+        self._wind.deliver(power_w * (1.0 - solar_share), duration_s)
 
     def snapshot(self, time_s: float) -> EnergySystemSnapshot:
         """Capture the plant state for telemetry."""
@@ -85,6 +152,7 @@ class PhysicalEnergySystem:
                 self._battery.soc_fraction if self._battery else 0.0
             ),
             grid_energy_wh=self._grid.total_energy_wh if self._grid else 0.0,
+            wind_power_w=self.wind_power_w(time_s),
         )
 
     def __repr__(self) -> str:
@@ -95,4 +163,6 @@ class PhysicalEnergySystem:
             parts.append("battery")
         if self._solar is not None:
             parts.append("solar")
+        if self._wind is not None:
+            parts.append("wind")
         return f"PhysicalEnergySystem({'+'.join(parts)})"

@@ -30,7 +30,7 @@ from typing import Callable, Dict, Sequence
 import numpy as np
 
 from repro.carbon.traces import SAMPLE_INTERVAL_S, ar1, duck_curve
-from repro.core.errors import TraceError
+from repro.core.errors import TraceError, UnknownTraceNameError
 from repro.core.units import SECONDS_PER_DAY, SECONDS_PER_HOUR
 
 _SAMPLES_PER_DAY = int(SECONDS_PER_DAY / SAMPLE_INTERVAL_S)
@@ -238,11 +238,14 @@ PRICE_REGIMES: Dict[str, Callable[[int, int], PriceTrace]] = {
 
 
 def make_price_trace(regime: str, days: int = 4, seed: int = 2023) -> PriceTrace:
-    """Build the named regime's trace (``flat``/``tou``/``realtime``)."""
+    """Build the named regime's trace (``flat``/``tou``/``realtime``).
+
+    Raises :class:`UnknownTraceNameError` (a ``TraceError`` *and* a
+    ``ValueError``) listing the valid regimes on an unknown name.
+    """
     key = regime.lower()
     if key not in PRICE_REGIMES:
-        known = ", ".join(sorted(PRICE_REGIMES))
-        raise TraceError(f"unknown price regime {regime!r}; known regimes: {known}")
+        raise UnknownTraceNameError("price regime", regime, PRICE_REGIMES)
     return PRICE_REGIMES[key](days, seed)
 
 

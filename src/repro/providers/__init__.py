@@ -1,0 +1,46 @@
+"""Pluggable signal providers: historical datasets, synthetic, HTTP."""
+
+from repro.providers.base import ProviderMetadata, SignalProvider
+from repro.providers.historical import HistoricalProvider
+from repro.providers.http import (
+    HTTPProvider,
+    HTTPResponse,
+    MockTransport,
+    TransportTimeout,
+    UrllibTransport,
+)
+from repro.providers.registry import (
+    DATASETS,
+    DatasetDescriptor,
+    dataset_provenance,
+    descriptor,
+    generation_datasets,
+    load_samples,
+    resolve_carbon_trace,
+    resolve_generation,
+    resolve_price_trace,
+    validate_all,
+)
+from repro.providers.synthetic import SyntheticProvider
+
+__all__ = [
+    "DATASETS",
+    "DatasetDescriptor",
+    "HTTPProvider",
+    "HTTPResponse",
+    "HistoricalProvider",
+    "MockTransport",
+    "ProviderMetadata",
+    "SignalProvider",
+    "SyntheticProvider",
+    "TransportTimeout",
+    "UrllibTransport",
+    "dataset_provenance",
+    "descriptor",
+    "generation_datasets",
+    "load_samples",
+    "resolve_carbon_trace",
+    "resolve_generation",
+    "resolve_price_trace",
+    "validate_all",
+]

@@ -1,0 +1,71 @@
+"""The signal-provider abstraction.
+
+The paper's ecovisor consumes external *energy information services* —
+electricityMap-style carbon feeds, ISO price feeds, on-site generation
+telemetry (Section 2).  The simulator historically synthesized all of
+them in-process; this package generalizes the supply side behind one
+interface so a scenario can pull its signals from bundled historical
+datasets, from the synthetic generators, or from a (mocked) REST feed
+without the consuming services changing.
+
+A :class:`SignalProvider` answers two questions the ecovisor's services
+ask — the value *now* and a forecast over a horizon — and carries
+:class:`ProviderMetadata` naming the dataset behind it, so run
+provenance can record exactly which data produced a result.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProviderMetadata:
+    """Provenance for a provider's signal.
+
+    ``dataset`` names the backing dataset (a registry name, a synthetic
+    generator tag, or an endpoint URL); ``checksum`` is the dataset's
+    SHA-256 for registry-backed providers and ``""`` when no stable
+    content hash exists (synthetic generators hash their parameters,
+    live feeds have none).
+    """
+
+    dataset: str
+    kind: str
+    region: str = ""
+    units: str = ""
+    checksum: str = ""
+    source: str = "historical"
+
+
+class SignalProvider(ABC):
+    """A time-indexed scalar signal with a forecast and provenance.
+
+    Time is *simulation* time (seconds from scenario start), matching the
+    trace classes — providers never read wall clocks, which is what keeps
+    provider-backed runs deterministic and replayable.
+    """
+
+    def __init__(self, metadata: ProviderMetadata):
+        self._metadata = metadata
+
+    @property
+    def metadata(self) -> ProviderMetadata:
+        return self._metadata
+
+    @abstractmethod
+    def value_at(self, time_s: float) -> float:
+        """The signal value at simulation time ``time_s``."""
+
+    @abstractmethod
+    def forecast(self, time_s: float, horizon_s: float) -> np.ndarray:
+        """Forecast samples covering ``[time_s, time_s + horizon_s)``.
+
+        Sampled at the provider's native interval.  Historical providers
+        return the recorded future (perfect hindsight, the paper's
+        oracle-forecast assumption); live providers return a persistence
+        forecast unless the feed supplies better.
+        """

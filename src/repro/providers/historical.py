@@ -1,0 +1,64 @@
+"""Providers backed by the bundled historical datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.providers.base import ProviderMetadata, SignalProvider
+from repro.providers.registry import (
+    DATASET_INTERVAL_S,
+    descriptor,
+    load_samples,
+)
+
+
+class HistoricalProvider(SignalProvider):
+    """Replays a registered dataset as a signal.
+
+    Lookups use the trace classes' arithmetic — truncate to the 5-minute
+    sample index, clamp at the end — so a :class:`HistoricalProvider`
+    and the stock trace built from the same dataset agree sample for
+    sample.  Forecasts return the recorded future (perfect hindsight),
+    the oracle-forecast assumption the paper's policies evaluate under.
+    """
+
+    def __init__(self, name: str, verify: bool = True):
+        desc = descriptor(name)
+        super().__init__(
+            ProviderMetadata(
+                dataset=desc.name,
+                kind=desc.kind,
+                region=desc.region,
+                units=desc.units,
+                checksum=desc.sha256,
+                source="historical",
+            )
+        )
+        self._samples = load_samples(name, verify=verify)
+
+    @property
+    def samples(self) -> np.ndarray:
+        return self._samples
+
+    @property
+    def duration_s(self) -> float:
+        return len(self._samples) * DATASET_INTERVAL_S
+
+    def value_at(self, time_s: float) -> float:
+        if time_s < 0:
+            raise ValueError(f"time must be >= 0, got {time_s}")
+        index = min(int(time_s / DATASET_INTERVAL_S), len(self._samples) - 1)
+        return float(self._samples[index])
+
+    def forecast(self, time_s: float, horizon_s: float) -> np.ndarray:
+        """The recorded samples covering ``[time_s, time_s + horizon_s)``.
+
+        Clamps at the dataset end by repeating the final sample, so a
+        forecast always spans the full requested horizon.
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        start = int(time_s / DATASET_INTERVAL_S)
+        count = max(1, int(np.ceil(horizon_s / DATASET_INTERVAL_S)))
+        indices = np.minimum(start + np.arange(count), len(self._samples) - 1)
+        return self._samples[indices]

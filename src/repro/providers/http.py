@@ -1,0 +1,281 @@
+"""An HTTP-backed signal provider (co2signal-style REST shape).
+
+Production ecovisors poll REST feeds — electricityMap/CO2signal for
+carbon, ISO APIs for prices.  :class:`HTTPProvider` models that supply
+side with the failure handling a real deployment needs:
+
+- **TTL caching** in *simulation* time: a fetched value is reused until
+  ``ttl_s`` of simulated time passes, matching how the services already
+  quantize queries to their update interval.  No wall clocks — the
+  provider is deterministic and replayable.
+- **Bounded retries** with exponential backoff on timeouts, 5xx
+  responses, and malformed payloads.  The backoff sleeper is injectable
+  (and a no-op by default in tests), so retry logic is testable without
+  real delays.
+- **Stale fallback**: when every retry fails but a previous value
+  exists, the provider serves the stale value and backs off for one
+  TTL before re-attempting.  Only a failure with *no* prior value
+  raises :class:`~repro.core.errors.ProviderError`.
+
+Transports are pluggable.  :class:`MockTransport` scripts responses for
+tests and CI — deterministic, records every request, never touches the
+network.  :class:`UrllibTransport` performs real requests but refuses to
+construct when ``REPRO_OFFLINE`` is set, which is how the offline CI job
+guarantees no test can regress into network dependence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ProviderError
+from repro.obs.metrics import default_registry
+from repro.providers.base import ProviderMetadata, SignalProvider
+
+#: JSON path to the signal value in a co2signal-style payload.
+DEFAULT_VALUE_PATH = ("data", "carbonIntensity")
+
+_registry = default_registry()
+_FETCHES = _registry.counter(
+    "provider_http_fetches_total",
+    "HTTP provider fetch attempts, by provider and outcome "
+    "(ok/timeout/status/malformed).",
+    labelnames=("provider", "outcome"),
+)
+_CACHE_HITS = _registry.counter(
+    "provider_http_cache_hits_total",
+    "Value lookups served from the TTL cache without a fetch.",
+    labelnames=("provider",),
+)
+_STALE_SERVED = _registry.counter(
+    "provider_http_stale_served_total",
+    "Lookups that fell back to a stale value after fetch failure.",
+    labelnames=("provider",),
+)
+_RETRIES = _registry.counter(
+    "provider_http_retries_total",
+    "Fetch retries after a transient failure.",
+    labelnames=("provider",),
+)
+
+
+@dataclass(frozen=True)
+class HTTPResponse:
+    """One transport response: status code and raw body bytes."""
+
+    status: int
+    body: bytes
+
+    def json(self) -> object:
+        return json.loads(self.body.decode("utf-8"))
+
+
+class TransportTimeout(ProviderError):
+    """The transport gave up waiting for a response."""
+
+
+class _PermanentFetchError(ProviderError):
+    """A non-transient failure (4xx): retrying cannot help."""
+
+
+class MockTransport:
+    """A scripted transport for tests and CI.
+
+    ``script`` is a sequence of :class:`HTTPResponse` objects or
+    exceptions; each ``get`` consumes the next entry (raising it if it
+    is an exception) and the final entry repeats once the script is
+    exhausted.  Every request URL is recorded in ``requests``.
+    """
+
+    def __init__(self, script: Sequence[object]):
+        if not script:
+            raise ValueError("mock transport needs at least one scripted entry")
+        self._script: List[object] = list(script)
+        self._cursor = 0
+        self.requests: List[str] = []
+
+    def get(self, url: str, timeout_s: float) -> HTTPResponse:
+        self.requests.append(url)
+        entry = self._script[min(self._cursor, len(self._script) - 1)]
+        self._cursor += 1
+        if isinstance(entry, BaseException):
+            raise entry
+        return entry
+
+
+class UrllibTransport:
+    """A real HTTP transport; refuses to exist in offline runs."""
+
+    def __init__(self) -> None:
+        if os.environ.get("REPRO_OFFLINE"):
+            raise ProviderError(
+                "network transports are disabled (REPRO_OFFLINE is set); "
+                "use MockTransport or a historical dataset"
+            )
+
+    def get(self, url: str, timeout_s: float) -> HTTPResponse:
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(url, timeout=timeout_s) as response:
+                return HTTPResponse(
+                    status=response.status, body=response.read()
+                )
+        except urllib.error.HTTPError as exc:
+            return HTTPResponse(status=exc.code, body=exc.read() or b"")
+        except OSError as exc:  # URLError, socket.timeout
+            raise TransportTimeout(f"GET {url} failed: {exc}") from exc
+
+
+@dataclass
+class _CacheEntry:
+    value: float
+    fetched_at_s: float
+
+
+class HTTPProvider(SignalProvider):
+    """Polls a REST endpoint with TTL caching and failure fallback."""
+
+    def __init__(
+        self,
+        url: str,
+        transport,
+        name: str = "http",
+        kind: str = "carbon",
+        units: str = "gCO2eq/kWh",
+        value_path: Tuple[str, ...] = DEFAULT_VALUE_PATH,
+        ttl_s: float = 300.0,
+        timeout_s: float = 10.0,
+        max_retries: int = 3,
+        backoff_s: float = 0.5,
+        backoff_multiplier: float = 2.0,
+        sleep: Callable[[float], None] = lambda _s: None,
+        forecast_horizon_interval_s: float = 300.0,
+    ):
+        if ttl_s <= 0:
+            raise ProviderError(f"ttl must be positive, got {ttl_s}")
+        if max_retries < 0:
+            raise ProviderError(f"max_retries must be >= 0, got {max_retries}")
+        super().__init__(
+            ProviderMetadata(
+                dataset=url,
+                kind=kind,
+                units=units,
+                checksum="",
+                source="http",
+            )
+        )
+        self._url = url
+        self._transport = transport
+        self._name = name
+        self._value_path = tuple(value_path)
+        self._ttl_s = float(ttl_s)
+        self._timeout_s = float(timeout_s)
+        self._max_retries = int(max_retries)
+        self._backoff_s = float(backoff_s)
+        self._backoff_multiplier = float(backoff_multiplier)
+        self._sleep = sleep
+        self._interval_s = float(forecast_horizon_interval_s)
+        self._cache: Optional[_CacheEntry] = None
+
+    @property
+    def cached_value(self) -> Optional[float]:
+        return self._cache.value if self._cache is not None else None
+
+    def value_at(self, time_s: float) -> float:
+        """The feed value at simulation time ``time_s``.
+
+        Within ``ttl_s`` of the last fetch the cached value is returned
+        without touching the transport.  Past the TTL the provider
+        refetches; on total failure it serves the stale value (backing
+        off one TTL) or raises if none exists.
+        """
+        if time_s < 0:
+            raise ValueError(f"time must be >= 0, got {time_s}")
+        cache = self._cache
+        if cache is not None and time_s - cache.fetched_at_s < self._ttl_s:
+            _CACHE_HITS.labels(provider=self._name).inc()
+            return cache.value
+        try:
+            value = self._fetch_with_retries()
+        except ProviderError:
+            if cache is None:
+                raise
+            # Serve stale and back the fetch off for one TTL, so a dead
+            # feed costs one fetch attempt per TTL, not one per tick.
+            _STALE_SERVED.labels(provider=self._name).inc()
+            self._cache = _CacheEntry(value=cache.value, fetched_at_s=time_s)
+            return cache.value
+        self._cache = _CacheEntry(value=value, fetched_at_s=time_s)
+        return value
+
+    def forecast(self, time_s: float, horizon_s: float) -> np.ndarray:
+        """A persistence forecast: the current value held over the horizon.
+
+        The co2signal shape carries no forecast series; persistence is
+        the standard baseline and keeps the provider interchangeable
+        with historical/synthetic providers for forecast consumers.
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        count = max(1, int(np.ceil(horizon_s / self._interval_s)))
+        return np.full(count, self.value_at(time_s))
+
+    # -- fetch machinery -------------------------------------------------
+    def _fetch_with_retries(self) -> float:
+        delay_s = self._backoff_s
+        last_error: Optional[ProviderError] = None
+        for attempt in range(self._max_retries + 1):
+            if attempt > 0:
+                _RETRIES.labels(provider=self._name).inc()
+                self._sleep(delay_s)
+                delay_s *= self._backoff_multiplier
+            try:
+                return self._fetch_once()
+            except _PermanentFetchError:
+                raise
+            except ProviderError as exc:
+                last_error = exc
+        raise ProviderError(
+            f"provider {self._name!r} exhausted {self._max_retries} retries: "
+            f"{last_error}"
+        )
+
+    def _fetch_once(self) -> float:
+        try:
+            response = self._transport.get(self._url, timeout_s=self._timeout_s)
+        except TransportTimeout as exc:
+            _FETCHES.labels(provider=self._name, outcome="timeout").inc()
+            raise ProviderError(str(exc)) from exc
+        if response.status >= 500:
+            _FETCHES.labels(provider=self._name, outcome="status").inc()
+            raise ProviderError(
+                f"provider {self._name!r} got HTTP {response.status}"
+            )
+        if response.status >= 400:
+            # Client errors are not transient: surface immediately with
+            # the body, which carries the API's explanation.
+            _FETCHES.labels(provider=self._name, outcome="status").inc()
+            raise _PermanentFetchError(
+                f"provider {self._name!r} got HTTP {response.status}: "
+                f"{response.body[:200]!r}"
+            )
+        try:
+            payload = response.json()
+            value = payload
+            for step in self._value_path:
+                value = value[step]
+            value = float(value)
+        except (ValueError, KeyError, TypeError) as exc:
+            _FETCHES.labels(provider=self._name, outcome="malformed").inc()
+            raise ProviderError(
+                f"provider {self._name!r} returned a malformed payload: {exc}"
+            ) from exc
+        _FETCHES.labels(provider=self._name, outcome="ok").inc()
+        return value

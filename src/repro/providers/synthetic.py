@@ -1,0 +1,89 @@
+"""Providers wrapping the in-process synthetic generators.
+
+The pre-provider simulator built its signals straight from the
+synthesizers in :mod:`repro.carbon.traces`, :mod:`repro.market.prices`,
+and :mod:`repro.energy.wind`.  :class:`SyntheticProvider` puts those
+generators behind the same :class:`~repro.providers.base.SignalProvider`
+interface as historical datasets and HTTP feeds, so consumers select a
+supply side by configuration rather than by code path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.core.errors import UnknownTraceNameError
+from repro.providers.base import ProviderMetadata, SignalProvider
+
+#: Native sample interval of every synthetic generator (seconds).
+SYNTHETIC_INTERVAL_S = 300.0
+
+
+class SyntheticProvider(SignalProvider):
+    """Generates a signal from the named synthetic family.
+
+    ``kind`` selects the generator namespace — ``carbon`` (region
+    profiles), ``price`` (price regimes), or ``wind`` (capacity
+    factors) — and ``name`` the member within it.  The metadata checksum
+    hashes the generator parameters, the synthetic analogue of a dataset
+    content hash: two providers with equal checksums produce equal
+    samples.
+    """
+
+    def __init__(self, kind: str, name: str, days: int = 4, seed: int = 2023):
+        samples, units = self._generate(kind, name, days, seed)
+        param_digest = hashlib.sha256(
+            f"{kind}:{name}:{days}:{seed}".encode("utf-8")
+        ).hexdigest()
+        super().__init__(
+            ProviderMetadata(
+                dataset=f"synthetic:{kind}:{name}",
+                kind=kind,
+                region=name if kind == "carbon" else "",
+                units=units,
+                checksum=param_digest,
+                source="synthetic",
+            )
+        )
+        self._samples = np.asarray(samples, dtype=float)
+
+    @staticmethod
+    def _generate(kind: str, name: str, days: int, seed: int):
+        if kind == "carbon":
+            from repro.carbon.traces import make_region_trace
+
+            return make_region_trace(name, days=days, seed=seed).samples, "gCO2eq/kWh"
+        if kind == "price":
+            from repro.market.prices import make_price_trace
+
+            return make_price_trace(name, days=days, seed=seed).samples, "USD/kWh"
+        if kind == "wind":
+            from repro.energy.wind import synthesize_wind_trace
+
+            return synthesize_wind_trace(days=days, seed=seed).samples, "fraction"
+        raise UnknownTraceNameError(
+            "synthetic provider kind", kind, ("carbon", "price", "wind")
+        )
+
+    @property
+    def samples(self) -> np.ndarray:
+        view = self._samples.view()
+        view.flags.writeable = False
+        return view
+
+    def value_at(self, time_s: float) -> float:
+        if time_s < 0:
+            raise ValueError(f"time must be >= 0, got {time_s}")
+        index = min(int(time_s / SYNTHETIC_INTERVAL_S), len(self._samples) - 1)
+        return float(self._samples[index])
+
+    def forecast(self, time_s: float, horizon_s: float) -> np.ndarray:
+        """Generated samples over the horizon (synthetic = oracle)."""
+        if horizon_s <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon_s}")
+        start = int(time_s / SYNTHETIC_INTERVAL_S)
+        count = max(1, int(np.ceil(horizon_s / SYNTHETIC_INTERVAL_S)))
+        indices = np.minimum(start + np.arange(count), len(self._samples) - 1)
+        return self._samples[indices]

@@ -316,6 +316,44 @@ def run_extension_market(params: Dict[str, Any]) -> Dict[str, Any]:
 
 
 @register(
+    "regional",
+    description=(
+        "Regional grids (provider registry): the same policy grid run "
+        "across bundled historical carbon datasets (CAISO, Ontario, "
+        "Germany) with registry-resolved on-site generation (solar or "
+        "wind+solar capacity-factor datasets) and day-ahead prices "
+        "attached.  Fully offline; dataset checksums join the sweep "
+        "provenance."
+    ),
+    defaults={
+        "seed": 2023,
+        "days": 2,
+        "work_units": 200000.0,
+        "percentile": 35.0,
+    },
+    sweep={
+        "region": ("caiso-2022", "ontario-2022", "germany-2022"),
+        "policy": ("agnostic", "wait-and-scale", "suspend-resume"),
+        "generation": ("solar", "wind+solar"),
+    },
+    tags=("extension", "regional", "providers"),
+)
+def run_regional(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One (region, policy, generation) run; see ``run_regional_case``."""
+    from repro.analysis.figures_regional import run_regional_case
+
+    return run_regional_case(
+        str(params["region"]),
+        str(params["policy"]),
+        str(params["generation"]),
+        seed=int(params["seed"]),
+        days=int(params["days"]),
+        work_units=float(params["work_units"]),
+        percentile=float(params["percentile"]),
+    )
+
+
+@register(
     "fleet_small",
     description=(
         "Fleet scale (50 tenants): mixed ML/Spark workloads under a "

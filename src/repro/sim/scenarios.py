@@ -79,8 +79,29 @@ class ScenarioSpec:
 
     @property
     def config_hash(self) -> str:
-        """Stable digest of (scenario, params) — run provenance."""
-        return config_digest({"scenario": self.scenario, "params": dict(self.params)})
+        """Stable digest of (scenario, params) — run provenance.
+
+        When any parameter names a registered dataset (directly or via a
+        generation spec), the dataset identities *and checksums* join
+        the digest payload: two runs hash identically only if they read
+        identical data bytes.  Specs without dataset references keep
+        their pre-provider hashes (the ``datasets`` key is omitted).
+        """
+        payload: Dict[str, Any] = {
+            "scenario": self.scenario,
+            "params": dict(self.params),
+        }
+        datasets = self.dataset_provenance
+        if datasets:
+            payload["datasets"] = datasets
+        return config_digest(payload)
+
+    @property
+    def dataset_provenance(self) -> Dict[str, Dict[str, str]]:
+        """Dataset name + sha256 for each param naming a bundled dataset."""
+        from repro.providers.registry import dataset_provenance
+
+        return dataset_provenance(self.params)
 
     def label(self) -> str:
         """Compact human-readable label, e.g. ``smoke[policy=agnostic]``."""

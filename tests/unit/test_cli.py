@@ -251,3 +251,45 @@ class TestProfile:
         with pytest.raises(SystemExit):
             main(["profile", "smoke"])
         assert "fleet" in capsys.readouterr().err
+
+
+class TestTracesCommand:
+    def test_list_is_the_default_action(self, capsys):
+        assert main(["traces"]) == 0
+        out = capsys.readouterr().out
+        assert "caiso-2022" in out
+        assert "wind-cf-2022" in out
+        assert "gCO2eq/kWh" in out
+
+    def test_show_prints_descriptor_and_stats(self, capsys):
+        assert main(["traces", "show", "caiso-2022"]) == 0
+        out = capsys.readouterr().out
+        assert "sha256:" in out
+        assert "samples:  1152" in out
+        assert "duck curve" in out
+
+    def test_show_unknown_dataset_errors_listing_names(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["traces", "show", "nope"])
+        err = capsys.readouterr().err
+        assert "unknown dataset 'nope'" in err
+        assert "caiso-2022" in err
+
+    def test_show_without_dataset_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["traces", "show"])
+        assert "requires a dataset name" in capsys.readouterr().err
+
+    def test_validate_verifies_every_dataset(self, capsys):
+        assert main(["traces", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert "8/8 datasets verified" in out
+
+    def test_unknown_action_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["traces", "frobnicate"])
+        assert "unknown traces action" in capsys.readouterr().err
+
+    def test_dataset_arg_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "smoke", "caiso-2022"])

@@ -106,8 +106,16 @@ class TestRegimes:
     def test_make_price_trace_dispatch(self):
         for regime in ("flat", "tou", "realtime"):
             assert make_price_trace(regime, days=1).regime == regime
-        with pytest.raises(TraceError):
+
+    def test_unknown_regime_is_value_error_listing_regimes(self):
+        # The error is both a TraceError and a ValueError, and its
+        # message names every valid regime so the fix is in the text.
+        with pytest.raises(ValueError, match="unknown price regime 'nope'"):
             make_price_trace("nope")
+        with pytest.raises(TraceError) as excinfo:
+            make_price_trace("nope")
+        for regime in ("flat", "tou", "realtime"):
+            assert regime in str(excinfo.value)
 
 
 class TestPriceSignal:

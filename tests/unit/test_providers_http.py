@@ -1,0 +1,204 @@
+"""HTTPProvider: TTL caching, retry/backoff, stale fallback, offline CI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ProviderError
+from repro.providers.http import (
+    DEFAULT_VALUE_PATH,
+    HTTPProvider,
+    HTTPResponse,
+    MockTransport,
+    TransportTimeout,
+    UrllibTransport,
+)
+
+
+def ok(value: float = 120.0) -> HTTPResponse:
+    body = json.dumps({"data": {"carbonIntensity": value}}).encode()
+    return HTTPResponse(status=200, body=body)
+
+
+def make_provider(script, **kwargs):
+    transport = MockTransport(script)
+    provider = HTTPProvider(
+        "https://api.example/v1/carbon", transport, **kwargs
+    )
+    return provider, transport
+
+
+class TestMockTransport:
+    def test_records_requests_and_repeats_last_entry(self):
+        transport = MockTransport([ok(1.0), ok(2.0)])
+        assert transport.get("u1", timeout_s=1.0).json()["data"][
+            "carbonIntensity"
+        ] == 1.0
+        assert transport.get("u2", timeout_s=1.0) is not None
+        # Script exhausted: the final entry repeats.
+        again = transport.get("u3", timeout_s=1.0)
+        assert json.loads(again.body)["data"]["carbonIntensity"] == 2.0
+        assert transport.requests == ["u1", "u2", "u3"]
+
+    def test_raises_scripted_exceptions(self):
+        transport = MockTransport([TransportTimeout("boom")])
+        with pytest.raises(TransportTimeout):
+            transport.get("u", timeout_s=1.0)
+
+    def test_rejects_empty_script(self):
+        with pytest.raises(ValueError):
+            MockTransport([])
+
+
+class TestTTLCache:
+    def test_cache_serves_within_ttl_without_fetching(self):
+        provider, transport = make_provider([ok(100.0)], ttl_s=300.0)
+        assert provider.value_at(0.0) == 100.0
+        assert provider.value_at(299.0) == 100.0
+        assert len(transport.requests) == 1
+
+    def test_refetches_past_ttl(self):
+        provider, transport = make_provider([ok(100.0), ok(150.0)])
+        assert provider.value_at(0.0) == 100.0
+        assert provider.value_at(300.0) == 150.0
+        assert len(transport.requests) == 2
+
+    def test_ttl_is_simulation_time_not_wall_clock(self):
+        provider, transport = make_provider([ok(100.0), ok(150.0)])
+        provider.value_at(0.0)
+        # Arbitrarily many wall-clock calls at the same simulated time
+        # still hit the cache.
+        for _ in range(50):
+            provider.value_at(100.0)
+        assert len(transport.requests) == 1
+
+    def test_negative_time_rejected(self):
+        provider, _ = make_provider([ok()])
+        with pytest.raises(ValueError):
+            provider.value_at(-1.0)
+
+
+class TestRetryBackoff:
+    def test_retries_timeouts_until_success(self):
+        provider, transport = make_provider(
+            [TransportTimeout("t1"), TransportTimeout("t2"), ok(80.0)],
+            max_retries=3,
+        )
+        assert provider.value_at(0.0) == 80.0
+        assert len(transport.requests) == 3
+
+    def test_retries_5xx_and_malformed(self):
+        provider, transport = make_provider(
+            [
+                HTTPResponse(status=503, body=b"overloaded"),
+                HTTPResponse(status=200, body=b"not json"),
+                HTTPResponse(status=200, body=b'{"data": {}}'),
+                ok(42.0),
+            ],
+            max_retries=3,
+        )
+        assert provider.value_at(0.0) == 42.0
+        assert len(transport.requests) == 4
+
+    def test_backoff_delays_grow_exponentially(self):
+        delays = []
+        provider, _ = make_provider(
+            [TransportTimeout("t")] * 3 + [ok()],
+            max_retries=3,
+            backoff_s=0.5,
+            backoff_multiplier=2.0,
+            sleep=delays.append,
+        )
+        provider.value_at(0.0)
+        assert delays == [0.5, 1.0, 2.0]
+
+    def test_exhausted_retries_raise_without_prior_value(self):
+        provider, transport = make_provider(
+            [TransportTimeout("down")], max_retries=2
+        )
+        with pytest.raises(ProviderError, match="exhausted 2 retries"):
+            provider.value_at(0.0)
+        assert len(transport.requests) == 3  # initial try + 2 retries
+
+    def test_4xx_is_permanent_no_retries(self):
+        provider, transport = make_provider(
+            [HTTPResponse(status=401, body=b"bad token"), ok()],
+            max_retries=3,
+        )
+        with pytest.raises(ProviderError, match="HTTP 401"):
+            provider.value_at(0.0)
+        assert len(transport.requests) == 1  # no retry after a client error
+
+
+class TestStaleFallback:
+    def test_serves_stale_value_after_total_failure(self):
+        provider, transport = make_provider(
+            [ok(100.0), TransportTimeout("down")], max_retries=1
+        )
+        assert provider.value_at(0.0) == 100.0
+        # Past the TTL the refetch fails every retry: stale value wins.
+        assert provider.value_at(600.0) == 100.0
+        assert provider.cached_value == 100.0
+
+    def test_stale_serve_backs_off_one_ttl(self):
+        provider, transport = make_provider(
+            [ok(100.0), TransportTimeout("down")], max_retries=0, ttl_s=300.0
+        )
+        provider.value_at(0.0)
+        provider.value_at(600.0)  # failed refetch, stale served
+        fetches_after_failure = len(transport.requests)
+        # Within one TTL of the failure: no new fetch attempts.
+        provider.value_at(700.0)
+        provider.value_at(899.0)
+        assert len(transport.requests) == fetches_after_failure
+        # Past the backoff window it tries again.
+        provider.value_at(900.0)
+        assert len(transport.requests) == fetches_after_failure + 1
+
+    def test_4xx_also_falls_back_to_stale(self):
+        provider, _ = make_provider(
+            [ok(100.0), HTTPResponse(status=403, body=b"revoked")],
+        )
+        assert provider.value_at(0.0) == 100.0
+        assert provider.value_at(600.0) == 100.0
+
+
+class TestForecastAndMetadata:
+    def test_persistence_forecast(self):
+        provider, _ = make_provider([ok(90.0)])
+        forecast = provider.forecast(0.0, 1800.0)
+        np.testing.assert_array_equal(forecast, np.full(6, 90.0))
+        with pytest.raises(ValueError):
+            provider.forecast(0.0, 0.0)
+
+    def test_metadata_identifies_the_feed(self):
+        provider, _ = make_provider([ok()])
+        meta = provider.metadata
+        assert meta.source == "http"
+        assert meta.dataset == "https://api.example/v1/carbon"
+        assert meta.kind == "carbon"
+
+    def test_custom_value_path(self):
+        body = json.dumps({"result": {"price": 0.08}}).encode()
+        provider, _ = make_provider(
+            [HTTPResponse(status=200, body=body)],
+            value_path=("result", "price"),
+            kind="price",
+            units="USD/kWh",
+        )
+        assert provider.value_at(0.0) == 0.08
+        assert DEFAULT_VALUE_PATH == ("data", "carbonIntensity")
+
+    def test_constructor_validation(self):
+        with pytest.raises(ProviderError):
+            HTTPProvider("u", MockTransport([ok()]), ttl_s=0.0)
+        with pytest.raises(ProviderError):
+            HTTPProvider("u", MockTransport([ok()]), max_retries=-1)
+
+
+class TestOfflineGuard:
+    def test_urllib_transport_refuses_offline_runs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OFFLINE", "1")
+        with pytest.raises(ProviderError, match="REPRO_OFFLINE"):
+            UrllibTransport()

@@ -1,0 +1,92 @@
+"""Historical and synthetic providers behind the SignalProvider interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import UnknownTraceNameError
+from repro.providers import HistoricalProvider, SignalProvider, SyntheticProvider
+from repro.providers.registry import DATASET_INTERVAL_S, DATASETS, load_samples
+
+
+class TestHistoricalProvider:
+    def test_metadata_mirrors_the_descriptor(self):
+        provider = HistoricalProvider("caiso-2022")
+        meta = provider.metadata
+        assert meta.dataset == "caiso-2022"
+        assert meta.kind == "carbon"
+        assert meta.region == "caiso"
+        assert meta.units == "gCO2eq/kWh"
+        assert meta.checksum == DATASETS["caiso-2022"].sha256
+        assert meta.source == "historical"
+
+    def test_agrees_with_the_dataset_sample_for_sample(self):
+        provider = HistoricalProvider("ontario-2022")
+        samples = load_samples("ontario-2022")
+        for i in (0, 1, 7, len(samples) - 1):
+            t = i * DATASET_INTERVAL_S
+            assert provider.value_at(t) == samples[i]
+            # Mid-interval lookups truncate to the same sample.
+            assert provider.value_at(t + 299.0) == samples[i]
+
+    def test_clamps_past_the_dataset_end(self):
+        provider = HistoricalProvider("caiso-2022")
+        last = provider.samples[-1]
+        assert provider.value_at(provider.duration_s * 10) == last
+
+    def test_forecast_returns_the_recorded_future(self):
+        provider = HistoricalProvider("caiso-2022")
+        horizon = provider.forecast(0.0, 3600.0)
+        np.testing.assert_array_equal(horizon, provider.samples[:12])
+        # Clamped at the end: the final sample repeats to fill the horizon.
+        tail = provider.forecast(provider.duration_s, 1800.0)
+        np.testing.assert_array_equal(
+            tail, np.full(6, provider.samples[-1])
+        )
+        with pytest.raises(ValueError):
+            provider.forecast(0.0, -1.0)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(UnknownTraceNameError):
+            HistoricalProvider("nope")
+
+    def test_is_a_signal_provider(self):
+        assert isinstance(HistoricalProvider("caiso-2022"), SignalProvider)
+
+
+class TestSyntheticProvider:
+    def test_wraps_the_region_generator(self):
+        from repro.carbon.traces import make_region_trace
+
+        provider = SyntheticProvider("carbon", "caiso", days=1, seed=7)
+        trace = make_region_trace("caiso", days=1, seed=7)
+        np.testing.assert_array_equal(provider.samples, trace.samples)
+        assert provider.value_at(0.0) == trace.samples[0]
+
+    def test_kind_namespaces(self):
+        assert SyntheticProvider("price", "tou", days=1).metadata.units == (
+            "USD/kWh"
+        )
+        assert SyntheticProvider("wind", "default", days=1).metadata.units == (
+            "fraction"
+        )
+        with pytest.raises(UnknownTraceNameError):
+            SyntheticProvider("tides", "x")
+
+    def test_checksum_hashes_the_generator_parameters(self):
+        a = SyntheticProvider("carbon", "caiso", days=1, seed=7)
+        b = SyntheticProvider("carbon", "caiso", days=1, seed=7)
+        c = SyntheticProvider("carbon", "caiso", days=1, seed=8)
+        assert a.metadata.checksum == b.metadata.checksum
+        assert a.metadata.checksum != c.metadata.checksum
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+    def test_forecast_is_oracle(self):
+        provider = SyntheticProvider("carbon", "ontario", days=1)
+        np.testing.assert_array_equal(
+            provider.forecast(0.0, 3600.0), provider.samples[:12]
+        )
+
+    def test_metadata_dataset_is_namespaced(self):
+        provider = SyntheticProvider("carbon", "uruguay", days=1)
+        assert provider.metadata.dataset == "synthetic:carbon:uruguay"
+        assert provider.metadata.source == "synthetic"

@@ -1,0 +1,141 @@
+"""Wind capacity-factor traces, the WindPlant source, and hybrid delivery."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolarConfig, WindConfig
+from repro.core.errors import TraceError
+from repro.energy.grid import GridConnection
+from repro.energy.solar import SolarArrayEmulator, TabularSolarTrace
+from repro.energy.system import PhysicalEnergySystem
+from repro.energy.wind import (
+    WIND_SAMPLE_INTERVAL_S,
+    WindCapacityTrace,
+    WindPlant,
+    synthesize_wind_trace,
+)
+
+
+class TestWindCapacityTrace:
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(TraceError):
+            WindCapacityTrace([])
+        with pytest.raises(TraceError):
+            WindCapacityTrace([0.5, 1.2])
+        with pytest.raises(TraceError):
+            WindCapacityTrace([-0.1])
+
+    def test_lookup_truncates_and_clamps(self):
+        trace = WindCapacityTrace([0.2, 0.4, 0.6])
+        assert trace.capacity_factor_at(0.0) == 0.2
+        assert trace.capacity_factor_at(WIND_SAMPLE_INTERVAL_S - 1) == 0.2
+        assert trace.capacity_factor_at(WIND_SAMPLE_INTERVAL_S) == 0.4
+        assert trace.capacity_factor_at(1e9) == 0.6  # clamp past the end
+        with pytest.raises(TraceError):
+            trace.capacity_factor_at(-1.0)
+
+    def test_samples_are_read_only(self):
+        trace = WindCapacityTrace([0.3, 0.5])
+        with pytest.raises(ValueError):
+            trace.samples[0] = 0.9
+        assert trace.mean() == pytest.approx(0.4)
+        assert trace.duration_s == 2 * WIND_SAMPLE_INTERVAL_S
+
+
+class TestSynthesizeWindTrace:
+    def test_deterministic_per_seed(self):
+        a = synthesize_wind_trace(days=2, seed=7)
+        b = synthesize_wind_trace(days=2, seed=7)
+        c = synthesize_wind_trace(days=2, seed=8)
+        np.testing.assert_array_equal(a.samples, b.samples)
+        assert not np.array_equal(a.samples, c.samples)
+
+    def test_bounds_and_shape(self):
+        trace = synthesize_wind_trace(days=3)
+        assert len(trace.samples) == 3 * 288
+        assert trace.samples.min() >= 0.0
+        assert trace.samples.max() <= 0.95
+        with pytest.raises(TraceError):
+            synthesize_wind_trace(days=0)
+
+    def test_blows_around_the_clock(self):
+        # Unlike solar, wind output is nonzero at night: the mean over
+        # the midnight-to-4am window stays well above zero.
+        trace = synthesize_wind_trace(days=4)
+        per_day = 288
+        night = np.concatenate(
+            [trace.samples[d * per_day : d * per_day + 48] for d in range(4)]
+        )
+        assert night.mean() > 0.1
+
+
+class TestWindPlant:
+    def test_output_is_cf_times_rated_times_scale(self):
+        trace = WindCapacityTrace([0.5])
+        plant = WindPlant(WindConfig(rated_power_w=200.0, scale=1.5), trace)
+        assert plant.available_power_w(0.0) == pytest.approx(150.0)
+        assert plant.scale == 1.5
+
+    def test_with_scale_shares_the_trace(self):
+        trace = WindCapacityTrace([0.5])
+        base = WindPlant(WindConfig(rated_power_w=200.0), trace)
+        doubled = base.with_scale(2.0)
+        assert doubled.available_power_w(0.0) == 2 * base.available_power_w(0.0)
+        assert doubled._trace is base._trace
+
+    def test_deliver_meters_energy(self):
+        plant = WindPlant(WindConfig(rated_power_w=100.0), WindCapacityTrace([1.0]))
+        plant.deliver(60.0, 1800.0)  # 60 W for half an hour
+        assert plant.total_energy_wh == pytest.approx(30.0)
+
+    def test_default_trace_is_synthesized(self):
+        plant = WindPlant()
+        assert plant.available_power_w(0.0) >= 0.0
+
+
+class TestHybridDelivery:
+    def _plant(self, solar_w: float, wind_cf: float, irradiance: float = 1.0):
+        solar = SolarArrayEmulator(
+            SolarConfig(peak_power_w=solar_w, panel_efficiency_derating=1.0),
+            TabularSolarTrace([irradiance]),
+        )
+        wind = WindPlant(
+            WindConfig(rated_power_w=100.0), WindCapacityTrace([wind_cf])
+        )
+        return PhysicalEnergySystem(
+            grid=GridConnection(), solar=solar, wind=wind
+        )
+
+    def test_renewable_power_sums_solar_and_wind(self):
+        plant = self._plant(solar_w=60.0, wind_cf=0.4)
+        assert plant.solar_power_w(0.0) == pytest.approx(60.0)
+        assert plant.wind_power_w(0.0) == pytest.approx(40.0)
+        assert plant.renewable_power_w(0.0) == pytest.approx(100.0)
+        assert plant.has_wind and plant.has_renewable
+
+    def test_delivery_splits_pro_rata_by_availability(self):
+        plant = self._plant(solar_w=60.0, wind_cf=0.4)  # 60 W solar, 40 W wind
+        plant.deliver_renewable(50.0, 3600.0, 0.0)
+        assert plant.solar.total_energy_wh == pytest.approx(30.0)  # 60%
+        assert plant.wind.total_energy_wh == pytest.approx(20.0)  # 40%
+
+    def test_zero_availability_splits_evenly(self):
+        plant = self._plant(solar_w=60.0, wind_cf=0.0, irradiance=0.0)
+        plant.deliver_renewable(10.0, 3600.0, 0.0)
+        assert plant.solar.total_energy_wh == pytest.approx(5.0)
+        assert plant.wind.total_energy_wh == pytest.approx(5.0)
+
+    def test_wind_only_plant(self):
+        wind = WindPlant(WindConfig(rated_power_w=80.0), WindCapacityTrace([0.5]))
+        plant = PhysicalEnergySystem(grid=GridConnection(), wind=wind)
+        assert not plant.has_solar and plant.has_renewable
+        assert plant.renewable_power_w(0.0) == pytest.approx(40.0)
+        plant.deliver_renewable(40.0, 3600.0, 0.0)
+        assert wind.total_energy_wh == pytest.approx(40.0)
+
+    def test_snapshot_reports_wind_power(self):
+        plant = self._plant(solar_w=60.0, wind_cf=0.4)
+        snap = plant.snapshot(0.0)
+        assert snap.wind_power_w == pytest.approx(40.0)
+        assert snap.solar_power_w == pytest.approx(60.0)
+        assert "wind" in repr(plant)
