@@ -65,6 +65,13 @@ class Container:
     #: server's occupancy cache.
     _mutation_epoch = 0
 
+    #: Like ``_mutation_epoch`` but bumped only on run-state flips
+    #: (start/stop), not core resizes.  Caches that depend solely on
+    #: *which* containers are running — role indexes, worker plans,
+    #: attribution position maps — key on this so the resize-heavy
+    #: steady state of a scaling fleet leaves them intact.
+    _runstate_epoch = 0
+
     def __init__(
         self,
         app_name: str,
@@ -141,10 +148,12 @@ class Container:
         self._demand_utilization = 0.0
         self._last_power_w = 0.0
         Container._mutation_epoch += 1
+        Container._runstate_epoch += 1
 
     def start(self) -> None:
         self._state = ContainerState.RUNNING
         Container._mutation_epoch += 1
+        Container._runstate_epoch += 1
 
     # ------------------------------------------------------------------
     # Power capping and utilization

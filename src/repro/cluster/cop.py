@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.cluster.container import Container
+from repro.cluster.container import Container, ContainerState
 from repro.cluster.scheduler import FewestInstancesScheduler, Scheduler
 from repro.cluster.server import Server
 from repro.core.config import ClusterConfig
@@ -55,6 +55,7 @@ class ContainerOrchestrationPlatform:
         self._version = 0
         self._running_cache: Dict[str, List[Container]] = {}
         self._role_cache: Dict[tuple, List[Container]] = {}
+        self._role_index: Optional[Dict[tuple, List[Container]]] = None
         self._cache_version = -1
         self._cache_epoch = -1
         self._baseline_key = (-1, -1)
@@ -103,20 +104,26 @@ class ContainerOrchestrationPlatform:
         index = self._containers_by_app.get(app_name)
         return list(index.values()) if index else []
 
-    def _running_for(self, app_name: str) -> List[Container]:
-        # Memoized per (topology, container mutation) generation: the
-        # batched tick path asks for every app's running list every tick
-        # while the population usually changes orders of magnitude less
-        # often.  Returns the cached list itself — callers must copy
-        # before exposing it for mutation.
+    def _sync_generation_caches(self) -> None:
+        # The memoized running/role views are keyed per (topology,
+        # run-state) generation: the batched tick path asks for every
+        # app's running list every tick while the running set usually
+        # changes orders of magnitude less often.  Resizes (which bump
+        # only the mutation epoch) leave these views untouched.
         if (
             self._cache_version != self._version
-            or self._cache_epoch != Container._mutation_epoch
+            or self._cache_epoch != Container._runstate_epoch
         ):
             self._running_cache = {}
             self._role_cache = {}
+            self._role_index = None
             self._cache_version = self._version
-            self._cache_epoch = Container._mutation_epoch
+            self._cache_epoch = Container._runstate_epoch
+
+    def _running_for(self, app_name: str) -> List[Container]:
+        # Returns the cached list itself — callers must copy before
+        # exposing it for mutation.
+        self._sync_generation_caches()
         cached = self._running_cache.get(app_name)
         if cached is None:
             index = self._containers_by_app.get(app_name)
@@ -137,14 +144,7 @@ class ContainerOrchestrationPlatform:
         Returns the cached list itself to keep the fleet hot path
         allocation-free — callers must treat it as read-only.
         """
-        if (
-            self._cache_version != self._version
-            or self._cache_epoch != Container._mutation_epoch
-        ):
-            self._running_cache = {}
-            self._role_cache = {}
-            self._cache_version = self._version
-            self._cache_epoch = Container._mutation_epoch
+        self._sync_generation_caches()
         key = (app_name, role)
         cached = self._role_cache.get(key)
         if cached is None:
@@ -160,6 +160,32 @@ class ContainerOrchestrationPlatform:
             cached = [c for c in base if c.role == role]
             self._role_cache[key] = cached
         return cached
+
+    def running_role_index(self) -> Dict[tuple, List[Container]]:
+        """Every running container grouped by ``(app_name, role)``.
+
+        Lists are in launch order (the per-app index order filtered by
+        role), so each entry equals the corresponding
+        :meth:`running_containers_for_role` result; apps with no running
+        containers of a role are simply absent.  Built with one walk
+        over the container population and memoized per generation —
+        this replaces the O(apps) per-app call storm when the batched
+        upcall plane re-plans a large fleet after a topology change.
+        Returns the cached dict itself; callers must treat it (and its
+        lists) as read-only.
+        """
+        self._sync_generation_caches()
+        index = self._role_index
+        if index is None:
+            index = {}
+            running = ContainerState.RUNNING
+            for container in self._containers.values():
+                if container._state is running:
+                    index.setdefault(
+                        (container._app_name, container._role), []
+                    ).append(container)
+            self._role_index = index
+        return index
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -341,9 +367,19 @@ class ContainerOrchestrationPlatform:
         """
         key = (self._version, Container._mutation_epoch)
         if self._baseline_key != key:
-            self._baseline_w = sum(
-                s.baseline_idle_power_w() for s in self._servers
-            )
+            # Fused form of sum(s.baseline_idle_power_w() for s in
+            # self._servers): identical per-term arithmetic and
+            # summation order, without the per-server property/genexpr
+            # machinery — the settle path re-sums every topology
+            # generation, which at fleet scale is a hot loop.
+            acc = 0.0
+            for server in self._servers:
+                config = server._config
+                cores = config.cores
+                acc += (
+                    (cores - server.occupancy()[0]) / cores
+                ) * config.idle_power_w
+            self._baseline_w = acc
             self._baseline_key = key
         return self._baseline_w
 

@@ -300,11 +300,11 @@ class EcovisorAPI:
             version = platform._version
             if (
                 self._rl_version != version
-                or self._rl_epoch != Container._mutation_epoch
+                or self._rl_epoch != Container._runstate_epoch
             ):
                 self._role_lists = {}
                 self._rl_version = version
-                self._rl_epoch = Container._mutation_epoch
+                self._rl_epoch = Container._runstate_epoch
             cached = self._role_lists.get(role)
             if cached is None:
                 cached = self._role_lists[role] = (

@@ -221,6 +221,11 @@ class Ecovisor:
         # through collect-time callbacks, so being observable costs the
         # tick loop nothing.
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        # Bumped whenever the upcall registration surface changes (app
+        # admitted/evicted, tick callback registered); the vectorized
+        # upcall plane (core/upcalls.py) keys its grouping on it and
+        # detects mid-delivery changes between items.
+        self._upcall_epoch = 0
         #: The engine's :class:`~repro.obs.profiler.TickProfiler`
         #: (installed by SimulationEngine; None for a bare ecovisor).
         self.profiler = None
@@ -482,6 +487,7 @@ class Ecovisor:
             has_solar_share=share.solar_fraction > 0.0,
         )
         self._apps[name] = app
+        self._upcall_epoch += 1
         self._allocated_solar += share.solar_fraction
         self._allocated_battery += share.battery_fraction
         self._journal.ensure_feed(name)
@@ -529,6 +535,7 @@ class Ecovisor:
             0.0, self._allocated_battery - share.battery_fraction
         )
         del self._apps[name]
+        self._upcall_epoch += 1
         fleet = self._fleet
         if fleet is not None:
             if app.row >= 0:
@@ -654,6 +661,17 @@ class Ecovisor:
         """
         app = self._app(name)
         app.tick_callbacks = (*app.tick_callbacks, (callback, _callback_arity(callback)))
+        self._upcall_epoch += 1
+
+    @property
+    def upcall_epoch(self) -> int:
+        """Generation counter for the upcall registration surface.
+
+        Changes whenever an app is admitted or evicted or a tick
+        callback is registered; the vectorized upcall plane
+        (:mod:`repro.core.upcalls`) keys its app grouping on it.
+        """
+        return self._upcall_epoch
 
     # ------------------------------------------------------------------
     # Snapshot access

@@ -35,7 +35,7 @@ Design rules (pinned by ``tests/integration/test_columnar_parity.py``):
 
 from __future__ import annotations
 
-from operator import itemgetter
+from operator import attrgetter, itemgetter
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -74,6 +74,8 @@ class _ContainerCache:
         "cf_idle",
         "cpu_range",
         "gpu_range",
+        "run_mask",
+        "run_epoch",
         "power_mask",
         "gpu_mask",
         "positions",
@@ -91,7 +93,7 @@ class _ContainerCache:
         self.ids = tuple(c.id for c in clist)
         server = platform.config.server
         n = len(clist)
-        cf = np.fromiter((c.cores for c in clist), dtype=float, count=n)
+        cf = np.fromiter(map(attrgetter("cores"), clist), dtype=float, count=n)
         # Same per-element division as the scalar model's core_fraction.
         cf = cf / server.cores
         self.cf = cf
@@ -102,7 +104,11 @@ class _ContainerCache:
             if server.has_gpu
             else 0.0
         )
-        run = np.fromiter((c.is_running for c in clist), dtype=bool, count=n)
+        run = np.fromiter(
+            map(attrgetter("is_running"), clist), dtype=bool, count=n
+        )
+        self.run_mask = run
+        self.run_epoch = Container._runstate_epoch
         placed = np.fromiter(
             (c.server_name is not None for c in clist), dtype=bool, count=n
         )
@@ -111,17 +117,22 @@ class _ContainerCache:
         # readings (with 0.0), hence two distinct masks.
         self.power_mask = run & placed
         self.gpu_mask = np.fromiter(
-            (c.has_gpu for c in clist), dtype=bool, count=n
+            map(attrgetter("has_gpu"), clist), dtype=bool, count=n
         )
+        self._index_running(run)
+        self.baseline_w = platform.baseline_power_w()
+
+    def _index_running(self, run: np.ndarray) -> None:
+        """Per-app position/id maps over the running subset of ``clist``."""
+        clist = self.clist
+        running_positions = np.flatnonzero(run).tolist()
         positions: Dict[str, List[int]] = {}
         cont_ids: Dict[str, List[str]] = {}
-        running_positions: List[int] = []
-        for p, c in enumerate(clist):
-            if not c.is_running:
-                continue
-            running_positions.append(p)
-            positions.setdefault(c.app_name, []).append(p)
-            cont_ids.setdefault(c.app_name, []).append(c.id)
+        for p in running_positions:
+            c = clist[p]
+            name = c._app_name
+            positions.setdefault(name, []).append(p)
+            cont_ids.setdefault(name, []).append(c._id)
         self.positions: Dict[str, Tuple[int, ...]] = {
             name: tuple(v) for name, v in positions.items()
         }
@@ -129,7 +140,6 @@ class _ContainerCache:
             name: tuple(v) for name, v in cont_ids.items()
         }
         self.running_positions = tuple(running_positions)
-        self.baseline_w = platform.baseline_power_w()
 
     @classmethod
     def extended(
@@ -169,18 +179,16 @@ class _ContainerCache:
         )
         obj.cpu_range = prev.cpu_range
         obj.gpu_range = prev.gpu_range
+        run_new = np.fromiter(
+            (c.is_running for c in new), dtype=bool, count=k
+        )
+        placed_new = np.fromiter(
+            (c.server_name is not None for c in new), dtype=bool, count=k
+        )
+        obj.run_mask = np.concatenate([prev.run_mask, run_new])
+        obj.run_epoch = Container._runstate_epoch
         obj.power_mask = np.concatenate(
-            [
-                prev.power_mask,
-                np.fromiter(
-                    (
-                        c.is_running and c.server_name is not None
-                        for c in new
-                    ),
-                    dtype=bool,
-                    count=k,
-                ),
-            ]
+            [prev.power_mask, run_new & placed_new]
         )
         obj.gpu_mask = np.concatenate(
             [
@@ -202,6 +210,65 @@ class _ContainerCache:
         obj.positions = positions
         obj.cont_ids = cont_ids
         obj.running_positions = tuple(run_pos)
+        obj.baseline_w = platform.baseline_power_w()
+        return obj
+
+    @classmethod
+    def resized(
+        cls,
+        prev: "_ContainerCache",
+        platform: "ContainerOrchestrationPlatform",
+        key: Tuple[int, int],
+    ) -> "_ContainerCache":
+        """Same-population rebuild: only the mutable columns re-derive.
+
+        An unchanged topology version means no container launched or was
+        removed since ``prev`` — the population and its order are exactly
+        ``prev.clist`` — so identity-derived fields (ids, GPU mask) carry
+        over, and when the running set is also unchanged (the common
+        resize-only scale) the per-app position maps carry over too.
+        """
+        clist = prev.clist
+        n = len(clist)
+        obj = cls.__new__(cls)
+        obj.key = key
+        obj.clist = clist
+        obj.ids = prev.ids
+        server = platform.config.server
+        cf = np.fromiter(map(attrgetter("cores"), clist), dtype=float, count=n)
+        cf = cf / server.cores
+        obj.cf = cf
+        obj.cf_idle = cf * server.idle_power_w
+        obj.cpu_range = prev.cpu_range
+        obj.gpu_range = prev.gpu_range
+        obj.gpu_mask = prev.gpu_mask
+        run_epoch = Container._runstate_epoch
+        obj.run_epoch = run_epoch
+        if prev.run_epoch == run_epoch:
+            # Resize-only epoch: no container started or stopped, so the
+            # run mask — and every index derived from it — carries over.
+            obj.run_mask = prev.run_mask
+            obj.power_mask = prev.power_mask
+            obj.positions = prev.positions
+            obj.cont_ids = prev.cont_ids
+            obj.running_positions = prev.running_positions
+        else:
+            run = np.fromiter(
+                map(attrgetter("is_running"), clist), dtype=bool, count=n
+            )
+            obj.run_mask = run
+            placed = np.fromiter(
+                (c.server_name is not None for c in clist),
+                dtype=bool,
+                count=n,
+            )
+            obj.power_mask = run & placed
+            if np.array_equal(run, prev.run_mask):
+                obj.positions = prev.positions
+                obj.cont_ids = prev.cont_ids
+                obj.running_positions = prev.running_positions
+            else:
+                obj._index_running(run)
         obj.baseline_w = platform.baseline_power_w()
         return obj
 
@@ -421,6 +488,7 @@ class FleetArrays:
         self.has_solar = np.zeros(0, dtype=bool)
         self.grid_share_w = np.zeros(0)
         self.batt_apps: list = []
+        self.batt_objs: list = []
         # Battery sub-fleet caches (parallel to batt_apps): config-derived
         # scalars are fixed for a VirtualBattery's lifetime, and any swap
         # (admission, share rebalance) sets `dirty`, so they refresh with
@@ -436,7 +504,10 @@ class FleetArrays:
         self.batt_maxd = np.zeros(0)
         # Per-(container cache, names) gather plan for settle(); see
         # _gather_plan().
-        self._plan_cc: Optional[_ContainerCache] = None
+        # Keyed on the *positions* dict identity, not the cache object:
+        # resize-only cache rebuilds carry the position maps over
+        # unchanged, and the gather plan depends on nothing else.
+        self._plan_positions: Optional[dict] = None
         self._plan_names: Optional[List[str]] = None
         self._plan: Optional[tuple] = None
 
@@ -519,6 +590,7 @@ class FleetArrays:
         self.batt_apps = [
             (i, app) for i, app in enumerate(apps) if app.ves.battery is not None
         ]
+        self.batt_objs = [app for _, app in self.batt_apps]
         m = len(self.batt_apps)
         self.batt_idx = np.fromiter(
             (i for i, _ in self.batt_apps), dtype=np.intp, count=m
@@ -552,6 +624,27 @@ class FleetArrays:
             app.snap_epoch = epoch
         self.dirty = False
 
+    def _knob_columns(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Fresh snapshot columns of the Table 1 battery knobs.
+
+        Read from the objects at call time (not the settle gathers):
+        an event subscriber can turn a knob mid-settle and the snapshot
+        must see it, exactly like the object path's late read.
+        """
+        knob_target = np.zeros(n)
+        knob_maxdis = np.zeros(n)
+        vbs = self.batt_vbs
+        m = len(vbs)
+        if m:
+            bidx = self.batt_idx
+            knob_target[bidx] = np.fromiter(
+                map(attrgetter("_charge_rate_w"), vbs), dtype=float, count=m
+            )
+            knob_maxdis[bidx] = np.fromiter(
+                map(attrgetter("_max_discharge_w"), vbs), dtype=float, count=m
+            )
+        return knob_target, knob_maxdis
+
     def container_cache(
         self, platform: "ContainerOrchestrationPlatform"
     ) -> _ContainerCache:
@@ -562,6 +655,11 @@ class FleetArrays:
                 # Same mutation epoch, newer topology version: launches
                 # only, so the cache extends instead of rebuilding.
                 cc = _ContainerCache.extended(cc, platform, key)
+            elif cc is not None and cc.key[0] == key[0]:
+                # Same topology version, newer mutation epoch: the
+                # population is unchanged (resize/start/stop in place),
+                # so identity-derived columns carry over.
+                cc = _ContainerCache.resized(cc, platform, key)
             else:
                 cc = None
             if cc is None:
@@ -575,26 +673,27 @@ class FleetArrays:
         Maps the dense app order onto the container cache's positions
         once per (topology, registration) generation:
 
-        - ``gather``: per non-empty app, ``(app index, itemgetter,
-          single?)`` — ``itemgetter`` pulls that app's container powers
-          as a tuple so the demand sum runs at C speed while keeping the
-          object path's exact left-to-right accumulation from int ``0``
-          (``itemgetter`` of one position returns the bare float, hence
-          the ``single`` flag: ``sum((0, x))`` and ``x`` are identical).
+        - ``empty_idx``: app indices with no running containers — their
+          per-app demand stays the object path's int ``0`` (the parity
+          digest distinguishes ``0`` from ``0.0`` through ``repr``).
         - ``counts``: per-app running-container counts (shared list —
           read-only for consumers).
         - ``flat_pos``/``flat_app``/``ids_flat``: the concatenated
           (app-major, launch-order) container walk the attribution loop
-          follows, as index arrays for vectorized arithmetic.
+          follows, as index arrays for vectorized arithmetic.  The
+          demand sum rides them too: ``np.bincount`` over ``flat_app``
+          accumulates each app's container powers left-to-right from
+          0.0, the exact IEEE sequence of the object path's per-app
+          ``sum``.
         - ``cluster_get``: itemgetter over every running container for
           the cluster-power sum (None when the cluster is empty).
         """
         names = self.names
-        if self._plan_cc is cc and self._plan_names is names:
-            return self._plan
         positions = cc.positions
+        if self._plan_positions is positions and self._plan_names is names:
+            return self._plan
         cont_ids = cc.cont_ids
-        gather: list = []
+        empty_idx: List[int] = []
         counts: List[int] = []
         flat_pos: List[int] = []
         flat_app: List[int] = []
@@ -602,26 +701,26 @@ class FleetArrays:
         for i, name in enumerate(names):
             pos = positions.get(name)
             if pos:
-                gather.append((i, itemgetter(*pos), len(pos) == 1))
                 counts.append(len(pos))
                 flat_pos.extend(pos)
                 flat_app.extend([i] * len(pos))
                 ids_flat.extend(cont_ids[name])
             else:
                 counts.append(0)
+                empty_idx.append(i)
         run = cc.running_positions
         cluster_get = (
             (itemgetter(*run), len(run) == 1) if run else None
         )
         plan = (
-            gather,
+            empty_idx,
             counts,
             np.asarray(flat_pos, dtype=np.intp),
             np.asarray(flat_app, dtype=np.intp),
             ids_flat,
             cluster_get,
         )
-        self._plan_cc = cc
+        self._plan_positions = positions
         self._plan_names = names
         self._plan = plan
         return plan
@@ -656,16 +755,11 @@ class FleetArrays:
                 )
         self.solar_w[rows] = new
         self.prev_solar[rows] = new
-        knob_target = np.zeros(n)
-        knob_maxdis = np.zeros(n)
-        for i, app in self.batt_apps:
-            # Only the snapshot's knob columns need the objects here:
-            # settle reads solar from the arrays, so VES-held per-tick
-            # solar stays stale in columnar mode (all apps alike) and is
-            # re-synced if the mode turns off.
-            vb = app.ves.battery
-            knob_target[i] = vb.charge_rate_w
-            knob_maxdis[i] = vb.max_discharge_w
+        # Only the snapshot's knob columns need the objects here: settle
+        # reads solar from the arrays, so VES-held per-tick solar stays
+        # stale in columnar mode (all apps alike) and is re-synced if
+        # the mode turns off.
+        knob_target, knob_maxdis = self._knob_columns(n)
         self.current_snap = FleetSnapshot(
             epoch=self.epoch,
             names=names,
@@ -711,21 +805,26 @@ class FleetArrays:
         cc = self.container_cache(eco._platform)
         powers = cc.powers()
         powers_list = powers.tolist()
-        gather, counts, flat_pos, flat_app, ids_flat, cluster_get = (
+        empty_idx, counts, flat_pos, flat_app, ids_flat, cluster_get = (
             self._gather_plan(cc)
         )
-        # Builtin sum over the itemgetter tuple, from int 0 in launch
-        # order — the exact accumulation of the object path's per-app
-        # demand sum (apps without containers keep its int 0).
-        demand_list: List[float] = [0] * n
-        for i, get, single in gather:
-            v = get(powers_list)
-            demand_list[i] = v if single else sum(v)
+        # bincount accumulates each app's container powers from 0.0 in
+        # launch order — the exact IEEE sequence of the object path's
+        # per-app demand sum.  Apps without containers keep the object
+        # path's int 0 (repr-visible in telemetry, hence the fix-up).
+        if len(flat_app):
+            demand_arr = np.bincount(
+                flat_app, weights=powers[flat_pos], minlength=n
+            )
+        else:
+            demand_arr = np.zeros(n)
+        demand_list: List[float] = demand_arr.tolist()
+        for i in empty_idx:
+            demand_list[i] = 0
 
         carbon = eco._current_carbon
         price = eco._current_price
         hrs = duration_s / 3600.0
-        demand_arr = np.asarray(demand_list, dtype=float)
         demand_wh = demand_arr * hrs
         solar_wh = self.solar_w[rows] * hrs
         solar_used = np.minimum(demand_wh, solar_wh)
@@ -767,13 +866,13 @@ class FleetArrays:
             # Live state: the level moves every settle and the Table 1
             # knobs can change in any upcall, so gather them fresh.
             level = np.fromiter(
-                (vb._battery._level_wh for vb in vbs), dtype=float, count=m
+                map(attrgetter("_battery._level_wh"), vbs), dtype=float, count=m
             )
             target = np.fromiter(
-                (vb._charge_rate_w for vb in vbs), dtype=float, count=m
+                map(attrgetter("_charge_rate_w"), vbs), dtype=float, count=m
             )
             maxdis = np.fromiter(
-                (vb._max_discharge_w for vb in vbs), dtype=float, count=m
+                map(attrgetter("_max_discharge_w"), vbs), dtype=float, count=m
             )
             deficit_b = deficit[bidx]
             excess_b = excess[bidx]
@@ -842,13 +941,33 @@ class FleetArrays:
             # share rebalances, mode-off restore all read them).  The
             # accumulator order (discharge, solar charge, grid top-up)
             # matches the object path's call order.
+            # Only rows whose battery state actually moved need the
+            # object write-back: for an idle battery every write below
+            # is value-identical (level round-trips through identity
+            # clamps, the accumulators gain exact 0.0, the last-power
+            # figures already equal their targets), so skipping them is
+            # unobservable — and most of a large fleet's batteries are
+            # idle on most ticks.
+            prev_dis = np.fromiter(
+                map(attrgetter("_last_discharge_w"), vbs), dtype=float, count=m
+            )
+            prev_chg = np.fromiter(
+                map(attrgetter("_last_charge_w"), vbs), dtype=float, count=m
+            )
+            touched = (
+                (out_wh != 0.0)
+                | (in1 != 0.0)
+                | (in2 != 0.0)
+                | (delivered != prev_dis)
+                | (last_charge_b != prev_chg)
+            )
             lvl_l = level.tolist()
             out_l = out_wh.tolist()
             in1_l = in1.tolist()
             in2_l = in2.tolist()
             ldis_l = delivered.tolist()
             lchg_l = last_charge_b.tolist()
-            for k in range(m):
+            for k in np.flatnonzero(touched).tolist():
                 vb = vbs[k]
                 b = vb._battery
                 b._level_wh = lvl_l[k]
@@ -870,28 +989,50 @@ class FleetArrays:
             # later phase of the tick than on the object path — a
             # documented edge).
             usable_arr = np.maximum(0.0, level - bfloor)
-            full_l = (np.maximum(0.0, bcap - level) <= 1e-9).tolist()
-            empty_l = (usable_arr <= 1e-9).tolist()
+            full_arr = np.maximum(0.0, bcap - level) <= 1e-9
+            empty_arr = usable_arr <= 1e-9
             usable_l = usable_arr.tolist()
             soc_l = (level / bcap).tolist()
             # Signed battery power (charging positive).
             bpow_l = (last_charge_b - delivered).tolist()
-            for k, (i, app) in enumerate(batt_apps):
-                if full_l[k] and not app.battery_was_full:
-                    eco._publish(
-                        BatteryFullEvent(
-                            time_s=time_s,
-                            app_name=app.name,
-                            charge_level_wh=usable_l[k],
+            # The per-app edge loop only needs apps whose full/empty
+            # state changed; for the (overwhelmingly common) steady
+            # rows the flag write is value-identical and no event
+            # fires.  The masked walk stays in ascending app order, so
+            # event interleaving matches the full loop.
+            was_full = np.fromiter(
+                map(attrgetter("battery_was_full"), self.batt_objs),
+                dtype=bool,
+                count=m,
+            )
+            was_empty = np.fromiter(
+                map(attrgetter("battery_was_empty"), self.batt_objs),
+                dtype=bool,
+                count=m,
+            )
+            edges = (full_arr != was_full) | (empty_arr != was_empty)
+            if edges.any():
+                full_l = full_arr.tolist()
+                empty_l = empty_arr.tolist()
+                for k in np.flatnonzero(edges).tolist():
+                    i, app = batt_apps[k]
+                    if full_l[k] and not app.battery_was_full:
+                        eco._publish(
+                            BatteryFullEvent(
+                                time_s=time_s,
+                                app_name=app.name,
+                                charge_level_wh=usable_l[k],
+                            )
                         )
-                    )
-                app.battery_was_full = full_l[k]
-                if empty_l[k] and not app.battery_was_empty:
-                    eco._publish(
-                        BatteryEmptyEvent(time_s=time_s, app_name=app.name)
-                    )
-                app.battery_was_empty = empty_l[k]
-                batt_tel.append((i, soc_l[k], usable_l[k], bpow_l[k]))
+                    app.battery_was_full = full_l[k]
+                    if empty_l[k] and not app.battery_was_empty:
+                        eco._publish(
+                            BatteryEmptyEvent(time_s=time_s, app_name=app.name)
+                        )
+                    app.battery_was_empty = empty_l[k]
+            batt_tel.extend(
+                zip(self.batt_idx.tolist(), soc_l, usable_l, bpow_l)
+            )
         elif m:
             # Degenerate duration: defer to the real VES so its input
             # validation raises exactly as the object path would.  The
@@ -975,10 +1116,14 @@ class FleetArrays:
             carbon_l = (carbon_g[flat_app] * frac).tolist()
             clist = cc.clist
             pos_l = flat_pos.tolist()
+            # Inlined Container.record_tick: three attribute writes per
+            # container, hot enough at fleet scale to skip the call.
             for j in range(len(pos_l)):
-                c_attr = carbon_l[j]
-                clist[pos_l[j]].record_tick(pw_l[j], energy_l[j], c_attr)
-                cont_carbon.append((ids_flat[j], c_attr))
+                c = clist[pos_l[j]]
+                c._last_power_w = pw_l[j]
+                c._energy_wh += energy_l[j]
+                c._carbon_g += carbon_l[j]
+            cont_carbon = list(zip(ids_flat, carbon_l))
 
         if n:
             fractions_arr = np.divide(
@@ -991,12 +1136,15 @@ class FleetArrays:
         total_grid_w = 0.0
         total_solar_used_w = 0.0
         if duration_s > 0:
-            gt = grid_total.tolist()
-            su = solar_used.tolist()
-            sb = s2b.tolist()
-            for i in range(n):
-                total_grid_w += gt[i] * 3600.0 / duration_s
-                total_solar_used_w += (su[i] + sb[i]) * 3600.0 / duration_s
+            # Elementwise terms vectorize bit-identically; the running
+            # sums stay sequential in app order (their IEEE sequence is
+            # the parity contract, so no np.sum/fsum here).
+            gt = (grid_total * 3600.0 / duration_s).tolist()
+            ss = ((solar_used + s2b) * 3600.0 / duration_s).tolist()
+            for v in gt:
+                total_grid_w += v
+            for v in ss:
+                total_solar_used_w += v
 
         plant = eco._plant
         if plant.has_grid and total_grid_w > 0:
@@ -1004,11 +1152,13 @@ class FleetArrays:
         if plant.has_renewable and total_solar_used_w > 0:
             plant.deliver_renewable(total_solar_used_w, duration_s, time_s)
 
-        aggregate_battery_wh = sum(
-            app.ves.battery.battery.level_wh
-            for _, app in self.batt_apps
-            if app.ves.battery is not None
-        )
+        # Same accumulation (order, operand values) as the genexpr
+        # sum over app.ves.battery.battery.level_wh, reading the slots
+        # the property chain forwards to — ~1.5k property hops per tick
+        # on a battery-heavy fleet otherwise.
+        aggregate_battery_wh = 0.0
+        for vb in self.batt_vbs:
+            aggregate_battery_wh += vb._battery._level_wh
         # Plant and app-count telemetry stay eager: their series never
         # receive buffered writes, so eager/buffered order per series is
         # preserved.
@@ -1055,13 +1205,7 @@ class FleetArrays:
         record.cluster_power = attributed + cc.baseline_w
         self.pending.append(record)
 
-        knob_target = np.zeros(n)
-        knob_maxdis = np.zeros(n)
-        for i, app in self.batt_apps:
-            vb = app.ves.battery
-            if vb is not None:
-                knob_target[i] = vb.charge_rate_w
-                knob_maxdis[i] = vb.max_discharge_w
+        knob_target, knob_maxdis = self._knob_columns(n)
         self.current_snap = FleetSnapshot(
             epoch=self.epoch,
             names=names,

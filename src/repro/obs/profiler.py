@@ -1,14 +1,20 @@
 """Tick-phase profiler: where does a tick's wall-clock time go?
 
-The engine's run loop is bracketed into five named phases whose
+The engine's run loop is bracketed into six named phases whose
 boundaries are consecutive ``perf_counter`` reads, so the phase
 durations **partition** the tick exactly — the phase sum equals the
 wall-clock tick time by construction:
 
 - ``begin_tick`` — ``Ecovisor.begin_tick``: signal reads, state build,
   grid/solar/battery bookkeeping.
-- ``policy_upcalls`` — per-app policy ``on_tick`` callbacks
-  (``Ecovisor.invoke_app_ticks``).
+- ``policy_batch`` — grouped policy upcalls through the vectorized
+  plane (``core/upcalls.py``): per-class ``on_tick_batch`` kernels and
+  staged scale applies.
+- ``policy_fallback`` — per-app policy ``on_tick`` callbacks: every
+  app the plane routes to the reference path (custom policies,
+  arity-1 shims, the whole fleet when batching is off).  On a mixed
+  fleet the plane times the fallback barriers inline, so the two
+  sub-phases still sum to the upcall window without double counting.
 - ``workload_step`` — per-app workload ``step`` calls.
 - ``settle`` — ``Ecovisor.settle``: demand reconciliation, ledger,
   cost settlement.
@@ -37,7 +43,8 @@ from repro.obs.metrics import TICK_PHASE_BUCKETS, Histogram, MetricsRegistry
 #: Phase names, in tick order.  These partition the tick exactly.
 PHASES: Tuple[str, ...] = (
     "begin_tick",
-    "policy_upcalls",
+    "policy_batch",
+    "policy_fallback",
     "workload_step",
     "settle",
     "telemetry_flush",
@@ -91,7 +98,7 @@ class TickProfiler:
         if registry is None:
             registry = MetricsRegistry()
         self.registry = registry
-        # Ring layout: one row per tick, columns = tick_index, the five
+        # Ring layout: one row per tick, columns = tick_index, the six
         # phases, total.  Preallocated; writes are row assignments.
         self._ring = np.zeros((ring_size, len(PHASES) + 2), dtype=np.float64)
         self._ring_next = 0
@@ -125,27 +132,35 @@ class TickProfiler:
         self,
         tick_index: int,
         begin_s: float,
-        upcalls_s: float,
+        batch_s: float,
+        fallback_s: float,
         step_s: float,
         settle_s: float,
         flush_s: float,
     ) -> None:
-        """Record one tick's phase breakdown (durations in seconds)."""
-        total_s = begin_s + upcalls_s + step_s + settle_s + flush_s
+        """Record one tick's phase breakdown (durations in seconds).
+
+        ``batch_s``/``fallback_s`` split the policy-upcall window: the
+        engine measures the window with one perf_counter pair and
+        subtracts the plane's inline fallback timings, so the two
+        always sum to the window (no double counting on mixed fleets).
+        """
+        total_s = begin_s + batch_s + fallback_s + step_s + settle_s + flush_s
         row = self._ring[self._ring_next]
         row[0] = tick_index
         row[1] = begin_s
-        row[2] = upcalls_s
-        row[3] = step_s
-        row[4] = settle_s
-        row[5] = flush_s
-        row[6] = total_s
+        row[2] = batch_s
+        row[3] = fallback_s
+        row[4] = step_s
+        row[5] = settle_s
+        row[6] = flush_s
+        row[7] = total_s
         self._ring_next = (self._ring_next + 1) % self.ring_size
         if self._ring_count < self.ring_size:
             self._ring_count += 1
         self.ticks_recorded += 1
 
-        durations = (begin_s, upcalls_s, step_s, settle_s, flush_s)
+        durations = (begin_s, batch_s, fallback_s, step_s, settle_s, flush_s)
         for series, duration in zip(self._phase_series, durations):
             series.observe(duration)
         self._total_hist.observe(total_s)
@@ -155,7 +170,7 @@ class TickProfiler:
         # against the cached value in between.
         if self.ticks_recorded % _MEDIAN_REFRESH_INTERVAL == 1:
             self._median = float(
-                np.median(self._ring[: self._ring_count, 6])
+                np.median(self._ring[: self._ring_count, len(PHASES) + 1])
             )
         if self._median > 0.0 and total_s > self.slow_factor * self._median:
             self.slow_ticks_total += 1

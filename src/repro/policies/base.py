@@ -47,6 +47,20 @@ def worker_idle_power_w(cluster_config: ClusterConfig, cores: float = 1.0) -> fl
 class Policy(abc.ABC):
     """Application-side controller driven by the ``tick()`` upcall."""
 
+    #: Vectorized upcall plane opt-in (see ``core/upcalls.py`` and
+    #: docs/performance.md).  A class that sets this to True **in its
+    #: own body** and provides a classmethod
+    #: ``on_tick_batch(cls, tick, signals, rows)`` lets the batched
+    #: engine deliver one grouped upcall per class instead of one
+    #: ``on_tick`` per app.  The contract: the batch kernel must make
+    #: byte-identical decisions and side effects to N sequential
+    #: ``on_tick`` calls whose decisions are mutually independent
+    #: (reads limited to global tick signals plus the app's own state).
+    #: The flag is checked on the class's ``__dict__`` on purpose: a
+    #: subclass overriding any behavior falls back to the per-app path
+    #: automatically unless it re-opts-in.
+    batch_compatible = False
+
     def __init__(self):
         self._app: Optional[Application] = None
         self._api: Optional[EcovisorAPI] = None

@@ -31,6 +31,11 @@ DEFAULT_DAY_THRESHOLD_W = 1.0
 class _ZeroCarbonPolicy(Policy):
     """Shared day/night machinery for the solar+battery policies."""
 
+    # Not batch-compatible: decisions read cross-cutting battery/solar
+    # state and issue battery + power-cap writes whose interleaving with
+    # other apps' actions is observable — per-app path by design.
+    batch_compatible = False
+
     def __init__(
         self,
         worker_power_w: float,

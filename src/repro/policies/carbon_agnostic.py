@@ -15,6 +15,8 @@ from repro.policies.base import Policy
 class CarbonAgnosticPolicy(Policy):
     """Run ``workers`` containers continuously until the job completes."""
 
+    batch_compatible = True
+
     def __init__(self, workers: int, cores_per_worker: float = 1.0, gpu: bool = False):
         super().__init__()
         if workers <= 0:
@@ -37,3 +39,8 @@ class CarbonAgnosticPolicy(Policy):
             return
         if self.current_worker_count() != self._workers:
             self.scale_workers(self._workers, self._cores, self._gpu)
+
+    @classmethod
+    def on_tick_batch(cls, tick, signals, rows) -> None:
+        """Vectorized :meth:`on_tick`: every member targets its own pool."""
+        rows.stage_scale(rows.col_int("_workers"), gpu_attr="_gpu")

@@ -28,6 +28,11 @@ from repro.workloads.webapp import WebApplication
 class DynamicCarbonBudgetPolicy(Policy):
     """SLO-first autoscaling under a windowed carbon budget."""
 
+    # Not batch-compatible: sizing feeds back from measured app power
+    # and carbon-rate history, not just the tick's global signals —
+    # per-app path by design.
+    batch_compatible = False
+
     def __init__(
         self,
         target_rate_mg_per_s: float,

@@ -76,6 +76,8 @@ def blended_threshold(
 class CarbonCostPolicy(Policy):
     """Wait&Scale on the blended carbon+cost index with trade-off knob λ."""
 
+    batch_compatible = True
+
     def __init__(
         self,
         lam: float,
@@ -138,3 +140,27 @@ class CarbonCostPolicy(Policy):
         )
         if self.current_worker_count() != target:
             self.scale_workers(target, self._cores)
+
+    @classmethod
+    def on_tick_batch(cls, tick, signals, rows) -> None:
+        """Vectorized :meth:`on_tick`: the blended index per member.
+
+        Elementwise ``divide``/``multiply``/``add`` with the scalar
+        body's operand order keep every member's index bit-identical
+        to :func:`blended_index` (including the zero-scale guards).
+        """
+        n = rows.n
+        lam = rows.col("_lam")
+        c_scale = rows.col("_carbon_scale")
+        p_scale = rows.col("_price_scale")
+        carbon_term = np.divide(
+            signals.carbon, c_scale, out=np.zeros(n), where=c_scale > 0
+        )
+        price_term = np.divide(
+            signals.price, p_scale, out=np.zeros(n), where=p_scale > 0
+        )
+        index = (1.0 - lam) * carbon_term + lam * price_term
+        targets = np.where(
+            index > rows.col("_threshold"), 0, rows.col_int("scaled_workers")
+        )
+        rows.stage_scale(targets)

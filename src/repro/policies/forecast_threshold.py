@@ -14,6 +14,8 @@ The imperfect-foresight cost is quantified in
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.carbon.forecast import CarbonForecaster
 from repro.core.clock import TickInfo
 from repro.core.state import EnergyState
@@ -22,6 +24,8 @@ from repro.policies.base import Policy
 
 class ForecastWaitAndScalePolicy(Policy):
     """Suspend above a forecast-percentile threshold; scale below it."""
+
+    batch_compatible = True
 
     def __init__(
         self,
@@ -83,3 +87,22 @@ class ForecastWaitAndScalePolicy(Policy):
         target = 0 if intensity > self._threshold else self.scaled_workers
         if self.current_worker_count() != target:
             self.scale_workers(target, self._cores)
+
+    @classmethod
+    def on_tick_batch(cls, tick, signals, rows) -> None:
+        """Vectorized :meth:`on_tick`.
+
+        Forecaster observation and threshold refresh are per-instance
+        (each member owns its forecaster) and run for *every* member —
+        the scalar body does both before the completion check.
+        """
+        for policy in rows.policies:
+            policy._forecaster.observe(tick.start_s)
+            policy._maybe_refresh(tick.start_s)
+        thresholds = np.fromiter(
+            (p._threshold for p in rows.policies), dtype=float, count=rows.n
+        )
+        targets = np.where(
+            signals.carbon > thresholds, 0, rows.col_int("scaled_workers")
+        )
+        rows.stage_scale(targets)

@@ -17,6 +17,8 @@ are derived.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.carbon.forecast import CarbonForecaster
 from repro.core.clock import TickInfo
 from repro.core.state import EnergyState
@@ -25,6 +27,8 @@ from repro.policies.base import Policy
 
 class PriceThresholdPolicy(Policy):
     """Suspend above a forecast price-percentile; scale up below it."""
+
+    batch_compatible = True
 
     def __init__(
         self,
@@ -86,3 +90,22 @@ class PriceThresholdPolicy(Policy):
         target = 0 if price > self._threshold else self.scaled_workers
         if self.current_worker_count() != target:
             self.scale_workers(target, self._cores)
+
+    @classmethod
+    def on_tick_batch(cls, tick, signals, rows) -> None:
+        """Vectorized :meth:`on_tick`.
+
+        Forecaster observation and threshold refresh are per-instance
+        (each member owns its forecaster) and run for *every* member —
+        the scalar body does both before the completion check.
+        """
+        for policy in rows.policies:
+            policy._forecaster.observe(tick.start_s)
+            policy._maybe_refresh(tick.start_s)
+        thresholds = np.fromiter(
+            (p._threshold for p in rows.policies), dtype=float, count=rows.n
+        )
+        targets = np.where(
+            signals.price > thresholds, 0, rows.col_int("scaled_workers")
+        )
+        rows.stage_scale(targets)

@@ -31,6 +31,11 @@ class CarbonRateLimitPolicy(Policy):
     is low and cannot add capacity when carbon is high.
     """
 
+    # Not batch-compatible: sizing reads measured per-container power
+    # (cross-container state), not just global signals — per-app path
+    # by design.
+    batch_compatible = False
+
     def __init__(
         self,
         target_rate_mg_per_s: float,

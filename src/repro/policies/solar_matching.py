@@ -30,6 +30,11 @@ from repro.workloads.parallel import ParallelJob
 class _SolarCapPolicy(Policy):
     """Shared setup: launch one container per task and pin assignments."""
 
+    # Not batch-compatible: per-container power-cap writes against the
+    # app's own solar share and pinned task assignments — per-app path
+    # by design.
+    batch_compatible = False
+
     def __init__(self, cores_per_worker: float = 1.0):
         super().__init__()
         self._cores = cores_per_worker

@@ -23,6 +23,11 @@ from repro.workloads.parallel import ParallelJob
 class StragglerReplicaPolicy(Policy):
     """Spawn replicas for detected stragglers using excess solar power."""
 
+    # Not batch-compatible: straggler detection reads per-task progress
+    # and spawns replicas against excess-solar headroom — per-app path
+    # by design.
+    batch_compatible = False
+
     def __init__(
         self,
         worker_power_w: float,

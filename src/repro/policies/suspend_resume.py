@@ -13,6 +13,8 @@ BLAST), computed by the experiment harness from the carbon service.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.clock import TickInfo
 from repro.core.state import EnergyState
 from repro.policies.base import Policy
@@ -20,6 +22,8 @@ from repro.policies.base import Policy
 
 class SuspendResumePolicy(Policy):
     """Suspend above a carbon threshold, run at base scale below it."""
+
+    batch_compatible = True
 
     def __init__(
         self,
@@ -62,3 +66,24 @@ class SuspendResumePolicy(Policy):
         target = 0 if should_suspend else self._workers
         if self.current_worker_count() != target:
             self.scale_workers(target, self._cores, self._gpu)
+
+    @classmethod
+    def on_tick_batch(cls, tick, signals, rows) -> None:
+        """Vectorized :meth:`on_tick` with masked suspend/resume edges.
+
+        Completed members skip the state update (the scalar body
+        returns before it), so only ``active`` rows record suspension
+        edges or rewrite ``_suspended``.
+        """
+        policies = rows.policies
+        should = signals.carbon > rows.col("_threshold")
+        prev = np.fromiter(
+            (p._suspended for p in policies), dtype=bool, count=rows.n
+        )
+        active = ~rows.complete
+        for k in np.flatnonzero(active & should & ~prev).tolist():
+            policies[k]._suspension_count += 1
+        for k in np.flatnonzero(active & (should != prev)).tolist():
+            policies[k]._suspended = bool(should[k])
+        targets = np.where(should, 0, rows.col_int("_workers"))
+        rows.stage_scale(targets, gpu_attr="_gpu")

@@ -11,6 +11,8 @@ well to 3x and hits its queue-server bottleneck at 4x.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.clock import TickInfo
 from repro.core.state import EnergyState
 from repro.policies.base import Policy
@@ -18,6 +20,8 @@ from repro.policies.base import Policy
 
 class WaitAndScalePolicy(Policy):
     """Suspend above the threshold; run at ``base x factor`` below it."""
+
+    batch_compatible = True
 
     def __init__(
         self,
@@ -62,3 +66,13 @@ class WaitAndScalePolicy(Policy):
         target = 0 if intensity > self._threshold else self.scaled_workers
         if self.current_worker_count() != target:
             self.scale_workers(target, self._cores, self._gpu)
+
+    @classmethod
+    def on_tick_batch(cls, tick, signals, rows) -> None:
+        """Vectorized :meth:`on_tick`: one threshold compare per member."""
+        targets = np.where(
+            signals.carbon > rows.col("_threshold"),
+            0,
+            rows.col_int("scaled_workers"),
+        )
+        rows.stage_scale(targets, gpu_attr="_gpu")

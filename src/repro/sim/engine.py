@@ -41,6 +41,7 @@ from repro.core.config import ShareConfig
 from repro.core.ecovisor import Ecovisor
 from repro.core.errors import SimulationError
 from repro.core.events import AppEvictedEvent
+from repro.core.upcalls import UpcallPlane
 from repro.obs.profiler import TickProfiler
 from repro.policies.base import Policy
 from repro.workloads.base import Application
@@ -73,6 +74,11 @@ class SimulationEngine:
         self._apps: List[Application] = []
         self._observers: List[TickObserver] = []
         self._batched = batched
+        # Vectorized upcall plane (core/upcalls.py): grouped policy and
+        # workload upcalls on the batched path; the unbatched loop keeps
+        # the per-app reference calls the parity harness compares
+        # against.
+        self._plane = UpcallPlane(ecovisor)
         # Scheduled lifecycle operations, keyed by tick index.  Each
         # tick processes evictions, then share changes, then admissions
         # (frees capacity before granting it), in scheduling order.
@@ -258,6 +264,7 @@ class SimulationEngine:
         if self.profiler.enabled:
             return self._run_profiled(max_ticks, stop_when_batch_complete)
         observers = self._observers
+        plane = self._plane if self._batched else None
         executed = 0
         for _ in range(max_ticks):
             tick = self._clock.current_tick()
@@ -268,16 +275,26 @@ class SimulationEngine:
             ):
                 self._process_scheduled(tick.index)
             ecovisor.begin_tick(tick)
-            ecovisor.invoke_app_ticks(tick)
+            if plane is not None:
+                plane.invoke_policies(tick)
+            else:
+                ecovisor.invoke_app_ticks(tick)
             # Snapshot after the upcalls: applications admitted during
             # them are stepped and settled this very tick; evictions
             # later in the tick leave a harmless no-op finish_tick.
             apps = list(self._apps)
-            for app in apps:
-                app.step(tick, tick.duration_s)
-            fractions = ecovisor.settle(tick)
-            for app in apps:
-                app.finish_tick(tick, tick.duration_s, fractions.get(app.name, 1.0))
+            if plane is not None:
+                plane.step_workloads(tick, tick.duration_s, apps)
+                fractions = ecovisor.settle(tick)
+                plane.finish_workloads(tick, tick.duration_s, fractions, apps)
+            else:
+                for app in apps:
+                    app.step(tick, tick.duration_s)
+                fractions = ecovisor.settle(tick)
+                for app in apps:
+                    app.finish_tick(
+                        tick, tick.duration_s, fractions.get(app.name, 1.0)
+                    )
             for observer in observers:
                 observer(tick)
             self._clock.advance()
@@ -295,12 +312,16 @@ class SimulationEngine:
         the unprofiled path free of any per-tick conditionals or
         ``perf_counter`` calls is what makes ``enabled=False`` near-zero
         overhead (CI gates it at ≤2%).  Phase boundaries are consecutive
-        ``perf_counter`` reads, so the five durations partition the tick
-        exactly — their sum *is* the wall-clock tick time.
+        ``perf_counter`` reads, so the six durations partition the tick
+        exactly — their sum *is* the wall-clock tick time.  The policy
+        window (t1..t2) splits into ``policy_batch``/``policy_fallback``
+        by subtracting the plane's inline fallback timings; on the
+        unbatched path the whole window is fallback time.
         """
         ecovisor = self._ecovisor
         observers = self._observers
         profiler = self.profiler
+        plane = self._plane if self._batched else None
         executed = 0
         for _ in range(max_ticks):
             t0 = perf_counter()
@@ -313,21 +334,48 @@ class SimulationEngine:
                 self._process_scheduled(tick.index)
             ecovisor.begin_tick(tick)
             t1 = perf_counter()
-            ecovisor.invoke_app_ticks(tick)
+            if plane is not None:
+                fallback_s = plane.invoke_policies(tick, timed=True)
+            else:
+                ecovisor.invoke_app_ticks(tick)
             t2 = perf_counter()
             apps = list(self._apps)
-            for app in apps:
-                app.step(tick, tick.duration_s)
-            t3 = perf_counter()
-            fractions = ecovisor.settle(tick)
-            t4 = perf_counter()
-            for app in apps:
-                app.finish_tick(tick, tick.duration_s, fractions.get(app.name, 1.0))
+            if plane is not None:
+                plane.step_workloads(tick, tick.duration_s, apps)
+                t3 = perf_counter()
+                fractions = ecovisor.settle(tick)
+                t4 = perf_counter()
+                plane.finish_workloads(tick, tick.duration_s, fractions, apps)
+            else:
+                for app in apps:
+                    app.step(tick, tick.duration_s)
+                t3 = perf_counter()
+                fractions = ecovisor.settle(tick)
+                t4 = perf_counter()
+                for app in apps:
+                    app.finish_tick(
+                        tick, tick.duration_s, fractions.get(app.name, 1.0)
+                    )
             for observer in observers:
                 observer(tick)
             self._clock.advance()
             t5 = perf_counter()
-            profiler.record(tick.index, t1 - t0, t2 - t1, t3 - t2, t4 - t3, t5 - t4)
+            upcalls_s = t2 - t1
+            if plane is not None:
+                fallback_s = min(fallback_s, upcalls_s)
+                batch_s = upcalls_s - fallback_s
+            else:
+                batch_s = 0.0
+                fallback_s = upcalls_s
+            profiler.record(
+                tick.index,
+                t1 - t0,
+                batch_s,
+                fallback_s,
+                t3 - t2,
+                t4 - t3,
+                t5 - t4,
+            )
             executed += 1
             if stop_when_batch_complete and self._all_batch_complete():
                 break

@@ -23,7 +23,11 @@ the ML-training, BLAST, Spark, and synthetic-parallel models implement.
 from __future__ import annotations
 
 import abc
+from itertools import repeat
+from operator import attrgetter
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.core.api import EcovisorAPI
 from repro.core.clock import TickInfo
@@ -31,6 +35,20 @@ from repro.core.clock import TickInfo
 
 class Application(abc.ABC):
     """A containerized application managed through the ecovisor API."""
+
+    #: Vectorized upcall plane opt-in (see ``core/upcalls.py`` and
+    #: docs/performance.md).  A workload class that sets this to True
+    #: **in its own body** and provides classmethods
+    #: ``step_batch(cls, tick, duration_s, rows)`` and
+    #: ``finish_tick_batch(cls, tick, duration_s, fractions, rows)``
+    #: lets the batched engine drive all its instances with one grouped
+    #: call per class.  The contract: effects must stay app-local (own
+    #: containers' demand, own attributes, app-unique telemetry keys),
+    #: so delivering a class group together instead of interleaved with
+    #: other apps is unobservable.  Checked on the class's ``__dict__``
+    #: on purpose: subclasses fall back to the per-app path unless they
+    #: re-opt-in.
+    batch_compatible = False
 
     def __init__(self, name: str):
         self._name = name
@@ -212,6 +230,164 @@ class BatchJob(Application):
         self._progress = min(self._total_work, self._progress + done)
         if self.is_complete and self._completion_time_s is None:
             self._completion_time_s = tick.end_s
+
+    # ------------------------------------------------------------------
+    # Vectorized engine protocol (core/upcalls.py)
+    # ------------------------------------------------------------------
+    # BatchJob itself does NOT set batch_compatible: concrete subclasses
+    # opt in per class (the plane checks the class's own __dict__), and
+    # inherit these kernels.  Each kernel is the masked, array-level
+    # transcription of the scalar body above — branch for branch — so
+    # N members produce byte-identical state to N sequential calls.
+
+    @classmethod
+    def step_batch(cls, tick: TickInfo, duration_s: float, rows) -> None:
+        """Vectorized :meth:`step` over one class group."""
+        apps = rows.apps
+        # Last tick's finish left every member's post-update progress in
+        # ``updated_progress``; nothing between ticks writes
+        # ``_progress`` for a batched member, so it is still current.
+        progress = rows.updated_progress
+        if progress is None:
+            progress = rows.gather("_progress")
+        rows.step_progress = progress
+        total = rows.col("_total_work")
+        complete = progress >= total - 1e-9
+        plan = rows.worker_plan()
+        counts = plan.counts
+        if complete.any():
+            # Scalar complete branch: zero demand on *all* running
+            # containers (any role), every tick until they are stopped.
+            platform = rows.platform
+            for k in np.flatnonzero(complete).tolist():
+                for container in platform._running_for(rows.names[k]):
+                    container.set_demand_utilization(0.0)
+                plan.written[k] = False
+        active = ~complete
+        running_now = counts > 0
+        was = rows.was_running
+        if was is None:
+            was = rows.was_running = rows.gather("_was_running", dtype=bool)
+        warmup = rows.warmup
+        for k in np.flatnonzero(active & running_now & ~was).tolist():
+            app = apps[k]
+            value = app._warmup_ticks_on_resume
+            app._warmup_remaining = value
+            if warmup is not None:
+                warmup[k] = value
+        changed = active & (was != running_now)
+        if changed.any():
+            for k in np.flatnonzero(changed).tolist():
+                apps[k]._was_running = bool(running_now[k])
+            was[changed] = running_now[changed]
+        # Demand only needs (re)writing when the worker plan changed:
+        # within a plan the count — hence step_demand_utilization's
+        # value — is fixed, and the scalar rewrite of an equal value is
+        # a container-setter no-op.
+        need = active & running_now & ~plan.written
+        for k in np.flatnonzero(need).tolist():
+            app = apps[k]
+            demand = app.step_demand_utilization(int(counts[k]))
+            for container in plan.lists[k]:
+                container.set_demand_utilization(demand)
+            plan.written[k] = True
+
+    @classmethod
+    def finish_tick_batch(
+        cls, tick: TickInfo, duration_s: float, fractions, rows
+    ) -> None:
+        """Vectorized :meth:`finish_tick` over one class group.
+
+        Leaves every member's post-update progress in
+        ``rows.updated_progress`` for subclass sweeps (e.g. Spark's
+        auto-checkpoint).
+        """
+        apps = rows.apps
+        n = rows.n
+        # step_batch's gather is still current: nothing between the two
+        # phases writes ``_progress``.
+        progress = rows.step_progress
+        rows.step_progress = None
+        if progress is None:
+            progress = rows.gather("_progress")
+        total = rows.col("_total_work")
+        complete = progress >= total - 1e-9
+        rows.updated_progress = progress
+        active = ~complete
+        if not active.any():
+            return
+        plan = rows.worker_plan()
+        counts = plan.counts
+        for k in np.flatnonzero(active & (counts == 0)).tolist():
+            apps[k]._suspended_ticks += 1
+        runners = active & (counts > 0)
+        if not runners.any():
+            return
+        for k in np.flatnonzero(runners).tolist():
+            apps[k]._running_ticks += 1
+        warmup = rows.warmup
+        if warmup is None:
+            warmup = rows.warmup = rows.gather(
+                "_warmup_remaining", dtype=np.int64
+            )
+        warm = runners & (warmup > 0)
+        if warm.any():
+            for k in np.flatnonzero(warm).tolist():
+                apps[k]._warmup_remaining = int(warmup[k]) - 1
+            warmup[warm] -= 1
+        prog = runners & ~warm
+        if not prog.any():
+            return
+        flat = plan.flat
+        m = len(flat)
+        # effective_utilization inlined: plan members are running, so it
+        # is min(demand, cap) — np.minimum matches the scalar min() bit
+        # for bit, and bincount accumulates each member's utils from 0.0
+        # in the same launch order as the scalar per-container sum.
+        demand = np.fromiter(
+            map(attrgetter("_demand_utilization"), flat), dtype=float, count=m
+        )
+        cap = np.fromiter(
+            map(attrgetter("_cap_utilization"), flat), dtype=float, count=m
+        )
+        utils = np.minimum(demand, cap)
+        sums = np.bincount(plan.flat_member, weights=utils, minlength=n)
+        rate = cls._batch_rate(rows, plan, utils, sums)
+        frac = np.fromiter(
+            map(fractions.get, rows.names, repeat(1.0)), dtype=float, count=n
+        )
+        done = rate * duration_s * np.maximum(0.0, np.minimum(1.0, frac))
+        new_progress = np.minimum(total, progress + done)
+        end_s = tick.end_s
+        for k in np.flatnonzero(prog).tolist():
+            app = apps[k]
+            value = float(new_progress[k])
+            app._progress = value
+            progress[k] = value
+            if value >= total[k] - 1e-9 and app._completion_time_s is None:
+                app._completion_time_s = end_s
+        rows.updated_progress = progress
+
+    @classmethod
+    def _batch_rate(cls, rows, plan, utils: np.ndarray, sums: np.ndarray):
+        """Per-member throughput for :meth:`finish_tick_batch`.
+
+        Generic fallback: slice each member's utilization list out of
+        the flat gather and call the scalar model.  Subclasses whose
+        model reduces to the utilization *sum* override this with a
+        closed-form array expression (``sums`` is the per-member
+        launch-order sum).
+        """
+        offsets = plan.offsets
+        rates = np.zeros(rows.n)
+        counts = plan.counts
+        apps = rows.apps
+        for k in range(rows.n):
+            if counts[k]:
+                rates[k] = apps[k].throughput_units_per_s(
+                    utils[offsets[k] : offsets[k + 1]].tolist()
+                )
+        return rates
 
     # ------------------------------------------------------------------
     # Result summary

@@ -92,6 +92,8 @@ def sync_efficiency(
 class MLTrainingJob(BatchJob):
     """Synchronous data-parallel training job."""
 
+    batch_compatible = True
+
     def __init__(
         self,
         name: str = "ml-training",
@@ -177,6 +179,45 @@ class MLTrainingJob(BatchJob):
                 self.busy_fraction(n) / demand
             )
         return self._worker_rate * sum(effective_utilizations) * productive_share
+
+    def _productive_share(self, num_workers: int) -> float:
+        """The ``busy/demand`` share :meth:`throughput_units_per_s` uses.
+
+        Mirrors its memo behavior exactly, including *not* caching the
+        degenerate ``demand <= 0`` case.
+        """
+        if num_workers == 0:
+            return 0.0
+        productive_share = self._share_by_n.get(num_workers)
+        if productive_share is None:
+            demand = self.demand_utilization(num_workers)
+            if demand <= 0:
+                return 0.0
+            productive_share = self._share_by_n[num_workers] = (
+                self.busy_fraction(num_workers) / demand
+            )
+        return productive_share
+
+    @classmethod
+    def _batch_rate(cls, rows, plan, utils, sums):
+        """Vectorized sync-SGD throughput: ``(rate * sum) * share``.
+
+        Operand order matches :meth:`throughput_units_per_s`; members
+        with zero workers get share 0.0, reproducing its early return.
+        The share column is pure in the (fixed) per-plan worker counts,
+        so it is cached on the plan and dies with it.
+        """
+        shares = plan.extras.get("ml_share")
+        if shares is None:
+            shares = plan.extras["ml_share"] = np.fromiter(
+                (
+                    app._productive_share(count)
+                    for app, count in zip(rows.apps, plan.counts.tolist())
+                ),
+                dtype=float,
+                count=rows.n,
+            )
+        return rows.col("_worker_rate") * sums * shares
 
     def _natural_throughput(self, num_workers: int) -> float:
         """Throughput at the workload's own demand utilization (no caps)."""

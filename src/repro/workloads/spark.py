@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import List
 
+import numpy as np
+
 from repro.core.clock import TickInfo
 from repro.workloads.base import BatchJob
 
@@ -30,6 +32,8 @@ DEFAULT_CHECKPOINT_INTERVAL_S = 1800.0
 
 class SparkJob(BatchJob):
     """Checkpointing data-parallel job (near-linear scaling)."""
+
+    batch_compatible = True
 
     def __init__(
         self,
@@ -120,6 +124,15 @@ class SparkJob(BatchJob):
         raw = self._worker_rate * sum(effective_utilizations)
         return raw / denom
 
+    def _sync_denom(self, num_workers: int) -> float:
+        """The memoized coordination denominator (``num_workers >= 1``)."""
+        denom = self._denom_by_n.get(num_workers)
+        if denom is None:
+            denom = self._denom_by_n[num_workers] = 1.0 + self._sync_overhead * (
+                num_workers - 1
+            )
+        return denom
+
     # ------------------------------------------------------------------
     # Engine protocol: auto-checkpoint on the configured interval
     # ------------------------------------------------------------------
@@ -136,3 +149,44 @@ class SparkJob(BatchJob):
             and tick.end_s - self._last_checkpoint_s >= self._checkpoint_interval_s
         ):
             self.checkpoint(tick.end_s)
+
+    @classmethod
+    def _batch_rate(cls, rows, plan, utils, sums):
+        """Vectorized throughput: ``(rate * sum) / denom`` per member.
+
+        The denominator column is pure in the (fixed) per-plan worker
+        counts, so it is cached on the plan and dies with it.
+        """
+        denoms = plan.extras.get("spark_denom")
+        if denoms is None:
+            denoms = plan.extras["spark_denom"] = np.fromiter(
+                (
+                    app._sync_denom(count) if count else 1.0
+                    for app, count in zip(rows.apps, plan.counts.tolist())
+                ),
+                dtype=float,
+                count=rows.n,
+            )
+        raw = rows.col("_worker_rate") * sums
+        return raw / denoms
+
+    @classmethod
+    def finish_tick_batch(
+        cls, tick: TickInfo, duration_s: float, fractions, rows
+    ) -> None:
+        """Progress update plus the interval auto-checkpoint sweep."""
+        super().finish_tick_batch(tick, duration_s, fractions, rows)
+        plan = rows.worker_plan()
+        progress = rows.updated_progress
+        total = rows.col("_total_work")
+        complete = progress >= total - 1e-9
+        last = rows.gather("_last_checkpoint_s")
+        interval = rows.col("_checkpoint_interval_s")
+        due = (
+            (plan.counts > 0)
+            & ~complete
+            & (tick.end_s - last >= interval)
+        )
+        end_s = tick.end_s
+        for k in np.flatnonzero(due).tolist():
+            rows.apps[k].checkpoint(end_s)

@@ -27,6 +27,8 @@ from repro.workloads.traces import RequestTrace
 class WebApplication(Application):
     """An SLO-bound, horizontally scalable web service."""
 
+    batch_compatible = True
+
     def __init__(
         self,
         name: str,
@@ -159,6 +161,26 @@ class WebApplication(Application):
         db.record(f"app.{self.name}.p95_ms", t, latency_ms)
         db.record(f"app.{self.name}.request_rate_rps", t, self._current_rate_rps)
         db.record(f"app.{self.name}.slo_violated", t, 1.0 if violated else 0.0)
+
+    # ------------------------------------------------------------------
+    # Vectorized engine protocol (core/upcalls.py)
+    # ------------------------------------------------------------------
+    # The M/M/c percentile-latency model is inherently per-app scalar
+    # math, so the class opts into grouped delivery (its effects are
+    # app-local: own containers' demand, own counters, app-unique db
+    # keys) but the kernels simply delegate member by member.
+
+    @classmethod
+    def step_batch(cls, tick: TickInfo, duration_s: float, rows) -> None:
+        for app in rows.apps:
+            app.step(tick, duration_s)
+
+    @classmethod
+    def finish_tick_batch(
+        cls, tick: TickInfo, duration_s: float, fractions, rows
+    ) -> None:
+        for app in rows.apps:
+            app.finish_tick(tick, duration_s, fractions.get(app.name, 1.0))
 
     def workers_needed_for_slo(self, max_workers: int = 64) -> int:
         """Sizing helper: workers needed for the SLO at the current rate."""

@@ -33,6 +33,8 @@ first differing (surface, tick, app, field) for a readable failure.
 import dataclasses
 import hashlib
 import json
+import os
+from pathlib import Path
 
 from hypothesis import HealthCheck, assume, example, given, settings
 from hypothesis import strategies as st
@@ -95,7 +97,16 @@ def _capture(params, batched, churn=False):
     engine.add_observer(observer)
     engine.run(int(params["ticks"]))
     assert ecovisor.batched is batched and ecovisor.columnar is batched
+    return collect_surfaces(ecovisor, states)
 
+
+def collect_surfaces(ecovisor, states):
+    """Every observable surface of a finished run, JSON-serializable.
+
+    Shared with :mod:`tests.integration.test_fallback_parity`, which
+    builds its own (partially batch-incompatible) fleets but compares
+    the same four surfaces.
+    """
     ledger = ecovisor.ledger
     accounts = {}
     for name in sorted(ledger.app_names()):
@@ -169,6 +180,39 @@ def _first_difference(a, b, path="capture"):
     return None
 
 
+def _record_failure(params, churn, diff, columnar, objects):
+    """Persist a reproduction blob + first-difference report to disk.
+
+    CI uploads the directory (plus hypothesis's example database) as
+    workflow artifacts when the parity suite fails, so a red run on a
+    shared runner is debuggable without re-shrinking locally.  The file
+    tag is content-derived: hypothesis re-runs a failing example many
+    times while shrinking, and every intermediate example dedupes onto
+    its own pair of files (the final, smallest one included).
+    """
+    out = Path(os.environ.get("PARITY_FAILURE_DIR", "parity-failures"))
+    out.mkdir(parents=True, exist_ok=True)
+    blob = {
+        "test_module": "tests/integration/test_columnar_parity.py",
+        "churn": churn,
+        "params": params,
+        "digest_columnar": _digest(columnar),
+        "digest_objects": _digest(objects),
+        "reproduce": (
+            "_assert_parity(%r, churn=%r)  # or add as @example" % (params, churn)
+        ),
+    }
+    tag = hashlib.sha256(
+        json.dumps(blob, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    (out / f"repro-{tag}.json").write_text(
+        json.dumps(blob, indent=2, sort_keys=True) + "\n"
+    )
+    (out / f"first-difference-{tag}.txt").write_text(
+        f"params: {params!r}\nchurn: {churn}\nfirst difference: {diff}\n"
+    )
+
+
 def _assert_parity(params, churn=False):
     try:
         columnar = _capture(params, batched=True, churn=churn)
@@ -178,13 +222,16 @@ def _assert_parity(params, churn=False):
         # a scenario-capacity limit, not a parity property.  Discard
         # the example (both paths would raise at the same tick).
         assume(False)
-    assert _digest(columnar) == _digest(objects), _first_difference(
-        columnar, objects
+    # The digest compares JSON reprs (float bit patterns); the direct
+    # comparison confirms the structures agree too, catching a
+    # hypothetical repr collision.
+    if _digest(columnar) == _digest(objects) and columnar == objects:
+        return
+    diff = _first_difference(columnar, objects) or (
+        "digests differ but structures compare equal (repr-level difference)"
     )
-    # The digest compares JSON reprs; confirm the structures agree too
-    # (this would catch a hypothetical repr collision, and gives the
-    # recursive differ full coverage in the failure case).
-    assert columnar == objects
+    _record_failure(params, churn, diff, columnar, objects)
+    raise AssertionError(diff)
 
 
 class TestColumnarDifferentialParity:
@@ -228,3 +275,17 @@ class TestHarnessSensitivity:
         b = {"states": [{"app": {"x": 1.5}}]}
         message = _first_difference(a, b)
         assert "states" in message and "'x'" in message and "1.5" in message
+
+    def test_failure_recorder_writes_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PARITY_FAILURE_DIR", str(tmp_path / "pf"))
+        a = {"states": [{"app": {"x": 1.0}}]}
+        b = {"states": [{"app": {"x": 1.5}}]}
+        _record_failure({"apps": 3}, False, _first_difference(a, b), a, b)
+        files = sorted(p.name for p in (tmp_path / "pf").iterdir())
+        assert len(files) == 2
+        repro = next(f for f in files if f.startswith("repro-"))
+        report = next(f for f in files if f.startswith("first-difference-"))
+        blob = json.loads((tmp_path / "pf" / repro).read_text())
+        assert blob["params"] == {"apps": 3}
+        assert blob["digest_columnar"] != blob["digest_objects"]
+        assert "1.5" in (tmp_path / "pf" / report).read_text()

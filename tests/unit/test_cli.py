@@ -211,7 +211,8 @@ class TestProfile:
         assert "=== profile fleet_small:" in out
         for phase in (
             "begin_tick",
-            "policy_upcalls",
+            "policy_batch",
+            "policy_fallback",
             "workload_step",
             "settle",
             "telemetry_flush",
@@ -231,7 +232,7 @@ class TestProfile:
         report = json.loads(out.read_text())
         assert report["scenario"] == "fleet_small"
         assert report["ticks_executed"] == 12
-        assert len(report["summary"]["phase_table"]) == 5
+        assert len(report["summary"]["phase_table"]) == 6
         assert f"wrote profile report to {out}" in capsys.readouterr().out
 
     def test_profile_phase_sum_tracks_wall_clock(self):

@@ -8,19 +8,21 @@ from repro.obs.profiler import PHASES, TickProfiler
 
 def record_uniform(profiler: TickProfiler, n: int, phase_s: float = 1e-3):
     for i in range(n):
-        profiler.record(i, phase_s, phase_s, phase_s, phase_s, phase_s)
+        profiler.record(
+            i, phase_s, phase_s, phase_s, phase_s, phase_s, phase_s
+        )
 
 
 class TestRecording:
     def test_phases_partition_the_tick(self):
         p = TickProfiler()
-        p.record(0, 0.001, 0.002, 0.003, 0.004, 0.005)
+        p.record(0, 0.001, 0.002, 0.003, 0.004, 0.005, 0.006)
         (tick,) = p.last()
         assert tick["tick_index"] == 0
         assert tick["phases"] == dict(
-            zip(PHASES, (0.001, 0.002, 0.003, 0.004, 0.005))
+            zip(PHASES, (0.001, 0.002, 0.003, 0.004, 0.005, 0.006))
         )
-        assert tick["total_s"] == pytest.approx(0.015)
+        assert tick["total_s"] == pytest.approx(0.021)
 
     def test_ring_retains_only_the_newest(self):
         p = TickProfiler(ring_size=4)
@@ -52,7 +54,7 @@ class TestRecording:
         totals = p.phase_totals()
         assert set(totals) == set(PHASES)
         assert totals["workload_step"] == pytest.approx(8e-3)
-        assert p.total_seconds() == pytest.approx(4 * 5 * 2e-3)
+        assert p.total_seconds() == pytest.approx(4 * 6 * 2e-3)
 
     def test_reset_clears_ring_but_not_histograms(self):
         registry = MetricsRegistry()
@@ -70,7 +72,7 @@ class TestSlowTicks:
     def test_outlier_lands_in_the_slow_log(self):
         p = TickProfiler(slow_factor=4.0)
         record_uniform(p, 40, phase_s=1e-3)  # median ~5e-3 established
-        p.record(40, 0.1, 1e-3, 1e-3, 1e-3, 1e-3)
+        p.record(40, 0.1, 1e-3, 1e-3, 1e-3, 1e-3, 1e-3)
         assert p.slow_ticks_total == 1
         (entry,) = p.slow_ticks()
         assert entry["tick_index"] == 40
@@ -86,7 +88,7 @@ class TestSlowTicks:
         p = TickProfiler(slow_factor=2.0, slow_log_size=3)
         record_uniform(p, 40, phase_s=1e-3)
         for i in range(10):
-            p.record(40 + i, 0.1, 1e-3, 1e-3, 1e-3, 1e-3)
+            p.record(40 + i, 0.1, 1e-3, 1e-3, 1e-3, 1e-3, 1e-3)
         assert p.slow_ticks_total >= 4
         assert len(p.slow_ticks()) == 3
 
@@ -94,7 +96,7 @@ class TestSlowTicks:
         registry = MetricsRegistry()
         p = TickProfiler(registry=registry, slow_factor=4.0)
         record_uniform(p, 40, phase_s=1e-3)
-        p.record(40, 0.1, 1e-3, 1e-3, 1e-3, 1e-3)
+        p.record(40, 0.1, 1e-3, 1e-3, 1e-3, 1e-3, 1e-3)
         assert "slow_ticks_total 1" in registry.render()
 
 
@@ -113,7 +115,7 @@ class TestReporting:
         record_uniform(p, 3)
         summary = p.summary()
         assert summary["ticks_recorded"] == 3
-        assert summary["mean_tick_s"] == pytest.approx(5e-3)
+        assert summary["mean_tick_s"] == pytest.approx(6e-3)
         assert len(summary["phase_table"]) == len(PHASES)
         assert summary["slow_ticks_total"] == 0
 
