@@ -1,0 +1,517 @@
+"""Gateway load harness: cached-GET throughput and SSE fan-out.
+
+Builds a fleet, fronts it with the asyncio :class:`GatewayServer`, and
+hammers it over real loopback sockets in two phases:
+
+1. **Cached GET storm** — ``--clients`` concurrent keep-alive clients
+   loop ``GET /v1/apps/{app}/state`` with ``If-None-Match`` for
+   ``--duration`` seconds.  After each client's first request every
+   response is a 304 served from the per-tick shared snapshot cache, so
+   this measures the gateway's conditional-GET hot path: requests/s and
+   p50/p99 latency.
+2. **SSE fan-out** — ``--subscribers`` concurrent streams (spread over
+   the fleet's apps, each resuming from its feed tip), then a burst of
+   ``--events-per-app`` journal events per app.  Every subscriber must
+   receive every event of its app with contiguous ids — **zero loss**
+   below the queue bound — and the phase reports fan-out delivery
+   throughput (frames/s across all subscribers).
+
+The committed baseline lives at ``benchmarks/BENCH_api_load.json``; the
+CI ``perf-regression`` job reruns the harness with ``--check`` and fails
+the build on a >1.5x requests/s drop (the zero-loss fan-out property is
+asserted unconditionally, baseline or not):
+
+    PYTHONPATH=src python benchmarks/bench_api_load.py \
+        --check benchmarks/BENCH_api_load.json
+
+    PYTHONPATH=src python benchmarks/bench_api_load.py \
+        --write-baseline benchmarks/BENCH_api_load.json
+
+With ``--connect HOST:PORT`` the harness instead targets an already
+running server (e.g. ``python -m repro serve fleet_small``): it
+discovers apps via ``/v1/admin/apps``, runs the cached GET storm, and a
+short SSE subscribe + Last-Event-ID reconnect check — the CI
+``gateway-smoke`` step.  External mode skips the fan-out burst (it needs
+in-process event injection) and never writes or checks baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.events import CarbonChangeEvent
+from repro.gateway import GatewayConfig, GatewayServer, TickDriver
+from repro.sim.fleet import build_fleet
+
+SCHEMA = "bench_api_load/v1"
+
+
+def entry_key(apps: int, clients: int, subscribers: int) -> str:
+    return f"apps={apps},clients={clients},subscribers={subscribers}"
+
+
+async def _read_response(reader: asyncio.StreamReader) -> Tuple[int, Dict[str, str], bytes]:
+    """Read one Content-Length-framed response from a keep-alive socket."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed connection")
+    status = int(status_line.split()[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length", 0))
+    if length:
+        body = await reader.readexactly(length)
+    return status, headers, body
+
+
+async def _get_json(host: str, port: int, path: str) -> Any:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        status, _, body = await _read_response(reader)
+        if status != 200:
+            raise ConnectionError(f"GET {path} -> {status}")
+        return json.loads(body)
+    finally:
+        writer.close()
+
+
+async def _cached_get_storm(
+    host: str, port: int, apps: List[str], clients: int, duration: float
+) -> Dict[str, Any]:
+    """Phase 1: keep-alive conditional-GET clients, shared wall clock."""
+    latencies: List[float] = []
+    totals = {"requests": 0, "not_modified": 0}
+    deadline = time.perf_counter() + duration
+
+    async def client(app: str) -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        etag: Optional[str] = None
+        try:
+            while time.perf_counter() < deadline:
+                head = f"GET /v1/apps/{app}/state HTTP/1.1\r\nHost: bench\r\n"
+                if etag:
+                    head += f"If-None-Match: {etag}\r\n"
+                head += "\r\n"
+                started = time.perf_counter()
+                writer.write(head.encode())
+                await writer.drain()
+                status, headers, _ = await _read_response(reader)
+                latencies.append(time.perf_counter() - started)
+                if status not in (200, 304):
+                    raise ConnectionError(f"state poll -> {status}")
+                totals["requests"] += 1
+                if status == 304:
+                    totals["not_modified"] += 1
+                etag = headers.get("etag", etag)
+        finally:
+            writer.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client(apps[i % len(apps)]) for i in range(clients)))
+    wall_s = time.perf_counter() - started
+    latencies.sort()
+
+    def pct(q: float) -> float:
+        return latencies[min(int(q * len(latencies)), len(latencies) - 1)]
+
+    return {
+        "clients": clients,
+        "duration_s": duration,
+        "wall_s": wall_s,
+        "requests_total": totals["requests"],
+        "requests_per_s": totals["requests"] / wall_s,
+        "not_modified_total": totals["not_modified"],
+        "etag_hit_rate": totals["not_modified"] / max(totals["requests"], 1),
+        "latency_p50_ms": pct(0.50) * 1e3,
+        "latency_p99_ms": pct(0.99) * 1e3,
+    }
+
+
+async def _read_sse_head(reader: asyncio.StreamReader) -> None:
+    status_line = await reader.readline()
+    if b"200" not in status_line:
+        raise ConnectionError(f"stream refused: {status_line!r}")
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            return
+
+
+async def _sse_fanout(
+    gateway: GatewayServer,
+    apps: List[str],
+    subscribers: int,
+    events_per_app: int,
+) -> Dict[str, Any]:
+    """Phase 2: fan one event burst out to every subscriber, losslessly."""
+    host, port = "127.0.0.1", gateway.port
+    journal = gateway.ecovisor.journal
+    tips = await gateway.run_on_writer(
+        lambda: {app: journal.read(app).next_cursor for app in apps}
+    )
+    # 3.10-compatible barrier: every subscriber must have received its
+    # stream_open frame (i.e. be registered with the broker) before the
+    # burst, or "zero loss" would race registration.
+    registered = 0
+    all_ready = asyncio.Event()
+
+    def note_ready() -> None:
+        nonlocal registered
+        registered += 1
+        if registered == subscribers:
+            all_ready.set()
+
+    async def subscribe(app: str) -> Tuple[int, List[int]]:
+        reader, writer = await asyncio.open_connection(host, port)
+        ids: List[int] = []
+        try:
+            writer.write(
+                f"GET /v1/apps/{app}/events/stream?cursor={tips[app]} "
+                "HTTP/1.1\r\nHost: bench\r\n"
+                "Accept: text/event-stream\r\n\r\n".encode()
+            )
+            await writer.drain()
+            await _read_sse_head(reader)
+            while True:  # consume the stream_open frame, then report in
+                line = await reader.readline()
+                if line in (b"\n", b"\r\n"):
+                    break
+            note_ready()
+            while len(ids) < events_per_app:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.startswith(b"id:"):
+                    ids.append(int(line[3:]))
+        finally:
+            writer.close()
+        return tips[app], ids
+
+    tasks = [
+        asyncio.ensure_future(subscribe(apps[i % len(apps)]))
+        for i in range(subscribers)
+    ]
+
+    def burst() -> None:
+        for app in apps:
+            for i in range(events_per_app):
+                journal.record(
+                    app,
+                    CarbonChangeEvent(
+                        time_s=float(i),
+                        previous_g_per_kwh=100.0,
+                        current_g_per_kwh=100.0 + i,
+                    ),
+                )
+        gateway.broker.pump()
+
+    await all_ready.wait()
+    started = time.perf_counter()
+    await gateway.run_on_writer(burst)
+    results = await asyncio.gather(*tasks)
+    wall_s = time.perf_counter() - started
+
+    lost = 0
+    for tip, ids in results:
+        expected = list(range(tip, tip + events_per_app))
+        if ids != expected:
+            lost += 1
+    delivered = sum(len(ids) for _, ids in results)
+    dropped = gateway.ecovisor.metrics.get(
+        "gateway_sse_queue_dropped_total"
+    ).value
+    return {
+        "subscribers": subscribers,
+        "events_per_app": events_per_app,
+        "fanout_events_total": delivered,
+        "fanout_wall_s": wall_s,
+        "fanout_events_per_s": delivered / wall_s,
+        "queue_dropped_total": dropped,
+        "subscribers_with_loss": lost,
+    }
+
+
+async def _sse_reconnect_check(host: str, port: int, app: str) -> Dict[str, Any]:
+    """External-mode smoke: stream, disconnect, resume via Last-Event-ID."""
+
+    async def next_event_id(headers: str) -> int:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET /v1/apps/{app}/events/stream?cursor=0 HTTP/1.1\r\n"
+                f"Host: bench\r\nAccept: text/event-stream\r\n{headers}\r\n".encode()
+            )
+            await writer.drain()
+            await _read_sse_head(reader)
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=30)
+                if line.startswith(b"id:"):
+                    return int(line[3:])
+        finally:
+            writer.close()
+
+    first = await next_event_id("")
+    resumed = await next_event_id(f"Last-Event-ID: {first}\r\n")
+    if resumed != first + 1:
+        raise SystemExit(
+            f"SSE reconnect check failed: saw id {first}, resumed with "
+            f"Last-Event-ID and got id {resumed} (expected {first + 1})"
+        )
+    return {"first_id": first, "resumed_id": resumed}
+
+
+async def run_inprocess(
+    apps: int,
+    ticks: int,
+    mix: str,
+    seed: int,
+    clients: int,
+    duration: float,
+    subscribers: int,
+    events_per_app: int,
+    queue_size: int,
+) -> Dict[str, Any]:
+    env = build_fleet(
+        {"apps": apps, "ticks": max(ticks, 1), "seed": seed, "mix": mix}
+    )
+    gateway = GatewayServer(
+        env.ecovisor, config=GatewayConfig(port=0, queue_size=queue_size)
+    )
+    await gateway.start()
+    try:
+        await TickDriver(gateway, env.engine).run(ticks)
+        names = sorted(env.ecovisor.app_shares())
+        storm = await _cached_get_storm(
+            "127.0.0.1", gateway.port, names, clients, duration
+        )
+        fanout = await _sse_fanout(gateway, names, subscribers, events_per_app)
+    finally:
+        await gateway.stop()
+    return {
+        "schema": SCHEMA,
+        "apps": apps,
+        "ticks": ticks,
+        "mix": mix,
+        "seed": seed,
+        "queue_size": queue_size,
+        **storm,
+        **fanout,
+    }
+
+
+async def run_external(
+    host: str, port: int, clients: int, duration: float
+) -> Dict[str, Any]:
+    listing = await _get_json(host, port, "/v1/admin/apps")
+    names = sorted(entry["name"] for entry in listing["apps"])
+    if not names:
+        raise SystemExit(f"no apps registered at {host}:{port}")
+    storm = await _cached_get_storm(host, port, names, clients, duration)
+    reconnect = await _sse_reconnect_check(host, port, names[0])
+    return {
+        "schema": SCHEMA,
+        "mode": "external",
+        "target": f"{host}:{port}",
+        "apps": len(names),
+        **storm,
+        "sse_reconnect": reconnect,
+    }
+
+
+def print_table(result: Dict[str, Any]) -> None:
+    print(
+        f"\n=== gateway load: {result['apps']} apps, "
+        f"{result['clients']} clients x {result['duration_s']:.1f}s ==="
+    )
+    print(f"{'requests':>22s}: {result['requests_total']}")
+    print(f"{'throughput':>22s}: {result['requests_per_s']:.0f} req/s")
+    print(f"{'etag hit rate':>22s}: {result['etag_hit_rate'] * 100:.1f}% (304s)")
+    print(f"{'latency p50':>22s}: {result['latency_p50_ms']:.3f} ms")
+    print(f"{'latency p99':>22s}: {result['latency_p99_ms']:.3f} ms")
+    if "fanout_events_total" in result:
+        print(
+            f"{'sse fan-out':>22s}: {result['subscribers']} subscribers x "
+            f"{result['events_per_app']} events"
+        )
+        print(
+            f"{'delivered':>22s}: {result['fanout_events_total']} frames "
+            f"({result['fanout_events_per_s']:.0f}/s, "
+            f"{result['subscribers_with_loss']} lossy, "
+            f"{result['queue_dropped_total']} queue drops)"
+        )
+    if "sse_reconnect" in result:
+        r = result["sse_reconnect"]
+        print(
+            f"{'sse reconnect':>22s}: id {r['first_id']} -> "
+            f"resumed at {r['resumed_id']} (ok)"
+        )
+
+
+def check_zero_loss(result: Dict[str, Any]) -> int:
+    """Unconditional correctness gate: no loss below the queue bound."""
+    if result.get("subscribers_with_loss") or result.get("queue_dropped_total"):
+        print(
+            f"FAIL: SSE fan-out lost events below the queue bound "
+            f"({result['subscribers_with_loss']} lossy subscribers, "
+            f"{result['queue_dropped_total']} queue drops with "
+            f"events_per_app={result['events_per_app']} < "
+            f"queue_size={result['queue_size']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def load_baseline(path: Path) -> Dict[str, Any]:
+    if not path.exists():
+        return {"schema": SCHEMA, "entries": {}}
+    data = json.loads(path.read_text())
+    if data.get("schema") != SCHEMA or "entries" not in data:
+        raise SystemExit(f"{path}: not a {SCHEMA} baseline file")
+    return data
+
+
+def check_against_baseline(
+    result: Dict[str, Any], path: Path, max_regression: float
+) -> int:
+    key = entry_key(result["apps"], result["clients"], result["subscribers"])
+    baseline = load_baseline(path).get("entries", {}).get(key)
+    if baseline is None:
+        print(f"FAIL: no baseline entry {key!r} in {path}", file=sys.stderr)
+        return 1
+    status = 0
+    for metric in ("requests_per_s", "fanout_events_per_s"):
+        floor = baseline[metric] / max_regression
+        verdict = "ok" if result[metric] >= floor else "REGRESSION"
+        print(
+            f"perf gate [{key}] {metric}: measured {result[metric]:.0f}, "
+            f"baseline {baseline[metric]:.0f}, floor {floor:.0f} "
+            f"(max regression {max_regression:.2f}x) -> {verdict}"
+        )
+        if verdict != "ok":
+            status = 1
+    if status:
+        print(
+            "Gateway throughput regressed beyond the budget. If "
+            "intentional, apply the 'perf-baseline-reset' PR label and "
+            "regenerate benchmarks/BENCH_api_load.json "
+            "(see docs/gateway.md).",
+            file=sys.stderr,
+        )
+    return status
+
+
+def write_baseline(result: Dict[str, Any], path: Path) -> None:
+    data = load_baseline(path)
+    key = entry_key(result["apps"], result["clients"], result["subscribers"])
+    data["entries"][key] = result
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"baseline entry {key!r} written to {path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", type=int, default=50)
+    parser.add_argument("--ticks", type=int, default=20)
+    parser.add_argument("--mix", type=str, default="balanced")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--clients", type=int, default=32)
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--subscribers", type=int, default=500)
+    parser.add_argument("--events-per-app", type=int, default=100)
+    parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        help="per-connection SSE queue bound (events-per-app must stay below)",
+    )
+    parser.add_argument(
+        "--connect",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="target a running `repro serve` instead of an in-process "
+        "gateway (cached-GET storm + SSE reconnect smoke only)",
+    )
+    parser.add_argument("--out", type=str, default=None, help="JSON output path")
+    parser.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        help="baseline file to gate against (exit 1 on regression)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.5,
+        help="allowed throughput slowdown vs the baseline (default 1.5x)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=str,
+        default=None,
+        help="write/update this run's entry in the given baseline file",
+    )
+    args = parser.parse_args()
+
+    if args.connect is not None:
+        host, _, port = args.connect.rpartition(":")
+        result = asyncio.run(
+            run_external(host or "127.0.0.1", int(port), args.clients, args.duration)
+        )
+        print_table(result)
+        if args.out:
+            Path(args.out).write_text(json.dumps(result, indent=2, sort_keys=True))
+        if args.check or args.write_baseline:
+            raise SystemExit("--connect mode does not support baselines")
+        return
+
+    if args.events_per_app >= args.queue_size:
+        raise SystemExit(
+            "--events-per-app must stay below --queue-size: the zero-loss "
+            "property only holds below the queue bound"
+        )
+    result = asyncio.run(
+        run_inprocess(
+            apps=args.apps,
+            ticks=args.ticks,
+            mix=args.mix,
+            seed=args.seed,
+            clients=args.clients,
+            duration=args.duration,
+            subscribers=args.subscribers,
+            events_per_app=args.events_per_app,
+            queue_size=args.queue_size,
+        )
+    )
+    print_table(result)
+    status = check_zero_loss(result)
+    if args.out:
+        Path(args.out).write_text(json.dumps(result, indent=2, sort_keys=True))
+    if args.write_baseline:
+        write_baseline(result, Path(args.write_baseline))
+    if args.check:
+        status = check_against_baseline(
+            result, Path(args.check), args.max_regression
+        ) or status
+    raise SystemExit(status)
+
+
+if __name__ == "__main__":
+    main()

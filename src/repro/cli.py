@@ -13,6 +13,8 @@ Usage::
     python -m repro sweep extension_market --jobs 4 --out market.csv
     python -m repro profile fleet_medium # tick-phase profile of a fleet run
     python -m repro profile fleet_large --ticks 30 --out profile.json
+    python -m repro serve fleet_small --port 8090   # async API gateway
+    python -m repro serve fleet_medium --port 0 --tick-interval 0.25
     python -m repro traces               # bundled signal datasets
     python -m repro traces show caiso-2022
     python -m repro traces validate      # checksum-verify every dataset
@@ -202,30 +204,43 @@ def parse_param_overrides(entries: Sequence[str]) -> Dict[str, Any]:
 
 
 def build_route_rows() -> List[tuple]:
-    """The live ``/v1`` route table as (method, path, backing-call) rows.
+    """The live ``/v1`` route table as (method, path, transport, backing).
 
     Built from a freshly wired REST server (routes are static — the
     ecovisor underneath is a throwaway), so the printed table can never
     drift from the code; a test pins ``docs/api_tour.md`` against it.
+    The transport column marks how the gateway serves each row: ``sync``
+    rows dispatch through the writer thread, ``sse`` rows upgrade to a
+    Server-Sent Events stream (gateway-only; the in-process router
+    answers 501 for them).
     """
-    from repro.rest.server import EcovisorRestServer
+    from repro.rest.server import SSE_ROUTES, EcovisorRestServer
     from repro.sim.experiment import grid_environment
 
     server = EcovisorRestServer(grid_environment(days=1).ecovisor)
     return [
-        (method, path, backing)
+        (
+            method,
+            path,
+            "sse" if (method, path) in SSE_ROUTES else "sync",
+            backing,
+        )
         for method, path, backing in server.router.route_table()
         if path.startswith("/v1/")
     ]
 
 
 def cmd_routes(args) -> None:
-    print("method  path                                          backing call")
-    for method, path, backing in build_route_rows():
-        print(f"{method:7s} {path:45s} {backing}")
+    print(
+        "method  path                                          "
+        "transport  backing call"
+    )
+    for method, path, transport, backing in build_route_rows():
+        print(f"{method:7s} {path:45s} {transport:10s} {backing}")
     print(
         "\nlegacy unversioned paths answer 301 with a Location header "
-        "(admin routes are /v1-only)"
+        "(admin routes are /v1-only); sse rows stream from the async "
+        "gateway (`repro serve`)"
     )
 
 
@@ -448,6 +463,80 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def build_serve_environment(
+    scenario_name: str, ticks: Optional[int] = None
+) -> tuple:
+    """A fleet environment for ``repro serve``: (fleet, params).
+
+    Only fleet scenarios are servable — the gateway fronts one ecovisor
+    with a live population, which is exactly what the fleet family
+    builds deterministically from its parameter digest.
+    """
+    from repro.core.errors import ScenarioError
+    from repro.sim import scenarios
+    from repro.sim.fleet import build_churn_fleet, build_fleet
+
+    scenario = scenarios.get(scenario_name)
+    if "fleet" not in scenario.tags:
+        raise ScenarioError(
+            f"'serve' runs fleet scenarios (tagged 'fleet'); "
+            f"{scenario_name!r} is not one — see 'repro scenarios'"
+        )
+    params = dict(scenario.defaults)
+    if ticks is not None:
+        params["ticks"] = ticks
+    builder = build_churn_fleet if "churn" in scenario.tags else build_fleet
+    return builder(params), params
+
+
+def cmd_serve(args) -> int:
+    """Serve a fleet scenario over the async gateway until interrupted.
+
+    Prints one ``serving ... on http://host:port`` line once the socket
+    is bound (port 0 resolves to the ephemeral port), steps the
+    scenario's ticks on the gateway's writer thread, then keeps serving
+    the final state until Ctrl-C.
+    """
+    import asyncio
+
+    from repro.gateway import GatewayConfig, GatewayServer, TickDriver
+
+    scenario_name = args.scenario or "fleet_small"
+    fleet, params = build_serve_environment(scenario_name, ticks=args.ticks)
+
+    async def serve() -> None:
+        gateway = GatewayServer(
+            fleet.ecovisor,
+            config=GatewayConfig(host=args.host, port=args.port),
+        )
+        await gateway.start()
+        driver = TickDriver(
+            gateway, fleet.engine, tick_interval_seconds=args.tick_interval
+        )
+        print(
+            f"serving {scenario_name} on "
+            f"http://{gateway.host}:{gateway.port} "
+            f"({len(fleet.applications)} apps, {params['ticks']} ticks)",
+            flush=True,
+        )
+        try:
+            await driver.run(int(params["ticks"]))
+            print(
+                f"scenario complete after {driver.ticks_run} ticks; "
+                "serving final state (Ctrl-C to stop)",
+                flush=True,
+            )
+            await asyncio.Event().wait()
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
 COMMANDS: Dict[str, Callable] = {
     "fig01": cmd_fig01,
     "fig04a": cmd_fig04a,
@@ -470,15 +559,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(COMMANDS) + [
-            "list", "profile", "routes", "scenarios", "sweep", "traces",
+            "list", "profile", "routes", "scenarios", "serve", "sweep",
+            "traces",
         ],
         help="which figure to regenerate, 'list', 'routes', 'scenarios', "
-             "'sweep', 'profile', or 'traces'",
+             "'serve', 'sweep', 'profile', or 'traces'",
     )
     parser.add_argument(
         "scenario", nargs="?", default=None,
         help="registered scenario name (required for 'sweep' and "
-             "'profile'); action for 'traces' (list/show/validate)",
+             "'profile', optional for 'serve'); action for 'traces' "
+             "(list/show/validate)",
     )
     parser.add_argument(
         "dataset", nargs="?", default=None,
@@ -515,7 +606,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--ticks", type=int, default=None,
-        help="override the scenario's tick count for 'profile'",
+        help="override the scenario's tick count for 'profile' and 'serve'",
+    )
+    parser.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="bind address for 'serve' (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8090,
+        help="bind port for 'serve' (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--tick-interval", type=float, default=0.0, metavar="SECONDS",
+        help="wall-clock pause between ticks for 'serve' "
+             "(0 = run the scenario flat out, then keep serving)",
     )
     return parser
 
@@ -523,10 +627,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.experiment not in ("sweep", "profile", "traces") and args.scenario:
+    if (
+        args.experiment not in ("sweep", "profile", "serve", "traces")
+        and args.scenario
+    ):
         parser.error(
             f"unexpected argument {args.scenario!r} "
-            f"(only 'sweep', 'profile', and 'traces' take one)"
+            f"(only 'sweep', 'profile', 'serve', and 'traces' take one)"
         )
     if args.experiment != "traces" and args.dataset:
         parser.error(
@@ -540,6 +647,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "plus: scenarios (catalog), sweep <scenario> (parallel runner), "
             "profile <scenario> (tick-phase profiler), "
+            "serve <scenario> (async API gateway), "
             "traces (bundled dataset registry)"
         )
         return 0
@@ -565,6 +673,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         try:
             return cmd_profile(args)
+        except (ScenarioError, ValueError) as exc:
+            parser.error(str(exc))
+    if args.experiment == "serve":
+        from repro.core.errors import ScenarioError
+
+        try:
+            return cmd_serve(args)
         except (ScenarioError, ValueError) as exc:
             parser.error(str(exc))
     if args.experiment == "traces":

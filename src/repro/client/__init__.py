@@ -4,8 +4,12 @@
 over the Router transport; ``EcovisorAdminClient`` drives the v1.1
 application lifecycle (admit / rebalance / evict).  See
 :mod:`repro.client.sdk` for the transport contract and error mapping.
+``HttpTransport`` is the real-network transport against a running
+gateway (``repro serve``), adding SSE streaming via
+``EcovisorClient.stream_events``.
 """
 
+from repro.client.http import HttpTransport, StreamFrame
 from repro.client.sdk import (
     AppShare,
     ContainerInfo,
@@ -21,5 +25,7 @@ __all__ = [
     "EcovisorAdminClient",
     "EcovisorClient",
     "EventPage",
+    "HttpTransport",
+    "StreamFrame",
     "TransportError",
 ]

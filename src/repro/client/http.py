@@ -1,0 +1,170 @@
+"""Network transport for the SDK: a stdlib HTTP client for the gateway.
+
+The SDK (:mod:`repro.client.sdk`) is transport-agnostic — it calls
+``transport.request(method, path, body)`` and reads ``.status`` /
+``.body`` off the result.  In-process tests hand it the REST facade
+directly; this module provides the real-network counterpart against a
+running :class:`~repro.gateway.server.GatewayServer`, built on
+``http.client`` so the SDK works without any third-party dependency.
+
+Two verbs:
+
+- :meth:`HttpTransport.request` — one JSON request/response round trip
+  over a persistent keep-alive connection, returning the same
+  :class:`~repro.rest.router.Response` shape the in-process transport
+  does (headers included, so conditional GETs work end to end).
+- :meth:`HttpTransport.stream` — opens an SSE stream on its own
+  connection and yields parsed :class:`StreamFrame`\\ s; closing the
+  generator closes the connection.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+from repro.rest.router import Response
+
+
+@dataclass(frozen=True)
+class StreamFrame:
+    """One parsed SSE frame: the event name, raw data line, optional id.
+
+    ``data`` is kept as the exact string off the wire (the stream-parity
+    test pins it byte-identical to the cursor-poll serialization);
+    callers parse it as JSON when they want structure.
+    """
+
+    event: str
+    data: str
+    id: Optional[int] = None
+
+
+def parse_sse_stream(lines: Iterator[bytes]) -> Iterator[StreamFrame]:
+    """Parse SSE frames off an iterator of raw lines.
+
+    Comment lines (heartbeats) are skipped; a frame is emitted at each
+    blank-line separator.  Handles both ``\\n`` and ``\\r\\n`` endings.
+    """
+    event: Optional[str] = None
+    data: Optional[str] = None
+    seq: Optional[int] = None
+    for raw in lines:
+        line = raw.rstrip(b"\r\n").decode("utf-8")
+        if not line:
+            if event is not None or data is not None:
+                yield StreamFrame(event=event or "message", data=data or "", id=seq)
+            event = data = seq = None
+            continue
+        if line.startswith(":"):
+            continue  # comment / heartbeat
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "event":
+            event = value
+        elif field == "data":
+            data = value if data is None else f"{data}\n{value}"
+        elif field == "id":
+            try:
+                seq = int(value)
+            except ValueError:
+                seq = None
+
+
+class HttpTransport:
+    """Blocking HTTP transport bound to one gateway host/port."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def __repr__(self) -> str:
+        return f"HttpTransport(http://{self._host}:{self._port})"
+
+    # ------------------------------------------------------------------
+    # Request/response
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
+        payload = None
+        send_headers = dict(headers or {})
+        if body is not None:
+            payload = json.dumps(body, sort_keys=True)
+            send_headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=send_headers)
+                raw = conn.getresponse()
+                break
+            except (http.client.HTTPException, ConnectionError, socket.timeout):
+                # A keep-alive connection the server already closed;
+                # retry once on a fresh one.
+                self.close()
+                if attempt:
+                    raise
+        data = raw.read()
+        response_headers = dict(raw.getheaders())
+        content_type = raw.getheader("Content-Type", "")
+        decoded: Any = None
+        if data:
+            if "json" in content_type:
+                decoded = json.loads(data)
+            else:
+                decoded = data.decode("utf-8")
+        if raw.getheader("Connection", "").lower() == "close":
+            self.close()
+        return Response(raw.status, decoded, headers=response_headers)
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # ------------------------------------------------------------------
+    # SSE streaming
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        path: str,
+        headers: Optional[Dict[str, str]] = None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[StreamFrame]:
+        """Open ``path`` as an SSE stream and yield frames until it ends.
+
+        Raises :class:`ConnectionError` for a non-200 response (the
+        error body is included in the message).  ``timeout`` bounds each
+        read, not the stream's total life.
+        """
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=timeout or self._timeout
+        )
+        send_headers = {"Accept": "text/event-stream", **(headers or {})}
+        try:
+            conn.request("GET", path, headers=send_headers)
+            response = conn.getresponse()
+            if response.status != 200:
+                detail = response.read().decode("utf-8", "replace")
+                raise ConnectionError(
+                    f"stream request failed: {response.status} {detail}"
+                )
+            yield from parse_sse_stream(iter(response.readline, b""))
+        finally:
+            conn.close()

@@ -29,6 +29,7 @@ code can catch the same exception types as in-process code.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -42,6 +43,12 @@ from repro.core.errors import (
 from repro.core.events import Event, event_from_dict
 from repro.core.journal import JournalPage
 from repro.core.state import EnergyState
+
+#: SSE control-event names the gateway interleaves with journal events;
+#: :meth:`EcovisorClient.stream_events` filters them out unless ``raw``.
+STREAM_CONTROL_EVENTS = frozenset(
+    {"stream_open", "journal_dropped", "queue_dropped", "stream_end"}
+)
 
 
 class TransportError(EcovisorError):
@@ -172,6 +179,51 @@ class EcovisorClient(_ClientBase):
         """Yield all currently journaled events from ``cursor`` onward."""
         page = self.events(cursor=cursor)
         yield from page.events
+
+    def stream_events(
+        self,
+        cursor: int = 0,
+        raw: bool = False,
+        max_events: Optional[int] = None,
+    ) -> Iterator[Any]:
+        """Live-stream the application's journaled signals over SSE.
+
+        Requires a streaming transport —
+        :class:`repro.client.http.HttpTransport` against a running
+        gateway (``repro serve``); the in-process transport raises.
+        Yields :class:`Event` objects exactly as :meth:`iter_events`
+        would reconstruct them from cursor polls (the stream-parity
+        test pins the wire bytes identical); with ``raw=True`` yields
+        every :class:`~repro.client.http.StreamFrame` instead,
+        control events (``stream_open``, ``journal_dropped``,
+        ``queue_dropped``, ``stream_end``) included.  Returns when the
+        server ends the stream (eviction) or after ``max_events``
+        yielded items.
+        """
+        stream = getattr(self._transport, "stream", None)
+        if stream is None:
+            raise EcovisorError(
+                "transport does not support streaming; connect an "
+                "HttpTransport to a running gateway (`repro serve`)"
+            )
+        frames = stream(f"{self._base}/events/stream?cursor={cursor}")
+        yielded = 0
+        try:
+            for frame in frames:
+                terminal = frame.event == "stream_end"
+                if raw:
+                    yield frame
+                elif terminal or frame.event in STREAM_CONTROL_EVENTS:
+                    if terminal:
+                        return
+                    continue
+                else:
+                    yield event_from_dict(json.loads(frame.data))
+                yielded += 1
+                if terminal or (max_events is not None and yielded >= max_events):
+                    return
+        finally:
+            frames.close()
 
     # ------------------------------------------------------------------
     # Setters (Table 1)

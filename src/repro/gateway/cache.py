@@ -1,0 +1,92 @@
+"""Per-tick shared snapshot cache for ``GET /v1/apps/{app}/state``.
+
+A thousand concurrent pollers of the same app should cost one dispatch
+and one serialization per tick, not a thousand.  The cache stores, per
+app, the fully *rendered* response bytes (200-with-body and 304) plus
+the sync layer's own strong ETag, so repeat polls — and especially
+``If-None-Match`` revalidations — are served straight from the event
+loop without ever touching the writer thread.
+
+Coherence comes from the tick driver: :meth:`invalidate` is called on
+the event loop after every completed tick step (and after any mutating
+dispatch), dropping all entries.  A miss populates the cache through a
+single-flight future, so N simultaneous cold pollers still cost one
+dispatch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One app's cached snapshot: its ETag and both rendered responses."""
+
+    etag: str
+    fresh_response: bytes
+    not_modified_response: bytes
+
+
+class SnapshotCache:
+    """App-keyed response cache with single-flight population.
+
+    All methods run on the event loop; the cache holds no locks and
+    never touches the simulation.
+    """
+
+    def __init__(self):
+        self._entries: Dict[str, CacheEntry] = {}
+        self._inflight: Dict[str, "asyncio.Future[Optional[CacheEntry]]"] = {}
+        #: Lifetime counters, exposed through the gateway's metrics.
+        self.invalidations = 0
+
+    def get(self, app_name: str) -> Optional[CacheEntry]:
+        return self._entries.get(app_name)
+
+    async def populate(
+        self,
+        app_name: str,
+        build: Callable[[], Awaitable[Optional[CacheEntry]]],
+    ) -> Optional[CacheEntry]:
+        """The entry for ``app_name``, building it at most once at a time.
+
+        ``build`` dispatches through the writer thread and returns the
+        new entry, or ``None`` for responses that must not be cached
+        (errors); concurrent callers await the same in-flight build.
+        The built entry is only stored if no :meth:`invalidate` landed
+        while the build was in flight, so a response computed against
+        tick N can never be served after tick N+1 completes.
+        """
+        entry = self._entries.get(app_name)
+        if entry is not None:
+            return entry
+        inflight = self._inflight.get(app_name)
+        if inflight is not None:
+            return await asyncio.shield(inflight)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Optional[CacheEntry]]" = loop.create_future()
+        self._inflight[app_name] = future
+        generation = self.invalidations
+        try:
+            entry = await build()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # A waiter may have been cancelled away before retrieving
+            # the exception; don't let that surface as "never retrieved".
+            future.exception()
+            raise
+        finally:
+            if self._inflight.get(app_name) is future:
+                del self._inflight[app_name]
+        future.set_result(entry)
+        if entry is not None and generation == self.invalidations:
+            self._entries[app_name] = entry
+        return entry
+
+    def invalidate(self) -> None:
+        """Drop every entry (a tick completed or state was mutated)."""
+        self.invalidations += 1
+        self._entries.clear()

@@ -1,0 +1,269 @@
+"""Server-Sent Events framing and journal fan-out for the gateway.
+
+One :class:`StreamBroker` bridges the single-writer simulation thread
+and the asyncio event loop.  Journal reads happen **only** on the
+writer thread (``register`` and ``pump`` are submitted to the gateway's
+executor), so streaming never races a tick; delivery into per-connection
+``asyncio.Queue``\\ s happens **only** on the event loop (scheduled via
+``call_soon_threadsafe``), because asyncio queues are not thread-safe.
+
+SSE ``id:`` fields carry journal sequence numbers, so a client's
+``Last-Event-ID`` on reconnect maps directly onto a journal cursor
+(``id + 1``).  Resume past the journal horizon behaves exactly like a
+stale cursor poll: the stream restarts from the oldest retained event
+and a ``journal_dropped`` control event reports the gap.  Per-connection
+queues are bounded: a consumer slower than the event rate loses events
+(counted, and surfaced in-band by a ``queue_dropped`` control event
+once the queue drains) instead of growing the server's memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import UnknownApplicationError
+from repro.core.events import AppEvictedEvent, event_to_dict
+
+#: Comment frame written when a heartbeat interval passes with no events.
+HEARTBEAT_FRAME = b": heartbeat\n\n"
+
+#: Default per-connection queue bound (events, not bytes).
+DEFAULT_QUEUE_SIZE = 256
+
+
+def format_sse_event(
+    name: str, data: str, seq: Optional[int] = None
+) -> bytes:
+    """One SSE frame: optional ``id``, an ``event`` name, one ``data`` line.
+
+    Event payloads are single-line JSON, so the one-``data:``-line form
+    is lossless.
+    """
+    lines = []
+    if seq is not None:
+        lines.append(f"id: {seq}")
+    lines.append(f"event: {name}")
+    lines.append(f"data: {data}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+@dataclass(frozen=True)
+class StreamItem:
+    """One queued stream entry: a journal event or a control event.
+
+    ``seq`` is the journal sequence for journal events and ``None`` for
+    control events (``journal_dropped``, ``queue_dropped``,
+    ``stream_end``); ``terminal`` marks the last frame of a stream.
+    """
+
+    name: str
+    data: str
+    seq: Optional[int] = None
+    terminal: bool = False
+
+    def frame(self) -> bytes:
+        return format_sse_event(self.name, self.data, seq=self.seq)
+
+
+def _control_item(name: str, payload: Dict[str, Any], terminal: bool = False) -> StreamItem:
+    return StreamItem(
+        name=name, data=json.dumps(payload, sort_keys=True), terminal=terminal
+    )
+
+
+def _journal_item(seq: int, event: Any) -> StreamItem:
+    payload = event_to_dict(event)
+    return StreamItem(
+        name=payload["type"],
+        data=json.dumps(payload, sort_keys=True),
+        seq=seq,
+    )
+
+
+class Subscriber:
+    """One SSE connection's bounded queue plus its delivery cursor."""
+
+    __slots__ = ("app_name", "queue", "cursor", "dropped", "_pending_drop", "closed")
+
+    def __init__(self, app_name: str, cursor: int, queue_size: int):
+        self.app_name = app_name
+        #: Next journal seq this subscriber still needs (dedupes the
+        #: register-backlog / first-pump overlap).
+        self.cursor = cursor
+        self.queue: "asyncio.Queue[StreamItem]" = asyncio.Queue(maxsize=queue_size)
+        #: Events lost to a full queue over the connection's lifetime.
+        self.dropped = 0
+        self._pending_drop = 0
+        self.closed = False
+
+    def _offer(self, item: StreamItem) -> None:
+        """Enqueue ``item``; on overflow count the loss instead.
+
+        Once space frees up, the next successful delivery is preceded by
+        a ``queue_dropped`` control event describing the gap, so a slow
+        consumer *knows* its view has holes rather than silently missing
+        signals.
+        """
+        if self.closed:
+            return
+        if self._pending_drop:
+            notice = _control_item(
+                "queue_dropped",
+                {"dropped": self._pending_drop, "total_dropped": self.dropped},
+            )
+            try:
+                self.queue.put_nowait(notice)
+            except asyncio.QueueFull:
+                self._drop()
+                return
+            self._pending_drop = 0
+        try:
+            self.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self._drop()
+
+    def _drop(self) -> None:
+        self.dropped += 1
+        self._pending_drop += 1
+
+
+class StreamBroker:
+    """Fans the per-app event journal out to SSE subscribers.
+
+    ``register``/``pump`` must run on the gateway's writer thread;
+    ``_deliver`` (scheduled by ``pump``) and ``unregister`` run on the
+    event loop.  ``_tips`` tracks the broker's own read cursor per app —
+    it only advances in ``pump``, so a registration backlog that reads
+    ahead of the tip never skips events for existing subscribers (the
+    new subscriber dedupes the overlap through its ``cursor``).
+    """
+
+    def __init__(
+        self,
+        ecovisor: Any,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        on_queue_drop: Optional[Callable[[int], None]] = None,
+    ):
+        self._ecovisor = ecovisor
+        self._queue_size = queue_size
+        self._on_queue_drop = on_queue_drop
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._lock = threading.Lock()
+        self._subs: Dict[str, List[Subscriber]] = {}
+        self._tips: Dict[str, int] = {}
+
+    def bind_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    @property
+    def open_subscribers(self) -> int:
+        with self._lock:
+            return sum(len(subs) for subs in self._subs.values())
+
+    # ------------------------------------------------------------------
+    # Writer-thread side
+    # ------------------------------------------------------------------
+    def register(
+        self, app_name: str, cursor: int
+    ) -> Tuple[Subscriber, List[StreamItem]]:
+        """Open a subscription; returns the subscriber plus its backlog.
+
+        Runs on the writer thread.  The backlog covers
+        ``[cursor, next_cursor)`` of the journal right now — the caller
+        (on the event loop) enqueues it before any ``pump`` delivery
+        lands, and the subscriber's cursor is already past it so the
+        next pump's overlap is skipped.  Raises
+        :class:`UnknownApplicationError` for apps the journal has never
+        seen, exactly like the cursor-poll route.
+        """
+        page = self._ecovisor.events_for(app_name, cursor=cursor)
+        backlog: List[StreamItem] = []
+        if page.dropped:
+            backlog.append(self._dropped_notice(page))
+        seq = page.next_cursor - len(page.events)
+        for event in page.events:
+            backlog.append(_journal_item(seq, event))
+            if isinstance(event, AppEvictedEvent):
+                backlog.append(self._terminal_item())
+            seq += 1
+        subscriber = Subscriber(app_name, page.next_cursor, self._queue_size)
+        with self._lock:
+            self._subs.setdefault(app_name, []).append(subscriber)
+            self._tips.setdefault(app_name, page.next_cursor)
+        return subscriber, backlog
+
+    def pump(self) -> None:
+        """Read journal deltas and schedule delivery; writer thread only.
+
+        Called after every tick and every mutating dispatch, so pushed
+        events trail the journal by at most one executor task.
+        """
+        with self._lock:
+            apps = [(app, self._tips.get(app, 0)) for app in self._subs if self._subs[app]]
+        if not apps or self._loop is None:
+            return
+        for app_name, tip in apps:
+            try:
+                page = self._ecovisor.events_for(app_name, cursor=tip)
+            except UnknownApplicationError:
+                # The retired feed aged out of the journal entirely
+                # (beyond max_retired_feeds); end the stream.
+                self._schedule(app_name, [self._terminal_item(reason="feed_retired")])
+                continue
+            items: List[StreamItem] = []
+            if page.dropped:
+                items.append(self._dropped_notice(page))
+            seq = page.next_cursor - len(page.events)
+            for event in page.events:
+                items.append(_journal_item(seq, event))
+                if isinstance(event, AppEvictedEvent):
+                    items.append(self._terminal_item())
+                seq += 1
+            with self._lock:
+                self._tips[app_name] = page.next_cursor
+            if items:
+                self._schedule(app_name, items)
+
+    def _dropped_notice(self, page: Any) -> StreamItem:
+        return _control_item(
+            "journal_dropped",
+            {"dropped": page.dropped, "journal_dropped": page.journal_dropped},
+        )
+
+    def _terminal_item(self, reason: str = "evicted") -> StreamItem:
+        return _control_item("stream_end", {"reason": reason}, terminal=True)
+
+    def _schedule(self, app_name: str, items: List[StreamItem]) -> None:
+        self._loop.call_soon_threadsafe(self._deliver, app_name, items)
+
+    # ------------------------------------------------------------------
+    # Event-loop side
+    # ------------------------------------------------------------------
+    def _deliver(self, app_name: str, items: List[StreamItem]) -> None:
+        with self._lock:
+            subscribers = list(self._subs.get(app_name, ()))
+        for subscriber in subscribers:
+            before = subscriber.dropped
+            for item in items:
+                if item.seq is not None:
+                    if item.seq < subscriber.cursor:
+                        continue
+                    subscriber.cursor = item.seq + 1
+                subscriber._offer(item)
+            lost = subscriber.dropped - before
+            if lost and self._on_queue_drop is not None:
+                self._on_queue_drop(lost)
+
+    def unregister(self, subscriber: Subscriber) -> None:
+        subscriber.closed = True
+        with self._lock:
+            subs = self._subs.get(subscriber.app_name)
+            if subs and subscriber in subs:
+                subs.remove(subscriber)
+            if subs is not None and not subs:
+                del self._subs[subscriber.app_name]
+                self._tips.pop(subscriber.app_name, None)

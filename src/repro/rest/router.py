@@ -46,13 +46,30 @@ Handler = Callable[["Request"], Any]
 _PARAM_PATTERN = re.compile(r"\{(\w+)\}")
 
 
+def _header_lookup(
+    headers: Dict[str, str], name: str, default: Optional[str] = None
+) -> Optional[str]:
+    """Case-insensitive header lookup (HTTP header names have no case).
+
+    Header dicts here hold a handful of entries at most, so a linear
+    scan beats building a lowered copy per request.
+    """
+    folded = name.lower()
+    for key, value in headers.items():
+        if key.lower() == folded:
+            return value
+    return default
+
+
 @dataclass(frozen=True)
 class Request:
     """One API request.
 
     ``params`` are path parameters (``{app}``-style segments); ``query``
     holds the parsed query string (``?cursor=3``) with string values,
-    last occurrence winning.
+    last occurrence winning; ``headers`` carries request headers
+    (``If-None-Match`` and friends), looked up case-insensitively via
+    :meth:`header`.
     """
 
     method: str
@@ -60,6 +77,11 @@ class Request:
     params: Dict[str, str] = field(default_factory=dict)
     body: Dict[str, Any] = field(default_factory=dict)
     query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """The named request header, case-insensitively."""
+        return _header_lookup(self.headers, name, default)
 
 
 @dataclass(frozen=True)
@@ -78,10 +100,19 @@ class Response:
     def is_redirect(self) -> bool:
         return 300 <= self.status < 400
 
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """The named response header, case-insensitively."""
+        return _header_lookup(self.headers, name, default)
+
     @property
     def location(self) -> Optional[str]:
         """The ``Location`` header of a redirect response, if any."""
-        return self.headers.get("Location")
+        return self.header("Location")
+
+    @property
+    def etag(self) -> Optional[str]:
+        """The ``ETag`` header of a conditional-GET response, if any."""
+        return self.header("ETag")
 
 
 class Route:
@@ -156,27 +187,36 @@ class Router:
         ]
 
     def dispatch(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Response:
         """Route a request; maps library errors onto HTTP status codes.
 
         ``path`` may carry a query string (``/x?cursor=3``), parsed into
-        ``Request.query``.  A handler may return a full
-        :class:`Response` (redirects, custom statuses); any other return
-        value becomes a 200 body.
+        ``Request.query``; ``headers`` become ``Request.headers``
+        (conditional-GET validators ride here).  A handler may return a
+        full :class:`Response` (redirects, custom statuses); any other
+        return value becomes a 200 body.
         """
         requests = self._requests
         if requests is None:
-            return self._dispatch(method, path, body)[0]
+            return self._dispatch(method, path, body, headers)[0]
         start = perf_counter()
-        response, route_label = self._dispatch(method, path, body)
+        response, route_label = self._dispatch(method, path, body, headers)
         elapsed = perf_counter() - start
         requests.labels(route=route_label, status=str(response.status)).inc()
         self._latency.labels(route=route_label).observe(elapsed)
         return response
 
     def _dispatch(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[Response, str]:
         """Dispatch plus the route label the metrics should carry.
 
@@ -205,6 +245,7 @@ class Router:
                 params=params,
                 body=body or {},
                 query=query,
+                headers=headers or {},
             )
             try:
                 result = route.handler(request)

@@ -47,6 +47,7 @@ POST        /v1/apps/{app}/containers/{cid}/powercap        set_container_powerc
 POST        /v1/apps/{app}/containers/{cid}/cores           set_container_cores
 POST        /v1/apps/{app}/scale                            horizontal scale
 GET         /v1/apps/{app}/events                           ecovisor.events_for
+GET         /v1/apps/{app}/events/stream                    SSE (async gateway)
 GET         /v1/metrics                                     metrics.render (Prometheus text)
 GET         /v1/metrics/ticks                               profiler.ticks_payload
 GET         /v1/admin/apps                                  ecovisor.app_shares
@@ -59,6 +60,7 @@ DELETE      /v1/admin/apps/{app}                            ecovisor.evict_app
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable, Dict, Optional
 from urllib.parse import urlencode
 
@@ -67,12 +69,59 @@ from repro.core.api import EcovisorAPI, connect
 from repro.core.config import ShareConfig
 from repro.core.ecovisor import Ecovisor
 from repro.core.events import AppEvictedEvent, event_to_dict
+from repro.core.state import EnergyState
 from repro.rest.router import Request, Response, Router
 
 _MISSING = object()
 
 #: Version prefix of the current API surface.
 API_PREFIX = "/v1"
+
+#: ``Cache-Control`` for snapshot-derived reads: a cached copy may be
+#: reused only after revalidation (the ETag below makes that one cheap
+#: 304 round-trip instead of a re-serialization).
+SNAPSHOT_CACHE_CONTROL = "max-age=0, must-revalidate"
+
+#: ``Cache-Control`` for the metrics scrape and the admin namespace:
+#: live operational state, never cacheable.
+NO_STORE_CACHE_CONTROL = "no-store"
+
+#: Routes the async gateway serves over Server-Sent Events rather than
+#: one-shot request/response.  The ``repro routes`` CLI uses this to
+#: mark each row's transport; the sync in-process server answers them
+#: with 501 pointing at ``repro serve``.
+SSE_ROUTES = frozenset({("GET", "/v1/apps/{app}/events/stream")})
+
+
+def snapshot_etag(state: EnergyState) -> str:
+    """The strong ETag of one application's per-tick snapshot.
+
+    Keyed on ``(app, tick, settled)``: a snapshot is immutable once
+    built, but the same tick index exists in two versions (pre- and
+    post-settlement), so the settled flag must participate or a cached
+    mid-tick body could shadow the finalized one.
+    """
+    return f'"{state.app_name}:{state.tick_index}:{int(state.settled)}"'
+
+
+def etag_matches(header_value: Optional[str], etag: str) -> bool:
+    """Whether an ``If-None-Match`` header revalidates ``etag``.
+
+    Handles the ``*`` wildcard, comma-separated candidate lists, and
+    weak validators (``W/"..."`` compares equal to its strong form —
+    byte-range semantics don't apply to JSON bodies).
+    """
+    if header_value is None:
+        return False
+    if header_value.strip() == "*":
+        return True
+    for candidate in header_value.split(","):
+        candidate = candidate.strip()
+        if candidate.startswith("W/"):
+            candidate = candidate[2:]
+        if candidate == etag:
+            return True
+    return False
 
 
 def _body_field(request: Request, name: str, cast: Callable, default: Any = _MISSING):
@@ -141,16 +190,20 @@ class EcovisorRestServer:
         path: str,
         body: dict | None = None,
         follow_redirects: bool = False,
+        headers: dict | None = None,
     ) -> Response:
         """Issue one request against the API surface.
 
         ``follow_redirects`` chases the 301 from a legacy unversioned
         path to its ``/v1`` home (one hop), the way an HTTP client
-        configured to follow redirects would.
+        configured to follow redirects would.  ``headers`` carries
+        request headers (e.g. ``If-None-Match`` for conditional GETs).
         """
-        response = self._router.dispatch(method, path, body)
+        response = self._router.dispatch(method, path, body, headers)
         if follow_redirects and response.is_redirect and response.location:
-            response = self._router.dispatch(method, response.location, body)
+            response = self._router.dispatch(
+                method, response.location, body, headers
+            )
         return response
 
     # ------------------------------------------------------------------
@@ -168,6 +221,21 @@ class EcovisorRestServer:
         self._router.add(method, API_PREFIX + pattern, handler)
         self._router.add(method, pattern, self._redirect_to_v1)
 
+    def _snapshot_response(self, request: Request, payload_fn) -> Response:
+        """Serve one snapshot-derived read with conditional-GET support.
+
+        Every snapshot route carries ``ETag`` (keyed on app/tick/settled)
+        and ``Cache-Control: max-age=0, must-revalidate``; a matching
+        ``If-None-Match`` validator short-circuits to ``304 Not
+        Modified`` without serializing a body.
+        """
+        state = self._api(request.params["app"]).state()
+        etag = snapshot_etag(state)
+        headers = {"ETag": etag, "Cache-Control": SNAPSHOT_CACHE_CONTROL}
+        if etag_matches(request.header("If-None-Match"), etag):
+            return Response(304, None, headers=headers)
+        return Response(200, payload_fn(state), headers=headers)
+
     def _redirect_to_v1(self, request: Request) -> Response:
         location = API_PREFIX + request.path
         if request.query:
@@ -181,8 +249,13 @@ class EcovisorRestServer:
         )
 
     def _add_admin(self, method: str, pattern: str, handler) -> None:
-        """Register an admin route (v1-only: no legacy twin to redirect)."""
-        self._router.add(method, API_PREFIX + pattern, handler)
+        """Register a v1-only route (no legacy twin) as uncacheable.
+
+        The metrics scrape and the admin namespace are live operational
+        state: every response (success or error Response alike) carries
+        ``Cache-Control: no-store`` unless the handler set its own.
+        """
+        self._router.add(method, API_PREFIX + pattern, _no_store(handler))
 
     def _install_routes(self) -> None:
         self._add("GET", "/apps/{app}/state", self._get_state)
@@ -203,6 +276,10 @@ class EcovisorRestServer:
         self._add("POST", "/apps/{app}/containers/{cid}/cores", self._set_cores)
         self._add("POST", "/apps/{app}/scale", self._scale)
         self._add("GET", "/apps/{app}/events", self._app_events)
+        # The push twin of the cursor feed.  v1-only (no legacy twin):
+        # the async gateway serves it over SSE; in-process the stub
+        # answers 501 pointing at `repro serve`.
+        self._add_admin("GET", "/apps/{app}/events/stream", self._app_events_stream)
         # Observability surface (v1-only, like admin: no legacy twin).
         self._add_admin("GET", "/metrics", self._get_metrics)
         self._add_admin("GET", "/metrics/ticks", self._get_metrics_ticks)
@@ -214,41 +291,47 @@ class EcovisorRestServer:
 
     # Snapshot route: the whole Table 1 observation surface in one call.
     def _get_state(self, request: Request):
-        return self._api(request.params["app"]).state().to_dict()
+        return self._snapshot_response(request, lambda state: state.to_dict())
 
     def _get_solar(self, request: Request):
-        return {"solar_w": self._api(request.params["app"]).state().solar_power_w}
+        return self._snapshot_response(
+            request, lambda state: {"solar_w": state.solar_power_w}
+        )
 
     def _get_grid(self, request: Request):
-        return {"grid_w": self._api(request.params["app"]).state().grid_power_w}
+        return self._snapshot_response(
+            request, lambda state: {"grid_w": state.grid_power_w}
+        )
 
     def _get_carbon(self, request: Request):
-        return {
-            "carbon_g_per_kwh": self._api(
-                request.params["app"]
-            ).state().grid_carbon_g_per_kwh
-        }
+        return self._snapshot_response(
+            request,
+            lambda state: {"carbon_g_per_kwh": state.grid_carbon_g_per_kwh},
+        )
 
     def _get_price(self, request: Request):
-        return {
-            "price_usd_per_kwh": self._api(
-                request.params["app"]
-            ).state().grid_price_usd_per_kwh
-        }
+        return self._snapshot_response(
+            request,
+            lambda state: {"price_usd_per_kwh": state.grid_price_usd_per_kwh},
+        )
 
     def _get_cost(self, request: Request):
-        return {"cost_usd": self._api(request.params["app"]).state().total_cost_usd}
+        return self._snapshot_response(
+            request, lambda state: {"cost_usd": state.total_cost_usd}
+        )
 
     def _get_battery(self, request: Request):
-        state = self._api(request.params["app"]).state()
-        return {
-            "battery": state.battery.to_dict() if state.battery else None,
-            # Zero-default figures (legacy access style, kept for
-            # battery-less apps and pre-v1 clients).
-            "charge_level_wh": state.battery_charge_level_wh,
-            "capacity_wh": state.battery_capacity_wh,
-            "discharge_rate_w": state.battery_discharge_rate_w,
-        }
+        return self._snapshot_response(
+            request,
+            lambda state: {
+                "battery": state.battery.to_dict() if state.battery else None,
+                # Zero-default figures (legacy access style, kept for
+                # battery-less apps and pre-v1 clients).
+                "charge_level_wh": state.battery_charge_level_wh,
+                "capacity_wh": state.battery_capacity_wh,
+                "discharge_rate_w": state.battery_discharge_rate_w,
+            },
+        )
 
     def _set_charge_rate(self, request: Request):
         api = self._api(request.params["app"])
@@ -340,6 +423,23 @@ class EcovisorRestServer:
             # this caller's cursor lag on this read).
             "journal_dropped": page.journal_dropped,
         }
+
+    def _app_events_stream(self, request: Request):
+        """Sync stub of the SSE stream route (served by the gateway).
+
+        Kept on the in-process router so the route table (and `repro
+        routes`) covers the full surface; validates the application so
+        unknown apps answer 404 like every other app route.
+        """
+        self._ecovisor.events_for(request.params["app"], cursor=0, limit=0)
+        return Response(
+            501,
+            {
+                "error": "event streaming requires the async gateway; "
+                "start one with `repro serve` and connect with "
+                "Accept: text/event-stream"
+            },
+        )
 
     # ------------------------------------------------------------------
     # Observability surface (obs/)
@@ -435,6 +535,29 @@ class EcovisorRestServer:
         name = request.params["app"]
         account = self._ecovisor.evict_app(name)
         return {"name": name, "account": _account_to_dict(account)}
+
+
+def _no_store(handler):
+    """Wrap a handler so its responses carry ``Cache-Control: no-store``.
+
+    A handler that set its own ``Cache-Control`` wins; plain-dict
+    returns are lifted into a 200 :class:`Response` to carry the header.
+    """
+
+    @functools.wraps(handler)
+    def wrapped(request: Request):
+        result = handler(request)
+        if isinstance(result, Response):
+            if result.header("Cache-Control") is not None:
+                return result
+            headers = dict(result.headers)
+            headers["Cache-Control"] = NO_STORE_CACHE_CONTROL
+            return Response(result.status, result.body, headers)
+        return Response(
+            200, result, {"Cache-Control": NO_STORE_CACHE_CONTROL}
+        )
+
+    return wrapped
 
 
 def _share_to_dict(share: ShareConfig) -> Dict[str, float]:

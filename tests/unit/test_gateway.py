@@ -1,0 +1,424 @@
+"""Gateway building blocks: HTTP parsing, SSE framing, snapshot cache."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.errors import UnknownApplicationError
+from repro.core.events import AppEvictedEvent, CarbonChangeEvent, event_to_dict
+from repro.core.journal import EventJournal
+from repro.gateway.cache import CacheEntry, SnapshotCache
+from repro.gateway.http import (
+    BadRequest,
+    json_response,
+    read_request,
+    render_response,
+    split_target,
+)
+from repro.gateway.server import _route_app
+from repro.gateway.sse import (
+    HEARTBEAT_FRAME,
+    StreamBroker,
+    StreamItem,
+    Subscriber,
+    format_sse_event,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def parse(data: bytes):
+    # The StreamReader must be built inside a running loop.
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return await read_request(reader)
+
+
+def carbon_event(i: int) -> CarbonChangeEvent:
+    return CarbonChangeEvent(
+        time_s=60.0 * i, previous_g_per_kwh=100.0, current_g_per_kwh=100.0 + i
+    )
+
+
+class JournalOnly:
+    """The slice of the ecovisor the stream broker reads: the journal."""
+
+    def __init__(self, capacity: int = 256):
+        self.journal = EventJournal(capacity=capacity)
+
+    def events_for(self, name, cursor=0, limit=None):
+        return self.journal.read(name, cursor=cursor, limit=limit)
+
+
+class TestHttpParsing:
+    def test_parses_method_target_headers_and_body(self):
+        raw = (
+            b"POST /v1/apps/a/containers?x=1 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 13\r\n\r\n"
+            b'{"cores": 2}\n'
+        )
+        request = run(parse(raw))
+        assert request.method == "POST"
+        assert request.target == "/v1/apps/a/containers?x=1"
+        assert request.headers["host"] == "localhost"
+        assert request.json_body() == {"cores": 2}
+        assert request.keep_alive
+
+    def test_header_names_fold_to_lowercase(self):
+        raw = b"GET / HTTP/1.1\r\nIf-None-Match: \"a:1:1\"\r\n\r\n"
+        request = run(parse(raw))
+        assert request.headers["if-none-match"] == '"a:1:1"'
+
+    def test_connection_close_disables_keep_alive(self):
+        raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        request = run(parse(raw))
+        assert not request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert run(parse(b"")) is None
+
+    def test_truncated_head_raises_400(self):
+        with pytest.raises(BadRequest) as excinfo:
+            run(parse(b"GET / HTTP/1.1\r\n"))
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_raises_413(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+        with pytest.raises(BadRequest) as excinfo:
+            run(parse(raw))
+        assert excinfo.value.status == 413
+
+    def test_malformed_json_body_raises_on_access(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope"
+        request = run(parse(raw))
+        with pytest.raises(BadRequest):
+            request.json_body()
+
+    def test_render_response_frames_with_content_length(self):
+        payload = render_response(200, {"ETag": '"x"'}, b"hi")
+        assert payload.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"ETag: \"x\"\r\n" in payload
+        assert b"Content-Length: 2\r\n" in payload
+        assert payload.endswith(b"\r\n\r\nhi")
+
+    def test_304_renders_with_zero_length(self):
+        payload = render_response(304, {"ETag": '"x"'})
+        assert b"304 Not Modified" in payload
+        assert b"Content-Length: 0" in payload
+
+    def test_json_response_bytes_are_deterministic(self):
+        one = json_response(200, {"b": 1, "a": 2})
+        two = json_response(200, {"a": 2, "b": 1})
+        assert one == two
+        assert b'{"a": 2, "b": 1}' in one
+
+    def test_split_target(self):
+        assert split_target("/x?a=1") == ("/x", "a=1")
+        assert split_target("/x") == ("/x", "")
+
+
+class TestRoutePatterns:
+    def test_state_route_app_extraction(self):
+        assert _route_app("/v1/apps/web/state", "/v1/apps/", "/state") == "web"
+        assert _route_app("/v1/apps/web/solar", "/v1/apps/", "/state") is None
+        assert _route_app("/v1/apps/a/b/state", "/v1/apps/", "/state") is None
+        assert _route_app("/v1/apps//state", "/v1/apps/", "/state") is None
+
+    def test_stream_route_app_extraction(self):
+        path = "/v1/apps/web/events/stream"
+        assert _route_app(path, "/v1/apps/", "/events/stream") == "web"
+
+
+class TestSseFraming:
+    def test_frame_with_id_event_and_data(self):
+        frame = format_sse_event("CarbonChangeEvent", '{"x": 1}', seq=7)
+        assert frame == b'id: 7\nevent: CarbonChangeEvent\ndata: {"x": 1}\n\n'
+
+    def test_control_frame_has_no_id(self):
+        frame = format_sse_event("stream_end", '{"reason": "evicted"}')
+        assert frame.startswith(b"event: stream_end\n")
+        assert b"id:" not in frame
+
+    def test_heartbeat_is_a_comment(self):
+        assert HEARTBEAT_FRAME.startswith(b":")
+        assert HEARTBEAT_FRAME.endswith(b"\n\n")
+
+    def test_stream_item_frame_roundtrip(self):
+        item = StreamItem(name="X", data="{}", seq=3)
+        assert item.frame() == b"id: 3\nevent: X\ndata: {}\n\n"
+
+
+class TestSubscriberQueue:
+    def test_overflow_counts_drops(self):
+        async def scenario():
+            sub = Subscriber("a", 0, queue_size=2)
+            for i in range(5):
+                sub._offer(StreamItem(name="X", data="{}", seq=i))
+            return sub
+
+        sub = run(scenario())
+        assert sub.queue.qsize() == 2
+        assert sub.dropped == 3
+
+    def test_drain_surfaces_queue_dropped_notice(self):
+        async def scenario():
+            sub = Subscriber("a", 0, queue_size=2)
+            for i in range(4):
+                sub._offer(StreamItem(name="X", data="{}", seq=i))
+            # Drain, then deliver one more: the gap notice must precede it.
+            sub.queue.get_nowait()
+            sub.queue.get_nowait()
+            sub._offer(StreamItem(name="X", data="{}", seq=9))
+            return [sub.queue.get_nowait() for _ in range(2)]
+
+        first, second = run(scenario())
+        assert first.name == "queue_dropped"
+        assert json.loads(first.data)["dropped"] == 2
+        assert second.seq == 9
+
+
+class TestStreamBroker:
+    def test_register_returns_backlog_from_cursor(self):
+        async def scenario():
+            eco = JournalOnly()
+            for i in range(3):
+                eco.journal.record("a", carbon_event(i))
+            broker = StreamBroker(eco)
+            broker.bind_loop(asyncio.get_running_loop())
+            subscriber, backlog = broker.register("a", cursor=1)
+            return subscriber, backlog
+
+        subscriber, backlog = run(scenario())
+        assert [item.seq for item in backlog] == [1, 2]
+        assert subscriber.cursor == 3
+
+    def test_register_unknown_app_raises(self):
+        async def scenario():
+            broker = StreamBroker(JournalOnly())
+            broker.bind_loop(asyncio.get_running_loop())
+            with pytest.raises(UnknownApplicationError):
+                broker.register("ghost", cursor=0)
+
+        run(scenario())
+
+    def test_pump_delivers_new_events_once(self):
+        async def scenario():
+            eco = JournalOnly()
+            eco.journal.record("a", carbon_event(0))
+            broker = StreamBroker(eco)
+            broker.bind_loop(asyncio.get_running_loop())
+            subscriber, backlog = broker.register("a", cursor=0)
+            eco.journal.record("a", carbon_event(1))
+            eco.journal.record("a", carbon_event(2))
+            broker.pump()
+            broker.pump()  # no new events: must not redeliver
+            await asyncio.sleep(0)
+            items = []
+            while not subscriber.queue.empty():
+                items.append(subscriber.queue.get_nowait())
+            return backlog, items
+
+        backlog, items = run(scenario())
+        assert [item.seq for item in backlog] == [0]
+        assert [item.seq for item in items] == [1, 2]
+
+    def test_pump_skips_backlog_overlap(self):
+        async def scenario():
+            eco = JournalOnly()
+            broker = StreamBroker(eco)
+            broker.bind_loop(asyncio.get_running_loop())
+            eco.journal.record("a", carbon_event(0))
+            first, _ = broker.register("a", cursor=0)
+            broker.pump()  # tip -> 1
+            # New events, then a second subscriber whose backlog already
+            # covers them; the next pump must not duplicate into it.
+            eco.journal.record("a", carbon_event(1))
+            second, backlog = broker.register("a", cursor=0)
+            broker.pump()
+            await asyncio.sleep(0)
+            delivered = []
+            while not second.queue.empty():
+                delivered.append(second.queue.get_nowait())
+            return backlog, delivered
+
+        backlog, delivered = run(scenario())
+        assert [item.seq for item in backlog] == [0, 1]
+        assert delivered == []  # the pump's [1] was already in the backlog
+
+    def test_journal_overflow_mid_stream_surfaces_journal_dropped(self):
+        async def scenario():
+            eco = JournalOnly(capacity=4)
+            eco.journal.record("a", carbon_event(0))
+            broker = StreamBroker(eco)
+            broker.bind_loop(asyncio.get_running_loop())
+            subscriber, _ = broker.register("a", cursor=0)
+            # Overflow the feed while the subscriber is idle.
+            for i in range(1, 11):
+                eco.journal.record("a", carbon_event(i))
+            broker.pump()
+            await asyncio.sleep(0)
+            items = []
+            while not subscriber.queue.empty():
+                items.append(subscriber.queue.get_nowait())
+            return items
+
+        items = run(scenario())
+        assert items[0].name == "journal_dropped"
+        payload = json.loads(items[0].data)
+        assert payload["dropped"] == 6  # seqs 1..6 fell out of capacity 4
+        assert [item.seq for item in items[1:]] == [7, 8, 9, 10]
+
+    def test_eviction_event_carries_terminal_marker(self):
+        async def scenario():
+            eco = JournalOnly()
+            eco.journal.record("a", carbon_event(0))
+            broker = StreamBroker(eco)
+            broker.bind_loop(asyncio.get_running_loop())
+            subscriber, _ = broker.register("a", cursor=0)
+            eco.journal.record(
+                "a", AppEvictedEvent(time_s=60.0, app_name="a")
+            )
+            broker.pump()
+            await asyncio.sleep(0)
+            items = []
+            while not subscriber.queue.empty():
+                items.append(subscriber.queue.get_nowait())
+            return items
+
+        items = run(scenario())
+        assert items[0].name == "AppEvictedEvent"
+        assert not items[0].terminal
+        assert items[1].name == "stream_end"
+        assert items[1].terminal
+        assert json.loads(items[1].data) == {"reason": "evicted"}
+
+    def test_resume_past_horizon_starts_from_oldest(self):
+        async def scenario():
+            eco = JournalOnly(capacity=3)
+            for i in range(10):
+                eco.journal.record("a", carbon_event(i))
+            broker = StreamBroker(eco)
+            broker.bind_loop(asyncio.get_running_loop())
+            _, backlog = broker.register("a", cursor=0)
+            return backlog
+
+        backlog = run(scenario())
+        assert backlog[0].name == "journal_dropped"
+        assert json.loads(backlog[0].data)["dropped"] == 7
+        assert [item.seq for item in backlog[1:]] == [7, 8, 9]
+
+    def test_unregister_clears_tip_state(self):
+        async def scenario():
+            eco = JournalOnly()
+            eco.journal.record("a", carbon_event(0))
+            broker = StreamBroker(eco)
+            broker.bind_loop(asyncio.get_running_loop())
+            subscriber, _ = broker.register("a", cursor=0)
+            assert broker.open_subscribers == 1
+            broker.unregister(subscriber)
+            return broker
+
+        broker = run(scenario())
+        assert broker.open_subscribers == 0
+        assert broker._tips == {}
+
+    def test_queue_drop_callback_fires(self):
+        async def scenario():
+            eco = JournalOnly()
+            eco.journal.record("a", carbon_event(0))
+            drops = []
+            broker = StreamBroker(eco, queue_size=1, on_queue_drop=drops.append)
+            broker.bind_loop(asyncio.get_running_loop())
+            broker.register("a", cursor=1)
+            for i in range(1, 5):
+                eco.journal.record("a", carbon_event(i))
+            broker.pump()
+            await asyncio.sleep(0)
+            return drops
+
+        drops = run(scenario())
+        assert sum(drops) == 3  # queue of 1 held one of four events
+
+    def test_event_data_matches_cursor_poll_serialization(self):
+        async def scenario():
+            eco = JournalOnly()
+            event = carbon_event(4)
+            eco.journal.record("a", event)
+            broker = StreamBroker(eco)
+            broker.bind_loop(asyncio.get_running_loop())
+            _, backlog = broker.register("a", cursor=0)
+            return event, backlog[0]
+
+        event, item = run(scenario())
+        assert item.data == json.dumps(event_to_dict(event), sort_keys=True)
+        assert item.name == "CarbonChangeEvent"
+
+
+class TestSnapshotCache:
+    def test_populate_is_single_flight(self):
+        async def scenario():
+            cache = SnapshotCache()
+            builds = []
+
+            async def build():
+                builds.append(1)
+                await asyncio.sleep(0.01)
+                return CacheEntry("e", b"fresh", b"304")
+
+            results = await asyncio.gather(
+                cache.populate("a", build), cache.populate("a", build)
+            )
+            return builds, results
+
+        builds, results = run(scenario())
+        assert len(builds) == 1
+        assert results[0] is results[1]
+
+    def test_invalidate_during_build_discards_entry(self):
+        async def scenario():
+            cache = SnapshotCache()
+
+            async def build():
+                cache.invalidate()  # a tick lands mid-build
+                return CacheEntry("e", b"fresh", b"304")
+
+            entry = await cache.populate("a", build)
+            return entry, cache.get("a")
+
+        entry, cached = run(scenario())
+        assert entry is not None
+        assert cached is None  # stale-at-birth entries are not kept
+
+    def test_error_builds_are_not_cached(self):
+        async def scenario():
+            cache = SnapshotCache()
+
+            async def build():
+                return None
+
+            entry = await cache.populate("a", build)
+            return entry, cache.get("a")
+
+        entry, cached = run(scenario())
+        assert entry is None
+        assert cached is None
+
+    def test_invalidate_clears_entries(self):
+        async def scenario():
+            cache = SnapshotCache()
+
+            async def build():
+                return CacheEntry("e", b"fresh", b"304")
+
+            await cache.populate("a", build)
+            assert cache.get("a") is not None
+            cache.invalidate()
+            return cache.get("a")
+
+        assert run(scenario()) is None

@@ -5,7 +5,7 @@ import pytest
 from repro.core.config import ShareConfig
 from repro.market.prices import constant_price_trace
 from repro.rest.router import Router
-from repro.rest.server import API_PREFIX, EcovisorRestServer
+from repro.rest.server import API_PREFIX, SSE_ROUTES, EcovisorRestServer
 from tests.conftest import make_ecovisor, run_ticks
 
 
@@ -282,14 +282,16 @@ class TestVersioning:
         assert response.location == f"/v1/apps/a/containers/{cid}/power"
 
     def test_every_nonadmin_v1_route_has_a_legacy_redirect(self, server):
-        # Admin and metrics routes are v1-only (no pre-v1.1 client ever
-        # saw them); every other v1 route keeps its 301 legacy twin.
+        # Admin, metrics, and SSE stream routes are v1-only (no pre-v1.1
+        # client ever saw them); every other v1 route keeps its 301
+        # legacy twin.
         routes = server.router.routes()
         v1 = {
             (m, p)
             for m, p in routes
             if p.startswith("/v1/")
             and not p.startswith(("/v1/admin", "/v1/metrics"))
+            and (m, p) not in SSE_ROUTES
         }
         legacy = {(m, p) for m, p in routes if not p.startswith("/v1/")}
         assert {(m, p[len("/v1"):]) for m, p in v1} == legacy
@@ -544,3 +546,160 @@ class TestEventFeedRoute:
 
     def test_unknown_app_is_404(self, server):
         assert server.request("GET", "/v1/apps/ghost/events").status == 404
+
+
+class TestHeaderCaseInsensitivity:
+    """HTTP header names carry no case (satellite regression tests)."""
+
+    def test_response_header_lookup_ignores_case(self):
+        from repro.rest.router import Response
+
+        response = Response(301, None, headers={"location": "/v1/x"})
+        assert response.location == "/v1/x"
+        assert response.header("LOCATION") == "/v1/x"
+        assert response.header("Location") == "/v1/x"
+
+    def test_request_header_lookup_ignores_case(self):
+        from repro.rest.router import Request
+
+        request = Request("GET", "/x", headers={"IF-NONE-MATCH": '"e"'})
+        assert request.header("if-none-match") == '"e"'
+        assert request.header("If-None-Match") == '"e"'
+        assert request.header("absent") is None
+        assert request.header("absent", "d") == "d"
+
+    def test_conditional_get_with_lowercase_header_name(self, server):
+        etag = server.request("GET", "/v1/apps/a/state").header("etag")
+        assert etag is not None
+        response = server.request(
+            "GET", "/v1/apps/a/state", headers={"if-none-match": etag}
+        )
+        assert response.status == 304
+
+
+class TestConditionalGet:
+    """ETag / If-None-Match on snapshot routes."""
+
+    SNAPSHOT_PATHS = (
+        "/v1/apps/a/state",
+        "/v1/apps/a/solar",
+        "/v1/apps/a/grid",
+        "/v1/apps/a/carbon",
+        "/v1/apps/a/price",
+        "/v1/apps/a/cost",
+        "/v1/apps/a/battery",
+    )
+
+    @pytest.mark.parametrize("path", SNAPSHOT_PATHS)
+    def test_snapshot_routes_carry_etag_and_revalidation(self, server, path):
+        response = server.request("GET", path)
+        assert response.ok
+        assert response.etag.startswith('"a:')
+        assert response.headers["Cache-Control"] == "max-age=0, must-revalidate"
+
+    def test_if_none_match_hit_is_304_without_body(self, server):
+        first = server.request("GET", "/v1/apps/a/state")
+        response = server.request(
+            "GET", "/v1/apps/a/state", headers={"If-None-Match": first.etag}
+        )
+        assert response.status == 304
+        assert response.body is None
+        assert response.etag == first.etag
+
+    def test_if_none_match_miss_returns_fresh_body(self, server):
+        response = server.request(
+            "GET", "/v1/apps/a/state", headers={"If-None-Match": '"stale"'}
+        )
+        assert response.ok
+        assert response.body["app_name"] == "a"
+
+    def test_wildcard_and_candidate_lists_match(self, server):
+        etag = server.request("GET", "/v1/apps/a/state").etag
+        for header in ("*", f'"zzz", {etag}', f"W/{etag}"):
+            response = server.request(
+                "GET", "/v1/apps/a/state", headers={"If-None-Match": header}
+            )
+            assert response.status == 304, header
+
+    def test_etag_changes_at_the_tick_boundary(self):
+        eco = make_ecovisor()
+        eco.register_app("a", ShareConfig())
+        clock = run_ticks(eco, 1)
+        server = EcovisorRestServer(eco)
+        etag = server.request("GET", "/v1/apps/a/state").etag
+        run_ticks(eco, 1, clock=clock)
+        after = server.request(
+            "GET", "/v1/apps/a/state", headers={"If-None-Match": etag}
+        )
+        assert after.ok  # not 304: new tick, new snapshot
+        assert after.etag != etag
+
+    def test_etag_distinguishes_settled_from_building(self):
+        from repro.rest.server import snapshot_etag
+
+        eco = make_ecovisor()
+        eco.register_app("a", ShareConfig())
+        run_ticks(eco, 1)
+        server = EcovisorRestServer(eco)
+        settled = server.request("GET", "/v1/apps/a/state")
+        assert settled.etag.endswith(':1"')
+        # The helper keys on the settled flag, so a mid-tick snapshot
+        # cannot revalidate against the finalized one.
+        state = server._api("a").state()
+        assert snapshot_etag(state) == settled.etag
+
+
+class TestCacheControlNoStore:
+    """Metrics and admin routes must never be cached."""
+
+    def test_metrics_routes_are_no_store(self, server):
+        for path in ("/v1/metrics", "/v1/metrics/ticks"):
+            response = server.request("GET", path)
+            assert response.ok, path
+            assert response.header("Cache-Control") == "no-store", path
+
+    def test_admin_routes_are_no_store(self, server):
+        listing = server.request("GET", "/v1/admin/apps")
+        assert listing.ok
+        assert listing.header("Cache-Control") == "no-store"
+        one = server.request("GET", "/v1/admin/apps/a")
+        assert one.header("Cache-Control") == "no-store"
+        admitted = server.request("POST", "/v1/admin/apps", {"name": "c"})
+        assert admitted.status == 201
+        assert admitted.header("Cache-Control") == "no-store"
+
+    def test_admin_error_mapping_survives_no_store_wrap(self, server):
+        # Error responses come from the Router's exception mapping with
+        # no freshness headers at all (uncacheable by default); the
+        # wrapper must not swallow the error or change its status.
+        response = server.request("GET", "/v1/admin/apps/ghost")
+        assert response.status == 404
+        assert "unknown application" in response.body["error"]
+
+    def test_route_table_backing_names_survive_no_store_wrap(self, server):
+        backings = {
+            backing
+            for _, path, backing in server.router.route_table()
+            if path.startswith(("/v1/admin", "/v1/metrics"))
+        }
+        assert "admin_admit_app" in backings
+        assert "get_metrics" in backings
+
+
+class TestStreamRouteStub:
+    """The SSE route exists in-process as a 501 stub (gateway serves it)."""
+
+    def test_stream_stub_is_501_with_hint(self, server):
+        response = server.request("GET", "/v1/apps/a/events/stream")
+        assert response.status == 501
+        assert "repro serve" in response.body["error"]
+
+    def test_stream_stub_unknown_app_is_404(self, server):
+        response = server.request("GET", "/v1/apps/ghost/events/stream")
+        assert response.status == 404
+
+    def test_stream_route_is_marked_sse(self, server):
+        assert ("GET", "/v1/apps/{app}/events/stream") in SSE_ROUTES
+        assert ("GET", "/v1/apps/{app}/events/stream") in {
+            (m, p) for m, p in server.router.routes()
+        }
